@@ -1,0 +1,93 @@
+"""E11 — the memory-capacity sweep (the bounded-memory reading of §3).
+
+Section 3 frames memory as an objective "rather than bounding the
+available memory"; operators provision the bound.  This bench sweeps a
+hard per-machine capacity from the minimum feasible value to "everything
+fits everywhere" and measures what each gigabyte buys: replicas placed and
+makespan achieved under extreme realizations.
+
+Expected shape (asserted): replicas and performance are monotone in
+capacity; the curve saturates — most of the makespan improvement arrives
+well before full-replication capacity, the bounded-memory cousin of the
+paper's "even a small amount of replication improves the guarantee
+significantly".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import run_strategy
+from repro.analysis.tables import format_table
+from repro.memory.capped import CappedReplication, min_feasible_capacity
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.memory_workloads import independent_sizes
+
+SEEDS = 4
+CAP_FACTORS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0)
+
+
+def _run_e11():
+    rows = []
+    raw = []
+    for factor in CAP_FACTORS:
+        makespans = []
+        replicas = []
+        mems = []
+        for seed in range(SEEDS):
+            inst = independent_sizes(24, 6, alpha=2.0, seed=seed)
+            cap = factor * min_feasible_capacity(inst)
+            strategy = CappedReplication(cap)
+            real = sample_realization(inst, "bimodal_extreme", 700 + seed)
+            outcome = run_strategy(strategy, inst, real)
+            makespans.append(outcome.makespan)
+            replicas.append(outcome.placement.total_replicas())
+            mems.append(outcome.memory_max / cap)
+            raw.append(
+                {
+                    "cap_factor": factor,
+                    "seed": seed,
+                    "capacity": cap,
+                    "total_replicas": replicas[-1],
+                    "makespan": makespans[-1],
+                    "memory_utilization": mems[-1],
+                }
+            )
+        rows.append(
+            {
+                "capacity (x feasible min)": factor,
+                "avg replicas": float(np.mean(replicas)),
+                "mean makespan": float(np.mean(makespans)),
+                "mean memory utilization": float(np.mean(mems)),
+            }
+        )
+    return rows, raw
+
+
+def bench_e11_capacity_sweep(benchmark):
+    rows, raw = benchmark.pedantic(_run_e11, rounds=1, iterations=1)
+
+    reps = [r["avg replicas"] for r in rows]
+    makes = [r["mean makespan"] for r in rows]
+    # Monotone: more capacity, more replicas, no worse makespan.
+    assert reps == sorted(reps)
+    assert all(a >= b - 1e-9 for a, b in zip(makes, makes[1:]))
+    # Saturation: going 1.0 -> 2.0x buys at least as much improvement as
+    # 2.0 -> 5.0x.
+    first_gain = makes[0] - makes[3]
+    tail_gain = makes[3] - makes[-1]
+    assert first_gain >= tail_gain - 1e-9
+    # Utilization never exceeds the cap.
+    assert all(r["mean memory utilization"] <= 1.0 + 1e-9 for r in rows)
+
+    write_csv(results_dir() / "e11_capacity_sweep.csv", raw)
+    emit(
+        "e11_capacity_sweep",
+        format_table(
+            rows,
+            title="E11 — what a unit of memory capacity buys "
+            "(m=6, alpha=2, hard per-machine cap, extreme realizations)",
+        ),
+    )

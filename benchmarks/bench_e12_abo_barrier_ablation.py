@@ -1,0 +1,83 @@
+"""E12 — ablation: ABO's Phase-2 precedence reading.
+
+The paper's ABO description says the replicated tasks are scheduled
+"after all the memory intensive tasks are scheduled".  Two readings:
+
+* **per-machine** (our default): a machine takes replicated work as soon
+  as *its own* pinned queue is empty — work-conserving, and what the
+  proof's List-Scheduling step actually uses;
+* **global barrier**: no replicated task starts until *every* pinned task
+  has started anywhere — the literal reading, which inserts idle time.
+
+This bench measures the gap.  Expected shape (asserted): the work-
+conserving reading never loses — task-by-task it is at most equal on
+every paired run — and wins overall, justifying the default.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.comparison import compare_strategies
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.tables import format_table
+from repro.memory.abo import ABO
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.memory_workloads import MEMORY_WORKLOADS
+
+DELTAS = (0.5, 1.0, 2.0)
+
+
+def _run_e12():
+    rows = []
+    raw = []
+    for delta in DELTAS:
+        cases = []
+        for family, fn in sorted(MEMORY_WORKLOADS.items()):
+            for seed in range(3):
+                inst = fn(20, 5, alpha=1.7, seed=seed)
+                real = sample_realization(inst, "bimodal_extreme", 300 + seed)
+                cases.append((inst, real))
+        cmp = compare_strategies(ABO(delta), ABO(delta, barrier=True), cases)
+        rows.append(
+            {
+                "Delta": delta,
+                "pairs": cmp.n_pairs,
+                "work-conserving wins": cmp.wins_a,
+                "ties": cmp.ties,
+                "barrier wins": cmp.wins_b,
+                "geo mean makespan ratio": cmp.geo_mean_ratio,
+                "sign-test p": cmp.p_value,
+            }
+        )
+        raw.append(
+            {
+                "delta": delta,
+                "mean_diff": cmp.mean_diff,
+                "ci95": cmp.ci95_diff,
+                "wins_a": cmp.wins_a,
+                "ties": cmp.ties,
+                "wins_b": cmp.wins_b,
+                "geo_mean_ratio": cmp.geo_mean_ratio,
+                "p_value": cmp.p_value,
+            }
+        )
+    return rows, raw
+
+
+def bench_e12_abo_barrier_ablation(benchmark):
+    rows, raw = benchmark.pedantic(_run_e12, rounds=1, iterations=1)
+
+    for r in rows:
+        # The work-conserving reading never loses a paired run.
+        assert r["barrier wins"] == 0, r
+        assert r["geo mean makespan ratio"] <= 1.0 + 1e-9
+
+    write_csv(results_dir() / "e12_abo_barrier_ablation.csv", raw)
+    emit(
+        "e12_abo_barrier_ablation",
+        format_table(
+            rows,
+            title="E12 — ABO Phase-2 precedence: work-conserving (default) "
+            "vs global barrier (literal reading)",
+        ),
+    )

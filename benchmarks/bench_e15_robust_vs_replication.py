@@ -1,0 +1,126 @@
+"""E15 — robust placement vs. replication (the two philosophies, head-to-head).
+
+The related work answers uncertainty with *robust schedules* (optimize the
+assignment against scenarios); the paper answers it with *replication*
+(buy runtime flexibility).  This bench puts the strongest pinned
+contender — scenario-optimized min-max placement — against the paper's
+strategies in two arenas:
+
+* **random arena**: fresh extreme realizations (not the training set) —
+  measures generalization of the robust placement;
+* **adversarial arena**: the Theorem-1 adversary, which *sees* the
+  placement before choosing durations — the regime the bounds describe.
+
+Expected shape (asserted): the classic robust-optimization tradeoff —
+min-max pinning improves the *worst case* over fresh draws at the price
+of a worse *mean* than naive LPT — and, in the adversarial arena, no
+pinned placement helps at all: the adaptive adversary (which moves last)
+forces naive and robust pinning to the *same* ratio, far above full
+replication.  Foresight buys tail insurance on a fixed distribution;
+only flexibility survives an adversary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import run_strategy
+from repro.analysis.tables import format_table
+from repro.core.adversary import theorem1_realization
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.exact.optimal import optimal_makespan
+from repro.robust import RobustPinnedPlacement
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import identical_instance, uniform_instance
+
+SEEDS = 6
+M = 4
+
+
+def _arena_random(strategy, seed):
+    inst = uniform_instance(16, M, alpha=2.0, seed=seed)
+    real = sample_realization(inst, "bimodal_extreme", 900 + seed)
+    outcome = run_strategy(strategy, inst, real)
+    opt = optimal_makespan(real.actuals, M, exact_limit=16)
+    return outcome.makespan / opt.value, opt.optimal
+
+
+def _arena_adversarial(strategy, lam=4):
+    """Theorem-1 arena: the adversary tailors durations to the strategy's
+    pinned placement; against a replicated placement (no pinning to aim
+    at) it falls back to its move against the naive pinning — replication
+    adapts at runtime either way."""
+    inst = identical_instance(lam * M, M, alpha=2.0)
+    placement = strategy.place(inst)
+    target = placement if placement.is_no_replication() else LPTNoChoice().place(inst)
+    real = theorem1_realization(target)
+    outcome = run_strategy(strategy, inst, real)
+    opt = optimal_makespan(real.actuals, M, exact_limit=lam * M)
+    return outcome.makespan / opt.value, opt.optimal
+
+
+def _run_e15():
+    strategies = {
+        "lpt pinned (naive)": LPTNoChoice(),
+        "robust pinned (scenario min-max)": RobustPinnedPlacement(scenarios=16, seed=1),
+        "full replication": LPTNoRestriction(),
+    }
+    rows = []
+    raw = []
+    for label, strategy in strategies.items():
+        random_ratios = []
+        for seed in range(SEEDS):
+            ratio, exact = _arena_random(strategy, seed)
+            random_ratios.append(ratio)
+            raw.append(
+                {"arena": "random", "strategy": label, "seed": seed, "ratio": ratio,
+                 "optimum_exact": exact}
+            )
+        adv_ratio, adv_exact = _arena_adversarial(strategy)
+        raw.append(
+            {"arena": "adversarial", "strategy": label, "seed": "", "ratio": adv_ratio,
+             "optimum_exact": adv_exact}
+        )
+        rows.append(
+            {
+                "strategy": label,
+                "random arena mean ratio": float(np.mean(random_ratios)),
+                "random arena worst ratio": float(np.max(random_ratios)),
+                "adversarial arena ratio": adv_ratio,
+            }
+        )
+    return rows, raw
+
+
+def bench_e15_robust_vs_replication(benchmark):
+    rows, raw = benchmark.pedantic(_run_e15, rounds=1, iterations=1)
+    by = {r["strategy"]: r for r in rows}
+
+    naive = by["lpt pinned (naive)"]
+    robust = by["robust pinned (scenario min-max)"]
+    full = by["full replication"]
+    # The robust-optimization tradeoff: better tail, worse mean.
+    assert robust["random arena worst ratio"] <= naive["random arena worst ratio"] + 1e-9
+    assert robust["random arena mean ratio"] >= naive["random arena mean ratio"] - 1e-9
+    # Full replication dominates both pinned variants everywhere.
+    assert full["random arena mean ratio"] <= robust["random arena mean ratio"]
+    assert full["random arena worst ratio"] <= robust["random arena worst ratio"]
+    # Against the adaptive adversary foresight is worthless: both pinned
+    # placements are forced to the same ratio, far above full replication.
+    assert robust["adversarial arena ratio"] == pytest.approx(
+        naive["adversarial arena ratio"]
+    )
+    assert robust["adversarial arena ratio"] >= 1.3 * full["adversarial arena ratio"]
+
+    write_csv(results_dir() / "e15_robust_vs_replication.csv", raw)
+    emit(
+        "e15_robust_vs_replication",
+        format_table(
+            rows,
+            title="E15 — foresight (robust pinning) vs flexibility (replication), "
+            f"m={M}, alpha=2",
+        ),
+    )

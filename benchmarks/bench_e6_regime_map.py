@@ -1,0 +1,85 @@
+"""E6 — the clairvoyance/replication regime map.
+
+The paper's conclusion sketches two regimes ("when α is low, the problem
+is no different than the offline problem ... when it is large, the problem
+converges to the non-clairvoyant online problem") and asks where the
+boundary lies.  This bench maps it, both in guarantee space and measured:
+
+* **guarantee space** — the value of the estimates
+  (:func:`clairvoyance_value`) as α sweeps: positive below √2, zero above;
+  plus the dominant strategy per replication level;
+* **measured** — LPT-No Restriction (estimate-aware) vs the seeded
+  non-clairvoyant baseline across α, showing the advantage decaying toward
+  zero as α grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.ratios import run_strategy
+from repro.analysis.regimes import clairvoyance_value, dominant_strategy_map
+from repro.analysis.tables import format_table
+from repro.core.strategies import LPTNoRestriction, NonClairvoyantLS
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+
+ALPHAS = (1.0, 1.1, 1.2, 1.3, math.sqrt(2.0), 1.6, 2.0, 3.0)
+M = 6
+
+
+def _run_e6():
+    rows = []
+    for alpha in ALPHAS:
+        aware = blind = 0.0
+        runs = 6
+        for seed in range(runs):
+            inst = uniform_instance(30, M, alpha, seed)
+            real = sample_realization(inst, "log_uniform", 600 + seed)
+            aware += run_strategy(LPTNoRestriction(), inst, real).makespan
+            blind += run_strategy(NonClairvoyantLS(seed=seed), inst, real).makespan
+        dom = dominant_strategy_map([alpha], M)[0]
+        rows.append(
+            {
+                "alpha": alpha,
+                "guarantee value of estimates": clairvoyance_value(alpha, M),
+                "measured blind/aware makespan": blind / aware,
+                "best strategy (guarantee)": dom["best_strategy"],
+                "best guarantee": dom["best_guarantee"],
+            }
+        )
+    return rows
+
+
+def bench_e6_regime_map(benchmark):
+    rows = benchmark.pedantic(_run_e6, rounds=1, iterations=1)
+
+    # Guarantee value of the estimates: positive below sqrt(2), ~zero at
+    # and above it.
+    for r in rows:
+        if r["alpha"] < math.sqrt(2.0) - 1e-9:
+            assert r["guarantee value of estimates"] > 0
+        else:
+            assert abs(r["guarantee value of estimates"]) < 1e-9
+
+    # Measured: estimates help (blind/aware >= 1) at every alpha, and help
+    # most in the low-alpha regime.
+    assert all(r["measured blind/aware makespan"] >= 1.0 - 1e-6 for r in rows)
+    low = rows[1]["measured blind/aware makespan"]  # alpha = 1.1
+    high = rows[-1]["measured blind/aware makespan"]  # alpha = 3.0
+    assert low >= high - 0.05
+
+    # Full replication's guarantee dominates at every alpha in this sweep.
+    assert all("no_restriction" in r["best strategy (guarantee)"] for r in rows)
+
+    write_csv(results_dir() / "e6_regime_map.csv", rows)
+    emit(
+        "e6_regime_map",
+        format_table(
+            rows,
+            title=f"E6 — clairvoyance regimes (m={M}): the value of estimates "
+            "vs alpha, in guarantees and measured",
+        ),
+    )

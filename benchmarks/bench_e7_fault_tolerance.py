@@ -1,0 +1,123 @@
+"""E7 — fault tolerance: replication as availability (the Hadoop argument).
+
+The paper motivates data replication partly by fault tolerance ("most
+Hadoop systems replicate the data for the purpose of tolerating hardware
+faults").  This bench quantifies that side benefit with the
+failure-injection extension: inject 0..2 machine failures at random times
+and measure, per strategy, (a) the fraction of runs that complete at all
+and (b) the makespan inflation of the completing runs.
+
+Expected shape (asserted): survival is monotone in replication — pinned
+placements die with their machine, group placements survive failures that
+leave each group partly alive, full replication survives everything short
+of losing all machines — and survivors' inflation stays moderate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis.csvio import results_dir, write_csv
+from repro.analysis.tables import format_table
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
+from repro.simulation.engine import SimulationError, simulate
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+
+M = 6
+RUNS = 24
+
+
+def _run_e7():
+    strategies = [LPTNoChoice(), LSGroup(3), LSGroup(2), LPTNoRestriction()]
+    rows = []
+    raw = []
+    rng = np.random.default_rng(42)
+    scenarios = []
+    for _ in range(RUNS):
+        n_failures = int(rng.integers(1, 3))  # 1 or 2 failures
+        machines = rng.choice(M, size=n_failures, replace=False)
+        times = rng.uniform(0.0, 15.0, size=n_failures)
+        scenarios.append({int(i): float(t) for i, t in zip(machines, times)})
+
+    for strategy in strategies:
+        survived = 0
+        inflations = []
+        for idx, failures in enumerate(scenarios):
+            inst = uniform_instance(36, M, alpha=1.5, seed=idx)
+            real = sample_realization(inst, "log_uniform", 1000 + idx)
+            placement = strategy.place(inst)
+            healthy = simulate(
+                placement, real, strategy.make_policy(inst, placement)
+            ).makespan
+            try:
+                degraded = simulate(
+                    placement,
+                    real,
+                    strategy.make_policy(inst, placement),
+                    failures=failures,
+                )
+                survived += 1
+                inflations.append(degraded.makespan / healthy)
+                raw.append(
+                    {
+                        "strategy": strategy.name,
+                        "scenario": idx,
+                        "failures": len(failures),
+                        "survived": True,
+                        "inflation": degraded.makespan / healthy,
+                    }
+                )
+            except SimulationError:
+                raw.append(
+                    {
+                        "strategy": strategy.name,
+                        "scenario": idx,
+                        "failures": len(failures),
+                        "survived": False,
+                        "inflation": "",
+                    }
+                )
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "replication": placement.max_replication(),
+                "survival rate": survived / RUNS,
+                "mean makespan inflation (survivors)": (
+                    float(np.mean(inflations)) if inflations else float("nan")
+                ),
+                "max inflation": float(np.max(inflations)) if inflations else float("nan"),
+            }
+        )
+    return rows, raw
+
+
+def bench_e7_fault_tolerance(benchmark):
+    rows, raw = benchmark.pedantic(_run_e7, rounds=1, iterations=1)
+
+    by_name = {r["strategy"]: r for r in rows}
+    # Survival is monotone in replication.
+    assert by_name["lpt_no_choice"]["survival rate"] <= by_name["ls_group[k=3]"][
+        "survival rate"
+    ]
+    assert by_name["ls_group[k=3]"]["survival rate"] <= by_name["ls_group[k=2]"][
+        "survival rate"
+    ] + 1e-9
+    # Full replication survives every 1-2 failure scenario on 6 machines.
+    assert by_name["lpt_no_restriction"]["survival rate"] == 1.0
+    # Pinned placement with 36 tasks on 6 machines essentially always loses
+    # a task to a failure.
+    assert by_name["lpt_no_choice"]["survival rate"] <= 0.25
+    # Survivors pay a bounded price.
+    assert by_name["lpt_no_restriction"]["mean makespan inflation (survivors)"] < 2.5
+
+    write_csv(results_dir() / "e7_fault_tolerance.csv", raw)
+    emit(
+        "e7_fault_tolerance",
+        format_table(
+            rows,
+            title=f"E7 — survival and makespan inflation under 1-2 machine "
+            f"failures (m={M}, {RUNS} scenarios)",
+        ),
+    )

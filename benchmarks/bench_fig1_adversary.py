@@ -1,0 +1,34 @@
+"""Figure 1 — the Theorem-1 adversary instance (λ=3, m=6).
+
+Regenerates both panels of the paper's Figure 1: the online schedule the
+adversary forces on a no-replication placement, and the offline optimal
+rearrangement, with the measured ratio against the exact optimum.  The
+bench asserts the measured ratio sits between 1 and the asymptotic
+Theorem-1 bound, i.e. the reproduced figure shows what the paper's proof
+says it shows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.ratios import run_strategy
+from repro.core.adversary import theorem1_instance, theorem1_realization
+from repro.core.bounds import lb_no_replication
+from repro.core.strategies import LPTNoChoice
+from repro.exact.optimal import optimal_makespan
+from repro.reporting import fig1_report
+
+
+def bench_fig1_adversary(benchmark):
+    out = benchmark(fig1_report)
+    # Independent re-derivation of the numbers in the report.
+    inst = theorem1_instance(3, 6, 1.5)
+    strategy = LPTNoChoice()
+    real = theorem1_realization(strategy.place(inst))
+    outcome = run_strategy(strategy, inst, real)
+    opt = optimal_makespan(real.actuals, 6, exact_limit=18)
+    ratio = outcome.makespan / opt.value
+    assert opt.optimal
+    assert 1.0 <= ratio <= lb_no_replication(1.5, 6) + 1e-9
+    assert f"{ratio:.4f}" in out
+    emit("fig1_adversary", out)

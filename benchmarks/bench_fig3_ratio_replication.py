@@ -1,0 +1,36 @@
+"""Figure 3 — the ratio/replication tradeoff at m=210, α ∈ {1.1, 1.5, 2}.
+
+The paper's central figure: how much guarantee each level of data
+replication buys.  Regenerates all three panels (ASCII + CSV) and asserts
+each of the paper's Section-5.4 observations:
+
+* α=1.1 — large gap between LPT-No Choice and the lower bound; full
+  replication clearly beats one LS group;
+* α=1.5 — LS-Group(k=1) and LPT-No Restriction coincide;
+* α=2 — LS-Group beats the no-replication guarantee with < 50 replicas,
+  and drops below ratio 6 with only 3 replicas (vs > 7.5 at 1 replica).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.tradeoff import tradeoff_findings
+from repro.reporting import fig3_report
+
+
+def bench_fig3_ratio_replication(benchmark):
+    out = benchmark.pedantic(fig3_report, rounds=3, iterations=1)
+
+    f11 = tradeoff_findings(1.1, 210)
+    assert f11["gap_lb_vs_no_choice"] > 1.0
+    assert f11["full_vs_one_group"] > 0.3
+
+    f15 = tradeoff_findings(1.5, 210)
+    assert abs(f15["full_vs_one_group"]) < 1e-9
+
+    f20 = tradeoff_findings(2.0, 210)
+    assert f20["no_choice_ratio"] > 7.5
+    assert f20["min_replicas_to_beat_no_choice"] < 50
+    assert f20["ratio_at_replication_3"] < 6.0
+
+    emit("fig3_ratio_replication", out)

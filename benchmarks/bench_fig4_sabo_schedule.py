@@ -1,0 +1,25 @@
+"""Figure 4 — a SABO_Δ two-phase schedule.
+
+Regenerates the paper's Figure 4: the SBO_Δ split routes memory-intensive
+tasks through π₂ (uncolored in the paper's figure) and time-intensive
+tasks through π₁ (colored), all pinned.  Asserts the split is the planted
+one and the placement replicates nothing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.memory.sabo import SABO
+from repro.reporting import _memory_example_instance, fig4_report
+
+
+def bench_fig4_sabo_schedule(benchmark):
+    out = benchmark(fig4_report)
+    inst = _memory_example_instance()
+    placement = SABO(1.0).place(inst)
+    assert placement.is_no_replication()
+    s1, s2 = placement.meta["s1"], placement.meta["s2"]
+    # The example instance plants 6 time-heavy and 10 memory-heavy tasks.
+    assert set(s1) == set(range(6))
+    assert set(s2) == set(range(6, 16))
+    emit("fig4_sabo_schedule", out)

@@ -1,0 +1,45 @@
+"""Figure 6 — the memory/makespan guarantee tradeoff (3 panels, m=5).
+
+Regenerates the paper's Figure 6: SABO_Δ and ABO_Δ guarantee curves in the
+(makespan ratio, memory ratio) plane as Δ sweeps, with the impossibility
+hyperbola ((a−1)(b−1) = 1) as the bold frontier.  Asserts the paper's
+reading of the figure:
+
+* SABO's curve is always the better one on memory;
+* for α·ρ₁ ≥ 2 (panels b and c) ABO's curve is the better one on makespan
+  at every Δ;
+* a makespan guarantee < 3 in panel b (α²=3, ρ=1) is achievable by ABO
+  but not by SABO.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit
+from repro.core.bounds import (
+    abo_makespan_guarantee,
+    sabo_makespan_guarantee,
+)
+from repro.memory.frontier import delta_for_makespan_target
+from repro.reporting import fig6_report
+
+
+def bench_fig6_memory_makespan(benchmark):
+    out = benchmark.pedantic(fig6_report, rounds=3, iterations=1)
+
+    m = 5
+    for a2, rho in ((3.0, 1.0), (3.0, 4.0 / 3.0)):
+        alpha = math.sqrt(a2)
+        assert alpha * rho >= math.sqrt(3.0)  # panels where ABO should win
+        for delta in (0.25, 0.5, 1.0, 2.0, 4.0):
+            assert abo_makespan_guarantee(alpha, rho, delta, m) <= (
+                sabo_makespan_guarantee(alpha, rho, delta)
+            )
+
+    # The paper's worked example: makespan target 3 in panel b.
+    alpha_b = math.sqrt(3.0)
+    assert delta_for_makespan_target(3.0, alpha_b, 1.0, m, algorithm="sabo") is None
+    assert delta_for_makespan_target(3.0, alpha_b, 1.0, m, algorithm="abo") is not None
+
+    emit("fig6_memory_makespan", out)

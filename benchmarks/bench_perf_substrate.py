@@ -1,0 +1,63 @@
+"""Substrate performance microbenchmarks.
+
+Not a paper artifact — these track the cost of the building blocks so
+performance regressions in the simulator or solvers are visible in the
+benchmark log: offline LPT at scale, the event-driven engine, the exact
+branch-and-bound, MULTIFIT, and a full two-phase strategy run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ratios import run_strategy
+from repro.core.strategies import LPTNoRestriction, LSGroup
+from repro.exact.bnb import branch_and_bound
+from repro.schedulers.lpt import lpt_schedule
+from repro.schedulers.multifit import multifit_schedule
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+
+
+def bench_lpt_offline_10k_tasks(benchmark):
+    inst = uniform_instance(10_000, 64, seed=0)
+    result = benchmark(lpt_schedule, list(inst.estimates), 64)
+    assert result.makespan > 0
+
+
+def bench_multifit_1k_tasks(benchmark):
+    inst = uniform_instance(1_000, 16, seed=1)
+    result = benchmark(multifit_schedule, list(inst.estimates), 16)
+    assert result.makespan > 0
+
+
+def bench_engine_full_replication_2k_tasks(benchmark):
+    inst = uniform_instance(2_000, 32, alpha=1.5, seed=2)
+    real = sample_realization(inst, "log_uniform", 3)
+    strategy = LPTNoRestriction()
+
+    def run():
+        return run_strategy(strategy, inst, real, validate=False).makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def bench_engine_group_strategy_2k_tasks(benchmark):
+    inst = uniform_instance(2_000, 32, alpha=1.5, seed=4)
+    real = sample_realization(inst, "log_uniform", 5)
+    strategy = LSGroup(8)
+
+    def run():
+        return run_strategy(strategy, inst, real, validate=False).makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def bench_branch_and_bound_n16_m4(benchmark):
+    inst = uniform_instance(16, 4, seed=6)
+
+    def solve():
+        return branch_and_bound(list(inst.estimates), 4).makespan
+
+    value = benchmark(solve)
+    assert value > 0

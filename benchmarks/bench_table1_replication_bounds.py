@@ -1,0 +1,29 @@
+"""Table 1 — summary of the replication-bound model's guarantees.
+
+Regenerates the paper's Table 1 (closed forms for Theorems 1-4 plus
+Graham's bound) and evaluates every expression at the paper's Figure-3
+parameterization (m = 210, α ∈ {1.1, 1.5, 2}).  The bench also verifies
+the table's internal ordering (lower bound ≤ Th. 2; Th. 3 ≤ Graham) before
+emitting, so a regression in any formula fails the bench rather than
+silently printing a wrong table.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.bounds import (
+    lb_no_replication,
+    ub_graham_ls,
+    ub_lpt_no_choice,
+    ub_lpt_no_restriction,
+)
+from repro.reporting import table1_report
+
+
+def bench_table1(benchmark):
+    out = benchmark(table1_report)
+    for alpha in (1.1, 1.5, 2.0):
+        assert lb_no_replication(alpha, 210) <= ub_lpt_no_choice(alpha, 210)
+        assert ub_lpt_no_restriction(alpha, 210) <= ub_graham_ls(210) + 1e-12
+    assert "Th. 1" in out and "Th. 4" in out
+    emit("table1_replication_bounds", out)

@@ -1,0 +1,39 @@
+"""Table 2 — summary of the memory-aware model's guarantees.
+
+Regenerates the paper's Table 2 (SABO_Δ and ABO_Δ bi-objective guarantees,
+Theorems 5-8) evaluated at the Figure-6 parameterizations.  Verifies the
+paper's qualitative claim — SABO always has the better *memory* guarantee,
+and for αρ₁ ≥ 2 ABO has the better *makespan* guarantee — before emitting.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import emit
+from repro.core.bounds import (
+    abo_makespan_guarantee,
+    abo_memory_guarantee,
+    sabo_makespan_guarantee,
+    sabo_memory_guarantee,
+)
+from repro.reporting import table2_report
+
+
+def bench_table2(benchmark):
+    out = benchmark(table2_report)
+    m = 5
+    for a2 in (2.0, 3.0):
+        alpha = math.sqrt(a2)
+        for rho in (1.0, 4.0 / 3.0):
+            for delta in (0.5, 1.0, 2.0):
+                # SABO always wins on memory.
+                assert sabo_memory_guarantee(rho, delta) <= abo_memory_guarantee(
+                    rho, delta, m
+                )
+                if alpha * rho >= 2.0:
+                    # Paper: ABO wins on makespan whenever alpha*rho1 >= 2.
+                    assert abo_makespan_guarantee(
+                        alpha, rho, delta, m
+                    ) <= sabo_makespan_guarantee(alpha, rho, delta)
+    emit("table2_memory_bounds", out)

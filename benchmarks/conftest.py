@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark/repro harness.
+
+Each bench regenerates one paper artifact (table or figure), times the
+regeneration with pytest-benchmark, writes the artifact under
+``results/`` and queues it for display.  The queued artifacts are printed
+in pytest's terminal summary — which bypasses output capture — so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+every reproduced table and figure alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.csvio import results_dir
+
+#: Artifacts emitted during this session, printed in the terminal summary.
+_EMITTED: list[tuple[str, str]] = []
+
+
+def emit(name: str, text: str) -> Path:
+    """Save an artifact to results/ and queue it for the run summary."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    _EMITTED.append((name, text))
+    return path
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: ARG001
+    if not _EMITTED:
+        return
+    terminalreporter.write_sep("=", "reproduced artifacts")
+    for name, text in _EMITTED:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)
+    _EMITTED.clear()

@@ -1,0 +1,79 @@
+"""Calibrating α from history — making the model's one free parameter honest.
+
+The paper assumes the uncertainty factor α "is a quantity known to the
+scheduler".  Where does it come from?  From history: pairs of (estimated,
+actual) durations from previous runs.  This example walks the calibration
+workflow end to end:
+
+1. generate a synthetic history from a runtime model with lognormal
+   residuals (the shape prediction papers report);
+2. fit α at several coverage levels and read the guarantee each buys;
+3. pick the pragmatic band (95% coverage), plan replication with it,
+   and *validate* the choice by simulating future workloads drawn from
+   the same residual model — counting how often the band holds and what
+   the measured ratios look like.
+
+Run:  python examples/calibrating_alpha.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.calibration import calibration_report, fit_alpha
+
+
+def synth_history(n: int, sigma: float, rng: np.random.Generator):
+    estimates = rng.uniform(1.0, 20.0, size=n)
+    actuals = estimates * np.exp(rng.normal(0.0, sigma, size=n))
+    return estimates.tolist(), actuals.tolist()
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    sigma = 0.25  # log-residual of the runtime model
+    m = 8
+    est_hist, act_hist = synth_history(500, sigma, rng)
+
+    print("step 1 — calibration report from 500 historical runs:\n")
+    rows = calibration_report(est_hist, act_hist, m)
+    print(repro.format_table(rows))
+
+    alpha = fit_alpha(est_hist, act_hist, coverage=0.95)
+    print(
+        f"\nstep 2 — choosing the 95% band: alpha = {alpha:.3f} "
+        f"(full-coverage band would be {fit_alpha(est_hist, act_hist):.3f})"
+    )
+
+    print("\nstep 3 — validate on 20 future workloads from the same model:")
+    strategies = [repro.LPTNoChoice(), repro.LSGroup(2), repro.LPTNoRestriction()]
+    in_band_total = 0
+    tasks_total = 0
+    ratio_sums = {s.name: 0.0 for s in strategies}
+    for trial in range(20):
+        ests = rng.uniform(1.0, 20.0, size=40)
+        actual_factors = np.exp(rng.normal(0.0, sigma, size=40))
+        in_band = (actual_factors <= alpha) & (actual_factors >= 1.0 / alpha)
+        in_band_total += int(in_band.sum())
+        tasks_total += 40
+        # Out-of-band misses get clamped — the price of the 95% band.
+        clipped = np.clip(actual_factors, 1.0 / alpha, alpha)
+        inst = repro.make_instance(ests.tolist(), m, alpha)
+        real = repro.factors_realization(inst, clipped.tolist(), label="future")
+        for s in strategies:
+            ratio_sums[s.name] += repro.measured_ratio(s, inst, real).ratio
+    print(f"  band coverage on future tasks: {in_band_total / tasks_total:.1%}")
+    for s in strategies:
+        print(
+            f"  {s.name:22s} mean measured ratio {ratio_sums[s.name] / 20:.3f} "
+            f"(guarantee {getattr(s, 'guarantee')(inst):.3f})"
+        )
+    print(
+        "\nthe 95% band keeps the guarantees meaningful at a fraction of the "
+        "full-coverage alpha; the clamped 5% is the modelling debt you accept."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Memory/makespan tradeoff explorer (the Section-6 designer workflow).
+
+The paper ends Section 6 with advice for the system designer: pick
+SABO_Δ or ABO_Δ — and the Δ — from the guarantee curves, depending on
+whether the deployment is makespan-centric or memory-centric.  This
+example walks that workflow:
+
+1. plot both guarantee curves for the deployment's (m, α, ρ) and the
+   impossibility frontier;
+2. answer two designer queries: "best memory given makespan <= T" and
+   "best makespan given memory <= B";
+3. verify the chosen configurations by simulation on a memory-aware
+   workload, reporting where the measured points actually land.
+
+Run:  python examples/memory_tradeoff_explorer.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core.bounds import (
+    abo_memory_guarantee,
+    sabo_memory_guarantee,
+)
+from repro.memory.frontier import delta_for_makespan_target
+
+
+def main() -> None:
+    m, alpha, rho = 5, 3**0.5, 1.0  # Figure-6 panel (b)
+    print(f"deployment: m={m}, alpha^2={alpha**2:.0f}, rho1=rho2={rho}\n")
+
+    # 1. Guarantee curves (printed as a compact table of anchor Deltas).
+    rows = []
+    for delta in (0.25, 0.5, 1.0, 2.0, 4.0):
+        sabo, abo = repro.SABO(delta), repro.ABO(delta)
+        rows.append(
+            {
+                "Delta": delta,
+                "SABO makespan": (1 + delta) * alpha**2 * rho,
+                "SABO memory": sabo_memory_guarantee(rho, delta),
+                "ABO makespan": 2 - 1 / m + delta * alpha**2 * rho,
+                "ABO memory": abo_memory_guarantee(rho, delta, m),
+            }
+        )
+    print(repro.format_table(rows, title="guarantee curves (Theorems 5-8):"))
+
+    # 2. Designer queries.
+    target = 3.0
+    print(f"\nquery A: best memory guarantee with makespan <= {target} x OPT")
+    for algo in ("sabo", "abo"):
+        d = delta_for_makespan_target(target, alpha, rho, m, algorithm=algo)
+        if d is None:
+            print(f"  {algo.upper()}: target unachievable at any Delta")
+        else:
+            mem = (
+                sabo_memory_guarantee(rho, d)
+                if algo == "sabo"
+                else abo_memory_guarantee(rho, d, m)
+            )
+            print(f"  {algo.upper()}: Delta={d:.3f} -> memory <= {mem:.2f} x OPT")
+    print("  -> matches the paper: 'if you want makespan less than 3 ... use ABO'")
+
+    # 3. Verify by simulation.
+    print("\nsimulated check (anticorrelated sizes, extreme realizations):")
+    inst = repro.planted_two_class(8, 12, m, alpha)
+    real = repro.sample_realization(inst, "bimodal_extreme", 21)
+    results = []
+    for strategy in (repro.SABO(1.0), repro.ABO(0.4)):
+        outcome = repro.run_strategy(strategy, inst, real)
+        opt = repro.optimal_makespan(real.actuals, m, exact_limit=20)
+        mem_lb = repro.memory_lower_bound(inst.sizes, m)
+        results.append(
+            {
+                "strategy": strategy.name,
+                "measured makespan ratio": outcome.makespan / opt.value,
+                "makespan guarantee": strategy.makespan_guarantee(inst),
+                "measured memory ratio": outcome.memory_max / mem_lb,
+                "memory guarantee": strategy.memory_guarantee(inst),
+            }
+        )
+    print(repro.format_table(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Out-of-core iterative solver: the paper's motivating scenario.
+
+The introduction motivates the model with out-of-core sparse linear
+algebra: each task is an operation over a matrix block whose data must be
+resident on the executing machine, runtime models predict durations only
+within a factor (the paper cites analytic bounds for SpMV-style kernels),
+and an iterative solver executes the *same* task set every iteration — so
+the one-time cost of replicating blocks amortizes across iterations.
+
+This example builds that scenario end to end:
+
+* blocks of a sparse matrix with skewed nonzero counts (bounded-Pareto),
+  runtime estimate proportional to nnz, actual runtime varying per
+  iteration inside the alpha band (machine noise + cache effects);
+* Phase 1 once: place (and replicate) blocks per strategy;
+* Phase 2 per iteration: schedule under that iteration's realization;
+* report the per-iteration makespan distribution and the replication
+  (memory) cost each strategy paid.
+
+Run:  python examples/out_of_core_solver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def make_solver_workload(
+    n_blocks: int, m: int, alpha: float, seed: int
+) -> repro.Instance:
+    """Blocks with heavy-tailed nonzero counts; time ∝ nnz, memory ∝ nnz."""
+    rng = np.random.default_rng(seed)
+    # Moderately skewed nonzero counts: a realistic block partitioner caps
+    # block size, so the tail is bounded well below the average machine load
+    # (otherwise the single biggest block trivially dominates the makespan
+    # and no placement policy matters).
+    base = repro.bounded_pareto_instance(
+        n_blocks, m, alpha, seed=rng, shape=1.8, lo=1.0, hi=15.0
+    )
+    # A block's data footprint tracks its nonzero count (~ its runtime).
+    sizes = [0.8 * t.estimate for t in base]
+    return base.with_sizes(sizes)
+
+
+def main() -> None:
+    m, alpha, iterations = 8, 1.6, 12
+    instance = make_solver_workload(160, m, alpha, seed=11)
+    print(
+        f"out-of-core solver: {instance.n} matrix blocks on {m} machines, "
+        f"runtime model accurate within x{alpha}, {iterations} iterations\n"
+    )
+
+    strategies = [
+        repro.LPTNoChoice(),
+        repro.LSGroup(k=4),
+        repro.LSGroup(k=2),
+        repro.LPTNoRestriction(),
+    ]
+
+    rows = []
+    for strategy in strategies:
+        # Phase 1 happens once — data movement is the expensive step.
+        placement = strategy.place(instance)
+        makespans = []
+        for it in range(iterations):
+            # Each iteration realizes different actual durations (cache
+            # state, NUMA placement, I/O contention) inside the band.
+            realization = repro.sample_realization(instance, "lognormal", seed=100 + it)
+            policy = strategy.make_policy(instance, placement)
+            from repro import simulate
+
+            trace = simulate(placement, realization, policy)
+            makespans.append(trace.makespan)
+        s = repro.summarize(makespans)
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "replicas/block": placement.max_replication(),
+                "memory footprint": placement.total_memory(),
+                "mean iter makespan": s.mean,
+                "worst iter": s.maximum,
+                "best iter": s.minimum,
+            }
+        )
+
+    print(
+        repro.format_table(
+            rows,
+            title="Per-iteration makespan vs replication cost "
+            "(Phase 1 paid once, amortized over iterations):",
+        )
+    )
+    pinned = rows[0]
+    full = rows[-1]
+    print(
+        f"\nfull replication vs pinned placement: mean iteration "
+        f"{pinned['mean iter makespan']:.2f} -> {full['mean iter makespan']:.2f} "
+        f"({1 - full['mean iter makespan'] / pinned['mean iter makespan']:.1%} faster), "
+        f"worst iteration {pinned['worst iter']:.2f} -> {full['worst iter']:.2f}"
+    )
+    print(
+        "the group strategies buy most of that improvement at a fraction of "
+        "the memory footprint — the paper's tradeoff, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

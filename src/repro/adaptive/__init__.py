@@ -1,0 +1,5 @@
+"""Adaptive estimates: refine p̃ from observed durations across iterations."""
+
+from repro.adaptive.refinement import EstimateRefiner, IterationResult, IterativeSession
+
+__all__ = ["EstimateRefiner", "IterativeSession", "IterationResult"]

@@ -1,0 +1,75 @@
+"""Experiment harness: runs, ratios, statistics, tables, plots, CSV."""
+
+from repro.analysis.ascii_plot import Series, render_plot
+from repro.analysis.calibration import (
+    alpha_from_residual_model,
+    calibration_report,
+    fit_alpha,
+)
+from repro.analysis.comparison import PairedComparison, compare_strategies, sign_test_pvalue
+from repro.analysis.csvio import read_csv, results_dir, write_csv
+from repro.analysis.experiment import ExperimentGrid, ExperimentRecord, run_grid
+from repro.analysis.ratios import RatioRecord, StrategyOutcome, measured_ratio, run_strategy
+from repro.analysis.regret import (
+    ScenarioEvaluation,
+    build_scenarios,
+    evaluate_scenarios,
+    minmax_regret_choice,
+)
+from repro.analysis.regimes import (
+    alpha_crossovers,
+    clairvoyance_value,
+    dominant_strategy_map,
+    replication_value,
+)
+from repro.analysis.sensitivity import (
+    robustness_radius,
+    single_task_sensitivity,
+    slack_profile,
+    worst_single_inflation,
+)
+from repro.analysis.stats import Summary, ci_halfwidth, summarize
+from repro.analysis.svg_plot import SvgSeries, render_svg_chart, render_svg_gantt
+from repro.analysis.tables import format_markdown_table, format_table, format_value
+
+__all__ = [
+    "run_strategy",
+    "measured_ratio",
+    "dominant_strategy_map",
+    "alpha_crossovers",
+    "clairvoyance_value",
+    "replication_value",
+    "single_task_sensitivity",
+    "worst_single_inflation",
+    "slack_profile",
+    "robustness_radius",
+    "compare_strategies",
+    "PairedComparison",
+    "sign_test_pvalue",
+    "fit_alpha",
+    "calibration_report",
+    "alpha_from_residual_model",
+    "SvgSeries",
+    "render_svg_chart",
+    "render_svg_gantt",
+    "build_scenarios",
+    "evaluate_scenarios",
+    "minmax_regret_choice",
+    "ScenarioEvaluation",
+    "StrategyOutcome",
+    "RatioRecord",
+    "ExperimentGrid",
+    "ExperimentRecord",
+    "run_grid",
+    "Summary",
+    "summarize",
+    "ci_halfwidth",
+    "format_table",
+    "format_markdown_table",
+    "format_value",
+    "Series",
+    "render_plot",
+    "write_csv",
+    "read_csv",
+    "results_dir",
+]

@@ -1,0 +1,133 @@
+"""ASCII line plots for the figure benches.
+
+matplotlib is unavailable in the offline environment, so the reproduced
+figures (ratio-vs-replication, memory-vs-makespan) are rendered as text:
+a fixed character grid, one glyph per series, axes with numeric labels.
+Geometry is exact to the cell: a point lands in the cell containing its
+(x, y) after linear (or log) mapping, so monotone curves read correctly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "render_plot"]
+
+_DEFAULT_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One plotted curve: points plus a label."""
+
+    xs: Sequence[float]
+    ys: Sequence[float]
+    label: str = ""
+    glyph: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: xs and ys lengths differ "
+                f"({len(self.xs)} != {len(self.ys)})"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+@dataclass
+class _Axes:
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    x_log: bool = False
+
+    def x_to_col(self, x: float, width: int) -> int:
+        if self.x_log:
+            lo, hi, v = math.log10(self.x_lo), math.log10(self.x_hi), math.log10(x)
+        else:
+            lo, hi, v = self.x_lo, self.x_hi, x
+        if hi == lo:
+            return 0
+        frac = (v - lo) / (hi - lo)
+        return min(int(frac * (width - 1) + 0.5), width - 1)
+
+    def y_to_row(self, y: float, height: int) -> int:
+        if self.y_hi == self.y_lo:
+            return height - 1
+        frac = (y - self.y_lo) / (self.y_hi - self.y_lo)
+        return min(int((1.0 - frac) * (height - 1) + 0.5), height - 1)
+
+
+def render_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 70,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    x_log: bool = False,
+) -> str:
+    """Render the series on one shared-axes grid.
+
+    ``x_log`` plots x on a log10 scale (used by the replication axis of
+    Figure 3, which spans 1..210).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 20 or height < 8:
+        raise ValueError("plot grid too small to be readable (min 20x8)")
+
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    if x_log and min(xs_all) <= 0:
+        raise ValueError("x_log requires strictly positive x values")
+    axes = _Axes(min(xs_all), max(xs_all), min(ys_all), max(ys_all), x_log=x_log)
+    # Pad the y range slightly so extreme points don't sit on the frame.
+    pad = 0.02 * (axes.y_hi - axes.y_lo or 1.0)
+    axes.y_lo -= pad
+    axes.y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = s.glyph or _DEFAULT_GLYPHS[idx % len(_DEFAULT_GLYPHS)]
+        for x, y in zip(s.xs, s.ys):
+            col = axes.x_to_col(x, width)
+            row = axes.y_to_row(y, height)
+            cell = grid[row][col]
+            grid[row][col] = glyph if cell == " " else "?"  # ? marks overlap
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi_lbl = f"{axes.y_hi:.4g}"
+    y_lo_lbl = f"{axes.y_lo:.4g}"
+    margin = max(len(y_hi_lbl), len(y_lo_lbl)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_hi_lbl.rjust(margin - 1)
+        elif r == height - 1:
+            label = y_lo_lbl.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}|{''.join(row)}|")
+    x_lo_lbl = f"{axes.x_lo:.4g}"
+    x_hi_lbl = f"{axes.x_hi:.4g}"
+    footer = " " * margin + x_lo_lbl + " " * max(
+        1, width - len(x_lo_lbl) - len(x_hi_lbl)
+    ) + x_hi_lbl
+    lines.append(footer)
+    scale = " (log x)" if x_log else ""
+    lines.append(" " * margin + f"{x_label}{scale}  [y: {y_label}]")
+    legend = "  ".join(
+        f"{s.glyph or _DEFAULT_GLYPHS[i % len(_DEFAULT_GLYPHS)]}={s.label}"
+        for i, s in enumerate(series)
+        if s.label
+    )
+    if legend:
+        lines.append(" " * margin + legend)
+    return "\n".join(lines)

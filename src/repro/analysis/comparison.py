@@ -1,0 +1,118 @@
+"""Paired strategy comparisons with proper statistics.
+
+The empirical benches claim orderings ("A beats B on average"); this
+module makes those claims statistically honest.  Both strategies run on
+the *same* instances and realizations (common random numbers — the
+variance-reduction technique that makes paired comparisons far tighter
+than independent ones), and the comparison reports:
+
+* the mean paired difference with a 95% CI (normal approximation),
+* the win/tie/loss counts and a two-sided sign-test p-value,
+* the geometric mean ratio of the two makespans.
+
+Used by the E-series benches' assertions and available to users comparing
+their own strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ratios import run_strategy
+from repro.analysis.stats import ci_halfwidth
+from repro.core.model import Instance
+from repro.core.strategy import TwoPhaseStrategy
+from repro.uncertainty.realization import Realization
+
+__all__ = ["PairedComparison", "compare_strategies", "sign_test_pvalue"]
+
+
+def sign_test_pvalue(wins: int, losses: int) -> float:
+    """Two-sided sign test: P(|Binom(wins+losses, ½) − n/2| ≥ observed).
+
+    Ties are excluded (standard practice).  Returns 1.0 when there are no
+    informative pairs.
+    """
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = max(wins, losses)
+    # Two-sided tail of Binomial(n, 1/2).
+    tail = sum(math.comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired A-vs-B makespan comparison (lower is better)."""
+
+    name_a: str
+    name_b: str
+    n_pairs: int
+    mean_diff: float  # mean(makespan_a - makespan_b); negative = A better
+    ci95_diff: float
+    wins_a: int
+    ties: int
+    wins_b: int
+    p_value: float
+    geo_mean_ratio: float  # geometric mean of a/b; < 1 = A better
+
+    @property
+    def a_better(self) -> bool:
+        """Whether A is significantly better (sign test at 5%)."""
+        return self.wins_a > self.wins_b and self.p_value < 0.05
+
+    def render(self) -> str:
+        return (
+            f"{self.name_a} vs {self.name_b} over {self.n_pairs} paired runs: "
+            f"mean diff {self.mean_diff:+.4g} ± {self.ci95_diff:.4g}, "
+            f"W/T/L {self.wins_a}/{self.ties}/{self.wins_b}, "
+            f"sign-test p={self.p_value:.3g}, "
+            f"geo-mean ratio {self.geo_mean_ratio:.4f}"
+        )
+
+
+def compare_strategies(
+    strategy_a: TwoPhaseStrategy,
+    strategy_b: TwoPhaseStrategy,
+    cases: Sequence[tuple[Instance, Realization]],
+    *,
+    rel_tie_tol: float = 1e-9,
+) -> PairedComparison:
+    """Run both strategies on every (instance, realization) pair.
+
+    The same realization object feeds both strategies — common random
+    numbers by construction.
+    """
+    if not cases:
+        raise ValueError("cases must be non-empty")
+    diffs: list[float] = []
+    log_ratios: list[float] = []
+    wins_a = ties = wins_b = 0
+    for instance, realization in cases:
+        a = run_strategy(strategy_a, instance, realization, validate=False).makespan
+        b = run_strategy(strategy_b, instance, realization, validate=False).makespan
+        diffs.append(a - b)
+        log_ratios.append(math.log(a / b))
+        if math.isclose(a, b, rel_tol=rel_tie_tol):
+            ties += 1
+        elif a < b:
+            wins_a += 1
+        else:
+            wins_b += 1
+    return PairedComparison(
+        name_a=strategy_a.name,
+        name_b=strategy_b.name,
+        n_pairs=len(cases),
+        mean_diff=float(np.mean(diffs)),
+        ci95_diff=ci_halfwidth(diffs),
+        wins_a=wins_a,
+        ties=ties,
+        wins_b=wins_b,
+        p_value=sign_test_pvalue(wins_a, wins_b),
+        geo_mean_ratio=float(math.exp(np.mean(log_ratios))),
+    )

@@ -1,0 +1,66 @@
+"""CSV output for reproduced figure/table data.
+
+Every bench writes its numeric series to ``results/*.csv`` next to the
+human-readable rendering, so the data behind each reproduced artifact can
+be re-plotted with external tooling.  Standard-library ``csv`` only.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["write_csv", "read_csv", "results_dir"]
+
+
+def results_dir(base: str | Path | None = None) -> Path:
+    """The directory bench outputs go to (created on demand).
+
+    Defaults to ``<repo root>/results`` resolved from this file's location
+    — stable no matter where pytest is invoked from.
+    """
+    if base is not None:
+        d = Path(base)
+    else:
+        # parents: [0]=analysis, [1]=repro, [2]=src, [3]=repo root (editable
+        # install).  For a site-packages install that ancestor is not a
+        # writable project dir, so fall back to cwd.
+        root = Path(__file__).resolve().parents[3]
+        d = (root if (root / "pyproject.toml").exists() else Path.cwd()) / "results"
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    *,
+    headers: Sequence[str] | None = None,
+) -> Path:
+    """Write dict rows to CSV; returns the path written.
+
+    Headers default to the union of keys across rows, in first-seen order.
+    """
+    if not rows:
+        raise ValueError("refusing to write an empty CSV")
+    if headers is None:
+        seen: dict[str, None] = {}
+        for r in rows:
+            for k in r:
+                seen.setdefault(k, None)
+        headers = list(seen)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(headers), extrasaction="ignore")
+        writer.writeheader()
+        for r in rows:
+            writer.writerow({k: r.get(k, "") for k in headers})
+    return p
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read a CSV back as dict rows (all values as strings)."""
+    with Path(path).open(newline="") as fh:
+        return list(csv.DictReader(fh))

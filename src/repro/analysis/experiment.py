@@ -1,0 +1,163 @@
+"""Grid-experiment driver for the empirical benches.
+
+An :class:`ExperimentGrid` crosses strategies × instances × realization
+models × seeds, runs every cell through
+:func:`repro.analysis.ratios.measured_ratio`, and returns flat records the
+benches aggregate and write out.  Keeping the sweep in one driver means
+every bench agrees on provenance fields and determinism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.ratios import RatioRecord, measured_ratio
+from repro.core.model import Instance
+from repro.core.strategy import TwoPhaseStrategy
+from repro.uncertainty.realization import Realization
+from repro.uncertainty.stochastic import sample_realization
+
+__all__ = ["ExperimentRecord", "ExperimentGrid", "run_grid"]
+
+RealizationFactory = Callable[[Instance, int], Realization]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One cell of the grid, flattened for CSV output."""
+
+    strategy: str
+    instance_name: str
+    n: int
+    m: int
+    alpha: float
+    realization: str
+    seed: int
+    replication: int
+    makespan: float
+    optimum: float
+    optimum_exact: bool
+    ratio: float
+    guarantee: float | None
+    within_guarantee: bool | None
+
+    @staticmethod
+    def from_ratio(record: RatioRecord, seed: int) -> "ExperimentRecord":
+        out = record.outcome
+        inst = out.placement.instance
+        return ExperimentRecord(
+            strategy=out.strategy_name,
+            instance_name=inst.name,
+            n=inst.n,
+            m=inst.m,
+            alpha=inst.alpha,
+            realization=out.trace.label.split("/")[-1],
+            seed=seed,
+            replication=out.replication,
+            makespan=out.makespan,
+            optimum=record.optimum.value,
+            optimum_exact=record.optimum.optimal,
+            ratio=record.ratio,
+            guarantee=record.guarantee,
+            within_guarantee=record.within_guarantee,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "instance": self.instance_name,
+            "n": self.n,
+            "m": self.m,
+            "alpha": self.alpha,
+            "realization": self.realization,
+            "seed": self.seed,
+            "replication": self.replication,
+            "makespan": self.makespan,
+            "optimum": self.optimum,
+            "optimum_exact": self.optimum_exact,
+            "ratio": self.ratio,
+            "guarantee": "" if self.guarantee is None else self.guarantee,
+            "within_guarantee": "" if self.within_guarantee is None else self.within_guarantee,
+        }
+
+
+def _stochastic_factory(model: str) -> RealizationFactory:
+    def make(instance: Instance, seed: int) -> Realization:
+        return sample_realization(instance, model, seed)
+
+    return make
+
+
+@dataclass
+class ExperimentGrid:
+    """Declarative sweep specification.
+
+    Attributes
+    ----------
+    strategies:
+        The strategies to run (instantiated; group strategies must match
+        each instance's ``m`` — incompatible pairs are skipped and
+        counted in :attr:`skipped`).
+    instances:
+        The instances to run on.
+    realization_models:
+        Stochastic model names (see
+        :data:`repro.uncertainty.stochastic.STOCHASTIC_MODELS`) and/or
+        custom factories.
+    seeds:
+        Seeds per (instance, model) pair.
+    exact_limit:
+        Passed to :func:`repro.exact.optimal.optimal_makespan`.
+    """
+
+    strategies: Sequence[TwoPhaseStrategy]
+    instances: Sequence[Instance]
+    realization_models: Sequence[str | RealizationFactory]
+    seeds: Sequence[int] = (0,)
+    exact_limit: int = 22
+    skipped: list[str] = field(default_factory=list)
+
+    def run(self) -> list[ExperimentRecord]:
+        records: list[ExperimentRecord] = []
+        for instance in self.instances:
+            for model in self.realization_models:
+                factory = _stochastic_factory(model) if isinstance(model, str) else model
+                for seed in self.seeds:
+                    realization = factory(instance, seed)
+                    for strategy in self.strategies:
+                        try:
+                            rec = measured_ratio(
+                                strategy,
+                                instance,
+                                realization,
+                                exact_limit=self.exact_limit,
+                            )
+                        except ValueError as exc:
+                            # Group strategies reject m not divisible by k;
+                            # record and move on.
+                            self.skipped.append(
+                                f"{strategy.name} on {instance.name}: {exc}"
+                            )
+                            continue
+                        records.append(ExperimentRecord.from_ratio(rec, seed))
+        return records
+
+
+def run_grid(
+    strategies: Sequence[TwoPhaseStrategy],
+    instances: Iterable[Instance],
+    realization_models: Sequence[str | RealizationFactory],
+    *,
+    seeds: Sequence[int] = (0,),
+    exact_limit: int = 22,
+) -> list[ExperimentRecord]:
+    """One-call wrapper around :class:`ExperimentGrid`."""
+    grid = ExperimentGrid(
+        strategies=list(strategies),
+        instances=list(instances),
+        realization_models=list(realization_models),
+        seeds=list(seeds),
+        exact_limit=exact_limit,
+    )
+    return grid.run()

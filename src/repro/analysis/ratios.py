@@ -1,0 +1,130 @@
+"""End-to-end strategy runs and competitive-ratio measurement.
+
+:func:`run_strategy` plays both phases (placement, then the discrete-event
+simulation under a realization) and returns the full outcome;
+:func:`measured_ratio` divides the achieved makespan by the exact optimum
+(or a certified lower bound — flagged) of the realized times.  Everything
+else in the empirical benches is built on these two calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Instance
+from repro.core.placement import Placement
+from repro.core.strategy import TwoPhaseStrategy
+from repro.exact.optimal import OptimalValue, optimal_makespan
+from repro.simulation.engine import simulate
+from repro.simulation.trace import ScheduleTrace
+from repro.uncertainty.realization import Realization
+
+__all__ = ["StrategyOutcome", "RatioRecord", "run_strategy", "measured_ratio"]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Result of one complete two-phase run.
+
+    Attributes
+    ----------
+    strategy_name:
+        The strategy's display name.
+    placement:
+        Phase-1 output (carries the replication and memory metrics).
+    trace:
+        The executed Phase-2 schedule (validated against the placement).
+    makespan:
+        :math:`C_{max}` of the run.
+    """
+
+    strategy_name: str
+    placement: Placement
+    trace: ScheduleTrace
+    makespan: float
+
+    @property
+    def replication(self) -> int:
+        """:math:`\\max_j |M_j|` of the placement used."""
+        return self.placement.max_replication()
+
+    @property
+    def memory_max(self) -> float:
+        """:math:`Mem_{max}` of the placement used."""
+        return self.placement.memory_max()
+
+
+@dataclass(frozen=True)
+class RatioRecord:
+    """A measured competitive ratio with full provenance.
+
+    ``ratio`` is ``makespan / optimum.value``; when ``optimum.optimal`` is
+    False the denominator is a lower bound, so ``ratio`` over-states the
+    true competitive ratio (safe direction for guarantee checks).
+    """
+
+    outcome: StrategyOutcome
+    optimum: OptimalValue
+    ratio: float
+    guarantee: float | None
+
+    @property
+    def within_guarantee(self) -> bool | None:
+        """Whether the measured ratio respects the theoretical guarantee.
+
+        Meaningful only when the denominator is the exact optimum: a
+        lower-bound denominator can push the measured ratio above a
+        guarantee that truly holds, so those cases return ``None`` when
+        violated rather than ``False``.
+        """
+        if self.guarantee is None:
+            return None
+        tol = 1e-9 * max(1.0, self.guarantee)
+        if self.ratio <= self.guarantee + tol:
+            return True
+        return False if self.optimum.optimal else None
+
+
+def run_strategy(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    realization: Realization,
+    *,
+    validate: bool = True,
+) -> StrategyOutcome:
+    """Play Phase 1 and Phase 2 and return the outcome.
+
+    ``validate`` (default on) re-checks the produced trace for full
+    feasibility; disable only inside tight benchmark loops.
+    """
+    placement = strategy.place(instance)
+    policy = strategy.make_policy(instance, placement)
+    trace = simulate(
+        placement,
+        realization,
+        policy,
+        label=f"{strategy.name}/{realization.label}",
+    )
+    if validate:
+        trace.validate(placement, realization)
+    return StrategyOutcome(strategy.name, placement, trace, trace.makespan)
+
+
+def measured_ratio(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    realization: Realization,
+    *,
+    exact_limit: int = 22,
+    validate: bool = True,
+) -> RatioRecord:
+    """Run the strategy and divide its makespan by the clairvoyant optimum.
+
+    The guarantee recorded alongside is the strategy's own
+    ``guarantee(instance)`` if it defines one (all paper strategies do).
+    """
+    outcome = run_strategy(strategy, instance, realization, validate=validate)
+    optimum = optimal_makespan(realization.actuals, instance.m, exact_limit=exact_limit)
+    guarantee_fn = getattr(strategy, "guarantee", None)
+    guarantee = guarantee_fn(instance) if callable(guarantee_fn) else None
+    return RatioRecord(outcome, optimum, outcome.makespan / optimum.value, guarantee)

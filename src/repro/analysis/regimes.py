@@ -1,0 +1,141 @@
+"""Regime analysis: where each strategy's guarantee dominates.
+
+The paper's conclusion frames the open problem as locating the boundary
+between two regimes: "when α is low, the problem is no different than the
+offline problem, and when it is large, the problem converges to the
+non-clairvoyant online problem."  This module computes those boundaries
+from the proven guarantees:
+
+* :func:`dominant_strategy_map` — for a grid of α, the strategy with the
+  best guarantee at each replication level;
+* :func:`alpha_crossovers` — the α values where guarantee curves cross
+  (e.g. where Theorem 3's bound meets Graham's, :math:`\\alpha=\\sqrt2`);
+* :func:`clairvoyance_value` — the guarantee improvement of using the
+  estimates at all (best estimate-aware guarantee vs. the estimate-free
+  ``2 − 1/m``), the quantity that decays to zero as α grows;
+* :func:`replication_value` — guarantee improvement per replica added
+  (the marginal-value curve behind "only few replications improve the
+  performance significantly").
+
+Used by bench E6 and the cluster-planning example.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from repro._validation import check_alpha, check_machine_count
+from repro.core.bounds import (
+    divisors,
+    ub_graham_ls,
+    ub_lpt_no_choice,
+    ub_lpt_no_restriction,
+    ub_ls_group,
+)
+
+__all__ = [
+    "dominant_strategy_map",
+    "alpha_crossovers",
+    "clairvoyance_value",
+    "replication_value",
+]
+
+
+def dominant_strategy_map(
+    alphas: Sequence[float], m: int
+) -> list[dict[str, object]]:
+    """For each α: the best guarantee at each replication level and overall.
+
+    Returns one row per α with the best strategy spec per replication
+    ``r ∈ {m/k}`` and the overall winner at its replication cost.
+    """
+    check_machine_count(m)
+    rows: list[dict[str, object]] = []
+    for alpha in alphas:
+        a = check_alpha(alpha)
+        per_replication: dict[int, tuple[str, float]] = {}
+        per_replication[1] = ("lpt_no_choice", ub_lpt_no_choice(a, m))
+        for k in divisors(m):
+            r = m // k
+            cand = (f"ls_group[k={k}]", ub_ls_group(a, m, k))
+            if r not in per_replication or cand[1] < per_replication[r][1]:
+                per_replication[r] = cand
+        full = ("lpt_no_restriction", ub_lpt_no_restriction(a, m))
+        if full[1] < per_replication[m][1]:
+            per_replication[m] = full
+        best_r = min(per_replication, key=lambda r: per_replication[r][1])
+        rows.append(
+            {
+                "alpha": a,
+                "per_replication": dict(sorted(per_replication.items())),
+                "best_strategy": per_replication[best_r][0],
+                "best_guarantee": per_replication[best_r][1],
+                "best_replication": best_r,
+            }
+        )
+    return rows
+
+
+def alpha_crossovers(m: int, *, k: int | None = None) -> dict[str, float]:
+    """Closed-form α crossovers between guarantee curves.
+
+    Keys
+    ----
+    ``th3_vs_graham``
+        α where Theorem 3's raw bound reaches Graham's ``2−1/m``:
+        solving ``1 + (m−1)/m·α²/2 = 2 − 1/m`` gives :math:`\\alpha=\\sqrt2`
+        independent of m.
+    ``group_vs_no_choice``
+        smallest α (by bisection on the closed forms) where LS-Group with
+        the given ``k`` has a strictly better guarantee than LPT-No
+        Choice.  ``float('inf')`` if never within the scanned range.
+    """
+    check_machine_count(m)
+    out = {"th3_vs_graham": 2.0**0.5}
+    if k is not None:
+        grid = [1.0 + i * 0.001 for i in range(0, 9001)]
+        vals = [
+            ub_ls_group(a, m, k) < ub_lpt_no_choice(a, m) for a in grid
+        ]
+        idx = bisect_left(vals, True)
+        out["group_vs_no_choice"] = grid[idx] if idx < len(grid) else float("inf")
+    return out
+
+
+def clairvoyance_value(alpha: float, m: int) -> float:
+    """How much the estimates are worth, in guarantee terms.
+
+    ``(estimate-free Graham bound) − (best estimate-aware guarantee at
+    full replication)``.  Positive while estimates help; hits zero at
+    :math:`\\alpha = \\sqrt2` where Theorem 3's bound meets Graham's —
+    beyond it the paper's strategies retain Graham's guarantee but cannot
+    beat it, i.e. the non-clairvoyant regime.
+    """
+    a = check_alpha(alpha)
+    check_machine_count(m)
+    return ub_graham_ls(m) - ub_lpt_no_restriction(a, m)
+
+
+def replication_value(alpha: float, m: int) -> list[dict[str, float]]:
+    """Marginal guarantee improvement per replica along the LS-Group curve.
+
+    One row per consecutive pair of replication levels ``m/k`` (ascending),
+    with the guarantee drop per extra replica — the curve whose steep start
+    is the paper's "even a small amount of replication can improve the
+    guarantee significantly".
+    """
+    a = check_alpha(alpha)
+    check_machine_count(m)
+    levels = sorted((m // k, ub_ls_group(a, m, k)) for k in divisors(m))
+    rows = []
+    for (r0, g0), (r1, g1) in zip(levels, levels[1:]):
+        rows.append(
+            {
+                "from_replication": float(r0),
+                "to_replication": float(r1),
+                "guarantee_drop": g0 - g1,
+                "drop_per_replica": (g0 - g1) / (r1 - r0),
+            }
+        )
+    return rows

@@ -1,0 +1,123 @@
+"""Reproduction report generator.
+
+Collects every artifact the benches wrote under ``results/`` — the
+reproduced tables/figures (``.txt``) and their data series (``.csv``) —
+and assembles a single self-contained markdown report: one section per
+artifact with the rendering inlined and the CSV summarized.  ``repro
+report`` writes it to ``results/REPORT.md``.
+
+The generator is intentionally dumb about content (it does not recompute
+anything) so the report always reflects what was actually measured in the
+last bench run.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.analysis.csvio import read_csv, results_dir
+
+__all__ = ["generate_report", "artifact_inventory"]
+
+#: Display order and titles for known artifacts; unknown files are appended.
+_KNOWN = [
+    ("table1_replication_bounds", "Table 1 — replication-bound guarantees"),
+    ("table2_memory_bounds", "Table 2 — memory-aware guarantees"),
+    ("fig1_adversary", "Figure 1 — Theorem-1 adversary"),
+    ("fig2_group_example", "Figure 2 — group replication example"),
+    ("fig3_ratio_replication", "Figure 3 — ratio/replication tradeoff"),
+    ("fig4_sabo_schedule", "Figure 4 — SABO schedule"),
+    ("fig5_abo_schedule", "Figure 5 — ABO schedule"),
+    ("fig6_memory_makespan", "Figure 6 — memory/makespan tradeoff"),
+    ("e1_empirical_ratios", "E1 — empirical ratios vs guarantees"),
+    ("e2_lower_bound_convergence", "E2 — lower-bound convergence"),
+    ("e3_group_phase_ablation", "E3 — LS vs LPT group ablation"),
+    ("e4_memory_pareto", "E4 — measured memory/makespan Pareto fronts"),
+    ("e5_general_replication", "E5 — generalized replication policies"),
+    ("e6_regime_map", "E6 — clairvoyance regime map"),
+    ("e7_fault_tolerance", "E7 — fault tolerance"),
+    ("e8_proof_verification", "E8 — numeric proof verification"),
+    ("e9_robustness_metrics", "E9 — classical robustness metrics"),
+    ("e10_estimate_refinement", "E10 — estimate refinement"),
+]
+
+
+def artifact_inventory(base: str | Path | None = None) -> dict[str, dict[str, Path]]:
+    """Map artifact stem -> available files (``txt`` and/or ``csv``)."""
+    d = results_dir(base)
+    inventory: dict[str, dict[str, Path]] = {}
+    for path in sorted(d.glob("*.txt")):
+        if path.stem == "REPORT":
+            continue
+        inventory.setdefault(path.stem, {})["txt"] = path
+    for path in sorted(d.glob("*.csv")):
+        inventory.setdefault(path.stem, {})["csv"] = path
+    return inventory
+
+
+def _csv_summary(path: Path, *, max_preview: int = 3) -> str:
+    rows = read_csv(path)
+    if not rows:
+        return f"`{path.name}`: empty"
+    cols = list(rows[0].keys())
+    lines = [
+        f"`{path.name}`: {len(rows)} rows × {len(cols)} columns "
+        f"({', '.join(cols[:8])}{', ...' if len(cols) > 8 else ''})"
+    ]
+    for r in rows[:max_preview]:
+        cells = ", ".join(f"{k}={v}" for k, v in list(r.items())[:6])
+        lines.append(f"  - {cells}")
+    if len(rows) > max_preview:
+        lines.append(f"  - ... {len(rows) - max_preview} more rows")
+    return "\n".join(lines)
+
+
+def generate_report(base: str | Path | None = None) -> Path:
+    """Assemble ``results/REPORT.md`` from the artifacts on disk.
+
+    Returns the report path.  Raises ``FileNotFoundError`` when no
+    artifacts exist yet (run the benches first).
+    """
+    inventory = artifact_inventory(base)
+    if not inventory:
+        raise FileNotFoundError(
+            f"no artifacts under {results_dir(base)}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+
+    ordered: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    for stem, title in _KNOWN:
+        if stem in inventory:
+            ordered.append((stem, title))
+            seen.add(stem)
+    for stem in inventory:
+        if stem not in seen:
+            ordered.append((stem, stem))
+
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Generated {stamp} from the artifacts in `results/`.",
+        f"{len(ordered)} artifacts. Regenerate with "
+        "`pytest benchmarks/ --benchmark-only && repro report`.",
+        "",
+    ]
+    for stem, title in ordered:
+        files = inventory[stem]
+        lines.append(f"## {title}")
+        lines.append("")
+        if "txt" in files:
+            lines.append("```")
+            lines.append(files["txt"].read_text().rstrip())
+            lines.append("```")
+        if "csv" in files:
+            lines.append("")
+            lines.append(_csv_summary(files["csv"]))
+        lines.append("")
+
+    out = results_dir(base) / "REPORT.md"
+    out.write_text("\n".join(lines))
+    return out

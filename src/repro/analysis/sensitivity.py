@@ -1,0 +1,140 @@
+"""Schedule sensitivity and robustness metrics.
+
+The related-work section surveys *robust scheduling* — slack-based
+techniques, sensitivity analysis, scenario methods — as the alternative to
+the paper's replication approach.  This module implements the standard
+robustness measurements so the two approaches can be compared on equal
+footing (and so the library is useful to someone coming from that
+literature):
+
+``single_task_sensitivity``
+    For each task, the makespan after inflating *only that task* to its
+    band maximum — the makespan's gradient-like response to one estimate
+    being maximally wrong.
+``worst_single_inflation``
+    Max over tasks of the above — the classical "worst single deviation"
+    robustness metric.
+``slack_profile``
+    Per-machine slack of a placement at a target makespan: how much extra
+    time each machine can absorb before the target breaks (the quantity
+    slack-based robust scheduling pads).
+``robustness_radius``
+    The largest uniform inflation factor every task can suffer before the
+    makespan exceeds a target — the interval-uncertainty stability radius
+    of the schedule.
+
+All metrics act on a *strategy + instance* pair, replaying Phase 2 where
+the strategy is adaptive (replication changes sensitivity — that is the
+paper's whole point, and bench users can now measure it directly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._validation import check_positive_float
+from repro.analysis.ratios import run_strategy
+from repro.core.model import Instance
+from repro.core.strategy import TwoPhaseStrategy
+from repro.uncertainty.realization import factors_realization, truthful_realization
+
+__all__ = [
+    "single_task_sensitivity",
+    "worst_single_inflation",
+    "slack_profile",
+    "robustness_radius",
+]
+
+
+def single_task_sensitivity(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    *,
+    base_factors: Sequence[float] | None = None,
+) -> list[float]:
+    """Makespan after inflating each task (alone) to its band maximum.
+
+    ``result[j]`` is the Phase-2 makespan when task ``j`` runs at
+    ``alpha * p̃_j`` and every other task at its base factor (1.0 by
+    default).  Replication-rich strategies absorb single inflations by
+    re-routing; pinned strategies eat them whole.
+    """
+    a = instance.alpha
+    base = [1.0] * instance.n if base_factors is None else list(base_factors)
+    out: list[float] = []
+    for j in range(instance.n):
+        factors = list(base)
+        factors[j] = a
+        real = factors_realization(instance, factors, label=f"inflate[{j}]")
+        out.append(run_strategy(strategy, instance, real, validate=False).makespan)
+    return out
+
+
+def worst_single_inflation(
+    strategy: TwoPhaseStrategy, instance: Instance
+) -> tuple[int, float]:
+    """The task whose solo inflation hurts most, and the resulting makespan."""
+    sens = single_task_sensitivity(strategy, instance)
+    j = max(range(len(sens)), key=lambda j: (sens[j], j))
+    return j, sens[j]
+
+
+def slack_profile(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    *,
+    target: float | None = None,
+) -> list[float]:
+    """Per-machine slack at ``target`` under the truthful realization.
+
+    ``slack[i] = target - load_i``; the target defaults to the truthful
+    makespan, making the critical machine's slack zero.  Negative slack
+    means the machine already exceeds the target.
+    """
+    outcome = run_strategy(
+        strategy, instance, truthful_realization(instance), validate=False
+    )
+    loads = outcome.trace.loads(instance.m)
+    t = outcome.makespan if target is None else check_positive_float(target, "target")
+    return [t - load for load in loads]
+
+
+def robustness_radius(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    target: float,
+    *,
+    tol: float = 1e-6,
+) -> float:
+    """Largest uniform factor ``f`` with makespan(f·p̃) ≤ target.
+
+    Binary search over uniform inflation ``f ∈ [1/α, α]``; the returned
+    radius is clipped to the band (a radius of ``alpha`` means the target
+    survives the full uncertainty range).  Returns 0.0 if even the fully
+    deflated instance misses the target.
+
+    Uniform inflation scales every machine's load equally, so for *static*
+    placements the radius is simply ``target / truthful_makespan`` clipped
+    to the band; the simulation-based search also covers adaptive
+    strategies, whose dispatch does not change under uniform scaling but
+    whose radius we verify rather than assume.
+    """
+    check_positive_float(target, "target")
+    a = instance.alpha
+
+    def makespan_at(f: float) -> float:
+        real = factors_realization(instance, [f] * instance.n, label=f"uniform[{f:g}]")
+        return run_strategy(strategy, instance, real, validate=False).makespan
+
+    lo, hi = 1.0 / a, a
+    if makespan_at(lo) > target:
+        return 0.0
+    if makespan_at(hi) <= target:
+        return hi
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if makespan_at(mid) <= target:
+            lo = mid
+        else:
+            hi = mid
+    return lo

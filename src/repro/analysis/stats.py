@@ -1,0 +1,66 @@
+"""Summary statistics for experiment result collections.
+
+Thin, dependency-light wrappers over numpy: the benches report mean / max /
+percentiles of measured ratios plus a normal-approximation confidence
+interval.  Centralized so every table in EXPERIMENTS.md aggregates the
+same way.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "ci_halfwidth"]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    ci95: float
+
+    def format(self, *, digits: int = 4) -> str:
+        """One-line human-readable rendering."""
+        d = digits
+        return (
+            f"n={self.count} mean={self.mean:.{d}g}±{self.ci95:.{d}g} "
+            f"max={self.maximum:.{d}g} p95={self.p95:.{d}g}"
+        )
+
+
+def ci_halfwidth(values: Sequence[float], *, z: float = 1.96) -> float:
+    """Normal-approximation 95% CI half-width (0 for n < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return z * float(np.std(values, ddof=1)) / math.sqrt(n)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute the standard summary of a non-empty sample."""
+    if len(values) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    if np.any(~np.isfinite(arr)):
+        raise ValueError("sample contains non-finite values")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        ci95=ci_halfwidth(arr.tolist()),
+    )

@@ -1,0 +1,273 @@
+"""Dependency-free SVG chart rendering.
+
+matplotlib is unavailable offline, so besides the terminal-friendly ASCII
+plots the figure benches emit real vector graphics through this tiny SVG
+backend: line/scatter charts with axes, ticks and a legend, and Gantt
+charts of schedule traces.  The output is plain SVG 1.1 — viewable in any
+browser and diff-able in git.
+
+Only the features the reproduced figures need are implemented; this is a
+chart *emitter*, not a plotting library.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.simulation.trace import ScheduleTrace
+
+__all__ = ["SvgSeries", "render_svg_chart", "render_svg_gantt"]
+
+# A colorblind-friendly qualitative palette (Okabe-Ito).
+_PALETTE = [
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#F0E442",
+    "#56B4E9",
+    "#E69F00",
+    "#000000",
+]
+
+
+@dataclass
+class SvgSeries:
+    """One chart series: points, label, and how to draw it."""
+
+    xs: Sequence[float]
+    ys: Sequence[float]
+    label: str = ""
+    mode: str = "line+marker"  # "line", "marker", "line+marker"
+    color: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: xs/ys lengths differ "
+                f"({len(self.xs)} != {len(self.ys)})"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.label!r} is empty")
+        if self.mode not in ("line", "marker", "line+marker"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * step:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks or [lo]
+
+
+def render_svg_chart(
+    series: Sequence[SvgSeries],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    x_log: bool = False,
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render the series as a standalone SVG document string."""
+    if not series:
+        raise ValueError("nothing to plot")
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 40, 48
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    if x_log and min(xs_all) <= 0:
+        raise ValueError("x_log requires strictly positive x values")
+
+    def xt(x: float) -> float:
+        if x_log:
+            lo, hi, v = math.log10(min(xs_all)), math.log10(max(xs_all)), math.log10(x)
+        else:
+            lo, hi, v = min(xs_all), max(xs_all), x
+        frac = 0.5 if hi == lo else (v - lo) / (hi - lo)
+        return margin_l + frac * plot_w
+
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    pad = 0.05 * (y_hi - y_lo or 1.0)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def yt(y: float) -> float:
+        frac = 0.5 if y_hi == y_lo else (y - y_lo) / (y_hi - y_lo)
+        return margin_t + (1.0 - frac) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{escape(title)}</text>'
+        )
+    # Frame.
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#444"/>'
+    )
+    # Y ticks + gridlines.
+    for tick in _nice_ticks(y_lo, y_hi):
+        py = yt(tick)
+        if not margin_t - 1 <= py <= margin_t + plot_h + 1:
+            continue
+        parts.append(
+            f'<line x1="{margin_l}" y1="{py:.1f}" x2="{margin_l + plot_w}" '
+            f'y2="{py:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{py + 4:.1f}" text-anchor="end">'
+            f"{tick:g}</text>"
+        )
+    # X ticks.
+    if x_log:
+        lo_exp = math.floor(math.log10(min(xs_all)))
+        hi_exp = math.ceil(math.log10(max(xs_all)))
+        x_ticks = [10.0**e for e in range(lo_exp, hi_exp + 1)]
+        x_ticks = [t for t in x_ticks if min(xs_all) <= t <= max(xs_all)] or [
+            min(xs_all),
+            max(xs_all),
+        ]
+    else:
+        x_ticks = _nice_ticks(min(xs_all), max(xs_all))
+    for tick in x_ticks:
+        px = xt(tick)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{margin_t + plot_h}" x2="{px:.1f}" '
+            f'y2="{margin_t + plot_h + 4}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{margin_t + plot_h + 18}" text-anchor="middle">'
+            f"{tick:g}</text>"
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{margin_l + plot_w / 2}" y="{height - 8}" text-anchor="middle">'
+        f"{escape(x_label)}{' (log)' if x_log else ''}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {margin_t + plot_h / 2})">{escape(y_label)}</text>'
+    )
+    # Series.
+    for idx, s in enumerate(series):
+        color = s.color or _PALETTE[idx % len(_PALETTE)]
+        pts = sorted(zip(s.xs, s.ys))
+        coords = [(xt(x), yt(y)) for x, y in pts]
+        if "line" in s.mode and len(coords) > 1:
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in coords)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+        if "marker" in s.mode:
+            for px, py in coords:
+                parts.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3.5" fill="{color}"/>')
+    # Legend.
+    ly = margin_t + 8
+    for idx, s in enumerate(series):
+        if not s.label:
+            continue
+        color = s.color or _PALETTE[idx % len(_PALETTE)]
+        lx = margin_l + 10
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 8}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(f'<text x="{lx + 16}" y="{ly + 1}">{escape(s.label)}</text>')
+        ly += 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_svg_gantt(
+    trace: ScheduleTrace,
+    m: int,
+    *,
+    title: str = "",
+    width: int = 720,
+    row_height: int = 26,
+) -> str:
+    """Render a schedule trace (runs + aborted attempts) as an SVG Gantt."""
+    margin_l, margin_r, margin_t, margin_b = 52, 16, 36, 30
+    height = margin_t + m * row_height + margin_b
+    plot_w = width - margin_l - margin_r
+    makespan = trace.makespan
+
+    def xt(t: float) -> float:
+        return margin_l + (t / makespan) * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" font-size="13" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+    for i in range(m):
+        y = margin_t + i * row_height
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + row_height / 2 + 4}" '
+            f'text-anchor="end">M{i}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y + row_height}" '
+            f'x2="{margin_l + plot_w}" y2="{y + row_height}" stroke="#eee"/>'
+        )
+    for run in trace.aborted:
+        y = margin_t + run.machine * row_height + 3
+        parts.append(
+            f'<rect x="{xt(run.start):.1f}" y="{y}" '
+            f'width="{max(xt(run.end) - xt(run.start), 1):.1f}" '
+            f'height="{row_height - 6}" fill="#bbb" opacity="0.5"/>'
+        )
+    for run in trace.runs:
+        color = _PALETTE[run.tid % len(_PALETTE)]
+        y = margin_t + run.machine * row_height + 3
+        w = max(xt(run.end) - xt(run.start), 1.0)
+        parts.append(
+            f'<rect x="{xt(run.start):.1f}" y="{y}" width="{w:.1f}" '
+            f'height="{row_height - 6}" fill="{color}" opacity="0.85">'
+            f"<title>task {run.tid}: [{run.start:.3g}, {run.end:.3g}] on M{run.machine}"
+            f"</title></rect>"
+        )
+        if w > 18:
+            parts.append(
+                f'<text x="{xt(run.start) + w / 2:.1f}" '
+                f'y="{y + row_height / 2 + 1}" text-anchor="middle" '
+                f'fill="white">{run.tid}</text>'
+            )
+    parts.append(
+        f'<text x="{margin_l}" y="{height - 8}">t=0</text>'
+    )
+    parts.append(
+        f'<text x="{margin_l + plot_w}" y="{height - 8}" text-anchor="end">'
+        f"t={makespan:.4g}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

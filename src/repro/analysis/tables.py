@@ -1,0 +1,87 @@
+"""Plain-text and markdown table rendering.
+
+The benches print their reproduced tables both as aligned ASCII (for the
+terminal / bench_output.txt) and as GitHub markdown (pasted into
+EXPERIMENTS.md).  One renderer, two dialects, zero dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_value"]
+
+
+def format_value(v: object, *, digits: int = 4) -> str:
+    """Uniform cell formatting: floats get ``digits`` significant digits."""
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        return f"{v:.{digits}g}"
+    return str(v)
+
+
+def _normalize(
+    rows: Sequence[Mapping[str, object]] | Sequence[Sequence[object]],
+    headers: Sequence[str] | None,
+    digits: int,
+) -> tuple[list[str], list[list[str]]]:
+    if not rows:
+        raise ValueError("cannot format an empty table")
+    first = rows[0]
+    if isinstance(first, Mapping):
+        cols = list(headers) if headers is not None else list(first.keys())
+        body = [[format_value(r.get(c, ""), digits=digits) for c in cols] for r in rows]  # type: ignore[union-attr]
+    else:
+        if headers is None:
+            raise ValueError("headers are required for sequence rows")
+        cols = list(headers)
+        body = []
+        for r in rows:
+            r = list(r)  # type: ignore[arg-type]
+            if len(r) != len(cols):
+                raise ValueError(f"row has {len(r)} cells, expected {len(cols)}")
+            body.append([format_value(c, digits=digits) for c in r])
+    return cols, body
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]] | Sequence[Sequence[object]],
+    *,
+    headers: Sequence[str] | None = None,
+    digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Aligned ASCII table.
+
+    ``rows`` may be dicts (headers default to the first row's keys) or
+    sequences (headers required).
+    """
+    cols, body = _normalize(rows, headers, digits)
+    widths = [len(c) for c in cols]
+    for r in body:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]] | Sequence[Sequence[object]],
+    *,
+    headers: Sequence[str] | None = None,
+    digits: int = 4,
+) -> str:
+    """GitHub-flavored markdown table."""
+    cols, body = _normalize(rows, headers, digits)
+    lines = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for r in body:
+        lines.append("| " + " | ".join(r) + " |")
+    return "\n".join(lines)

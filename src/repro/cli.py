@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro <command>``.
+
+Each reproduced artifact (table/figure) and the demo runners are exposed as
+subcommands so results can be regenerated without pytest:
+
+===================  ====================================================
+``table1``           Table 1 — replication-bound guarantee summary
+``table2``           Table 2 — memory-aware guarantee summary
+``fig1``             Figure 1 — Theorem-1 adversary schedules
+``fig2``             Figure 2 — group-replication two-phase example
+``fig3``             Figure 3 — ratio-vs-replication curves (m=210)
+``fig4``             Figure 4 — SABO schedule example
+``fig5``             Figure 5 — ABO schedule example
+``fig6``             Figure 6 — memory/makespan guarantee tradeoff
+``run``              Run one strategy on a generated workload
+``sweep``            Empirical ratio sweep over all strategies
+===================  ====================================================
+
+The figure/table commands delegate to the same code paths the benchmark
+suite uses (`benchmarks/` merely wraps them with pytest-benchmark), so CLI
+output and bench output always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import format_table, measured_ratio, summarize
+from repro.core.strategies import full_sweep, make_strategy
+from repro.reporting import (
+    fig1_report,
+    fig2_report,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    fig6_report,
+    table1_report,
+    table2_report,
+)
+from repro.uncertainty import sample_realization
+from repro.workloads import generate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'Replicated Data Placement "
+        "for Uncertain Scheduling' and run its algorithms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for cmd, doc in [
+        ("table1", "Table 1: replication-bound guarantees"),
+        ("table2", "Table 2: memory-aware guarantees"),
+        ("fig1", "Figure 1: Theorem-1 adversary example"),
+        ("fig2", "Figure 2: group replication example"),
+        ("fig4", "Figure 4: SABO schedule example"),
+        ("fig5", "Figure 5: ABO schedule example"),
+    ]:
+        sub.add_parser(cmd, help=doc)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3: ratio-replication tradeoff")
+    fig3.add_argument("--m", type=int, default=210, help="machine count (paper: 210)")
+    fig3.add_argument(
+        "--alpha",
+        type=float,
+        nargs="+",
+        default=[1.1, 1.5, 2.0],
+        help="uncertainty factors (paper: 1.1 1.5 2)",
+    )
+
+    fig6 = sub.add_parser("fig6", help="Figure 6: memory-makespan tradeoff")
+    fig6.add_argument("--m", type=int, default=5, help="machine count (paper: 5)")
+
+    run = sub.add_parser("run", help="run one strategy end to end")
+    run.add_argument("strategy", help="e.g. lpt_no_choice, ls_group[k=2]")
+    run.add_argument("--family", default="uniform", help="workload family")
+    run.add_argument("--n", type=int, default=40)
+    run.add_argument("--m", type=int, default=6)
+    run.add_argument("--alpha", type=float, default=1.5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--model", default="log_uniform", help="realization model")
+    run.add_argument("--gantt", action="store_true", help="print the Gantt chart")
+
+    sweep = sub.add_parser("sweep", help="ratio sweep over all strategies")
+    sweep.add_argument("--family", default="uniform")
+    sweep.add_argument("--n", type=int, default=16)
+    sweep.add_argument("--m", type=int, default=4)
+    sweep.add_argument("--alpha", type=float, default=1.5)
+    sweep.add_argument("--seeds", type=int, default=5)
+    sweep.add_argument("--model", default="bimodal_extreme")
+
+    proofs = sub.add_parser(
+        "proofs", help="replay every proof's inequalities on a concrete instance"
+    )
+    proofs.add_argument("--family", default="uniform")
+    proofs.add_argument("--n", type=int, default=12)
+    proofs.add_argument("--m", type=int, default=4)
+    proofs.add_argument("--alpha", type=float, default=1.5)
+    proofs.add_argument("--seed", type=int, default=0)
+
+    regimes = sub.add_parser(
+        "regimes", help="clairvoyance/replication regime analysis for (alpha, m)"
+    )
+    regimes.add_argument("--m", type=int, default=30)
+    regimes.add_argument(
+        "--alpha", type=float, nargs="+", default=[1.1, 1.3, 1.5, 2.0]
+    )
+
+    sub.add_parser(
+        "report", help="assemble results/REPORT.md from the bench artifacts"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    instance = generate(args.family, args.n, args.m, args.alpha, args.seed)
+    realization = sample_realization(instance, args.model, args.seed + 1)
+    strategy = make_strategy(args.strategy)
+    record = measured_ratio(strategy, instance, realization)
+    out = record.outcome
+    print(f"strategy     : {out.strategy_name}")
+    print(f"instance     : {instance.name} (alpha={instance.alpha})")
+    print(f"realization  : {realization.label}")
+    print(f"replication  : {out.replication} (total replicas {out.placement.total_replicas()})")
+    print(f"makespan     : {out.makespan:.6g}")
+    print(
+        f"optimum      : {record.optimum.value:.6g} "
+        f"({record.optimum.method}{'' if record.optimum.optimal else ', lower bound'})"
+    )
+    print(f"ratio        : {record.ratio:.4f}")
+    if record.guarantee is not None:
+        print(f"guarantee    : {record.guarantee:.4f} (within: {record.within_guarantee})")
+    if args.gantt:
+        from repro.simulation import render_gantt
+
+        print()
+        print(render_gantt(out.trace, instance.m))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for strategy in full_sweep(args.m):
+        ratios = []
+        guarantee = None
+        for seed in range(args.seeds):
+            instance = generate(args.family, args.n, args.m, args.alpha, seed)
+            realization = sample_realization(instance, args.model, 1000 + seed)
+            record = measured_ratio(strategy, instance, realization)
+            ratios.append(record.ratio)
+            guarantee = record.guarantee
+        s = summarize(ratios)
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "replication": strategy.replication_of(
+                    generate(args.family, args.n, args.m, args.alpha, 0)
+                ),
+                "mean ratio": s.mean,
+                "max ratio": s.maximum,
+                "guarantee": guarantee if guarantee is not None else "",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Empirical ratios: {args.family}(n={args.n}, m={args.m}), "
+                f"alpha={args.alpha}, model={args.model}, seeds={args.seeds}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_proofs(args: argparse.Namespace) -> int:
+    from repro.theory import verify_all
+
+    instance = generate(args.family, args.n, args.m, args.alpha, args.seed)
+    realization = sample_realization(instance, "bimodal_extreme", args.seed + 1)
+    checks = verify_all(instance, realization)
+    for check in checks:
+        print(check.render())
+        print()
+    failures = [s for c in checks for s in c.failures()]
+    total = sum(len(c.steps) for c in checks)
+    print(f"{len(checks)} chains, {total} inequalities, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+def _cmd_regimes(args: argparse.Namespace) -> int:
+    from repro.analysis.regimes import clairvoyance_value, dominant_strategy_map
+
+    rows = []
+    for entry in dominant_strategy_map(args.alpha, args.m):
+        rows.append(
+            {
+                "alpha": entry["alpha"],
+                "best strategy": entry["best_strategy"],
+                "best guarantee": entry["best_guarantee"],
+                "at replication": entry["best_replication"],
+                "value of estimates": clairvoyance_value(entry["alpha"], args.m),
+            }
+        )
+    print(
+        format_table(
+            rows, title=f"Regime analysis at m={args.m} (guarantee space)"
+        )
+    )
+    print(
+        "\n'value of estimates' is Graham's estimate-free bound minus the best "
+        "estimate-aware bound; it hits zero at alpha=sqrt(2)."
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "table1":
+        print(table1_report())
+    elif command == "table2":
+        print(table2_report())
+    elif command == "fig1":
+        print(fig1_report())
+    elif command == "fig2":
+        print(fig2_report())
+    elif command == "fig3":
+        print(fig3_report(m=args.m, alphas=tuple(args.alpha)))
+    elif command == "fig4":
+        print(fig4_report())
+    elif command == "fig5":
+        print(fig5_report())
+    elif command == "fig6":
+        print(fig6_report(m=args.m))
+    elif command == "run":
+        return _cmd_run(args)
+    elif command == "sweep":
+        return _cmd_sweep(args)
+    elif command == "proofs":
+        return _cmd_proofs(args)
+    elif command == "regimes":
+        return _cmd_regimes(args)
+    elif command == "report":
+        from repro.analysis.report import generate_report
+
+        path = generate_report()
+        print(f"report written to {path}")
+    else:  # pragma: no cover — argparse enforces the choices
+        raise AssertionError(f"unhandled command {command}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

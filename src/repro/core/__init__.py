@@ -1,0 +1,31 @@
+"""Core: the paper's model, placements, strategies, bounds and adversaries."""
+
+from repro.core.model import Instance, Task, make_instance
+from repro.core.placement import (
+    Placement,
+    everywhere_placement,
+    group_placement,
+    single_machine_placement,
+)
+from repro.core.strategy import (
+    FixedOrderPolicy,
+    OnlinePolicy,
+    PlacementStrategy,
+    SchedulerView,
+    TwoPhaseStrategy,
+)
+
+__all__ = [
+    "Instance",
+    "Task",
+    "make_instance",
+    "Placement",
+    "single_machine_placement",
+    "everywhere_placement",
+    "group_placement",
+    "SchedulerView",
+    "OnlinePolicy",
+    "PlacementStrategy",
+    "TwoPhaseStrategy",
+    "FixedOrderPolicy",
+]

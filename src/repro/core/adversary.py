@@ -1,0 +1,192 @@
+"""Adversaries: worst-case realizations against a placement.
+
+Theorem 1's lower bound is proved with an adversary that (i) feeds the
+algorithm :math:`\\lambda m` unit-estimate tasks, (ii) watches the Phase-1
+placement, (iii) inflates every task on the most loaded machine by
+:math:`\\alpha` and deflates everything else by :math:`1/\\alpha`.  This
+module implements that adversary exactly, plus stronger general-purpose
+worst-case realizers used by the empirical benches:
+
+``theorem1_instance`` / ``theorem1_realization``
+    The proof's construction, verbatim.
+``inflate_critical_machine``
+    The same inflate/deflate move against *any* no-replication placement
+    (this is also the worst case invoked in Theorem 2's proof).
+``exhaustive_worst_case``
+    For tiny instances: search all :math:`2^n` extreme realizations
+    (factors in :math:`\\{\\alpha, 1/\\alpha\\}`) for the one maximizing
+    the measured ratio of a given strategy, computing the exact optimum
+    for each candidate.  Extreme-point search is principled here: for a
+    fixed assignment the ratio's numerator is linear in each :math:`p_j`
+    and the denominator is a min over assignments of maxima of linear
+    functions, so maximizers sit at band corners.
+``greedy_worst_case``
+    A scalable heuristic for the same question: start from all-deflated
+    and flip tasks to inflated while the ratio improves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro._validation import check_machine_count, check_positive_int
+from repro.core.model import Instance, make_instance
+from repro.core.placement import Placement
+from repro.exact.optimal import optimal_makespan
+from repro.uncertainty.realization import Realization, factors_realization
+
+__all__ = [
+    "theorem1_instance",
+    "theorem1_realization",
+    "theorem1_optimal_upper_bound",
+    "inflate_critical_machine",
+    "exhaustive_worst_case",
+    "greedy_worst_case",
+]
+
+
+def theorem1_instance(lam: int, m: int, alpha: float) -> Instance:
+    """The Theorem-1 adversary's instance: :math:`\\lambda m` unit tasks.
+
+    Every estimate is 1, so any no-replication placement must put at least
+    :math:`\\lambda` tasks on some machine.
+    """
+    check_positive_int(lam, "lam")
+    check_machine_count(m)
+    return make_instance([1.0] * (lam * m), m, alpha, name=f"theorem1(lam={lam},m={m})")
+
+
+def theorem1_realization(placement: Placement) -> Realization:
+    """The adversary's move: inflate the most (estimated-)loaded machine.
+
+    Requires a no-replication placement (the Theorem-1 setting,
+    :math:`|M_j| = 1`).  Tasks on the machine with the largest estimated
+    load get factor :math:`\\alpha`; all others get :math:`1/\\alpha`.
+    Ties go to the smallest machine id (deterministic).
+    """
+    inst = placement.instance
+    assignment = placement.fixed_assignment()
+    loads = placement.estimated_load_per_machine()
+    target = max(range(inst.m), key=lambda i: (loads[i], -i))
+    a = inst.alpha
+    factors = [a if assignment[j] == target else 1.0 / a for j in range(inst.n)]
+    return factors_realization(inst, factors, label="theorem1_adversary")
+
+
+def theorem1_optimal_upper_bound(lam: int, m: int, alpha: float, b: int) -> float:
+    """The proof's upper bound on :math:`C^*_{max}` for the adversarial instance.
+
+    With ``b`` tasks on the inflated machine:
+    :math:`C^* \\le \\lceil (\\lambda m - b)/m \\rceil / \\alpha +
+    \\alpha \\lceil b/m \\rceil` — the "spread both kinds evenly" schedule
+    from the proof.  Used by bench E2 to reproduce the bound's algebra.
+    """
+    import math
+
+    check_positive_int(lam, "lam")
+    check_machine_count(m)
+    if b < lam:
+        raise ValueError(f"b must be >= lambda (feasibility), got b={b} < lam={lam}")
+    n = lam * m
+    return math.ceil((n - b) / m) / alpha + alpha * math.ceil(b / m)
+
+
+def inflate_critical_machine(placement: Placement) -> Realization:
+    """Worst-case move of Theorem 2's proof against any no-replication placement.
+
+    Identical to :func:`theorem1_realization` but named for the Theorem-2
+    context: the machine reaching the *estimated* makespan sees its tasks
+    run :math:`\\alpha` times longer, all other tasks finish
+    :math:`\\alpha` times earlier.
+    """
+    return theorem1_realization(placement).map_factors(
+        lambda j, f: f, label="inflate_critical"
+    )
+
+
+def exhaustive_worst_case(
+    instance: Instance,
+    run_strategy: Callable[[Realization], float],
+    *,
+    max_n: int = 14,
+) -> tuple[Realization, float]:
+    """Search all extreme realizations for the max measured ratio.
+
+    Parameters
+    ----------
+    instance:
+        The instance; ``2**n`` candidates are tried, so ``n`` is capped.
+    run_strategy:
+        Maps a realization to the strategy's achieved makespan (the caller
+        bakes in placement + policy + simulation).
+
+    Returns
+    -------
+    (worst realization, worst ratio) where ratio is the strategy makespan
+    divided by the *exact* clairvoyant optimum of that realization.
+    """
+    if instance.n > max_n:
+        raise ValueError(
+            f"exhaustive search over 2^{instance.n} realizations refused "
+            f"(max_n={max_n}); use greedy_worst_case"
+        )
+    a = instance.alpha
+    best_ratio = -1.0
+    best_real: Realization | None = None
+    for bits in itertools.product((1.0 / a, a), repeat=instance.n):
+        real = factors_realization(instance, list(bits), label="exhaustive")
+        c_max = run_strategy(real)
+        opt = optimal_makespan(real.actuals, instance.m)
+        ratio = c_max / opt.value
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_real = real
+    assert best_real is not None
+    return best_real, best_ratio
+
+
+def greedy_worst_case(
+    instance: Instance,
+    run_strategy: Callable[[Realization], float],
+    *,
+    passes: int = 3,
+    start_factors: Sequence[float] | None = None,
+) -> tuple[Realization, float]:
+    """Local-search adversary: flip task factors between band extremes.
+
+    Starts from all-deflated (or ``start_factors``) and repeatedly flips
+    the single task whose flip most increases the measured ratio, for up
+    to ``passes`` full sweeps.  Ratios use the exact optimum when
+    affordable and the combined lower bound otherwise (see
+    :func:`repro.exact.optimal.optimal_makespan`), so reported ratios are
+    conservative (never understate the adversary's achievement... they may
+    overstate it on large instances, which is fine for a *lower* bound
+    probe but is flagged by the returned realization's label).
+    """
+    a = instance.alpha
+    factors = (
+        [1.0 / a] * instance.n if start_factors is None else [float(f) for f in start_factors]
+    )
+
+    def ratio_of(fs: Sequence[float]) -> float:
+        real = factors_realization(instance, fs, label="greedy_adversary")
+        c_max = run_strategy(real)
+        opt = optimal_makespan(real.actuals, instance.m)
+        return c_max / opt.value
+
+    current = ratio_of(factors)
+    for _ in range(passes):
+        improved = False
+        for j in range(instance.n):
+            old = factors[j]
+            factors[j] = a if old != a else 1.0 / a
+            cand = ratio_of(factors)
+            if cand > current + 1e-12:
+                current = cand
+                improved = True
+            else:
+                factors[j] = old
+        if not improved:
+            break
+    return factors_realization(instance, factors, label="greedy_adversary"), current

@@ -1,0 +1,254 @@
+"""Closed-form guarantees and lower bounds from the paper.
+
+Every theorem of the paper as an executable formula, with the exact
+parameter constraints the statements carry.  These drive the summary
+tables (Tables 1 and 2), the tradeoff figures (Figures 3 and 6), and the
+"measured ratio ≤ guarantee" property tests.
+
+Replication bound model
+-----------------------
+========================  ==============================================================
+Theorem 1 (lower bound)   :func:`lb_no_replication` = :math:`\\alpha^2 m/(\\alpha^2+m-1)`
+Corollary 1               :func:`lb_no_replication_limit` = :math:`\\alpha^2`
+Theorem 2 (LPT-No Choice) :func:`ub_lpt_no_choice` = :math:`2\\alpha^2 m/(2\\alpha^2+m-1)`
+Theorem 3 (LPT-No Restr.) :func:`ub_lpt_no_restriction_raw` = :math:`1+\\frac{m-1}{m}\\frac{\\alpha^2}{2}`
+Graham LS                 :func:`ub_graham_ls` = :math:`2-1/m`
+combined Strategy 2       :func:`ub_lpt_no_restriction` = min of the two above
+Theorem 4 (LS-Group)      :func:`ub_ls_group` = :math:`\\frac{k\\alpha^2}{\\alpha^2+k-1}(1+\\frac{k-1}{m})+\\frac{m-k}{m}`
+========================  ==============================================================
+
+Memory-aware model
+------------------
+========================  ==============================================================
+Theorem 5 (SABO makespan) :func:`sabo_makespan_guarantee` = :math:`(1+\\Delta)\\alpha^2\\rho_1`
+Theorem 6 (SABO memory)   :func:`sabo_memory_guarantee` = :math:`(1+1/\\Delta)\\rho_2`
+Theorem 7 (ABO makespan)  :func:`abo_makespan_guarantee` = :math:`2-1/m+\\Delta\\alpha^2\\rho_1`
+Theorem 8 (ABO memory)    :func:`abo_memory_guarantee` = :math:`(1+m/\\Delta)\\rho_2`
+========================  ==============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro._validation import (
+    check_alpha,
+    check_delta,
+    check_group_count,
+    check_machine_count,
+    check_positive_float,
+)
+
+__all__ = [
+    "lb_no_replication",
+    "lb_no_replication_limit",
+    "ub_lpt_no_choice",
+    "ub_lpt_no_restriction_raw",
+    "ub_lpt_no_restriction",
+    "ub_graham_ls",
+    "ub_lpt_classic",
+    "ub_ls_group",
+    "ls_group_crossover_alpha",
+    "min_groups_for_ratio",
+    "sabo_makespan_guarantee",
+    "sabo_memory_guarantee",
+    "abo_makespan_guarantee",
+    "abo_memory_guarantee",
+    "abo_beats_sabo_on_makespan",
+    "zenith_impossibility_memory",
+    "guarantee_table_row",
+]
+
+
+# ---------------------------------------------------------------------------
+# Replication bound model
+# ---------------------------------------------------------------------------
+
+def lb_no_replication(alpha: float, m: int) -> float:
+    """Theorem 1: no online algorithm with :math:`|M_j|=1` beats this ratio.
+
+    :math:`\\alpha^2 m / (\\alpha^2 + m - 1)`.
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    a2 = a * a
+    return a2 * mm / (a2 + mm - 1)
+
+
+def lb_no_replication_limit(alpha: float) -> float:
+    """Corollary 1: the Theorem-1 bound as :math:`m \\to \\infty` is :math:`\\alpha^2`."""
+    a = check_alpha(alpha)
+    return a * a
+
+
+def ub_lpt_no_choice(alpha: float, m: int) -> float:
+    """Theorem 2: competitive ratio of LPT-No Choice.
+
+    :math:`2\\alpha^2 m / (2\\alpha^2 + m - 1)`.
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    a2 = a * a
+    return 2.0 * a2 * mm / (2.0 * a2 + mm - 1)
+
+
+def ub_lpt_no_restriction_raw(alpha: float, m: int) -> float:
+    """Theorem 3 raw form: :math:`1 + \\frac{m-1}{m}\\cdot\\frac{\\alpha^2}{2}`."""
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    return 1.0 + (mm - 1) / mm * (a * a) / 2.0
+
+
+def ub_graham_ls(m: int) -> float:
+    """Graham's List Scheduling guarantee :math:`2 - 1/m` (holds under any α)."""
+    mm = check_machine_count(m)
+    return 2.0 - 1.0 / mm
+
+
+def ub_lpt_classic(m: int) -> float:
+    """Graham's offline LPT guarantee :math:`4/3 - 1/(3m)` (certain times)."""
+    mm = check_machine_count(m)
+    return 4.0 / 3.0 - 1.0 / (3.0 * mm)
+
+
+def ub_lpt_no_restriction(alpha: float, m: int) -> float:
+    """Combined Strategy-2 guarantee.
+
+    LPT-No Restriction is a List Scheduling variant, so the better of the
+    Theorem-3 bound and Graham's :math:`2-1/m` applies:
+    :math:`\\min(1 + \\frac{m-1}{m}\\frac{\\alpha^2}{2},\\ 2 - \\frac 1 m)`.
+    """
+    return min(ub_lpt_no_restriction_raw(alpha, m), ub_graham_ls(m))
+
+
+def ub_ls_group(alpha: float, m: int, k: int) -> float:
+    """Theorem 4: competitive ratio of LS-Group with ``k`` groups.
+
+    :math:`\\frac{k\\alpha^2}{\\alpha^2+k-1}\\left(1+\\frac{k-1}{m}\\right)
+    + \\frac{m-k}{m}`; requires ``k | m``.
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    kk = check_group_count(k, mm)
+    a2 = a * a
+    return (kk * a2) / (a2 + kk - 1) * (1.0 + (kk - 1) / mm) + (mm - kk) / mm
+
+
+def ls_group_crossover_alpha() -> float:
+    """The α where Theorem 3's raw bound meets Graham's ``2-1/m``: :math:`\\sqrt 2`.
+
+    For :math:`\\alpha^2 < 2` LPT-No Restriction's specific bound is the
+    better one; above it Graham's bound takes over (paper, end of §5.2).
+    """
+    return math.sqrt(2.0)
+
+
+def min_groups_for_ratio(alpha: float, m: int, target_ratio: float) -> int | None:
+    """Smallest divisor ``k`` of ``m`` with :func:`ub_ls_group` ≤ ``target_ratio``.
+
+    Returns ``None`` if no group count achieves the target.  (Smaller ``k``
+    means more replication — ``|M_j| = m/k`` — so this asks "how much
+    replication buys the target guarantee", the question behind Figure 3.)
+    """
+    check_positive_float(target_ratio, "target_ratio")
+    mm = check_machine_count(m)
+    best: int | None = None
+    for k in divisors(mm):
+        if ub_ls_group(alpha, mm, k) <= target_ratio:
+            best = k if best is None else max(best, k)
+    # The *most* groups (least replication) still meeting the target is the
+    # economical answer; callers wanting the best guarantee use k=1.
+    return best
+
+
+def divisors(m: int) -> list[int]:
+    """All positive divisors of ``m``, ascending (group counts for LS-Group)."""
+    mm = check_machine_count(m)
+    out = [k for k in range(1, mm + 1) if mm % k == 0]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Memory-aware model
+# ---------------------------------------------------------------------------
+
+def sabo_makespan_guarantee(alpha: float, rho1: float, delta: float) -> float:
+    """Theorem 5: SABO_Δ makespan ratio :math:`(1+\\Delta)\\alpha^2\\rho_1`."""
+    a = check_alpha(alpha)
+    r1 = check_positive_float(rho1, "rho1")
+    d = check_delta(delta)
+    return (1.0 + d) * a * a * r1
+
+
+def sabo_memory_guarantee(rho2: float, delta: float) -> float:
+    """Theorem 6: SABO_Δ memory ratio :math:`(1+1/\\Delta)\\rho_2`."""
+    r2 = check_positive_float(rho2, "rho2")
+    d = check_delta(delta)
+    return (1.0 + 1.0 / d) * r2
+
+
+def abo_makespan_guarantee(alpha: float, rho1: float, delta: float, m: int) -> float:
+    """Theorem 7: ABO_Δ makespan ratio :math:`2 - 1/m + \\Delta\\alpha^2\\rho_1`."""
+    a = check_alpha(alpha)
+    r1 = check_positive_float(rho1, "rho1")
+    d = check_delta(delta)
+    mm = check_machine_count(m)
+    return 2.0 - 1.0 / mm + d * a * a * r1
+
+
+def abo_memory_guarantee(rho2: float, delta: float, m: int) -> float:
+    """Theorem 8: ABO_Δ memory ratio :math:`(1 + m/\\Delta)\\rho_2`."""
+    r2 = check_positive_float(rho2, "rho2")
+    d = check_delta(delta)
+    mm = check_machine_count(m)
+    return (1.0 + mm / d) * r2
+
+
+def abo_beats_sabo_on_makespan(alpha: float, rho1: float) -> bool:
+    """Paper's rule of thumb: for :math:`\\alpha\\rho_1 \\ge 2` ABO's makespan
+    guarantee beats SABO's for every Δ.
+
+    At equal Δ, ABO wins iff :math:`2 - 1/m + \\Delta\\alpha^2\\rho_1 <
+    (1+\\Delta)\\alpha^2\\rho_1`, i.e. :math:`\\alpha^2\\rho_1 > 2 - 1/m`;
+    the paper states the simpler sufficient condition on :math:`\\alpha\\rho_1`.
+    """
+    return check_alpha(alpha) * check_positive_float(rho1, "rho1") >= 2.0
+
+
+def zenith_impossibility_memory(makespan_ratio: float) -> float:
+    """Bi-objective impossibility frontier (the bold lines of Figure 6).
+
+    From the SBO paper [IPDPS 2008]: no algorithm can be simultaneously
+    better than :math:`(1+\\Delta)` on makespan and :math:`(1+1/\\Delta)`
+    on memory; equivalently a makespan ratio of :math:`r` forces a memory
+    ratio of at least :math:`1 + 1/(r-1)` (for :math:`r > 1`).
+    """
+    r = check_positive_float(makespan_ratio, "makespan_ratio")
+    if r <= 1.0:
+        return math.inf
+    return 1.0 + 1.0 / (r - 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Table helpers
+# ---------------------------------------------------------------------------
+
+def guarantee_table_row(alpha: float, m: int, ks: Iterable[int] | None = None) -> dict[str, float]:
+    """All replication-bound guarantees evaluated at ``(alpha, m)``.
+
+    Returns a dict keyed by strategy name; LS-Group entries appear as
+    ``"ls_group[k=K]"`` for each requested ``K`` (default: all divisors).
+    Used by the Table-1 bench.
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    row: dict[str, float] = {
+        "lower_bound_no_replication": lb_no_replication(a, mm),
+        "lpt_no_choice": ub_lpt_no_choice(a, mm),
+        "lpt_no_restriction": ub_lpt_no_restriction(a, mm),
+        "graham_ls": ub_graham_ls(mm),
+    }
+    for k in ks if ks is not None else divisors(mm):
+        row[f"ls_group[k={k}]"] = ub_ls_group(a, mm, k)
+    return row

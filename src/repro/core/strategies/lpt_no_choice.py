@@ -1,0 +1,50 @@
+"""Strategy 1 — **LPT-No Choice** (Section 5.1, Theorem 2).
+
+Phase 1 places each task's data on exactly one machine using LPT on the
+*estimated* processing times: tasks sorted by non-increasing
+:math:`\\tilde p_j`, each assigned to the machine with the least estimated
+load so far.  With :math:`|M_j| = 1` there is nothing left to decide in
+Phase 2 — each machine simply runs its pinned tasks.
+
+Guarantee (Theorem 2): :math:`C_{max}/C^*_{max} \\le
+\\frac{2\\alpha^2 m}{2\\alpha^2 + m - 1}`, against the Theorem-1
+impossibility of :math:`\\frac{\\alpha^2 m}{\\alpha^2 + m - 1}` for any
+no-replication algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Instance
+from repro.core.placement import Placement, single_machine_placement
+from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.schedulers.lpt import lpt_assignment_by_task
+
+__all__ = ["LPTNoChoice"]
+
+
+class LPTNoChoice(TwoPhaseStrategy):
+    """LPT placement on estimates; no runtime flexibility.
+
+    ``replication = 1`` (the cheapest possible placement), guarantee
+    :func:`repro.core.bounds.ub_lpt_no_choice`.
+    """
+
+    name = "lpt_no_choice"
+
+    def place(self, instance: Instance) -> Placement:
+        assignment = lpt_assignment_by_task(instance.estimates, instance.m)
+        return single_machine_placement(
+            instance, assignment, meta={"strategy": self.name}
+        )
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        # Every task has a single allowed machine, so the dispatch order
+        # cannot change the makespan; LPT order within each machine is used
+        # for determinism and to match the paper's figures.
+        return FixedOrderPolicy(instance.lpt_order())
+
+    def guarantee(self, instance: Instance) -> float:
+        """Theorem 2's bound evaluated on this instance's parameters."""
+        from repro.core.bounds import ub_lpt_no_choice
+
+        return ub_lpt_no_choice(instance.alpha, instance.m)

@@ -1,0 +1,42 @@
+"""Strategy 2 — **LPT-No Restriction** (Section 5.2, Theorem 3).
+
+Phase 1 replicates every task's data on every machine
+(:math:`|M_j| = m`), buying maximum runtime flexibility at maximum
+replication cost.  Phase 2 runs LPT *online*: tasks sorted by
+non-increasing estimate; whenever a machine becomes idle (actual durations
+drive idleness) it receives the next unscheduled task in that order.
+
+Guarantee (Theorem 3 + the List-Scheduling fallback): :math:`\\min\\bigl(
+1 + \\frac{m-1}{m}\\frac{\\alpha^2}{2},\\ 2 - \\frac1m\\bigr)` — better
+than Graham's bound exactly when :math:`\\alpha^2 < 2`.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Instance
+from repro.core.placement import Placement, everywhere_placement
+from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+
+__all__ = ["LPTNoRestriction"]
+
+
+class LPTNoRestriction(TwoPhaseStrategy):
+    """Replicate everywhere; dispatch online in LPT order of the estimates.
+
+    ``replication = m`` (the most expensive placement), guarantee
+    :func:`repro.core.bounds.ub_lpt_no_restriction`.
+    """
+
+    name = "lpt_no_restriction"
+
+    def place(self, instance: Instance) -> Placement:
+        return everywhere_placement(instance, meta={"strategy": self.name})
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        return FixedOrderPolicy(instance.lpt_order())
+
+    def guarantee(self, instance: Instance) -> float:
+        """Combined Strategy-2 bound at this instance's parameters."""
+        from repro.core.bounds import ub_lpt_no_restriction
+
+        return ub_lpt_no_restriction(instance.alpha, instance.m)

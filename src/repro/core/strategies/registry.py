@@ -1,0 +1,82 @@
+"""Strategy registry: build any paper strategy from a string spec.
+
+The CLI, the experiment harness and several benches refer to strategies by
+name (``"lpt_no_choice"``, ``"ls_group[k=3]"``...).  This module parses
+those specs and also enumerates the full strategy sweep for a given ``m``
+(all divisors as group counts), which is what Figure 3 and bench E1 run.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.bounds import divisors
+from repro.core.strategies.lpt_no_choice import LPTNoChoice
+from repro.core.strategies.lpt_no_restriction import LPTNoRestriction
+from repro.core.strategies.ls_group import LPTGroup, LSGroup
+from repro.core.strategies.nonclairvoyant import NonClairvoyantLS
+from repro.core.strategies.overlapping import OverlappingWindows
+from repro.core.strategies.selective import BudgetedReplication, SelectiveReplication
+from repro.core.strategy import TwoPhaseStrategy
+
+__all__ = ["make_strategy", "strategy_names", "full_sweep", "STRATEGY_FACTORIES"]
+
+_GROUP_RE = re.compile(r"^(ls_group|lpt_group)\[k=(\d+)\]$")
+_SELECTIVE_RE = re.compile(r"^selective\[(\d*\.?\d+)(?:,(work|count))?\]$")
+_BUDGETED_RE = re.compile(r"^budgeted\[B=(\d+)\]$")
+_OVERLAP_RE = re.compile(r"^overlap_windows\[k=(\d+),w=(\d+)\]$")
+
+#: Parameter-free strategies constructible by bare name.
+STRATEGY_FACTORIES = {
+    "lpt_no_choice": LPTNoChoice,
+    "lpt_no_restriction": LPTNoRestriction,
+    "nonclairvoyant_ls": NonClairvoyantLS,
+}
+
+
+def make_strategy(spec: str) -> TwoPhaseStrategy:
+    """Build a strategy from a spec string.
+
+    Accepted forms: ``"lpt_no_choice"``, ``"lpt_no_restriction"``,
+    ``"nonclairvoyant_ls"``, ``"ls_group[k=K]"``, ``"lpt_group[k=K]"``,
+    ``"selective[F]"`` / ``"selective[F,work]"``, ``"budgeted[B=N]"``,
+    ``"overlap_windows[k=K,w=W]"``.
+    """
+    if spec in STRATEGY_FACTORIES:
+        return STRATEGY_FACTORIES[spec]()
+    match = _GROUP_RE.match(spec)
+    if match:
+        cls = LSGroup if match.group(1) == "ls_group" else LPTGroup
+        return cls(int(match.group(2)))
+    match = _SELECTIVE_RE.match(spec)
+    if match:
+        return SelectiveReplication(float(match.group(1)), by_work=match.group(2) == "work")
+    match = _BUDGETED_RE.match(spec)
+    if match:
+        return BudgetedReplication(int(match.group(1)))
+    match = _OVERLAP_RE.match(spec)
+    if match:
+        return OverlappingWindows(int(match.group(1)), int(match.group(2)))
+    raise ValueError(
+        f"unknown strategy spec {spec!r}; expected one of "
+        f"{sorted(STRATEGY_FACTORIES)}, 'ls_group[k=K]', 'lpt_group[k=K]', "
+        f"'selective[F]', 'budgeted[B=N]' or 'overlap_windows[k=K,w=W]'"
+    )
+
+
+def strategy_names(m: int, *, include_ablation: bool = False) -> list[str]:
+    """All strategy specs applicable to ``m`` machines.
+
+    The group strategies appear once per divisor of ``m`` (the paper's
+    Figure-3 sweep).
+    """
+    names = ["lpt_no_choice", "lpt_no_restriction"]
+    names += [f"ls_group[k={k}]" for k in divisors(m)]
+    if include_ablation:
+        names += [f"lpt_group[k={k}]" for k in divisors(m)]
+    return names
+
+
+def full_sweep(m: int, *, include_ablation: bool = False) -> list[TwoPhaseStrategy]:
+    """Instantiate every strategy applicable to ``m`` machines."""
+    return [make_strategy(s) for s in strategy_names(m, include_ablation=include_ablation)]

@@ -1,0 +1,114 @@
+"""The replication / guarantee tradeoff of Figure 3 (Section 5.4).
+
+Figure 3 of the paper plots, for ``m = 210`` and
+``α ∈ {1.1, 1.5, 2}``, the guarantee of every strategy against the number
+of replicas it uses:
+
+* **LPT-No Choice** — one point at replication 1;
+* the Theorem-1 **lower bound** — a horizontal reference at replication 1
+  (no algorithm can beat it without replication);
+* **LPT-No Restriction** — one point at replication ``m``;
+* **LS-Group** — one point per divisor ``k`` of ``m`` at replication
+  ``m/k``.
+
+:func:`ratio_replication_series` generates exactly those series;
+:func:`tradeoff_findings` extracts the qualitative statements the paper
+makes about each α (used by the Figure-3 bench to assert the reproduced
+shape matches the paper's narrative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_alpha, check_machine_count
+from repro.core.bounds import (
+    divisors,
+    lb_no_replication,
+    ub_lpt_no_choice,
+    ub_lpt_no_restriction,
+    ub_ls_group,
+)
+
+__all__ = ["TradeoffPoint", "ratio_replication_series", "tradeoff_findings"]
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """One point in the (replication, guarantee) plane."""
+
+    strategy: str
+    replication: int
+    ratio: float
+    k: int | None = None  # group count for LS-Group points
+
+
+def ratio_replication_series(alpha: float, m: int) -> dict[str, list[TradeoffPoint]]:
+    """All Figure-3 series at ``(alpha, m)``.
+
+    Returns a dict with keys ``"lower_bound"``, ``"lpt_no_choice"``,
+    ``"lpt_no_restriction"``, ``"ls_group"``; the LS-Group series is
+    sorted by replication ascending (``k`` descending).
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    group_points = [
+        TradeoffPoint("ls_group", mm // k, ub_ls_group(a, mm, k), k=k)
+        for k in sorted(divisors(mm), reverse=True)
+    ]
+    return {
+        "lower_bound": [TradeoffPoint("lower_bound", 1, lb_no_replication(a, mm))],
+        "lpt_no_choice": [TradeoffPoint("lpt_no_choice", 1, ub_lpt_no_choice(a, mm))],
+        "lpt_no_restriction": [
+            TradeoffPoint("lpt_no_restriction", mm, ub_lpt_no_restriction(a, mm))
+        ],
+        "ls_group": group_points,
+    }
+
+
+def tradeoff_findings(alpha: float, m: int) -> dict[str, float | bool | int | None]:
+    """Quantified versions of the paper's Figure-3 observations.
+
+    Keys
+    ----
+    ``gap_lb_vs_no_choice``
+        Gap between LPT-No Choice's guarantee and the Theorem-1 lower
+        bound ("significant gap" claim at α = 1.1).
+    ``full_vs_one_group``
+        Guarantee difference LS-Group(k=1) − LPT-No Restriction (positive
+        when full replication via LPT order beats one LS group; the paper
+        notes the difference vanishes by α = 1.5).
+    ``min_replicas_to_beat_no_choice``
+        Smallest replication ``m/k`` over divisors with LS-Group guarantee
+        strictly below LPT-No Choice's (the "better approximation with
+        less than 50 replications" claim at α = 2); ``None`` if none.
+    ``ratio_at_replication_3``
+        LS-Group guarantee at the divisor giving replication 3 (α = 2
+        narrative: "less than 6 with only replicating the data on 3
+        machines"); ``None`` if 3 does not divide ``m``.
+    """
+    a = check_alpha(alpha)
+    mm = check_machine_count(m)
+    series = ratio_replication_series(a, mm)
+    no_choice = series["lpt_no_choice"][0].ratio
+    lower = series["lower_bound"][0].ratio
+    full = series["lpt_no_restriction"][0].ratio
+    one_group = next(p for p in series["ls_group"] if p.k == 1).ratio
+
+    beat: int | None = None
+    for p in sorted(series["ls_group"], key=lambda p: p.replication):
+        if p.ratio < no_choice:
+            beat = p.replication
+            break
+
+    at3 = next((p.ratio for p in series["ls_group"] if p.replication == 3), None)
+
+    return {
+        "gap_lb_vs_no_choice": no_choice - lower,
+        "full_vs_one_group": one_group - full,
+        "min_replicas_to_beat_no_choice": beat,
+        "ratio_at_replication_3": at3,
+        "no_choice_ratio": no_choice,
+        "lower_bound_ratio": lower,
+        "full_replication_ratio": full,
+    }

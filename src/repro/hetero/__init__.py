@@ -1,0 +1,11 @@
+"""Heterogeneous (per-task) uncertainty: model, realizations, risk-aware placement."""
+
+from repro.hetero.strategies import RiskAwareReplication
+from repro.hetero.uncertainty import HeteroUncertainty, hetero_realization, hetero_workload
+
+__all__ = [
+    "HeteroUncertainty",
+    "hetero_realization",
+    "hetero_workload",
+    "RiskAwareReplication",
+]

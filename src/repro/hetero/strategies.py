@@ -1,0 +1,89 @@
+"""Risk-aware replication for heterogeneous uncertainty.
+
+With per-task uncertainty, the right question is not "which tasks are
+big?" but "which tasks can *move* the schedule?".
+:class:`RiskAwareReplication` replicates by descending risk score
+``p̃_j·(α_j − 1/α_j)`` — a long-but-profiled task stays pinned, a
+short-but-wild one gets copies.  Structure mirrors
+:class:`~repro.core.strategies.selective.SelectiveReplication` (same
+pinning of the remainder, same pinned-aware Phase-2 dispatch) so bench
+E14's comparison isolates the *selection criterion*.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro._validation import check_fraction
+from repro.core.model import Instance
+from repro.core.placement import Placement
+from repro.core.strategies.selective import PinnedAwarePolicy
+from repro.core.strategy import OnlinePolicy, TwoPhaseStrategy
+from repro.hetero.uncertainty import HeteroUncertainty
+
+__all__ = ["RiskAwareReplication"]
+
+
+class RiskAwareReplication(TwoPhaseStrategy):
+    """Replicate the riskiest tasks everywhere, pin the rest with LPT.
+
+    Parameters
+    ----------
+    hetero:
+        The per-task uncertainty profile (carries the instance).
+    fraction:
+        Share of the *total risk* to replicate: riskiest tasks are
+        replicated until they cover ``fraction`` of
+        :math:`\\sum_j p̃_j(α_j − 1/α_j)`.
+    """
+
+    def __init__(self, hetero: HeteroUncertainty, fraction: float) -> None:
+        self.hetero = hetero
+        self.fraction = check_fraction(fraction, "fraction")
+        self.name = f"risk_aware[{self.fraction:g}]"
+
+    def _critical_set(self) -> set[int]:
+        target = self.fraction * self.hetero.total_risk()
+        covered = 0.0
+        chosen: set[int] = set()
+        for j in self.hetero.risk_order():
+            if covered >= target:
+                break
+            risk = self.hetero.risk(j)
+            if risk <= 0.0:
+                break  # remaining tasks are certain; nothing to insure
+            chosen.add(j)
+            covered += risk
+        return chosen
+
+    def place(self, instance: Instance) -> Placement:
+        if instance != self.hetero.instance:
+            raise ValueError(
+                "RiskAwareReplication must be given the instance its "
+                "uncertainty profile was built for"
+            )
+        critical = self._critical_set()
+        pinned = [j for j in range(instance.n) if j not in critical]
+        all_machines = frozenset(range(instance.m))
+        sets: list[frozenset[int]] = [all_machines] * instance.n
+        if pinned:
+            # LPT the pinned remainder (uniform offsets as in selective.py).
+            order = sorted(pinned, key=lambda j: (-instance.tasks[j].estimate, j))
+            heap = [(0.0, i) for i in range(instance.m)]
+            heapq.heapify(heap)
+            for j in order:
+                load, i = heapq.heappop(heap)
+                sets[j] = frozenset((i,))
+                heapq.heappush(heap, (load + instance.tasks[j].estimate, i))
+        return Placement(
+            instance,
+            tuple(sets),
+            meta={
+                "strategy": self.name,
+                "critical": tuple(sorted(critical)),
+                "pinned": tuple(pinned),
+            },
+        )
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        return PinnedAwarePolicy(instance, placement)

@@ -1,0 +1,147 @@
+"""Heterogeneous (per-task) uncertainty.
+
+The paper gives every task the same α, but estimate quality varies wildly
+in practice: a task type profiled a thousand times is nearly certain, a
+novel kernel is a guess.  This extension models per-task factors
+``alpha_j`` under a global cap (the instance's ``alpha``), so every
+heterogeneous realization is also a valid realization of the paper's
+model — the theory's guarantees still apply, they are just pessimistic
+for the well-predicted tasks.
+
+:class:`HeteroUncertainty`
+    The vector of per-task factors, validated against the global cap,
+    with the risk scores replication decisions want.
+:func:`hetero_realization`
+    Stochastic realizations honoring the per-task bands (each task's
+    factor drawn log-uniform within *its own* band).
+:func:`hetero_workload`
+    A mixed-certainty workload generator: a fraction of tasks are
+    "profiled" (tight band) and the rest "novel" (full band).
+
+The matching placement strategy is
+:class:`repro.hetero.strategies.RiskAwareReplication`; bench E14 measures
+what risk-awareness buys over size-only selection.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_alpha, check_fraction
+from repro.core.model import Instance
+from repro.uncertainty.realization import Realization, factors_realization
+from repro.workloads.generators import uniform_instance
+
+__all__ = ["HeteroUncertainty", "hetero_realization", "hetero_workload"]
+
+
+@dataclass(frozen=True)
+class HeteroUncertainty:
+    """Per-task uncertainty factors under the instance's global cap.
+
+    ``alphas[j]`` is task ``j``'s own factor: its actual time lies in
+    ``[p̃_j/alphas[j], alphas[j]·p̃_j]``.  Every ``alphas[j]`` must be in
+    ``[1, instance.alpha]`` so heterogeneous realizations remain valid for
+    the homogeneous model too.
+    """
+
+    instance: Instance
+    alphas: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alphas) != self.instance.n:
+            raise ValueError(
+                f"alphas must cover all {self.instance.n} tasks, got {len(self.alphas)}"
+            )
+        cap = self.instance.alpha
+        for j, a in enumerate(self.alphas):
+            check_alpha(a)
+            if a > cap * (1 + 1e-12):
+                raise ValueError(
+                    f"alphas[{j}]={a} exceeds the instance's global alpha {cap}"
+                )
+
+    # -- risk scores -----------------------------------------------------------
+    def risk(self, tid: int) -> float:
+        """Worst-case makespan exposure of task ``tid``.
+
+        The width of the task's actual-time interval:
+        ``p̃_j·(α_j − 1/α_j)`` — how much one task alone can move a
+        machine's load between the adversary's best and worst case.  A
+        long-but-certain task has low risk; a short-but-wild one may
+        out-risk it.
+        """
+        a = self.alphas[tid]
+        return self.instance.tasks[tid].estimate * (a - 1.0 / a)
+
+    def risks(self) -> list[float]:
+        """All risk scores, task-id indexed."""
+        return [self.risk(j) for j in range(self.instance.n)]
+
+    def risk_order(self) -> list[int]:
+        """Task ids by non-increasing risk (ties by id)."""
+        rs = self.risks()
+        return sorted(range(self.instance.n), key=lambda j: (-rs[j], j))
+
+    def total_risk(self) -> float:
+        return math.fsum(self.risks())
+
+
+def hetero_realization(
+    hetero: HeteroUncertainty,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    extreme: bool = False,
+) -> Realization:
+    """A realization honoring each task's own band.
+
+    ``extreme=False`` draws each factor log-uniform within the task's
+    band; ``extreme=True`` puts each task at one of *its* band edges
+    (fair-coin), the heterogeneous analogue of ``bimodal_extreme``.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    factors = []
+    for a in hetero.alphas:
+        log_a = math.log(a)
+        if log_a == 0.0:
+            factors.append(1.0)
+        elif extreme:
+            factors.append(a if rng.random() < 0.5 else 1.0 / a)
+        else:
+            factors.append(math.exp(rng.uniform(-log_a, log_a)))
+    return factors_realization(
+        hetero.instance, factors, label="hetero_extreme" if extreme else "hetero"
+    )
+
+
+def hetero_workload(
+    n: int,
+    m: int,
+    *,
+    alpha_novel: float = 2.0,
+    alpha_profiled: float = 1.05,
+    novel_fraction: float = 0.3,
+    seed: int = 0,
+) -> HeteroUncertainty:
+    """A mixed-certainty workload: mostly profiled tasks, some novel ones.
+
+    Which tasks are novel is drawn uniformly (seeded), independent of
+    their size — so size-based and risk-based replication genuinely
+    disagree.
+    """
+    check_fraction(novel_fraction, "novel_fraction")
+    check_alpha(alpha_novel)
+    check_alpha(alpha_profiled)
+    if alpha_profiled > alpha_novel:
+        raise ValueError(
+            f"alpha_profiled ({alpha_profiled}) must be <= alpha_novel ({alpha_novel})"
+        )
+    rng = np.random.default_rng(seed)
+    instance = uniform_instance(n, m, alpha_novel, rng)
+    novel = rng.random(n) < novel_fraction
+    alphas = tuple(alpha_novel if is_novel else alpha_profiled for is_novel in novel)
+    return HeteroUncertainty(instance, alphas)

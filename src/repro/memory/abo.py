@@ -1,0 +1,152 @@
+"""The :math:`ABO_\\Delta` algorithm (Section 6.2, Theorems 7 and 8).
+
+*Asymmetric Bi-Objective*: like SABO, Phase 1 splits the tasks with the
+:math:`SBO_\\Delta` threshold, but the time-intensive set :math:`S_1` is
+**replicated on every machine** instead of pinned.  Phase 2 first honors
+the pinned memory-intensive tasks (:math:`S_2`, per :math:`\\pi_2`), then
+dispatches the replicated :math:`S_1` tasks with Graham's online List
+Scheduling as machines free up.
+
+The replication buys load-balancing for exactly the tasks whose *time*
+dominates — the ones uncertainty hurts — while charging memory only for
+the tasks whose sizes are (relatively) small.
+
+Guarantees:
+
+* makespan (Th. 7): :math:`2 - 1/m + \\Delta\\,\\alpha^2\\rho_1`,
+* memory (Th. 8): :math:`(1 + m/\\Delta)\\,\\rho_2` (the :math:`m`
+  reflects charging every machine for each replicated task).
+
+Phase-2 precedence note: the paper schedules the replicated tasks "after
+all the memory intensive tasks are scheduled".  We implement the
+work-conserving per-machine reading — a machine takes replicated work as
+soon as *its own* pinned queue is empty — which matches the proof's use of
+the List-Scheduling property on :math:`C^R_{max}` and never inserts the
+idle time a global barrier would.  The strict global barrier is available
+as ``barrier=True`` for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro._validation import check_delta
+from repro.core.model import Instance
+from repro.core.placement import Placement
+from repro.core.strategy import OnlinePolicy, SchedulerView, TwoPhaseStrategy
+from repro.memory.sbo import sbo_split
+
+__all__ = ["ABO", "ABOPolicy"]
+
+
+class ABOPolicy:
+    """Phase-2 policy of ABO: pinned :math:`S_2` first, then LS over :math:`S_1`.
+
+    Pinned tasks are dispatched in LPT-estimate order within each machine's
+    own queue; replicated tasks in LPT-estimate order globally (any fixed
+    order preserves the LS analysis; LPT order also gives the policy the
+    LPT-No-Restriction behaviour on the replicated set).
+    """
+
+    def __init__(
+        self,
+        pinned_queues: dict[int, list[int]],
+        replicated_order: list[int],
+        *,
+        barrier: bool = False,
+    ) -> None:
+        self._pinned = {i: list(q) for i, q in pinned_queues.items()}
+        self._replicated = list(replicated_order)
+        self._barrier = barrier
+
+    def select(self, machine: int, view: SchedulerView) -> int | None:
+        # Non-destructive scans keep the policy correct under task aborts
+        # (machine-failure extension): an aborted task simply reappears as
+        # unstarted on the next scan.
+        for tid in self._pinned.get(machine, ()):
+            if not view.is_started(tid):
+                return tid
+        if self._barrier:
+            # Global barrier variant: replicated work only once *every*
+            # pinned task has started.
+            for q in self._pinned.values():
+                if any(not view.is_started(t) for t in q):
+                    return None
+        for tid in self._replicated:
+            if not view.is_started(tid):
+                return tid
+        return None
+
+
+class ABO(TwoPhaseStrategy):
+    """Asymmetric bi-objective strategy with replication of time-intensive tasks.
+
+    Parameters
+    ----------
+    delta:
+        Threshold Δ > 0.
+    pi1_method:
+        ρ₁-approximate scheduler used to build π₁ (affects only the split
+        threshold — the replicated tasks are *dispatched* by online LS).
+    barrier:
+        Use the strict global-barrier reading of Phase 2 (ablation only).
+    """
+
+    def __init__(
+        self, delta: float, *, pi1_method: str = "lpt", barrier: bool = False
+    ) -> None:
+        self.delta = check_delta(delta)
+        self.pi1_method = pi1_method
+        self.barrier = barrier
+        suffix = ",barrier" if barrier else ""
+        self.name = f"abo[delta={self.delta:g}{suffix}]"
+
+    def place(self, instance: Instance) -> Placement:
+        split = sbo_split(instance, self.delta, pi1_method=self.pi1_method)
+        all_machines = frozenset(range(instance.m))
+        sets: list[frozenset[int]] = [frozenset()] * instance.n
+        for j in split.s1:
+            sets[j] = all_machines
+        for j in split.s2:
+            sets[j] = frozenset((split.pi2.assignment[j],))
+        return Placement(
+            instance,
+            tuple(sets),
+            meta={
+                "strategy": self.name,
+                "s1": split.s1,
+                "s2": split.s2,
+                "rho1": split.pi1.rho,
+                "rho2": split.pi2.rho,
+                "pi1_objective": split.pi1.objective,
+                "pi2_objective": split.pi2.objective,
+            },
+        )
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        s1 = placement.meta["s1"]
+        s2 = placement.meta["s2"]
+        lpt_rank = {tid: pos for pos, tid in enumerate(instance.lpt_order())}
+        pinned: dict[int, list[int]] = {}
+        for j in s2:
+            machine = next(iter(placement.machines_for(j)))
+            pinned.setdefault(machine, []).append(j)
+        for q in pinned.values():
+            q.sort(key=lambda j: lpt_rank[j])
+        replicated = sorted(s1, key=lambda j: lpt_rank[j])
+        return ABOPolicy(pinned, replicated, barrier=self.barrier)
+
+    # -- guarantees -----------------------------------------------------------------
+    def makespan_guarantee(self, instance: Instance, *, rho1: float | None = None) -> float:
+        """Theorem 7: :math:`2 - 1/m + \\Delta\\alpha^2\\rho_1` at this Δ."""
+        from repro.core.bounds import abo_makespan_guarantee
+        from repro.memory.model import makespan_reference
+
+        r1 = rho1 if rho1 is not None else makespan_reference(instance, self.pi1_method).rho
+        return abo_makespan_guarantee(instance.alpha, r1, self.delta, instance.m)
+
+    def memory_guarantee(self, instance: Instance, *, rho2: float | None = None) -> float:
+        """Theorem 8: :math:`(1 + m/\\Delta)\\rho_2` at this Δ."""
+        from repro.core.bounds import abo_memory_guarantee
+        from repro.memory.model import memory_reference
+
+        r2 = rho2 if rho2 is not None else memory_reference(instance).rho
+        return abo_memory_guarantee(r2, self.delta, instance.m)

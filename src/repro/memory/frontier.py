@@ -1,0 +1,149 @@
+"""Guarantee curves and impossibility frontier for Figure 6.
+
+Figure 6 of the paper plots, in the (makespan guarantee, memory guarantee)
+plane, the curves traced by :math:`SABO_\\Delta` and :math:`ABO_\\Delta`
+as :math:`\\Delta` sweeps over :math:`(0, \\infty)`, against the bold
+impossibility lines inherited from the SBO paper (no algorithm can beat
+:math:`(1+\\Delta)` on makespan *and* :math:`(1+1/\\Delta)` on memory
+simultaneously, i.e. the hyperbola :math:`(a-1)(b-1) = 1`).
+
+The functions here generate those curves as point series for a given
+parameterization :math:`(m, \\alpha, \\rho_1, \\rho_2)`, plus the
+crossover analysis the paper walks through ("for
+:math:`\\alpha\\rho_1 \\ge 2`, :math:`ABO_\\Delta` always has better
+guarantee on makespan").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_alpha, check_machine_count, check_positive_float
+from repro.core.bounds import (
+    abo_makespan_guarantee,
+    abo_memory_guarantee,
+    sabo_makespan_guarantee,
+    sabo_memory_guarantee,
+    zenith_impossibility_memory,
+)
+
+__all__ = ["FrontierPoint", "sabo_curve", "abo_curve", "impossibility_curve", "delta_for_makespan_target"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrontierPoint:
+    """One point of a guarantee curve: a Δ and the two guarantees it buys."""
+
+    delta: float
+    makespan: float
+    memory: float
+
+
+def _delta_grid(deltas: Sequence[float] | None, num: int) -> list[float]:
+    if deltas is not None:
+        out = [check_positive_float(d, "delta") for d in deltas]
+        if not out:
+            raise ValueError("deltas must be non-empty")
+        return out
+    # Log-spaced sweep: small Δ favors the makespan guarantee, large Δ the
+    # memory guarantee; four decades cover both regimes.
+    return list(np.logspace(-2, 2, num=num))
+
+
+def sabo_curve(
+    alpha: float,
+    rho1: float,
+    rho2: float,
+    *,
+    deltas: Sequence[float] | None = None,
+    num: int = 201,
+) -> list[FrontierPoint]:
+    """SABO_Δ guarantee curve: ``((1+Δ)α²ρ₁, (1+1/Δ)ρ₂)`` over a Δ sweep."""
+    a = check_alpha(alpha)
+    pts = []
+    for d in _delta_grid(deltas, num):
+        pts.append(
+            FrontierPoint(
+                d,
+                sabo_makespan_guarantee(a, rho1, d),
+                sabo_memory_guarantee(rho2, d),
+            )
+        )
+    return pts
+
+
+def abo_curve(
+    alpha: float,
+    rho1: float,
+    rho2: float,
+    m: int,
+    *,
+    deltas: Sequence[float] | None = None,
+    num: int = 201,
+) -> list[FrontierPoint]:
+    """ABO_Δ guarantee curve: ``(2-1/m+Δα²ρ₁, (1+m/Δ)ρ₂)`` over a Δ sweep."""
+    a = check_alpha(alpha)
+    check_machine_count(m)
+    pts = []
+    for d in _delta_grid(deltas, num):
+        pts.append(
+            FrontierPoint(
+                d,
+                abo_makespan_guarantee(a, rho1, d, m),
+                abo_memory_guarantee(rho2, d, m),
+            )
+        )
+    return pts
+
+
+def impossibility_curve(
+    makespan_ratios: Sequence[float],
+) -> list[tuple[float, float]]:
+    """The bold line of Figure 6: minimum memory ratio forced by each makespan ratio.
+
+    Points with makespan ratio ≤ 1 map to infinity and are skipped.
+    """
+    out: list[tuple[float, float]] = []
+    for r in makespan_ratios:
+        mem = zenith_impossibility_memory(r)
+        if math.isfinite(mem):
+            out.append((float(r), mem))
+    return out
+
+
+def delta_for_makespan_target(
+    target: float,
+    alpha: float,
+    rho1: float,
+    m: int,
+    *,
+    algorithm: str,
+) -> float | None:
+    """Largest Δ whose makespan guarantee meets ``target`` (None if impossible).
+
+    Inverts the linear-in-Δ guarantees:
+
+    * SABO: ``(1+Δ)α²ρ₁ ≤ target  ⟺  Δ ≤ target/(α²ρ₁) − 1``;
+    * ABO:  ``2−1/m+Δα²ρ₁ ≤ target  ⟺  Δ ≤ (target−2+1/m)/(α²ρ₁)``.
+
+    Larger Δ is better for memory on both algorithms' *memory* guarantee
+    shapes ((1+1/Δ) and (1+m/Δ) both decrease in Δ), so the largest
+    feasible Δ gives the best memory at the makespan target — this is the
+    "system designer" query from the end of Section 6.
+    """
+    a = check_alpha(alpha)
+    check_positive_float(target, "target")
+    a2r = a * a * check_positive_float(rho1, "rho1")
+    if algorithm == "sabo":
+        d = target / a2r - 1.0
+    elif algorithm == "abo":
+        d = (target - 2.0 + 1.0 / check_machine_count(m)) / a2r
+    else:
+        raise ValueError(f"algorithm must be 'sabo' or 'abo', got {algorithm!r}")
+    # A Δ at round-off scale means the target sits exactly on the
+    # asymptote — report it as unachievable rather than returning 1e-16.
+    return d if d > 1e-9 else None

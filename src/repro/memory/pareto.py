@@ -1,0 +1,96 @@
+"""Bi-objective (makespan, memory) Pareto utilities.
+
+The memory-aware evaluation compares algorithms in the plane of
+``(makespan ratio, memory ratio)`` — "Zenith approximation" in the paper's
+wording: an algorithm is ``[a, b]``-approximated if it is simultaneously
+within ``a`` of the best makespan and ``b`` of the best memory.  These
+helpers compute Pareto fronts of measured points, dominance tests, and
+the hypervolume-style scalar summaries the benches report.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["BiPoint", "dominates", "pareto_front", "zenith_value", "front_area"]
+
+
+@dataclass(frozen=True, slots=True)
+class BiPoint:
+    """A point in the (makespan, memory) objective plane, with a label."""
+
+    makespan: float
+    memory: float
+    label: str = ""
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.makespan, self.memory)
+
+
+def dominates(a: BiPoint, b: BiPoint, *, strict: bool = True) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (both objectives minimized).
+
+    With ``strict`` (default), ``a`` must be at least as good in both
+    objectives and strictly better in one.
+    """
+    le = a.makespan <= b.makespan and a.memory <= b.memory
+    if not strict:
+        return le
+    return le and (a.makespan < b.makespan or a.memory < b.memory)
+
+
+def pareto_front(points: Iterable[BiPoint]) -> list[BiPoint]:
+    """The non-dominated subset, sorted by makespan ascending.
+
+    Duplicate coordinate pairs are collapsed to the first occurrence.
+    """
+    pts = sorted(points, key=lambda p: (p.makespan, p.memory))
+    front: list[BiPoint] = []
+    best_memory = math.inf
+    seen: set[tuple[float, float]] = set()
+    for p in pts:
+        if p.as_tuple() in seen:
+            continue
+        if p.memory < best_memory:
+            front.append(p)
+            best_memory = p.memory
+            seen.add(p.as_tuple())
+    return front
+
+
+def zenith_value(point: BiPoint, *, make_weight: float = 1.0, mem_weight: float = 1.0) -> float:
+    """Scalarization ``max(w1 * makespan, w2 * memory)``.
+
+    The "Zenith" (ideal-point Chebyshev) value: how far the point is from
+    the utopia corner ``(0, 0)`` in the weighted max-norm.  Lower is
+    better; the paper's ``[a, b]``-approximation statement says the
+    algorithm's zenith value with ratios as coordinates is ``max(a, b)``.
+    """
+    if make_weight <= 0 or mem_weight <= 0:
+        raise ValueError("weights must be > 0")
+    return max(make_weight * point.makespan, mem_weight * point.memory)
+
+
+def front_area(front: Sequence[BiPoint], *, ref: tuple[float, float]) -> float:
+    """Hypervolume (area) dominated by ``front`` up to reference point ``ref``.
+
+    The staircase area between the front and ``ref``; larger means a
+    better front.  Points outside the reference box contribute their
+    clipped part only.
+    """
+    rx, ry = ref
+    pts = [p for p in pareto_front(front) if p.makespan < rx and p.memory < ry]
+    if not pts:
+        return 0.0
+    # Staircase sweep over the front (makespan ascending, memory strictly
+    # decreasing): each point owns the x-strip from its makespan to the
+    # next point's makespan (rx for the last).
+    area = 0.0
+    for idx, p in enumerate(pts):
+        x_next = pts[idx + 1].makespan if idx + 1 < len(pts) else rx
+        width = min(x_next, rx) - p.makespan
+        if width > 0:
+            area += width * (ry - p.memory)
+    return area

@@ -1,0 +1,100 @@
+"""The :math:`SBO_\\Delta` split (substrate from IPDPS 2008).
+
+:math:`SBO_\\Delta` is the bi-objective building block the paper's
+memory-aware algorithms inherit from: given a makespan schedule
+:math:`\\pi_1` and a memory schedule :math:`\\pi_2`, split the tasks by
+comparing their *relative* time cost against their *relative* memory cost,
+
+.. math::
+
+    j \\in S_2 \\iff
+    \\frac{\\tilde p_j}{\\tilde C^{\\pi_1}_{max}}
+    \\le \\Delta \\cdot \\frac{s_j}{Mem^{\\pi_2}_{max}},
+
+and schedule :math:`S_2` (memory-intensive) per :math:`\\pi_2` and
+:math:`S_1` (time-intensive) per :math:`\\pi_1`.  The combined schedule is
+:math:`(1+\\Delta)\\rho_1`-approximate on makespan and
+:math:`(1+1/\\Delta)\\rho_2`-approximate on memory in the *certain* model;
+the paper's Theorem 5/6 re-derive the guarantees under uncertainty for
+SABO (which uses exactly this split).
+
+This module implements the split itself, shared by
+:class:`~repro.memory.sabo.SABO` and :class:`~repro.memory.abo.ABO`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import check_delta
+from repro.core.model import Instance
+from repro.memory.model import ReferenceSchedule, makespan_reference, memory_reference
+
+__all__ = ["SBOSplit", "sbo_split"]
+
+
+@dataclass(frozen=True)
+class SBOSplit:
+    """Result of the :math:`SBO_\\Delta` threshold split.
+
+    Attributes
+    ----------
+    s1:
+        Time-intensive task ids (scheduled for makespan).
+    s2:
+        Memory-intensive task ids (scheduled for memory).
+    pi1, pi2:
+        The two reference schedules the split compared against.
+    delta:
+        The threshold parameter.
+    """
+
+    s1: tuple[int, ...]
+    s2: tuple[int, ...]
+    pi1: ReferenceSchedule
+    pi2: ReferenceSchedule
+    delta: float
+
+    def combined_assignment(self) -> list[int]:
+        """The SBO assignment: π₂ machine for S₂ tasks, π₁ machine for S₁."""
+        n = len(self.s1) + len(self.s2)
+        assignment = [0] * n
+        for j in self.s1:
+            assignment[j] = self.pi1.assignment[j]
+        for j in self.s2:
+            assignment[j] = self.pi2.assignment[j]
+        return assignment
+
+
+def sbo_split(
+    instance: Instance,
+    delta: float,
+    *,
+    pi1_method: str = "lpt",
+) -> SBOSplit:
+    """Run the :math:`SBO_\\Delta` split on ``instance``.
+
+    Edge cases handled explicitly:
+
+    * all sizes zero — memory is free, every task is time-intensive
+      (:math:`S_2 = \\emptyset`);
+    * the threshold test with :math:`Mem^{\\pi_2}_{max} = 0` would divide
+      by zero; since memory cost is identically zero the same "all
+      time-intensive" answer is returned.
+    """
+    d = check_delta(delta)
+    pi1 = makespan_reference(instance, method=pi1_method)
+    pi2 = memory_reference(instance)
+    s1: list[int] = []
+    s2: list[int] = []
+    if pi2.objective <= 0.0:
+        s1 = list(range(instance.n))
+        return SBOSplit(tuple(s1), (), pi1, pi2, d)
+    for j, task in enumerate(instance.tasks):
+        time_share = task.estimate / pi1.objective
+        mem_share = task.size / pi2.objective
+        if time_share <= d * mem_share:
+            s2.append(j)
+        else:
+            s1.append(j)
+    return SBOSplit(tuple(s1), tuple(s2), pi1, pi2, d)

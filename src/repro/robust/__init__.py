@@ -1,0 +1,5 @@
+"""Robust-scheduling alternatives: scenario-optimized placement without replication."""
+
+from repro.robust.placement import RobustPinnedPlacement
+
+__all__ = ["RobustPinnedPlacement"]

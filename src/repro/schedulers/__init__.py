@@ -1,0 +1,45 @@
+"""Classical scheduling substrate: LS, LPT, MULTIFIT, dual approximation."""
+
+from repro.schedulers.baselines import (
+    random_schedule,
+    round_robin_schedule,
+    single_machine_pile,
+    spt_schedule,
+)
+from repro.schedulers.dual_approx import dual_approx_schedule, dual_feasible_schedule
+from repro.schedulers.list_scheduling import AssignmentResult, balance_gap, list_schedule
+from repro.schedulers.lower_bounds import (
+    average_load_bound,
+    combined_lower_bound,
+    kth_group_bound,
+    lp_bound,
+    max_task_bound,
+    pair_bound,
+)
+from repro.schedulers.lpt import critical_task, lpt_assignment_by_task, lpt_order, lpt_schedule
+from repro.schedulers.multifit import MULTIFIT_RATIO, ffd_pack, multifit_schedule
+
+__all__ = [
+    "AssignmentResult",
+    "list_schedule",
+    "balance_gap",
+    "lpt_schedule",
+    "lpt_order",
+    "lpt_assignment_by_task",
+    "critical_task",
+    "multifit_schedule",
+    "ffd_pack",
+    "MULTIFIT_RATIO",
+    "dual_approx_schedule",
+    "dual_feasible_schedule",
+    "average_load_bound",
+    "max_task_bound",
+    "pair_bound",
+    "kth_group_bound",
+    "lp_bound",
+    "combined_lower_bound",
+    "round_robin_schedule",
+    "random_schedule",
+    "spt_schedule",
+    "single_machine_pile",
+]

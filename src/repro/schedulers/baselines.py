@@ -1,0 +1,81 @@
+"""Naive baseline schedulers.
+
+These exist to anchor the empirical comparisons: any sensible strategy
+should beat them, and several tests use them as sanity references (e.g.
+round-robin's makespan upper-bounds nothing but is feasible; random
+assignment gives the null model of "placement without thought").
+
+All baselines return the same :class:`~repro.schedulers.list_scheduling.
+AssignmentResult` shape as the real schedulers so the harness can treat
+them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import check_machine_count, check_times
+from repro.schedulers.list_scheduling import AssignmentResult, greedy_assign_heap
+
+__all__ = [
+    "round_robin_schedule",
+    "random_schedule",
+    "spt_schedule",
+    "single_machine_pile",
+]
+
+
+def round_robin_schedule(times: Sequence[float], m: int) -> AssignmentResult:
+    """Task ``j`` goes to machine ``j mod m`` — placement with no load logic."""
+    ts = check_times(times)
+    check_machine_count(m)
+    assignment = tuple(j % m for j in range(len(ts)))
+    loads = [0.0] * m
+    for j, i in enumerate(assignment):
+        loads[i] += ts[j]
+    return AssignmentResult(assignment, tuple(loads), tuple(range(len(ts))))
+
+
+def random_schedule(
+    times: Sequence[float],
+    m: int,
+    seed: int | np.random.Generator | None = 0,
+) -> AssignmentResult:
+    """Uniformly random machine per task (deterministic given ``seed``)."""
+    ts = check_times(times)
+    check_machine_count(m)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    assignment = tuple(int(i) for i in rng.integers(0, m, size=len(ts)))
+    loads = [0.0] * m
+    for j, i in enumerate(assignment):
+        loads[i] += ts[j]
+    return AssignmentResult(assignment, tuple(loads), tuple(range(len(ts))))
+
+
+def spt_schedule(times: Sequence[float], m: int) -> AssignmentResult:
+    """Shortest Processing Time first, then greedy least-loaded.
+
+    SPT is optimal for total completion time but has the same worst-case
+    makespan ratio as plain list scheduling; it serves as the "wrong
+    ordering" ablation against LPT.
+    """
+    ts = check_times(times)
+    check_machine_count(m)
+    order = sorted(range(len(ts)), key=lambda j: (ts[j], j))
+    return greedy_assign_heap(ts, order, m)
+
+
+def single_machine_pile(times: Sequence[float], m: int) -> AssignmentResult:
+    """Everything on machine 0 — the degenerate worst feasible schedule.
+
+    Useful as an upper anchor: every strategy's makespan must be ≤ this,
+    and the ratio harness uses it to verify ratio computations on known
+    extremes.
+    """
+    ts = check_times(times)
+    check_machine_count(m)
+    assignment = tuple(0 for _ in ts)
+    loads = [float(sum(ts))] + [0.0] * (m - 1)
+    return AssignmentResult(assignment, tuple(loads), tuple(range(len(ts))))

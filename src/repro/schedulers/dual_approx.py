@@ -1,0 +1,210 @@
+"""Dual approximation for :math:`P||C_{max}` (Hochbaum & Shmoys 1987).
+
+The paper notes that "one can even obtain an arbitrarily good approximation
+algorithm for this problem ... with a dual approximation algorithm".  A
+dual ε-approximation, given a deadline ``d``, either proves no schedule of
+makespan ``d`` exists or produces one of makespan at most ``(1+ε)d``;
+binary-searching ``d`` yields a ``(1+ε)``-approximation for the makespan.
+
+Our dual procedure is the textbook one:
+
+* tasks larger than ``ε·d`` are "big"; after rounding their sizes down to
+  powers of ``(1+ε)`` (geometric rounding), there are only
+  ``O(log(1/ε)/ε)`` distinct big sizes and at most ``floor(1/ε)`` big
+  tasks per machine, so machine *configurations* can be enumerated and a
+  feasibility check done by dynamic programming over multisets of big
+  tasks;
+* small tasks are then greedily added — if they do not fit within
+  ``(1+ε)d``, ``d`` was infeasible.
+
+The DP is exponential in ``1/ε`` (as it must be), so this scheduler is
+practical for the moderate ε (0.1–0.5) used as the high-quality π₁ option
+of the memory-aware algorithms, and doubles as an independent near-optimal
+reference in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Sequence
+from functools import lru_cache
+
+from repro._validation import check_machine_count, check_positive_float, check_times
+from repro.schedulers.list_scheduling import AssignmentResult
+from repro.schedulers.lower_bounds import lp_bound
+from repro.schedulers.lpt import lpt_schedule
+
+__all__ = ["dual_feasible_schedule", "dual_approx_schedule"]
+
+
+def _big_configurations(
+    sizes: tuple[float, ...], counts: tuple[int, ...], capacity: float
+) -> list[tuple[int, ...]]:
+    """All multiplicity vectors of big tasks fitting in ``capacity``.
+
+    Enumerated by DFS over the distinct (rounded) sizes; the number of big
+    tasks per machine is at most ``capacity / min_size``, which the caller
+    guarantees is ``O(1/ε)``.
+    """
+    configs: list[tuple[int, ...]] = []
+    cur = [0] * len(sizes)
+
+    def rec(idx: int, remaining: float) -> None:
+        if idx == len(sizes):
+            configs.append(tuple(cur))
+            return
+        max_count = min(counts[idx], int(remaining / sizes[idx] + 1e-12))
+        for c in range(max_count + 1):
+            cur[idx] = c
+            rec(idx + 1, remaining - c * sizes[idx])
+        cur[idx] = 0
+
+    rec(0, capacity)
+    return configs
+
+
+def dual_feasible_schedule(
+    times: Sequence[float], m: int, deadline: float, eps: float
+) -> list[int] | None:
+    """Dual test: schedule with makespan ≤ ``(1+2ε)·deadline`` or ``None``.
+
+    Returns an assignment (task-id indexed) if one exists with the relaxed
+    deadline, or ``None`` as a certificate that no schedule fits within
+    ``deadline`` itself.  (The relaxation is ``2ε`` rather than ``ε``
+    because we round big sizes *and* pack small tasks greedily; the overall
+    binary search still converges to ``(1+O(ε))·OPT``.)
+    """
+    ts = check_times(times)
+    check_machine_count(m)
+    check_positive_float(eps, "eps")
+    check_positive_float(deadline, "deadline")
+
+    if max(ts) > deadline * (1.0 + 1e-12):
+        return None
+    if sum(ts) > m * deadline * (1.0 + 1e-12):
+        return None
+
+    threshold = eps * deadline
+    big_ids = [j for j, t in enumerate(ts) if t > threshold]
+    small_ids = [j for j, t in enumerate(ts) if t <= threshold]
+
+    # Geometric rounding of big sizes (round *down*, so feasibility at the
+    # rounded sizes is necessary for true feasibility at `deadline`).
+    def round_down(t: float) -> float:
+        if t <= threshold:
+            return t
+        k = math.floor(math.log(t / threshold, 1.0 + eps))
+        v = threshold * (1.0 + eps) ** k
+        while v * (1.0 + eps) <= t * (1.0 + 1e-12):
+            v *= 1.0 + eps
+        return v
+
+    rounded = {j: round_down(ts[j]) for j in big_ids}
+    size_counter = Counter(rounded.values())
+    distinct = tuple(sorted(size_counter))
+    counts = tuple(size_counter[s] for s in distinct)
+
+    if big_ids:
+        configs = _big_configurations(distinct, counts, deadline)
+
+        @lru_cache(maxsize=None)
+        def feasible(remaining: tuple[int, ...], machines_left: int) -> tuple[int, ...] | None:
+            """Return the config used on one machine, or None if infeasible."""
+            if all(c == 0 for c in remaining):
+                return tuple(0 for _ in remaining)
+            if machines_left == 0:
+                return None
+            for cfg in configs:
+                if all(c <= r for c, r in zip(cfg, remaining)):
+                    if any(cfg):
+                        nxt = tuple(r - c for r, c in zip(remaining, cfg))
+                        if feasible(nxt, machines_left - 1) is not None:
+                            return cfg
+            return None
+
+        remaining = counts
+        machine_cfgs: list[tuple[int, ...]] = []
+        for used in range(m):
+            cfg = feasible(remaining, m - used)
+            if cfg is None:
+                feasible.cache_clear()
+                return None
+            machine_cfgs.append(cfg)
+            remaining = tuple(r - c for r, c in zip(remaining, cfg))
+            if all(c == 0 for c in remaining):
+                machine_cfgs.extend([tuple(0 for _ in distinct)] * (m - used - 1))
+                break
+        feasible.cache_clear()
+
+        # Materialize: hand actual big tasks (which exceed their rounded
+        # size by < factor (1+eps)) to machines per configuration.
+        pools: dict[float, list[int]] = {}
+        for j in big_ids:
+            pools.setdefault(rounded[j], []).append(j)
+        for pool in pools.values():
+            pool.sort(key=lambda j: -ts[j])
+        assignment = [-1] * len(ts)
+        loads = [0.0] * m
+        for i, cfg in enumerate(machine_cfgs):
+            for s, c in zip(distinct, cfg):
+                for _ in range(c):
+                    j = pools[s].pop()
+                    assignment[j] = i
+                    loads[i] += ts[j]
+    else:
+        assignment = [-1] * len(ts)
+        loads = [0.0] * m
+
+    # Greedy small tasks within (1 + 2eps) * deadline.
+    cap = (1.0 + 2.0 * eps) * deadline
+    small_ids.sort(key=lambda j: -ts[j])
+    for j in small_ids:
+        i = min(range(m), key=lambda i: (loads[i], i))
+        if loads[i] + ts[j] > cap * (1.0 + 1e-12):
+            return None
+        assignment[j] = i
+        loads[i] += ts[j]
+    return assignment
+
+
+def dual_approx_schedule(
+    times: Sequence[float],
+    m: int,
+    *,
+    eps: float = 0.2,
+    iterations: int = 40,
+) -> AssignmentResult:
+    """``(1+O(ε))``-approximate makespan via binary search on the dual test.
+
+    The window is ``[lp_bound, lpt_makespan]``; each accepted deadline's
+    schedule is kept, and the best schedule found (or LPT, if better) is
+    returned.
+    """
+    ts = check_times(times)
+    check_machine_count(m)
+    check_positive_float(eps, "eps")
+
+    lpt_res = lpt_schedule(ts, m)
+    lo = lp_bound(ts, m)
+    hi = lpt_res.makespan
+    best: list[int] | None = None
+
+    for _ in range(iterations):
+        if hi - lo <= 1e-14 * max(hi, 1.0):
+            break
+        mid = 0.5 * (lo + hi)
+        sched = dual_feasible_schedule(ts, m, mid, eps)
+        if sched is None:
+            lo = mid
+        else:
+            hi = mid
+            best = sched
+
+    if best is None:
+        return lpt_res
+    loads = [0.0] * m
+    for j, i in enumerate(best):
+        loads[i] += ts[j]
+    result = AssignmentResult(tuple(best), tuple(loads), tuple(range(len(ts))))
+    return result if result.makespan <= lpt_res.makespan else lpt_res

@@ -1,0 +1,256 @@
+"""The discrete-event cluster simulator (Phase 2 executor).
+
+:func:`simulate` plays the paper's second phase: given a Phase-1 placement,
+a realization of the actual times, and an online policy, it executes the
+tasks on ``m`` machines and returns the full
+:class:`~repro.simulation.trace.ScheduleTrace`.
+
+The information model is the paper's semi-clairvoyant one and is enforced
+mechanically:
+
+* the policy decides from a :class:`~repro.core.strategy.SchedulerView`
+  that reveals a task's actual duration only after its completion event
+  has been processed;
+* completions at time ``t`` are processed before dispatch decisions at
+  ``t`` (see :class:`~repro.simulation.events.EventKind`), so "the
+  scheduler can wait for a machine to become idle to place the next one"
+  holds exactly;
+* a dispatched task must be unstarted and placed on the dispatching
+  machine, else the engine raises — a buggy policy cannot silently cheat.
+
+Optional ``release_times`` extend the model beyond the paper (all paper
+experiments use release 0); a machine that finds nothing to run re-polls
+at the next release instead of retiring, so the extension preserves the
+work-conserving property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.placement import Placement
+from repro.core.strategy import OnlinePolicy, SchedulerView
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.trace import ScheduleTrace, TaskRun
+from repro.uncertainty.realization import Realization
+
+__all__ = ["simulate", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a policy misbehaves or the run cannot complete."""
+
+
+def simulate(
+    placement: Placement,
+    realization: Realization,
+    policy: OnlinePolicy,
+    *,
+    release_times: Sequence[float] | None = None,
+    speeds: Sequence[float] | None = None,
+    failures: Mapping[int, float] | None = None,
+    label: str = "",
+) -> ScheduleTrace:
+    """Run Phase 2 and return the resulting trace.
+
+    Parameters
+    ----------
+    placement:
+        Phase-1 output; dispatches outside it raise.
+    realization:
+        Actual durations (hidden from the policy until completion).
+    policy:
+        The Phase-2 dispatch policy.
+    release_times:
+        Optional per-task release times (default: all zero, the paper's
+        model).
+    speeds:
+        Optional per-machine speed factors (uniform-machines extension):
+        task ``j`` on machine ``i`` runs for ``p_j / speeds[i]``.  The
+        paper's model is all-ones; a wrong *global* speed estimate is
+        exactly the throughput-inaccuracy reading of α in Section 4.
+        Completion events still reveal the *work* :math:`p_j` (durations
+        are machine-dependent, work is not).
+    failures:
+        Optional ``{machine: fail_time}`` (failure-injection extension —
+        the Hadoop fault-tolerance motivation for replication): the
+        machine stops permanently at ``fail_time``; a task it was running
+        is aborted, reverts to unstarted, and must restart from scratch on
+        another machine holding its data.  A task whose replicas are all
+        on failed machines makes the run raise — exactly the availability
+        argument for replication.
+    label:
+        Annotation stored on the returned trace.
+
+    Raises
+    ------
+    SimulationError
+        If the policy dispatches an invalid task, or retires machines while
+        work remains that only retired machines could run (deadlock).
+    """
+    instance = placement.instance
+    if realization.instance is not instance and realization.instance != instance:
+        raise SimulationError("realization belongs to a different instance than placement")
+    n, m = instance.n, instance.m
+
+    if speeds is None:
+        machine_speed = [1.0] * m
+    else:
+        if len(speeds) != m:
+            raise SimulationError(f"speeds must have length {m}, got {len(speeds)}")
+        machine_speed = [float(s) for s in speeds]
+        for i, s in enumerate(machine_speed):
+            if not s > 0:
+                raise SimulationError(f"speeds[{i}] must be > 0, got {s}")
+
+    if release_times is None:
+        releases = [0.0] * n
+    else:
+        if len(release_times) != n:
+            raise SimulationError(
+                f"release_times must cover all {n} tasks, got {len(release_times)}"
+            )
+        releases = [float(r) for r in release_times]
+        for j, r in enumerate(releases):
+            if r < 0:
+                raise SimulationError(f"release_times[{j}] must be >= 0, got {r}")
+
+    view = SchedulerView(instance, placement)
+    queue = EventQueue()
+    released: set[int] = set()
+    pending_releases = sorted(
+        (r, j) for j, r in enumerate(releases) if r > 0.0
+    )
+    for j, r in enumerate(releases):
+        if r == 0.0:
+            released.add(j)
+    if pending_releases:
+        view._enable_release_tracking(released)
+    for r, j in pending_releases:
+        queue.push(r, EventKind.TASK_RELEASE, j)
+
+    failed: set[int] = set()
+    if failures:
+        for i, t_fail in failures.items():
+            if not 0 <= int(i) < m:
+                raise SimulationError(f"failures references machine {i}, outside 0..{m-1}")
+            if float(t_fail) < 0:
+                raise SimulationError(f"failure time for machine {i} must be >= 0")
+            queue.push(float(t_fail), EventKind.MACHINE_FAILURE, int(i))
+
+    for i in range(m):
+        queue.push(0.0, EventKind.MACHINE_IDLE, i)
+
+    runs: list[TaskRun | None] = [None] * n
+    aborted_runs: list[TaskRun] = []
+    started_count = 0
+    busy: dict[int, int] = {}  # machine -> running tid
+    task_start: dict[int, float] = {}  # tid -> start time of current attempt
+
+    while queue:
+        ev = queue.pop()
+        view._advance(ev.time)
+
+        if ev.kind == EventKind.TASK_RELEASE:
+            released.add(ev.payload)
+            view._mark_released(ev.payload)
+            continue
+
+        if ev.kind == EventKind.TASK_COMPLETION:
+            tid, machine = ev.payload
+            if busy.get(machine) != tid:
+                continue  # stale completion: the attempt was aborted by a failure
+            view._mark_completed(tid, realization.actual(tid))
+            del busy[machine]
+            task_start.pop(tid, None)
+            queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+            continue
+
+        if ev.kind == EventKind.MACHINE_FAILURE:
+            machine = ev.payload
+            if machine in failed:
+                continue
+            failed.add(machine)
+            view._mark_machine_failed(machine)
+            running = busy.pop(machine, None)
+            if running is not None:
+                # Abort the attempt: the task reverts to unstarted and must
+                # rerun from scratch elsewhere.
+                aborted_runs.append(
+                    TaskRun(running, machine, task_start.pop(running), ev.time)
+                )
+                runs[running] = None
+                started_count -= 1
+                view._mark_aborted(running)
+                # Wake every healthy idle machine: one of them must pick
+                # the orphaned task up (they may have retired with None
+                # before the abort existed).
+                for i in range(m):
+                    if i not in failed and i not in busy:
+                        queue.push(ev.time, EventKind.MACHINE_IDLE, i)
+            continue
+
+        # MACHINE_IDLE
+        machine = ev.payload
+        if machine in busy or machine in failed:
+            # Stale poll (a dispatch or failure raced this event).
+            continue
+        choice = policy.select(machine, view)
+        if choice is None:
+            # Work-conserving re-poll: if unreleased tasks could later run
+            # here, wake the machine at the next release time.
+            future = [
+                r
+                for r, j in pending_releases
+                if j not in released and placement.allows(j, machine) and r > ev.time
+            ]
+            if future:
+                queue.push(min(future), EventKind.MACHINE_IDLE, machine)
+            continue
+
+        tid = choice
+        if not 0 <= tid < n:
+            raise SimulationError(f"policy selected invalid task id {tid}")
+        if runs[tid] is not None or view.is_started(tid):
+            raise SimulationError(f"policy selected already-started task {tid}")
+        if tid not in released:
+            raise SimulationError(
+                f"policy selected task {tid} before its release time {releases[tid]}"
+            )
+        if not placement.allows(tid, machine):
+            raise SimulationError(
+                f"policy sent task {tid} to machine {machine}, but its data is only on "
+                f"{sorted(placement.machines_for(tid))}"
+            )
+        duration = realization.actual(tid) / machine_speed[machine]
+        end = ev.time + duration
+        runs[tid] = TaskRun(tid, machine, ev.time, end)
+        task_start[tid] = ev.time
+        view._mark_started(tid, machine)
+        busy[machine] = tid
+        started_count += 1
+        queue.push(end, EventKind.TASK_COMPLETION, (tid, machine))
+
+    missing = [j for j, r in enumerate(runs) if r is None]
+    if missing:
+        stranded = [
+            j
+            for j in missing
+            if all(i in failed for i in placement.machines_for(j))
+        ]
+        if stranded:
+            raise SimulationError(
+                f"{len(stranded)} tasks lost to machine failures (first few: "
+                f"{stranded[:5]}): every machine holding their data failed — "
+                "replication would have kept them runnable"
+            )
+        raise SimulationError(
+            f"simulation ended with {len(missing)} unscheduled tasks "
+            f"(first few: {missing[:5]}); the policy retired machines "
+            "that still had eligible work"
+        )
+    return ScheduleTrace(
+        tuple(runs),  # type: ignore[arg-type]
+        label=label,
+        aborted=tuple(aborted_runs),
+    )

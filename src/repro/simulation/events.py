@@ -1,0 +1,85 @@
+"""Deterministic event queue for the discrete-event engine.
+
+Events are ``(time, priority, seq, payload)`` tuples in a binary heap.
+Determinism matters for the reproduction: two runs of the same strategy on
+the same realization must produce the identical trace (tests assert this),
+so ties are broken first by an explicit integer priority (e.g. completions
+before idle polls at the same instant), then by insertion sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Event kinds, ordered by processing priority at equal timestamps.
+
+    ``TASK_COMPLETION`` precedes ``MACHINE_IDLE`` so a completion at time
+    ``t`` is revealed before any dispatch decision at ``t`` — exactly the
+    semi-clairvoyant model: "the actual processing times of the tasks are
+    known once they complete".  ``TASK_RELEASE`` precedes both so newly
+    released work is visible to same-instant decisions.
+    ``MACHINE_FAILURE`` sits between completion and idle: a task finishing
+    exactly at the failure instant still completes, but the failed machine
+    never dispatches at (or after) that instant.
+    """
+
+    TASK_RELEASE = 0
+    TASK_COMPLETION = 1
+    MACHINE_FAILURE = 2
+    MACHINE_IDLE = 3
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """One scheduled event.
+
+    Ordering: time, then kind, then sequence number — total and
+    deterministic.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (mainly for tests)."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        ev = Event(float(time), kind, next(self._counter), payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

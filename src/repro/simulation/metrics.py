@@ -1,0 +1,120 @@
+"""Schedule quality metrics beyond the makespan.
+
+The paper optimizes :math:`C_{max}`, but its related work touches
+flow-time and fairness objectives, and any adopter of this library will
+want the standard dashboard.  All metrics are pure functions of a
+:class:`~repro.simulation.trace.ScheduleTrace` (plus release times where
+relevant):
+
+``total_completion_time``  — :math:`\\sum_j C_j` (SPT's objective)
+``mean_flow_time``         — average of :math:`C_j − r_j`
+``max_flow_time``          — worst task's time in system
+``mean_stretch``           — average of :math:`(C_j − r_j)/p_j`
+  (slowdown; the fairness metric — small tasks hate waiting behind big
+  ones)
+``machine_utilization``    — busy time / (m · makespan)
+``load_imbalance``         — max load / mean load (1.0 = perfect balance)
+``metrics_summary``        — all of the above in one dict
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.simulation.trace import ScheduleTrace
+from repro.uncertainty.realization import Realization
+
+__all__ = [
+    "total_completion_time",
+    "mean_flow_time",
+    "max_flow_time",
+    "mean_stretch",
+    "machine_utilization",
+    "load_imbalance",
+    "metrics_summary",
+]
+
+
+def _releases(trace: ScheduleTrace, release_times: Sequence[float] | None) -> list[float]:
+    if release_times is None:
+        return [0.0] * trace.n
+    if len(release_times) != trace.n:
+        raise ValueError(
+            f"release_times must cover all {trace.n} tasks, got {len(release_times)}"
+        )
+    return [float(r) for r in release_times]
+
+
+def total_completion_time(trace: ScheduleTrace) -> float:
+    """:math:`\\sum_j C_j`."""
+    return math.fsum(trace.completion_times())
+
+
+def mean_flow_time(
+    trace: ScheduleTrace, release_times: Sequence[float] | None = None
+) -> float:
+    """Average time in system :math:`(C_j - r_j)`."""
+    rel = _releases(trace, release_times)
+    return math.fsum(c - r for c, r in zip(trace.completion_times(), rel)) / trace.n
+
+
+def max_flow_time(
+    trace: ScheduleTrace, release_times: Sequence[float] | None = None
+) -> float:
+    """Worst time in system."""
+    rel = _releases(trace, release_times)
+    return max(c - r for c, r in zip(trace.completion_times(), rel))
+
+
+def mean_stretch(
+    trace: ScheduleTrace,
+    realization: Realization,
+    release_times: Sequence[float] | None = None,
+) -> float:
+    """Average slowdown :math:`(C_j - r_j)/p_j` (≥ 1; 1 = ran immediately)."""
+    rel = _releases(trace, release_times)
+    return (
+        math.fsum(
+            (c - r) / realization.actual(j)
+            for j, (c, r) in enumerate(zip(trace.completion_times(), rel))
+        )
+        / trace.n
+    )
+
+
+def machine_utilization(trace: ScheduleTrace, m: int) -> float:
+    """Fraction of machine-time busy before the makespan (∈ (0, 1])."""
+    busy = math.fsum(r.duration for r in trace.runs)
+    return busy / (m * trace.makespan)
+
+
+def load_imbalance(trace: ScheduleTrace, m: int) -> float:
+    """``max load / mean load`` over machines that could matter (all m).
+
+    1.0 means perfectly balanced; the makespan ratio against the
+    average-load bound is exactly this quantity.
+    """
+    loads = trace.loads(m)
+    mean = math.fsum(loads) / m
+    if mean == 0.0:
+        raise ValueError("empty schedule has no load balance")
+    return max(loads) / mean
+
+
+def metrics_summary(
+    trace: ScheduleTrace,
+    realization: Realization,
+    m: int,
+    release_times: Sequence[float] | None = None,
+) -> dict[str, float]:
+    """All metrics in one dict (keys are the function names)."""
+    return {
+        "makespan": trace.makespan,
+        "total_completion_time": total_completion_time(trace),
+        "mean_flow_time": mean_flow_time(trace, release_times),
+        "max_flow_time": max_flow_time(trace, release_times),
+        "mean_stretch": mean_stretch(trace, realization, release_times),
+        "machine_utilization": machine_utilization(trace, m),
+        "load_imbalance": load_imbalance(trace, m),
+    }

@@ -1,0 +1,179 @@
+"""Execution traces: the full record of one simulated Phase 2.
+
+A :class:`ScheduleTrace` stores, for every task, where and when it ran.
+The analysis layer derives makespans, per-machine loads and Gantt charts
+from it, and — crucially for the reproduction — the feasibility checker
+:meth:`ScheduleTrace.validate` proves that the simulated execution
+
+* ran every task exactly once,
+* only on a machine holding the task's data (its :math:`M_j`),
+* without overlap on any machine, and
+* for exactly its actual duration.
+
+Every property test about "the simulator is honest" goes through this
+class, so the checks are deliberately strict and raise with precise
+messages.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.placement import Placement
+from repro.uncertainty.realization import Realization
+
+__all__ = ["TaskRun", "ScheduleTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRun:
+    """One task's execution: machine and time interval."""
+
+    tid: int
+    machine: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """Record of a complete simulated schedule.
+
+    Attributes
+    ----------
+    runs:
+        One :class:`TaskRun` per task, in task-id order — the *successful*
+        execution of each task.
+    aborted:
+        Partial executions cut short by machine failures (failure-injection
+        extension); empty in the paper's model.  Aborted intervals still
+        occupy their machine and are checked for overlap, but carry no
+        duration requirement (the task restarted from scratch elsewhere).
+    label:
+        Strategy/realization description for reports.
+    """
+
+    runs: tuple[TaskRun, ...]
+    label: str = field(default="", compare=False)
+    aborted: tuple[TaskRun, ...] = ()
+
+    # -- aggregates --------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (:math:`C_{max}`)."""
+        return max(r.end for r in self.runs)
+
+    @property
+    def n(self) -> int:
+        return len(self.runs)
+
+    def machine_of(self, tid: int) -> int:
+        return self.runs[tid].machine
+
+    def assignment(self) -> list[int]:
+        """Machine of each task, task-id indexed (the :math:`E_i` sets)."""
+        return [r.machine for r in self.runs]
+
+    def loads(self, m: int) -> list[float]:
+        """Total busy time per machine."""
+        loads = [0.0] * m
+        for r in self.runs:
+            loads[r.machine] += r.duration
+        return loads
+
+    def tasks_per_machine(self, m: int) -> list[list[int]]:
+        """Task ids per machine, ordered by start time."""
+        per: list[list[TaskRun]] = [[] for _ in range(m)]
+        for r in self.runs:
+            per[r.machine].append(r)
+        return [[r.tid for r in sorted(rs, key=lambda r: (r.start, r.tid))] for rs in per]
+
+    def idle_time(self, m: int) -> float:
+        """Total machine-idle time before the makespan.
+
+        ``m * makespan - total busy time``; the "no machine idles while
+        work is available" property of List Scheduling keeps this small
+        for the paper's policies.
+        """
+        return m * self.makespan - math.fsum(r.duration for r in self.runs)
+
+    def completion_times(self) -> list[float]:
+        """End time of each task, task-id indexed."""
+        return [r.end for r in self.runs]
+
+    # -- validation ---------------------------------------------------------------
+    def validate(
+        self,
+        placement: Placement,
+        realization: Realization,
+        *,
+        speeds: "tuple[float, ...] | list[float] | None" = None,
+        rel_tol: float = 1e-9,
+    ) -> None:
+        """Check full feasibility of this trace; raise ``ValueError`` if broken.
+
+        Verifies coverage, placement respect, duration fidelity against the
+        realization (scaled by per-machine ``speeds`` when the
+        uniform-machines extension is in play), non-negative start times
+        and machine exclusivity.
+        """
+        inst = placement.instance
+        if len(self.runs) != inst.n:
+            raise ValueError(f"trace covers {len(self.runs)} tasks, instance has {inst.n}")
+        seen: set[int] = set()
+        for idx, run in enumerate(self.runs):
+            if run.tid != idx:
+                raise ValueError(f"runs must be task-id ordered: runs[{idx}].tid == {run.tid}")
+            if run.tid in seen:
+                raise ValueError(f"task {run.tid} appears twice")
+            seen.add(run.tid)
+            if not 0 <= run.machine < inst.m:
+                raise ValueError(f"task {run.tid} ran on machine {run.machine}, outside 0..{inst.m-1}")
+            if not placement.allows(run.tid, run.machine):
+                raise ValueError(
+                    f"task {run.tid} ran on machine {run.machine} but its data is only on "
+                    f"{sorted(placement.machines_for(run.tid))}"
+                )
+            if run.start < -rel_tol:
+                raise ValueError(f"task {run.tid} starts at negative time {run.start}")
+            expected = realization.actual(run.tid)
+            if speeds is not None:
+                expected /= speeds[run.machine]
+            if not math.isclose(run.duration, expected, rel_tol=rel_tol, abs_tol=1e-12):
+                raise ValueError(
+                    f"task {run.tid} ran for {run.duration}, realization says {expected}"
+                )
+        for run in self.aborted:
+            if not placement.allows(run.tid, run.machine):
+                raise ValueError(
+                    f"aborted attempt of task {run.tid} ran on machine {run.machine} "
+                    f"without a replica there"
+                )
+        self._check_no_overlap(inst.m, rel_tol=rel_tol)
+
+    def _check_no_overlap(self, m: int, *, rel_tol: float) -> None:
+        per: list[list[TaskRun]] = [[] for _ in range(m)]
+        for r in self.runs + self.aborted:
+            per[r.machine].append(r)
+        for i, rs in enumerate(per):
+            rs.sort(key=lambda r: (r.start, r.end))
+            for a, b in zip(rs, rs[1:]):
+                gap = b.start - a.end
+                if gap < -rel_tol * max(1.0, abs(a.end)):
+                    raise ValueError(
+                        f"machine {i}: task {a.tid} [{a.start}, {a.end}] overlaps "
+                        f"task {b.tid} [{b.start}, {b.end}]"
+                    )
+
+    # -- construction helpers --------------------------------------------------------
+    @staticmethod
+    def from_runs(runs: Iterable[TaskRun], label: str = "") -> "ScheduleTrace":
+        """Build a trace from runs in any order (sorted by task id here)."""
+        ordered = tuple(sorted(runs, key=lambda r: r.tid))
+        return ScheduleTrace(ordered, label=label)

@@ -1,0 +1,21 @@
+"""Numeric proof verification: every proof step as a runnable check."""
+
+from repro.theory.proof_steps import (
+    ProofCheck,
+    check_lemma1_chain,
+    check_theorem1_chain,
+    check_theorem2_chain,
+    check_theorem3_chain,
+    check_theorem4_chain,
+    verify_all,
+)
+
+__all__ = [
+    "ProofCheck",
+    "check_theorem1_chain",
+    "check_theorem2_chain",
+    "check_lemma1_chain",
+    "check_theorem3_chain",
+    "check_theorem4_chain",
+    "verify_all",
+]

@@ -1,0 +1,40 @@
+"""Uncertainty models: the α-band, realizations, stochastic and correlated errors."""
+
+from repro.uncertainty.band import UncertaintyBand, band_from_interval
+from repro.uncertainty.correlated import (
+    clustered_factors,
+    size_correlated_factors,
+    trending_factors,
+)
+from repro.uncertainty.realization import (
+    Realization,
+    factors_realization,
+    truthful_realization,
+)
+from repro.uncertainty.stochastic import (
+    STOCHASTIC_MODELS,
+    beta_factors,
+    bimodal_extreme_factors,
+    log_uniform_factors,
+    lognormal_factors,
+    sample_realization,
+    uniform_factors,
+)
+
+__all__ = [
+    "UncertaintyBand",
+    "band_from_interval",
+    "Realization",
+    "truthful_realization",
+    "factors_realization",
+    "uniform_factors",
+    "log_uniform_factors",
+    "lognormal_factors",
+    "bimodal_extreme_factors",
+    "beta_factors",
+    "sample_realization",
+    "STOCHASTIC_MODELS",
+    "clustered_factors",
+    "trending_factors",
+    "size_correlated_factors",
+]

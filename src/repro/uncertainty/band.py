@@ -1,0 +1,106 @@
+"""The multiplicative uncertainty band of Eq. (1).
+
+The paper models inaccuracy of processing-time estimates as a known
+multiplicative factor :math:`\\alpha`: the actual time of task :math:`j`
+lies in :math:`[\\tilde p_j / \\alpha,\\ \\alpha \\tilde p_j]`.  The class
+here wraps that band with the small algebra the algorithms and the
+adversaries need (clamping, interval conversion, composition).
+
+Two facts from the paper are worth restating because the code relies on
+them:
+
+* any *interval* estimate ``[lo, hi]`` can be converted into a point
+  estimate with a multiplicative error: take
+  :math:`\\tilde p = \\sqrt{lo \\cdot hi}` and
+  :math:`\\alpha = \\sqrt{hi / lo}`;
+* a throughput (speed) inaccuracy of factor :math:`\\alpha` on the machine
+  translates to the same multiplicative band on task durations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._validation import check_alpha, check_positive_float
+
+__all__ = ["UncertaintyBand", "band_from_interval"]
+
+
+@dataclass(frozen=True, slots=True)
+class UncertaintyBand:
+    """A multiplicative band ``[estimate/alpha, estimate*alpha]``.
+
+    ``alpha = 1`` degenerates to certainty (the clairvoyant case); all the
+    paper's ratios then collapse to the classical LS/LPT guarantees.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        check_alpha(self.alpha)
+
+    # -- interval views ------------------------------------------------------
+    def low(self, estimate: float) -> float:
+        """Smallest admissible actual time for ``estimate``."""
+        return check_positive_float(estimate, "estimate") / self.alpha
+
+    def high(self, estimate: float) -> float:
+        """Largest admissible actual time for ``estimate``."""
+        return check_positive_float(estimate, "estimate") * self.alpha
+
+    def interval(self, estimate: float) -> tuple[float, float]:
+        """The closed interval of admissible actual times."""
+        e = check_positive_float(estimate, "estimate")
+        return (e / self.alpha, e * self.alpha)
+
+    def width_ratio(self) -> float:
+        """``high/low`` of any task's interval, i.e. :math:`\\alpha^2`.
+
+        :math:`\\alpha^2` is *the* quantity that appears in every guarantee
+        of the paper, because the adversary can move one task up by
+        :math:`\\alpha` and another down by :math:`1/\\alpha`.
+        """
+        return self.alpha * self.alpha
+
+    # -- membership / projection --------------------------------------------
+    def contains(self, estimate: float, actual: float, *, rel_tol: float = 1e-9) -> bool:
+        """Whether ``actual`` is admissible for ``estimate``."""
+        lo, hi = self.interval(estimate)
+        return lo * (1.0 - rel_tol) <= actual <= hi * (1.0 + rel_tol)
+
+    def clamp(self, estimate: float, actual: float) -> float:
+        """Project ``actual`` onto the admissible interval of ``estimate``."""
+        lo, hi = self.interval(estimate)
+        return min(max(actual, lo), hi)
+
+    def clamp_factor(self, factor: float) -> float:
+        """Project a multiplicative factor onto ``[1/alpha, alpha]``."""
+        return min(max(factor, 1.0 / self.alpha), self.alpha)
+
+    # -- composition ----------------------------------------------------------
+    def compose(self, other: "UncertaintyBand") -> "UncertaintyBand":
+        """Band of a two-stage estimate (errors multiply)."""
+        return UncertaintyBand(self.alpha * other.alpha)
+
+    def is_certain(self, *, tol: float = 0.0) -> bool:
+        """Whether this band carries no uncertainty (``alpha == 1``)."""
+        return self.alpha <= 1.0 + tol
+
+
+def band_from_interval(lo: float, hi: float) -> tuple[float, UncertaintyBand]:
+    """Convert an interval estimate into ``(point_estimate, band)``.
+
+    Given a confidence interval ``[lo, hi]`` for a task's runtime, returns
+    the geometric-mean point estimate and the tightest multiplicative band
+    containing the interval, per the paper's remark that "any interval of
+    confidence of a runtime can be transformed into a value and a
+    multiplicative error".
+    """
+    lo_f = check_positive_float(lo, "lo")
+    hi_f = check_positive_float(hi, "hi")
+    if hi_f < lo_f:
+        raise ValueError(f"interval upper bound must be >= lower bound, got [{lo_f}, {hi_f}]")
+    estimate = math.sqrt(lo_f * hi_f)
+    alpha = math.sqrt(hi_f / lo_f)
+    return estimate, UncertaintyBand(max(alpha, 1.0))

@@ -1,0 +1,117 @@
+"""Correlated realization models.
+
+The independent per-task models in :mod:`repro.uncertainty.stochastic`
+assume every estimate errs independently.  In real systems errors are often
+*shared*: a slow machine inflates every task it runs, a mis-modelled kernel
+inflates every task of that kind.  These models stress the strategies in a
+structured way that the worst-case analysis does not distinguish but that
+matters empirically (bench E1 sweeps them).
+
+Note that a *machine*-correlated model can only be expressed relative to an
+assignment: the same task would have run faster elsewhere.  We express it
+as a factor per (task, machine-class) where the class is derived from the
+task id hash, which preserves the paper's model (the realization is fixed
+before Phase 2 observes anything) while still producing clustered errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive_int
+from repro.core.model import Instance
+from repro.uncertainty.realization import Realization, factors_realization
+
+__all__ = [
+    "clustered_factors",
+    "trending_factors",
+    "size_correlated_factors",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def clustered_factors(
+    instance: Instance,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    clusters: int = 4,
+) -> Realization:
+    """Tasks fall into ``clusters`` kinds; each kind shares one factor.
+
+    Models "the estimate model was wrong for this *kind* of task" (e.g. all
+    sparse-matrix-vector tasks were underestimated).  The shared factor is
+    drawn log-uniform in the band; cluster membership is round-robin on
+    task id so regenerating with a different n keeps memberships stable.
+    """
+    check_positive_int(clusters, "clusters")
+    rng = _rng(seed)
+    a = instance.alpha
+    log_a = np.log(a)
+    cluster_factor = (
+        np.exp(rng.uniform(-log_a, log_a, size=clusters)) if log_a > 0 else np.ones(clusters)
+    )
+    factors = [float(cluster_factor[j % clusters]) for j in range(instance.n)]
+    return factors_realization(instance, factors, label=f"clustered({clusters})")
+
+
+def trending_factors(
+    instance: Instance,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    drift: float = 1.0,
+) -> Realization:
+    """Factors drift monotonically from ``1/alpha``-ish to ``alpha``-ish.
+
+    Models estimation error that grows over the batch (e.g. estimates were
+    calibrated on the first tasks).  ``drift`` in ``[0, 1]`` scales how far
+    the ramp reaches toward the band edges; small log-uniform noise is
+    superimposed and the result clamped to the band.
+    """
+    check_fraction(drift, "drift")
+    rng = _rng(seed)
+    a = instance.alpha
+    log_a = np.log(a)
+    n = instance.n
+    if log_a == 0.0:
+        return factors_realization(instance, [1.0] * n, label="trending")
+    ramp = np.linspace(-drift * log_a, drift * log_a, num=n)
+    noise = rng.uniform(-0.1 * log_a, 0.1 * log_a, size=n)
+    factors = np.exp(np.clip(ramp + noise, -log_a, log_a))
+    return factors_realization(instance, factors.tolist(), label="trending")
+
+
+def size_correlated_factors(
+    instance: Instance,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    direction: int = +1,
+) -> Realization:
+    """Error correlates with estimated size: big tasks err most.
+
+    ``direction=+1`` inflates the biggest tasks toward ``alpha`` (big tasks
+    underestimated — the classic tail-at-risk case for LPT-style
+    placements); ``direction=-1`` deflates them.  Factors interpolate in
+    log space between 1 (smallest task) and the band edge (largest task),
+    with small noise.
+    """
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    rng = _rng(seed)
+    a = instance.alpha
+    log_a = np.log(a)
+    ests = np.asarray(instance.estimates)
+    if log_a == 0.0 or np.ptp(ests) == 0.0:
+        rel = np.full(instance.n, 0.5)
+    else:
+        rel = (ests - ests.min()) / np.ptp(ests)
+    target = direction * rel * log_a
+    noise = rng.uniform(-0.05 * log_a, 0.05 * log_a, size=instance.n) if log_a > 0 else 0.0
+    factors = np.exp(np.clip(target + noise, -log_a, log_a))
+    return factors_realization(
+        instance, np.atleast_1d(factors).tolist(), label=f"size_correlated({direction:+d})"
+    )

@@ -1,0 +1,55 @@
+"""Synthetic workload generators and named experiment suites."""
+
+from repro.workloads.arrivals import (
+    batched_arrivals,
+    front_loaded_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.generators import (
+    WORKLOAD_FAMILIES,
+    bimodal_instance,
+    bounded_pareto_instance,
+    exponential_instance,
+    generate,
+    identical_instance,
+    staircase_instance,
+    uniform_instance,
+)
+from repro.workloads.memory_workloads import (
+    MEMORY_WORKLOADS,
+    anticorrelated_sizes,
+    correlated_sizes,
+    independent_sizes,
+    planted_two_class,
+)
+from repro.workloads.suites import (
+    SuiteCase,
+    medium_suite,
+    memory_suite,
+    paper_figure3_machines,
+    small_exact_suite,
+)
+
+__all__ = [
+    "poisson_arrivals",
+    "batched_arrivals",
+    "front_loaded_arrivals",
+    "uniform_instance",
+    "exponential_instance",
+    "bounded_pareto_instance",
+    "bimodal_instance",
+    "identical_instance",
+    "staircase_instance",
+    "generate",
+    "WORKLOAD_FAMILIES",
+    "independent_sizes",
+    "correlated_sizes",
+    "anticorrelated_sizes",
+    "planted_two_class",
+    "MEMORY_WORKLOADS",
+    "SuiteCase",
+    "small_exact_suite",
+    "medium_suite",
+    "memory_suite",
+    "paper_figure3_machines",
+]

@@ -1,0 +1,93 @@
+"""Arrival-trace workloads: release times for the online extension.
+
+The paper's model releases everything at time 0, but the engine supports
+release times, and real clusters see batches arrive over time.  These
+generators produce ``(Instance, release_times)`` pairs mimicking common
+arrival patterns so the release-time extension can be exercised with
+realistic shapes:
+
+``poisson_arrivals``
+    Exponential inter-arrival times with a configurable duty factor
+    (mean arrival rate relative to service capacity).
+``batched_arrivals``
+    Work arrives in waves of ``batch_size`` tasks every ``period`` —
+    the shape of periodic ETL/iteration pipelines.
+``front_loaded_arrivals``
+    All tasks known at t=0 except a trailing fraction that arrives late —
+    models stragglers joining a mostly-offline batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_fraction, check_positive_float, check_positive_int
+from repro.core.model import Instance
+from repro.workloads.generators import uniform_instance
+
+__all__ = ["poisson_arrivals", "batched_arrivals", "front_loaded_arrivals"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def poisson_arrivals(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    duty: float = 0.8,
+) -> tuple[Instance, list[float]]:
+    """Poisson arrivals at ``duty`` × the cluster's estimated service rate.
+
+    ``duty < 1`` keeps the system stable (arrivals slower than service);
+    ``duty > 1`` back-logs it, degenerating toward the all-at-zero model.
+    """
+    check_positive_float(duty, "duty")
+    rng = _rng(seed)
+    inst = uniform_instance(n, m, alpha, rng)
+    mean_service = inst.total_estimate / inst.n
+    rate = duty * m / mean_service
+    gaps = rng.exponential(1.0 / rate, size=n)
+    releases = np.cumsum(gaps)
+    releases[0] = 0.0  # first task available immediately
+    return inst, [float(r) for r in releases]
+
+
+def batched_arrivals(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    batch_size: int = 10,
+    period: float = 20.0,
+) -> tuple[Instance, list[float]]:
+    """Waves of ``batch_size`` tasks every ``period`` time units."""
+    check_positive_int(batch_size, "batch_size")
+    check_positive_float(period, "period")
+    inst = uniform_instance(n, m, alpha, _rng(seed))
+    releases = [float((j // batch_size) * period) for j in range(n)]
+    return inst, releases
+
+
+def front_loaded_arrivals(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    late_fraction: float = 0.2,
+    late_time: float = 30.0,
+) -> tuple[Instance, list[float]]:
+    """Most tasks at t=0; the last ``late_fraction`` of them at ``late_time``."""
+    check_fraction(late_fraction, "late_fraction")
+    check_positive_float(late_time, "late_time")
+    inst = uniform_instance(n, m, alpha, _rng(seed))
+    cutoff = int(round((1.0 - late_fraction) * n))
+    releases = [0.0 if j < cutoff else late_time for j in range(n)]
+    return inst, releases

@@ -1,0 +1,194 @@
+"""Synthetic workload generators.
+
+The paper motivates its model with out-of-core sparse linear algebra and
+Hadoop-style clusters; absent the authors' traces (none are published —
+the paper has no experimental section), these generators produce the
+synthetic families our empirical benches sweep.  All are deterministic
+given a seed and return :class:`~repro.core.model.Instance` objects
+(estimates only; the realization layer perturbs them separately).
+
+Families
+--------
+``uniform_instance``
+    Estimates uniform on ``[lo, hi]`` — the bland default.
+``exponential_instance``
+    Exponential-tailed estimates (scale ``mean``), clipped away from 0.
+``bounded_pareto_instance``
+    Heavy-tailed (bounded Pareto) — a few huge tasks dominate, the classic
+    hard case for makespan scheduling.
+``bimodal_instance``
+    Short/long mixture — models the "many tiny + some big kernels" shape
+    of sparse solvers.
+``identical_instance``
+    All-unit estimates, the Theorem-1 adversary's instance.
+``staircase_instance``
+    Deterministic distinct estimates ``n, n-1, ..., 1`` — useful for
+    reproducible worked examples (Figure 2's style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_alpha,
+    check_machine_count,
+    check_positive_float,
+    check_positive_int,
+)
+from repro.core.model import Instance, make_instance
+
+__all__ = [
+    "uniform_instance",
+    "exponential_instance",
+    "bounded_pareto_instance",
+    "bimodal_instance",
+    "identical_instance",
+    "staircase_instance",
+    "WORKLOAD_FAMILIES",
+    "generate",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_instance(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    lo: float = 1.0,
+    hi: float = 10.0,
+) -> Instance:
+    """Estimates uniform on ``[lo, hi]``."""
+    check_positive_int(n, "n")
+    check_positive_float(lo, "lo")
+    if hi < lo:
+        raise ValueError(f"hi must be >= lo, got lo={lo}, hi={hi}")
+    rng = _rng(seed)
+    ests = rng.uniform(lo, hi, size=n)
+    return make_instance(ests.tolist(), m, alpha, name=f"uniform(n={n},m={m})")
+
+
+def exponential_instance(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    mean: float = 5.0,
+    floor: float = 0.05,
+) -> Instance:
+    """Exponential-tailed estimates with a positive floor."""
+    check_positive_int(n, "n")
+    check_positive_float(mean, "mean")
+    check_positive_float(floor, "floor")
+    rng = _rng(seed)
+    ests = np.maximum(rng.exponential(mean, size=n), floor)
+    return make_instance(ests.tolist(), m, alpha, name=f"exponential(n={n},m={m})")
+
+
+def bounded_pareto_instance(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    shape: float = 1.1,
+    lo: float = 1.0,
+    hi: float = 1000.0,
+) -> Instance:
+    """Bounded-Pareto estimates on ``[lo, hi]`` with tail index ``shape``.
+
+    Inverse-CDF sampling of the bounded Pareto: heavy tail, hard instances
+    — a handful of tasks carry most of the work.
+    """
+    check_positive_int(n, "n")
+    check_positive_float(shape, "shape")
+    check_positive_float(lo, "lo")
+    if hi <= lo:
+        raise ValueError(f"hi must be > lo, got lo={lo}, hi={hi}")
+    rng = _rng(seed)
+    u = rng.random(n)
+    a = shape
+    l_a, h_a = lo**a, hi**a
+    ests = (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / a)
+    return make_instance(ests.tolist(), m, alpha, name=f"bounded_pareto(n={n},m={m})")
+
+
+def bimodal_instance(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    short: float = 1.0,
+    long: float = 20.0,
+    p_long: float = 0.2,
+    jitter: float = 0.1,
+) -> Instance:
+    """Short/long task mixture with multiplicative jitter."""
+    check_positive_int(n, "n")
+    check_positive_float(short, "short")
+    check_positive_float(long, "long")
+    if not 0.0 <= p_long <= 1.0:
+        raise ValueError(f"p_long must be in [0, 1], got {p_long}")
+    rng = _rng(seed)
+    base = np.where(rng.random(n) < p_long, long, short)
+    ests = base * np.exp(rng.uniform(-jitter, jitter, size=n))
+    return make_instance(ests.tolist(), m, alpha, name=f"bimodal(n={n},m={m})")
+
+
+def identical_instance(n: int, m: int, alpha: float = 1.0) -> Instance:
+    """All-unit estimates — the Theorem-1 adversary's shape."""
+    check_positive_int(n, "n")
+    return make_instance([1.0] * n, m, alpha, name=f"identical(n={n},m={m})")
+
+
+def staircase_instance(n: int, m: int, alpha: float = 1.0) -> Instance:
+    """Deterministic estimates ``n, n-1, ..., 1`` (distinct, reproducible)."""
+    check_positive_int(n, "n")
+    return make_instance([float(n - j) for j in range(n)], m, alpha, name=f"staircase(n={n},m={m})")
+
+
+#: Seedable workload families by name, for the experiment harness.
+WORKLOAD_FAMILIES = {
+    "uniform": uniform_instance,
+    "exponential": exponential_instance,
+    "bounded_pareto": bounded_pareto_instance,
+    "bimodal": bimodal_instance,
+}
+
+
+def generate(
+    family: str,
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs: float,
+) -> Instance:
+    """Generate an instance from a named family.
+
+    ``family`` may also be ``"identical"`` or ``"staircase"`` (both
+    deterministic; the seed is ignored for them).
+    """
+    check_machine_count(m)
+    check_alpha(alpha)
+    if family == "identical":
+        return identical_instance(n, m, alpha)
+    if family == "staircase":
+        return staircase_instance(n, m, alpha)
+    try:
+        fn = WORKLOAD_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload family {family!r}; known: "
+            f"{sorted(WORKLOAD_FAMILIES) + ['identical', 'staircase']}"
+        ) from None
+    return fn(n, m, alpha, seed, **kwargs)

@@ -1,0 +1,148 @@
+"""Workloads with memory sizes, for the memory-aware model (Section 6).
+
+The SABO/ABO algorithms act on the *joint* distribution of estimated time
+and memory size, so the interesting axes are correlation (big tasks have
+big data?) and skew.  Three canonical couplings:
+
+``independent_sizes``
+    Size and time independent — the split threshold separates tasks
+    essentially at random.
+``correlated_sizes``
+    Size ∝ time (with noise) — the out-of-core linear-algebra case where
+    runtime scales with the data; the threshold then orders tasks by a
+    single scalar, and SABO/ABO degenerate gracefully.
+``anticorrelated_sizes``
+    Size ∝ 1/time — compute-bound small-data tasks vs. IO-bound big-data
+    tasks; the regime where ABO's selective replication shines (it
+    replicates exactly the small-data, long-running tasks).
+``planted_two_class``
+    An explicit two-class instance (time-heavy small tasks + memory-heavy
+    quick tasks) with known ideal split, used by unit tests to check the
+    SBO threshold picks the planted classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_float, check_positive_int
+from repro.core.model import Instance
+from repro.workloads.generators import uniform_instance
+
+__all__ = [
+    "independent_sizes",
+    "correlated_sizes",
+    "anticorrelated_sizes",
+    "planted_two_class",
+    "MEMORY_WORKLOADS",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def independent_sizes(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    size_lo: float = 1.0,
+    size_hi: float = 10.0,
+) -> Instance:
+    """Uniform times and independently uniform sizes."""
+    rng = _rng(seed)
+    base = uniform_instance(n, m, alpha, rng)
+    sizes = rng.uniform(size_lo, size_hi, size=n)
+    inst = base.with_sizes(sizes.tolist())
+    return Instance(inst.tasks, m, alpha, name=f"mem_independent(n={n},m={m})")
+
+
+def correlated_sizes(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    bytes_per_second: float = 2.0,
+    noise: float = 0.2,
+) -> Instance:
+    """Size proportional to estimated time, with lognormal-ish noise."""
+    check_positive_float(bytes_per_second, "bytes_per_second")
+    rng = _rng(seed)
+    base = uniform_instance(n, m, alpha, rng)
+    mult = np.exp(rng.uniform(-noise, noise, size=n))
+    sizes = [bytes_per_second * t.estimate * float(mu) for t, mu in zip(base.tasks, mult)]
+    inst = base.with_sizes(sizes)
+    return Instance(inst.tasks, m, alpha, name=f"mem_correlated(n={n},m={m})")
+
+
+def anticorrelated_sizes(
+    n: int,
+    m: int,
+    alpha: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    budget: float = 20.0,
+    noise: float = 0.2,
+) -> Instance:
+    """Size inversely proportional to estimated time.
+
+    ``size ≈ budget / estimate`` — long tasks carry little data (worth
+    replicating), short tasks carry much (pin them).
+    """
+    check_positive_float(budget, "budget")
+    rng = _rng(seed)
+    base = uniform_instance(n, m, alpha, rng)
+    mult = np.exp(rng.uniform(-noise, noise, size=n))
+    sizes = [budget / t.estimate * float(mu) for t, mu in zip(base.tasks, mult)]
+    inst = base.with_sizes(sizes)
+    return Instance(inst.tasks, m, alpha, name=f"mem_anticorrelated(n={n},m={m})")
+
+
+def planted_two_class(
+    n_time: int,
+    n_mem: int,
+    m: int,
+    alpha: float = 1.0,
+    *,
+    time_heavy: float = 10.0,
+    time_light: float = 1.0,
+    size_heavy: float = 10.0,
+    size_light: float = 1.0,
+) -> Instance:
+    """Deterministic two-class instance with a planted ideal split.
+
+    ``n_time`` tasks are (time=time_heavy, size=size_light) — the class
+    SABO/ABO should route to π₁ / replicate — and ``n_mem`` tasks are
+    (time=time_light, size=size_heavy) — the class to pin via π₂.  The
+    first ``n_time`` task ids are the time class.
+    """
+    check_positive_int(n_time, "n_time")
+    check_positive_int(n_mem, "n_mem")
+    if time_heavy <= time_light:
+        raise ValueError("time_heavy must exceed time_light for a planted split")
+    if size_heavy <= size_light:
+        raise ValueError("size_heavy must exceed size_light for a planted split")
+    estimates = [time_heavy] * n_time + [time_light] * n_mem
+    sizes = [size_light] * n_time + [size_heavy] * n_mem
+    from repro.core.model import make_instance
+
+    return make_instance(
+        estimates,
+        m,
+        alpha,
+        sizes=sizes,
+        name=f"planted_two_class({n_time}+{n_mem},m={m})",
+    )
+
+
+#: Seedable memory workload families by name.
+MEMORY_WORKLOADS = {
+    "independent": independent_sizes,
+    "correlated": correlated_sizes,
+    "anticorrelated": anticorrelated_sizes,
+}

@@ -1,0 +1,81 @@
+"""Named experiment suites: fixed parameter grids for the benches.
+
+A suite is a reproducible list of (instance, description) pairs.  Benches
+and integration tests iterate suites rather than inventing parameters
+inline, so every reported number can be regenerated from a suite name and
+a seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.model import Instance
+from repro.workloads.generators import generate
+from repro.workloads.memory_workloads import MEMORY_WORKLOADS
+
+__all__ = ["SuiteCase", "small_exact_suite", "medium_suite", "memory_suite", "paper_figure3_machines"]
+
+
+@dataclass(frozen=True)
+class SuiteCase:
+    """One suite entry: the instance plus the generation recipe."""
+
+    instance: Instance
+    family: str
+    n: int
+    m: int
+    alpha: float
+    seed: int
+
+
+def small_exact_suite(*, alphas: tuple[float, ...] = (1.1, 1.5, 2.0), seeds: int = 3) -> Iterator[SuiteCase]:
+    """Instances small enough for the exact optimum (ratio tests, bench E1).
+
+    Grid: families × n ∈ {8, 12, 16} × m ∈ {2, 3, 4} × alphas × seeds,
+    skipping degenerate n <= m cases.
+    """
+    for family in ("uniform", "exponential", "bounded_pareto", "bimodal", "identical"):
+        for n in (8, 12, 16):
+            for m in (2, 3, 4):
+                if n <= m:
+                    continue
+                for alpha in alphas:
+                    for seed in range(seeds):
+                        inst = generate(family, n, m, alpha, seed)
+                        yield SuiteCase(inst, family, n, m, alpha, seed)
+
+
+def medium_suite(*, alphas: tuple[float, ...] = (1.1, 1.5, 2.0), seeds: int = 2) -> Iterator[SuiteCase]:
+    """Larger instances measured against lower bounds (bench E1 at scale).
+
+    Grid: families × n ∈ {60, 200} × m ∈ {6, 10, 30} × alphas × seeds.
+    ``m = 30`` exposes the group sweep (divisors 1,2,3,5,6,10,15,30).
+    """
+    for family in ("uniform", "exponential", "bounded_pareto", "bimodal"):
+        for n in (60, 200):
+            for m in (6, 10, 30):
+                for alpha in alphas:
+                    for seed in range(seeds):
+                        inst = generate(family, n, m, alpha, seed)
+                        yield SuiteCase(inst, family, n, m, alpha, seed)
+
+
+def memory_suite(*, alphas: tuple[float, ...] = (1.414, 1.732), seeds: int = 2) -> Iterator[SuiteCase]:
+    """Memory-aware instances for the SABO/ABO benches (Figure 6, E4).
+
+    α values match the paper's Figure-6 parameterizations (α² = 2, 3).
+    """
+    for family, fn in sorted(MEMORY_WORKLOADS.items()):
+        for n in (20, 50):
+            for m in (5,):  # Figure 6 uses m = 5
+                for alpha in alphas:
+                    for seed in range(seeds):
+                        inst = fn(n, m, alpha, seed)
+                        yield SuiteCase(inst, f"mem_{family}", n, m, alpha, seed)
+
+
+def paper_figure3_machines() -> int:
+    """The machine count of Figure 3: m = 210 (divisor-rich: 2·3·5·7)."""
+    return 210

@@ -1,0 +1,143 @@
+"""Tests for ABO_Δ (Theorems 7 and 8)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import run_strategy
+from repro.exact.optimal import optimal_makespan
+from repro.memory.abo import ABO
+from repro.memory.model import memory_lower_bound
+from repro.memory.sabo import SABO
+from repro.uncertainty.realization import truthful_realization
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.memory_workloads import planted_two_class
+from tests.conftest import sized_instances
+
+DELTAS = (0.5, 1.0, 2.0)
+
+
+class TestPlacement:
+    def test_s1_replicated_s2_pinned(self):
+        inst = planted_two_class(4, 6, m=3)
+        p = ABO(1.0).place(inst)
+        s1, s2 = p.meta["s1"], p.meta["s2"]
+        for j in s1:
+            assert p.replication_count(j) == inst.m
+        for j in s2:
+            assert p.replication_count(j) == 1
+
+    def test_memory_charges_replicas(self):
+        inst = planted_two_class(2, 2, m=2, size_light=1.0, size_heavy=5.0)
+        p = ABO(1.0).place(inst)
+        # Each replicated S1 task charges its size on both machines.
+        s1 = p.meta["s1"]
+        assert set(s1) == {0, 1}
+        for i in range(2):
+            mem = p.memory_per_machine()[i]
+            assert mem >= 2 * 1.0  # both replicated tasks on each machine
+
+    def test_name_and_validation(self):
+        assert ABO(2.0).name == "abo[delta=2]"
+        assert ABO(1.0, barrier=True).name == "abo[delta=1,barrier]"
+        with pytest.raises(ValueError):
+            ABO(0.0)
+
+
+class TestPhase2Precedence:
+    def test_pinned_tasks_run_before_replicated_on_their_machine(self):
+        inst = planted_two_class(3, 6, m=3)
+        strategy = ABO(1.0)
+        p = strategy.place(inst)
+        outcome = run_strategy(strategy, inst, truthful_realization(inst))
+        s2 = set(p.meta["s2"])
+        for machine in range(inst.m):
+            tasks = outcome.trace.tasks_per_machine(inst.m)[machine]
+            seen_replicated = False
+            for tid in tasks:
+                if tid in s2:
+                    assert not seen_replicated, (
+                        f"pinned task {tid} ran after a replicated task on "
+                        f"machine {machine}"
+                    )
+                else:
+                    seen_replicated = True
+
+    def test_replicated_dispatched_by_ls(self):
+        """Replicated tasks flow to machines as they free up."""
+        inst = planted_two_class(4, 2, m=2)
+        outcome = run_strategy(ABO(1.0), inst, truthful_realization(inst))
+        outcome.trace.validate(
+            ABO(1.0).place(inst), truthful_realization(inst)
+        )
+
+    def test_barrier_variant_runs(self):
+        inst = planted_two_class(3, 4, m=2)
+        outcome = run_strategy(ABO(1.0, barrier=True), inst, truthful_realization(inst))
+        assert outcome.makespan > 0
+
+
+class TestTheorem7Makespan:
+    @given(sized_instances(min_n=2, max_n=9, max_m=3), st.sampled_from(DELTAS), st.integers(0, 2))
+    def test_makespan_within_guarantee(self, inst, delta, seed):
+        strategy = ABO(delta)
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        outcome = run_strategy(strategy, inst, real)
+        opt = optimal_makespan(real.actuals, inst.m, exact_limit=12)
+        if opt.optimal:
+            guarantee = strategy.makespan_guarantee(inst)
+            assert outcome.makespan <= guarantee * opt.value * (1 + 1e-9)
+
+    def test_guarantee_formula(self, sized_instance):
+        m = sized_instance.m
+        a2 = sized_instance.alpha**2
+        rho1 = 4 / 3 - 1 / (3 * m)
+        assert ABO(1.5).makespan_guarantee(sized_instance) == pytest.approx(
+            2 - 1 / m + 1.5 * a2 * rho1
+        )
+
+
+class TestTheorem8Memory:
+    @given(sized_instances(min_n=2, max_n=10, max_m=3), st.sampled_from(DELTAS))
+    def test_memory_within_guarantee(self, inst, delta):
+        strategy = ABO(delta)
+        placement = strategy.place(inst)
+        mem_lb = memory_lower_bound(inst.sizes, inst.m)
+        if mem_lb == 0.0:
+            return
+        guarantee = strategy.memory_guarantee(inst)
+        assert placement.memory_max() <= guarantee * mem_lb * (1 + 1e-9)
+
+    def test_guarantee_formula(self, sized_instance):
+        m = sized_instance.m
+        rho2 = 4 / 3 - 1 / (3 * m)
+        assert ABO(2.0).memory_guarantee(sized_instance) == pytest.approx(
+            (1 + m / 2.0) * rho2
+        )
+
+
+class TestAboVsSabo:
+    def test_abo_better_makespan_under_uncertainty(self):
+        """On the anticorrelated regime with extreme perturbations ABO's
+        replication of time-heavy tasks should beat SABO's static pinning
+        (in aggregate over seeds)."""
+        from repro.workloads.memory_workloads import anticorrelated_sizes
+
+        wins = 0
+        total = 6
+        for seed in range(total):
+            inst = anticorrelated_sizes(16, 4, alpha=2.0, seed=seed)
+            real = sample_realization(inst, "bimodal_extreme", 100 + seed)
+            abo = run_strategy(ABO(1.0), inst, real).makespan
+            sabo = run_strategy(SABO(1.0), inst, real).makespan
+            if abo <= sabo + 1e-9:
+                wins += 1
+        assert wins >= total // 2
+
+    def test_abo_worse_memory(self):
+        inst = planted_two_class(5, 5, m=4)
+        abo_mem = ABO(1.0).place(inst).memory_max()
+        sabo_mem = SABO(1.0).place(inst).memory_max()
+        assert abo_mem >= sabo_mem

@@ -1,0 +1,164 @@
+"""Unit tests for repro.core.adversary."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.ratios import run_strategy
+from repro.core.adversary import (
+    exhaustive_worst_case,
+    greedy_worst_case,
+    inflate_critical_machine,
+    theorem1_instance,
+    theorem1_optimal_upper_bound,
+    theorem1_realization,
+)
+from repro.core.bounds import lb_no_replication, ub_lpt_no_choice
+from repro.core.strategies import LPTNoChoice
+from repro.core.model import make_instance
+from repro.core.placement import everywhere_placement, single_machine_placement
+
+
+class TestTheorem1Instance:
+    def test_shape(self):
+        inst = theorem1_instance(3, 6, 1.5)
+        assert inst.n == 18
+        assert inst.m == 6
+        assert all(t.estimate == 1.0 for t in inst)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_instance(0, 6, 1.5)
+
+
+class TestTheorem1Realization:
+    def test_inflates_most_loaded(self):
+        inst = theorem1_instance(2, 3, 2.0)
+        # Unbalanced placement: machine 0 gets 4 tasks, others 1 each.
+        p = single_machine_placement(inst, [0, 0, 0, 0, 1, 2])
+        real = theorem1_realization(p)
+        for j in range(4):
+            assert real.factor(j) == pytest.approx(2.0)
+        for j in (4, 5):
+            assert real.factor(j) == pytest.approx(0.5)
+
+    def test_requires_no_replication(self):
+        inst = theorem1_instance(1, 2, 1.5)
+        with pytest.raises(ValueError):
+            theorem1_realization(everywhere_placement(inst))
+
+    def test_tie_broken_to_lowest_machine(self):
+        inst = theorem1_instance(1, 2, 1.5)
+        p = single_machine_placement(inst, [0, 1])
+        real = theorem1_realization(p)
+        assert real.factor(0) == pytest.approx(1.5)
+        assert real.factor(1) == pytest.approx(1.0 / 1.5)
+
+    def test_measured_ratio_respects_theorem2(self):
+        """The adversary's damage against LPT-No Choice stays within Th. 2."""
+        inst = theorem1_instance(3, 4, 2.0)
+        strategy = LPTNoChoice()
+        p = strategy.place(inst)
+        real = theorem1_realization(p)
+        outcome = run_strategy(strategy, inst, real)
+        from repro.exact.optimal import optimal_makespan
+
+        opt = optimal_makespan(real.actuals, inst.m, exact_limit=12)
+        ratio = outcome.makespan / opt.value
+        assert ratio <= ub_lpt_no_choice(inst.alpha, inst.m) + 1e-9
+
+
+class TestTheorem1UpperBoundFormula:
+    def test_formula_at_lambda_b(self):
+        # lam=2, m=3, alpha=2, b=2: ceil(4/3)/2 + 2*ceil(2/3) = 1 + 2 = 3.
+        assert theorem1_optimal_upper_bound(2, 3, 2.0, 2) == pytest.approx(3.0)
+
+    def test_b_below_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_optimal_upper_bound(3, 4, 1.5, 2)
+
+    def test_ratio_converges_to_bound(self):
+        """alpha*B / upper(C*) -> the Theorem-1 bound as lambda grows."""
+        m, alpha = 5, 1.8
+        ratios = []
+        for lam in (1, 10, 200):
+            b = lam  # balanced placement
+            c_max = alpha * b
+            c_star_ub = theorem1_optimal_upper_bound(lam, m, alpha, b)
+            ratios.append(c_max / c_star_ub)
+        bound = lb_no_replication(alpha, m)
+        assert ratios[-1] == pytest.approx(bound, rel=0.02)
+        assert ratios == sorted(ratios)  # monotone convergence from below
+
+
+class TestInflateCritical:
+    def test_same_as_theorem1_move(self):
+        inst = make_instance([3.0, 2.0, 1.0], m=2, alpha=1.5)
+        p = single_machine_placement(inst, [0, 1, 1])
+        r1 = theorem1_realization(p)
+        r2 = inflate_critical_machine(p)
+        assert r1.actuals == r2.actuals
+        assert r2.label == "inflate_critical"
+
+
+class TestExhaustiveWorstCase:
+    def test_finds_known_worst(self):
+        """On a pinned 2-task instance the worst case is easy to verify by
+        hand: inflate the big task, deflate the small one."""
+        inst = make_instance([2.0, 1.0], m=2, alpha=2.0)
+        strategy = LPTNoChoice()
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        worst_real, worst_ratio = exhaustive_worst_case(inst, run)
+        # Placement puts one task per machine -> any realization is optimal.
+        assert worst_ratio == pytest.approx(1.0)
+
+    def test_beats_or_matches_single_move(self):
+        inst = make_instance([1.0] * 6, m=2, alpha=2.0)
+        strategy = LPTNoChoice()
+        p = strategy.place(inst)
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        _, exhaustive_ratio = exhaustive_worst_case(inst, run)
+        single = theorem1_realization(p)
+        from repro.exact.optimal import optimal_makespan
+
+        single_ratio = run(single) / optimal_makespan(single.actuals, 2).value
+        assert exhaustive_ratio >= single_ratio - 1e-9
+
+    def test_refuses_large_instances(self):
+        inst = make_instance([1.0] * 20, m=2, alpha=2.0)
+        with pytest.raises(ValueError, match="refused"):
+            exhaustive_worst_case(inst, lambda r: 1.0)
+
+
+class TestGreedyWorstCase:
+    def test_returns_admissible_realization(self):
+        inst = make_instance([3.0, 2.0, 2.0, 1.0], m=2, alpha=1.5)
+        strategy = LPTNoChoice()
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        real, ratio = greedy_worst_case(inst, run)
+        assert ratio >= 1.0 - 1e-9
+        for j in range(inst.n):
+            f = real.factor(j)
+            assert math.isclose(f, 1.5) or math.isclose(f, 1 / 1.5)
+
+    def test_not_much_worse_than_exhaustive(self):
+        inst = make_instance([1.0] * 8, m=2, alpha=2.0)
+        strategy = LPTNoChoice()
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        _, exhaustive_ratio = exhaustive_worst_case(inst, run)
+        _, greedy_ratio = greedy_worst_case(inst, run, passes=5)
+        assert greedy_ratio >= 0.8 * exhaustive_ratio

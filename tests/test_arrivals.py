@@ -1,0 +1,81 @@
+"""Tests for arrival-trace workloads and their end-to-end simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import LPTNoRestriction
+from repro.simulation.engine import simulate
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.arrivals import (
+    batched_arrivals,
+    front_loaded_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_shapes(self):
+        inst, releases = poisson_arrivals(30, 4, alpha=1.5, seed=0)
+        assert inst.n == 30
+        assert len(releases) == 30
+        assert releases[0] == 0.0
+        assert all(a <= b for a, b in zip(releases, releases[1:]))
+
+    def test_duty_scales_density(self):
+        _, fast = poisson_arrivals(200, 4, seed=1, duty=2.0)
+        _, slow = poisson_arrivals(200, 4, seed=1, duty=0.5)
+        assert fast[-1] < slow[-1]
+
+    def test_deterministic(self):
+        a = poisson_arrivals(20, 2, seed=9)[1]
+        b = poisson_arrivals(20, 2, seed=9)[1]
+        assert a == b
+
+
+class TestBatchedArrivals:
+    def test_wave_structure(self):
+        _, releases = batched_arrivals(25, 4, batch_size=10, period=5.0)
+        assert releases[:10] == [0.0] * 10
+        assert releases[10:20] == [5.0] * 10
+        assert releases[20:] == [10.0] * 5
+
+
+class TestFrontLoaded:
+    def test_split(self):
+        _, releases = front_loaded_arrivals(10, 2, late_fraction=0.3, late_time=7.0)
+        assert releases.count(0.0) == 7
+        assert releases.count(7.0) == 3
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "gen", [poisson_arrivals, batched_arrivals, front_loaded_arrivals]
+    )
+    def test_simulation_respects_releases(self, gen):
+        inst, releases = gen(24, 4, 1.5, 3)
+        real = sample_realization(inst, "log_uniform", 5)
+        strategy = LPTNoRestriction()
+        placement = strategy.place(inst)
+        trace = simulate(
+            placement,
+            real,
+            strategy.make_policy(inst, placement),
+            release_times=releases,
+        )
+        trace.validate(placement, real)
+        for j, r in enumerate(releases):
+            assert trace.runs[j].start >= r - 1e-9
+
+    def test_arrivals_inflate_makespan(self):
+        """Spreading arrivals can only delay completion relative to
+        all-at-zero."""
+        inst, releases = batched_arrivals(30, 4, 1.5, 2, batch_size=5, period=10.0)
+        real = sample_realization(inst, "uniform", 1)
+        strategy = LPTNoRestriction()
+        placement = strategy.place(inst)
+        policy_a = strategy.make_policy(inst, placement)
+        policy_b = strategy.make_policy(inst, placement)
+        with_releases = simulate(placement, real, policy_a, release_times=releases)
+        without = simulate(placement, real, policy_b)
+        assert with_releases.makespan >= without.makespan - 1e-9

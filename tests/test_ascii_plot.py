@@ -1,0 +1,85 @@
+"""Unit tests for repro.analysis.ascii_plot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import Series, render_plot
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Series([1, 2], [1], label="x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series([], [], label="x")
+
+
+class TestRenderPlot:
+    def test_basic_render(self):
+        out = render_plot(
+            [Series([1, 2, 3], [1.0, 2.0, 3.0], label="up", glyph="o")],
+            title="T",
+            x_label="reps",
+            y_label="ratio",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "o" in out
+        assert "o=up" in out
+        assert "reps" in out and "ratio" in out
+
+    def test_monotone_series_renders_monotone(self):
+        out = render_plot(
+            [Series([1, 2, 3, 4], [1.0, 2.0, 3.0, 4.0], glyph="x")],
+            width=40,
+            height=10,
+        )
+        rows_with_x = [
+            (r, line.index("x"))
+            for r, line in enumerate(out.splitlines())
+            if "x" in line
+        ]
+        # Higher y values sit on earlier rows, at later columns.
+        rows = [r for r, _ in rows_with_x]
+        cols = [c for _, c in rows_with_x]
+        assert rows == sorted(rows)
+        assert cols == sorted(cols, reverse=True) or cols == sorted(cols)
+
+    def test_axis_labels_numeric(self):
+        out = render_plot([Series([0, 10], [5.0, 6.0])])
+        assert "0" in out and "10" in out
+
+    def test_log_x(self):
+        out = render_plot([Series([1, 10, 100], [1.0, 2.0, 3.0], glyph="#")], x_log=True)
+        assert "(log x)" in out
+        cols = [line.index("#") for line in out.splitlines() if "#" in line]
+        # Log spacing: the three points are equally spaced columns.
+        gaps = [b - a for a, b in zip(sorted(cols), sorted(cols)[1:])]
+        assert abs(gaps[0] - gaps[1]) <= 2
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_plot([Series([0, 1], [1.0, 2.0])], x_log=True)
+
+    def test_overlap_marker(self):
+        out = render_plot(
+            [
+                Series([1], [1.0], glyph="a", label="A"),
+                Series([1], [1.0], glyph="b", label="B"),
+            ]
+        )
+        assert "?" in out
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            render_plot([Series([1], [1.0])], width=5, height=5)
+
+    def test_nothing_to_plot_rejected(self):
+        with pytest.raises(ValueError):
+            render_plot([])
+
+    def test_constant_series(self):
+        out = render_plot([Series([1, 2], [5.0, 5.0], glyph="c")])
+        assert "c" in out

@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.uncertainty.band."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.band import UncertaintyBand, band_from_interval
+
+
+class TestBandBasics:
+    def test_interval(self):
+        band = UncertaintyBand(2.0)
+        assert band.interval(4.0) == (2.0, 8.0)
+
+    def test_low_high(self):
+        band = UncertaintyBand(1.5)
+        assert band.low(3.0) == 2.0
+        assert band.high(3.0) == 4.5
+
+    def test_width_ratio_is_alpha_squared(self):
+        assert UncertaintyBand(3.0).width_ratio() == 9.0
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            UncertaintyBand(0.9)
+
+    def test_is_certain(self):
+        assert UncertaintyBand(1.0).is_certain()
+        assert not UncertaintyBand(1.01).is_certain()
+
+
+class TestContainsAndClamp:
+    def test_contains_interior(self):
+        assert UncertaintyBand(2.0).contains(4.0, 5.0)
+
+    def test_contains_edges(self):
+        band = UncertaintyBand(2.0)
+        assert band.contains(4.0, 2.0)
+        assert band.contains(4.0, 8.0)
+
+    def test_not_contains_outside(self):
+        band = UncertaintyBand(2.0)
+        assert not band.contains(4.0, 1.9)
+        assert not band.contains(4.0, 8.2)
+
+    def test_clamp_projects(self):
+        band = UncertaintyBand(2.0)
+        assert band.clamp(4.0, 100.0) == 8.0
+        assert band.clamp(4.0, 0.1) == 2.0
+        assert band.clamp(4.0, 5.0) == 5.0
+
+    def test_clamp_factor(self):
+        band = UncertaintyBand(2.0)
+        assert band.clamp_factor(3.0) == 2.0
+        assert band.clamp_factor(0.1) == 0.5
+        assert band.clamp_factor(1.2) == 1.2
+
+    @given(
+        st.floats(min_value=1.0, max_value=10.0),
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.001, max_value=1000.0),
+    )
+    def test_clamped_value_always_contained(self, alpha, estimate, actual):
+        band = UncertaintyBand(alpha)
+        assert band.contains(estimate, band.clamp(estimate, actual))
+
+
+class TestCompose:
+    def test_compose_multiplies(self):
+        c = UncertaintyBand(1.5).compose(UncertaintyBand(2.0))
+        assert c.alpha == 3.0
+
+    def test_compose_identity(self):
+        b = UncertaintyBand(1.7)
+        assert b.compose(UncertaintyBand(1.0)).alpha == b.alpha
+
+
+class TestBandFromInterval:
+    def test_symmetric_interval(self):
+        est, band = band_from_interval(1.0, 4.0)
+        assert math.isclose(est, 2.0)
+        assert math.isclose(band.alpha, 2.0)
+
+    def test_degenerate_interval(self):
+        est, band = band_from_interval(3.0, 3.0)
+        assert est == 3.0
+        assert band.alpha == 1.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            band_from_interval(4.0, 1.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_interval_round_trip(self, lo, ratio):
+        hi = lo * ratio
+        est, band = band_from_interval(lo, hi)
+        blo, bhi = band.interval(est)
+        # The returned band's interval must cover the original interval.
+        assert blo <= lo * (1 + 1e-9)
+        assert bhi >= hi * (1 - 1e-9)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.schedulers.baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schedulers.baselines import (
+    random_schedule,
+    round_robin_schedule,
+    single_machine_pile,
+    spt_schedule,
+)
+from repro.schedulers.list_scheduling import list_schedule
+from tests.conftest import estimates_strategy
+
+
+class TestRoundRobin:
+    def test_cyclic_assignment(self):
+        r = round_robin_schedule([1.0] * 5, 2)
+        assert r.assignment == (0, 1, 0, 1, 0)
+
+    def test_loads(self):
+        r = round_robin_schedule([1.0, 2.0, 3.0], 2)
+        assert r.loads == (4.0, 2.0)
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = random_schedule([1.0] * 10, 3, seed=5)
+        b = random_schedule([1.0] * 10, 3, seed=5)
+        assert a.assignment == b.assignment
+
+    def test_different_seeds(self):
+        a = random_schedule([1.0] * 20, 3, seed=1)
+        b = random_schedule([1.0] * 20, 3, seed=2)
+        assert a.assignment != b.assignment
+
+    @given(estimates_strategy(1, 15), st.integers(min_value=1, max_value=4))
+    def test_valid_machines(self, times, m):
+        r = random_schedule(times, m, seed=0)
+        assert all(0 <= i < m for i in r.assignment)
+        assert sum(r.loads) == pytest.approx(sum(times))
+
+
+class TestSpt:
+    def test_order_is_ascending(self):
+        r = spt_schedule([3.0, 1.0, 2.0], 1)
+        assert r.order == (1, 2, 0)
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_same_load_conservation(self, times, m):
+        r = spt_schedule(times, m)
+        assert sum(r.loads) == pytest.approx(sum(times))
+
+
+class TestSingleMachinePile:
+    def test_everything_on_zero(self):
+        r = single_machine_pile([1.0, 2.0], 3)
+        assert r.assignment == (0, 0)
+        assert r.loads == (3.0, 0.0, 0.0)
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_is_upper_anchor(self, times, m):
+        """Any real scheduler beats (or ties) the pile."""
+        pile = single_machine_pile(times, m)
+        ls = list_schedule(times, m)
+        assert ls.makespan <= pile.makespan * (1 + 1e-9)

@@ -1,0 +1,94 @@
+"""Unit and property tests for repro.exact.bnb."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact.bnb import branch_and_bound
+from repro.schedulers.lower_bounds import combined_lower_bound
+from repro.schedulers.lpt import lpt_schedule
+from tests.conftest import estimates_strategy
+
+
+class TestClosedForms:
+    def test_single_machine(self):
+        r = branch_and_bound([1.0, 2.0, 3.0], 1)
+        assert r.makespan == 6.0
+        assert r.assignment == (0, 0, 0)
+
+    def test_one_task_per_machine(self):
+        r = branch_and_bound([5.0, 1.0], 4)
+        assert r.makespan == 5.0
+
+    def test_optimal_flag(self):
+        assert branch_and_bound([1.0], 1).optimal
+
+
+class TestKnownOptima:
+    def test_lpt_suboptimal_instance(self):
+        # LPT gives 7 here; OPT is 6 (3+3 | 2+2+2).
+        r = branch_and_bound([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        assert r.makespan == 6.0
+
+    def test_partition_instance(self):
+        r = branch_and_bound([7.0, 5.0, 4.0, 3.0, 1.0], 2)
+        assert r.makespan == 10.0
+
+    def test_three_machines(self):
+        r = branch_and_bound([5.0, 4.0, 3.0, 3.0, 3.0], 3)
+        assert r.makespan == 7.0
+
+    def test_identical_tasks(self):
+        r = branch_and_bound([1.0] * 7, 3)
+        assert r.makespan == 3.0
+
+    def test_assignment_achieves_makespan(self):
+        times = [4.0, 3.0, 3.0, 2.0, 2.0, 1.0]
+        r = branch_and_bound(times, 3)
+        loads = [0.0] * 3
+        for j, i in enumerate(r.assignment):
+            loads[i] += times[j]
+        assert max(loads) == pytest.approx(r.makespan)
+
+
+class TestAgainstBounds:
+    @given(estimates_strategy(1, 11), st.integers(min_value=1, max_value=4))
+    def test_sandwiched_by_bounds(self, times, m):
+        r = branch_and_bound(times, m)
+        lb = combined_lower_bound(times, m)
+        ub = lpt_schedule(times, m).makespan
+        assert lb <= r.makespan * (1 + 1e-9)
+        assert r.makespan <= ub * (1 + 1e-9)
+
+    @given(estimates_strategy(1, 11), st.integers(min_value=1, max_value=4))
+    def test_assignment_feasible(self, times, m):
+        r = branch_and_bound(times, m)
+        assert len(r.assignment) == len(times)
+        assert all(0 <= i < m for i in r.assignment)
+        loads = [0.0] * m
+        for j, i in enumerate(r.assignment):
+            loads[i] += times[j]
+        assert max(loads) == pytest.approx(r.makespan)
+
+    @given(estimates_strategy(2, 9))
+    def test_monotone_in_machines(self, times):
+        """Adding machines can only decrease the optimal makespan."""
+        prev = None
+        for m in (1, 2, 3):
+            cur = branch_and_bound(times, m).makespan
+            if prev is not None:
+                assert cur <= prev * (1 + 1e-9)
+            prev = cur
+
+
+class TestNodeLimit:
+    def test_limit_raises(self):
+        times = [float(17 + (j * 7919) % 101) / 10 for j in range(18)]
+        with pytest.raises(RuntimeError, match="node_limit"):
+            branch_and_bound(times, 4, node_limit=10)
+
+    def test_nodes_reported(self):
+        r = branch_and_bound([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        assert r.nodes >= 1

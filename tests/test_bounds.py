@@ -1,0 +1,234 @@
+"""Unit and property tests for repro.core.bounds (every theorem's formula)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    abo_beats_sabo_on_makespan,
+    abo_makespan_guarantee,
+    abo_memory_guarantee,
+    divisors,
+    guarantee_table_row,
+    lb_no_replication,
+    lb_no_replication_limit,
+    ls_group_crossover_alpha,
+    min_groups_for_ratio,
+    sabo_makespan_guarantee,
+    sabo_memory_guarantee,
+    ub_graham_ls,
+    ub_lpt_classic,
+    ub_lpt_no_choice,
+    ub_lpt_no_restriction,
+    ub_lpt_no_restriction_raw,
+    ub_ls_group,
+    zenith_impossibility_memory,
+)
+
+alphas = st.floats(min_value=1.0, max_value=4.0)
+machines = st.integers(min_value=1, max_value=500)
+
+
+class TestTheorem1LowerBound:
+    def test_formula(self):
+        # alpha=2, m=3: 4*3/(4+2) = 2.
+        assert lb_no_replication(2.0, 3) == pytest.approx(2.0)
+
+    def test_alpha_one_gives_one(self):
+        assert lb_no_replication(1.0, 10) == pytest.approx(10 / 10)
+
+    def test_limit_is_alpha_squared(self):
+        assert lb_no_replication_limit(1.5) == pytest.approx(2.25)
+
+    @given(alphas, machines)
+    def test_bounded_by_limit(self, alpha, m):
+        assert lb_no_replication(alpha, m) <= lb_no_replication_limit(alpha) + 1e-12
+
+    @given(alphas)
+    def test_converges_to_limit(self, alpha):
+        assert lb_no_replication(alpha, 10**7) == pytest.approx(
+            lb_no_replication_limit(alpha), rel=1e-4
+        )
+
+    @given(alphas, machines)
+    def test_at_least_one(self, alpha, m):
+        assert lb_no_replication(alpha, m) >= 1.0 - 1e-12
+
+
+class TestTheorem2UpperBound:
+    def test_formula(self):
+        # alpha=1, m=2: 2*2/(2+1) = 4/3 — collapses to an LPT-style bound.
+        assert ub_lpt_no_choice(1.0, 2) == pytest.approx(4.0 / 3.0)
+
+    @given(alphas, machines)
+    def test_dominates_lower_bound(self, alpha, m):
+        """Theorem 2's guarantee can never beat Theorem 1's impossibility."""
+        assert ub_lpt_no_choice(alpha, m) >= lb_no_replication(alpha, m) - 1e-12
+
+    @given(alphas, machines)
+    def test_at_most_twice_lower_bound_shape(self, alpha, m):
+        # 2a²m/(2a²+m-1) <= 2 * a²m/(a²+m-1)
+        assert ub_lpt_no_choice(alpha, m) <= 2 * lb_no_replication(alpha, m) + 1e-12
+
+    @given(alphas)
+    def test_monotone_in_m(self, alpha):
+        vals = [ub_lpt_no_choice(alpha, m) for m in (1, 2, 4, 16, 256)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+
+class TestTheorem3UpperBound:
+    def test_raw_formula(self):
+        assert ub_lpt_no_restriction_raw(2.0, 4) == pytest.approx(1 + 0.75 * 2.0)
+
+    def test_combined_uses_graham_for_large_alpha(self):
+        m = 4
+        assert ub_lpt_no_restriction(3.0, m) == pytest.approx(ub_graham_ls(m))
+
+    def test_combined_uses_raw_for_small_alpha(self):
+        m = 4
+        assert ub_lpt_no_restriction(1.1, m) == pytest.approx(
+            ub_lpt_no_restriction_raw(1.1, m)
+        )
+
+    def test_crossover_at_sqrt2(self):
+        assert ls_group_crossover_alpha() == pytest.approx(math.sqrt(2.0))
+        m = 100
+        a = math.sqrt(2.0)
+        assert ub_lpt_no_restriction_raw(a, m) == pytest.approx(ub_graham_ls(m))
+
+    @given(alphas, machines)
+    def test_combined_never_exceeds_graham(self, alpha, m):
+        assert ub_lpt_no_restriction(alpha, m) <= ub_graham_ls(m) + 1e-12
+
+
+class TestGrahamAndLpt:
+    @given(machines)
+    def test_graham_below_two(self, m):
+        assert 1.0 <= ub_graham_ls(m) < 2.0
+
+    @given(machines)
+    def test_lpt_classic_below_4_3(self, m):
+        assert 1.0 <= ub_lpt_classic(m) < 4.0 / 3.0 + 1e-12
+
+
+class TestTheorem4LsGroup:
+    def test_k_equals_one_is_full_replication_shape(self):
+        # k=1: a²/a² * 1 + (m-1)/m = 1 + (m-1)/m = 2 - 1/m.
+        assert ub_ls_group(1.7, 10, 1) == pytest.approx(2.0 - 1.0 / 10)
+
+    def test_k_equals_m_close_to_no_choice(self):
+        """Paper remark: at k=m the LS-Group guarantee is close to
+        LPT-No Choice's when m is large and alpha moderate."""
+        m, alpha = 210, 1.2
+        assert ub_ls_group(alpha, m, m) == pytest.approx(
+            ub_lpt_no_choice(alpha, m), rel=0.35
+        )
+
+    def test_paper_value_alpha2_k3(self):
+        """Paper narrative: at alpha=2, m=210, replication on 3 machines
+        (k=70) gives a ratio below 6."""
+        assert ub_ls_group(2.0, 210, 70) < 6.0
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    def test_more_groups_worse_guarantee(self, alpha):
+        """For fixed m, guarantee degrades as k grows (less replication)."""
+        m = 210
+        vals = [ub_ls_group(alpha, m, k) for k in divisors(m)]
+        assert all(a <= b + 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            ub_ls_group(1.5, 10, 3)
+
+
+class TestMinGroupsForRatio:
+    def test_achievable_target(self):
+        m, alpha = 210, 2.0
+        k = min_groups_for_ratio(alpha, m, target_ratio=6.0)
+        assert k is not None
+        assert ub_ls_group(alpha, m, k) <= 6.0
+
+    def test_unachievable_target(self):
+        assert min_groups_for_ratio(2.0, 210, target_ratio=1.0) is None
+
+
+class TestDivisors:
+    def test_210(self):
+        ds = divisors(210)
+        assert ds[0] == 1 and ds[-1] == 210
+        assert len(ds) == 16  # 210 = 2*3*5*7
+
+    def test_prime(self):
+        assert divisors(7) == [1, 7]
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_all_divide(self, m):
+        assert all(m % k == 0 for k in divisors(m))
+
+
+class TestMemoryGuarantees:
+    def test_sabo_makespan(self):
+        assert sabo_makespan_guarantee(math.sqrt(2), 4 / 3, 1.0) == pytest.approx(
+            2 * 2 * 4 / 3
+        )
+
+    def test_sabo_memory(self):
+        assert sabo_memory_guarantee(4 / 3, 2.0) == pytest.approx(1.5 * 4 / 3)
+
+    def test_abo_makespan(self):
+        assert abo_makespan_guarantee(math.sqrt(3), 1.0, 1.0, 5) == pytest.approx(
+            2 - 0.2 + 3.0
+        )
+
+    def test_abo_memory(self):
+        assert abo_memory_guarantee(1.0, 2.0, 5) == pytest.approx(1 + 2.5)
+
+    @given(
+        st.floats(min_value=1.0, max_value=3.0),
+        st.floats(min_value=1.0, max_value=2.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_sabo_tradeoff_monotone(self, alpha, rho, delta):
+        """Raising Δ strictly worsens makespan and improves memory."""
+        up = delta * 2
+        assert sabo_makespan_guarantee(alpha, rho, up) > sabo_makespan_guarantee(
+            alpha, rho, delta
+        )
+        assert sabo_memory_guarantee(rho, up) < sabo_memory_guarantee(rho, delta)
+
+    def test_abo_beats_sabo_rule(self):
+        assert abo_beats_sabo_on_makespan(2.0, 1.0)
+        assert not abo_beats_sabo_on_makespan(1.2, 1.0)
+
+
+class TestImpossibilityFrontier:
+    def test_hyperbola(self):
+        # (a-1)(b-1) = 1: a=2 -> b=2; a=1.5 -> b=3.
+        assert zenith_impossibility_memory(2.0) == pytest.approx(2.0)
+        assert zenith_impossibility_memory(1.5) == pytest.approx(3.0)
+
+    def test_ratio_one_impossible(self):
+        assert math.isinf(zenith_impossibility_memory(1.0))
+
+    @given(st.floats(min_value=1.001, max_value=50.0))
+    def test_product_identity(self, r):
+        b = zenith_impossibility_memory(r)
+        assert (r - 1) * (b - 1) == pytest.approx(1.0)
+
+
+class TestGuaranteeTableRow:
+    def test_contains_all_strategies(self):
+        row = guarantee_table_row(1.5, 6)
+        assert "lpt_no_choice" in row
+        assert "lower_bound_no_replication" in row
+        assert "ls_group[k=1]" in row
+        assert "ls_group[k=6]" in row
+
+    def test_custom_ks(self):
+        row = guarantee_table_row(1.5, 6, ks=[2])
+        assert "ls_group[k=2]" in row
+        assert "ls_group[k=3]" not in row

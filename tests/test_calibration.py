@@ -1,0 +1,103 @@
+"""Tests for alpha calibration from historical data."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.calibration import (
+    alpha_from_residual_model,
+    calibration_report,
+    fit_alpha,
+)
+
+
+class TestFitAlpha:
+    def test_perfect_history_alpha_one(self):
+        assert fit_alpha([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_symmetric_misses(self):
+        # 2x over and 2x under both imply alpha = 2.
+        assert fit_alpha([1.0, 1.0], [2.0, 0.5]) == pytest.approx(2.0)
+
+    def test_full_coverage_is_max_miss(self):
+        est = [1.0, 1.0, 1.0, 1.0]
+        act = [1.1, 1.2, 0.8, 3.0]
+        assert fit_alpha(est, act) == pytest.approx(3.0)
+
+    def test_partial_coverage_ignores_tail(self):
+        est = [1.0] * 100
+        act = [1.1] * 99 + [10.0]
+        assert fit_alpha(est, act, coverage=0.95) == pytest.approx(1.1)
+        assert fit_alpha(est, act, coverage=1.0) == pytest.approx(10.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="pair up"):
+            fit_alpha([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            fit_alpha([], [])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_band_actually_covers(self, estimates, true_alpha):
+        """Actuals drawn within a true alpha band fit back within it."""
+        rng = np.random.default_rng(0)
+        factors = np.exp(
+            rng.uniform(-math.log(true_alpha), math.log(true_alpha), len(estimates))
+        )
+        actuals = [e * f for e, f in zip(estimates, factors)]
+        fitted = fit_alpha(estimates, actuals)
+        assert fitted <= true_alpha * (1 + 1e-9)
+        # And the fitted band covers every observation.
+        for e, a in zip(estimates, actuals):
+            assert e / fitted * (1 - 1e-9) <= a <= e * fitted * (1 + 1e-9)
+
+
+class TestCalibrationReport:
+    def test_rows_and_monotonicity(self):
+        rng = np.random.default_rng(1)
+        est = list(rng.uniform(1, 10, 200))
+        act = [e * math.exp(rng.normal(0, 0.3)) for e in est]
+        rows = calibration_report(est, act, m=8)
+        alphas = [r["alpha"] for r in rows]
+        assert alphas == sorted(alphas)  # higher coverage, wider band
+        for r in rows:
+            assert r["history_explained"] >= r["coverage_target"] - 1e-9
+            assert r["guarantee_no_replication"] >= 1.0
+            assert (
+                r["guarantee_full_replication"] <= r["guarantee_no_replication"] + 1e-9
+            )
+
+    def test_full_coverage_row_explains_everything(self):
+        rows = calibration_report([1.0, 1.0], [2.0, 0.5], m=4, coverages=(1.0,))
+        assert rows[0]["history_explained"] == pytest.approx(1.0)
+
+
+class TestResidualModel:
+    def test_two_sigma(self):
+        assert alpha_from_residual_model(0.3, z=2.0) == pytest.approx(math.exp(0.6))
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            alpha_from_residual_model(0.0)
+
+    def test_coverage_approximation(self):
+        """exp(2 sigma) covers ~95% of lognormal residuals."""
+        rng = np.random.default_rng(2)
+        sigma = 0.4
+        residuals = np.exp(rng.normal(0, sigma, 20000))
+        alpha = alpha_from_residual_model(sigma, z=2.0)
+        covered = np.mean((residuals <= alpha) & (residuals >= 1 / alpha))
+        assert 0.93 <= covered <= 0.97

@@ -1,0 +1,83 @@
+"""Unit tests for the CLI (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig1", "fig2", "fig4", "fig5"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_fig3_options(self):
+        args = build_parser().parse_args(["fig3", "--m", "30", "--alpha", "1.2", "1.6"])
+        assert args.m == 30
+        assert args.alpha == [1.2, 1.6]
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "ls_group[k=2]", "--n", "20", "--m", "4", "--gantt"]
+        )
+        assert args.strategy == "ls_group[k=2]"
+        assert args.gantt
+
+
+class TestMain:
+    @pytest.mark.parametrize("cmd", ["table1", "table2", "fig1", "fig2", "fig4", "fig5"])
+    def test_report_commands_succeed(self, cmd, capsys):
+        assert main([cmd]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--m", "12", "--alpha", "1.5"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        rc = main(
+            ["run", "lpt_no_restriction", "--n", "12", "--m", "3", "--seed", "1", "--gantt"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert "M0" in out  # gantt requested
+
+    def test_run_with_guarantee_check(self, capsys):
+        main(["run", "lpt_no_choice", "--n", "10", "--m", "2"])
+        out = capsys.readouterr().out
+        assert "within: True" in out
+
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "--n", "8", "--m", "2", "--seeds", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lpt_no_choice" in out
+        assert "ls_group[k=2]" in out
+
+    def test_bad_strategy_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "bogus"])
+
+    def test_proofs_command(self, capsys):
+        rc = main(["proofs", "--n", "10", "--m", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out
+        assert "Theorem 2" in out
+
+    def test_regimes_command(self, capsys):
+        rc = main(["regimes", "--m", "12", "--alpha", "1.1", "2.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "value of estimates" in out

@@ -1,0 +1,78 @@
+"""Tests for paired strategy comparison (repro.analysis.comparison)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.comparison import PairedComparison, compare_strategies, sign_test_pvalue
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+
+
+class TestSignTest:
+    def test_no_pairs(self):
+        assert sign_test_pvalue(0, 0) == 1.0
+
+    def test_balanced_not_significant(self):
+        assert sign_test_pvalue(5, 5) > 0.5
+
+    def test_lopsided_significant(self):
+        assert sign_test_pvalue(15, 0) < 0.001
+
+    def test_symmetry(self):
+        assert sign_test_pvalue(10, 2) == pytest.approx(sign_test_pvalue(2, 10))
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_valid_probability(self, w, l):
+        p = sign_test_pvalue(w, l)
+        assert 0.0 <= p <= 1.0
+
+    def test_exact_small_case(self):
+        # 3 wins, 0 losses: two-sided p = 2 * (1/8) = 0.25.
+        assert sign_test_pvalue(3, 0) == pytest.approx(0.25)
+
+
+class TestCompareStrategies:
+    def _cases(self, n_cases=8, alpha=2.0):
+        cases = []
+        for seed in range(n_cases):
+            inst = uniform_instance(16, 4, alpha=alpha, seed=seed)
+            real = sample_realization(inst, "bimodal_extreme", 50 + seed)
+            cases.append((inst, real))
+        return cases
+
+    def test_self_comparison_all_ties(self):
+        cases = self._cases(4)
+        cmp = compare_strategies(LPTNoChoice(), LPTNoChoice(), cases)
+        assert cmp.ties == 4
+        assert cmp.mean_diff == pytest.approx(0.0)
+        assert cmp.geo_mean_ratio == pytest.approx(1.0)
+        assert not cmp.a_better
+
+    def test_full_replication_beats_pinned_under_extremes(self):
+        cmp = compare_strategies(LPTNoRestriction(), LPTNoChoice(), self._cases(12))
+        assert cmp.wins_a >= cmp.wins_b
+        assert cmp.geo_mean_ratio <= 1.0 + 1e-9
+        assert cmp.mean_diff <= 1e-9
+
+    def test_symmetry_of_direction(self):
+        cases = self._cases(6)
+        ab = compare_strategies(LPTNoRestriction(), LPTNoChoice(), cases)
+        ba = compare_strategies(LPTNoChoice(), LPTNoRestriction(), cases)
+        assert ab.mean_diff == pytest.approx(-ba.mean_diff)
+        assert ab.wins_a == ba.wins_b
+        assert ab.geo_mean_ratio == pytest.approx(1.0 / ba.geo_mean_ratio)
+
+    def test_render(self):
+        cmp = compare_strategies(LPTNoRestriction(), LPTNoChoice(), self._cases(3))
+        out = cmp.render()
+        assert "W/T/L" in out and "p=" in out
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(ValueError):
+            compare_strategies(LPTNoChoice(), LPTNoChoice(), [])

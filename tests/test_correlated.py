@@ -1,0 +1,111 @@
+"""Unit tests for repro.uncertainty.correlated."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.correlated import (
+    clustered_factors,
+    size_correlated_factors,
+    trending_factors,
+)
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(40, 4, alpha=2.0, seed=3)
+
+
+class TestClustered:
+    def test_respects_band(self, inst):
+        real = clustered_factors(inst, seed=0, clusters=4)
+        a = inst.alpha
+        assert all(1 / a - 1e-9 <= f <= a + 1e-9 for f in real.factors())
+
+    def test_exactly_k_distinct_factors(self, inst):
+        real = clustered_factors(inst, seed=0, clusters=4)
+        distinct = {round(f, 12) for f in real.factors()}
+        assert len(distinct) <= 4
+
+    def test_cluster_membership_round_robin(self, inst):
+        real = clustered_factors(inst, seed=0, clusters=4)
+        fs = real.factors()
+        # Tasks j and j+4 share a cluster, hence a factor.
+        for j in range(inst.n - 4):
+            assert fs[j] == pytest.approx(fs[j + 4])
+
+    def test_deterministic(self, inst):
+        assert (
+            clustered_factors(inst, seed=9).actuals == clustered_factors(inst, seed=9).actuals
+        )
+
+    def test_clusters_validated(self, inst):
+        with pytest.raises(ValueError):
+            clustered_factors(inst, clusters=0)
+
+    def test_alpha_one(self):
+        certain = uniform_instance(10, 2, alpha=1.0, seed=0)
+        real = clustered_factors(certain, seed=0)
+        assert all(f == pytest.approx(1.0) for f in real.factors())
+
+
+class TestTrending:
+    def test_respects_band(self, inst):
+        real = trending_factors(inst, seed=0)
+        a = inst.alpha
+        assert all(1 / a - 1e-9 <= f <= a + 1e-9 for f in real.factors())
+
+    def test_overall_upward_trend(self, inst):
+        real = trending_factors(inst, seed=0, drift=1.0)
+        fs = np.log(real.factors())
+        first, last = fs[: inst.n // 4].mean(), fs[-inst.n // 4 :].mean()
+        assert last > first
+
+    def test_zero_drift_near_one(self, inst):
+        real = trending_factors(inst, seed=0, drift=0.0)
+        assert all(abs(np.log(f)) <= 0.1 * np.log(inst.alpha) + 1e-9 for f in real.factors())
+
+    def test_drift_validated(self, inst):
+        with pytest.raises(ValueError):
+            trending_factors(inst, drift=1.5)
+
+    def test_alpha_one(self):
+        certain = uniform_instance(10, 2, alpha=1.0, seed=0)
+        real = trending_factors(certain, seed=0)
+        assert all(f == pytest.approx(1.0) for f in real.factors())
+
+
+class TestSizeCorrelated:
+    def test_respects_band(self, inst):
+        real = size_correlated_factors(inst, seed=0)
+        a = inst.alpha
+        assert all(1 / a - 1e-9 <= f <= a + 1e-9 for f in real.factors())
+
+    def test_positive_direction_inflates_largest(self, inst):
+        real = size_correlated_factors(inst, seed=0, direction=+1)
+        ests = np.asarray(inst.estimates)
+        fs = np.asarray(real.factors())
+        big = fs[ests >= np.percentile(ests, 80)]
+        small = fs[ests <= np.percentile(ests, 20)]
+        assert big.mean() > small.mean()
+
+    def test_negative_direction_deflates_largest(self, inst):
+        real = size_correlated_factors(inst, seed=0, direction=-1)
+        ests = np.asarray(inst.estimates)
+        fs = np.asarray(real.factors())
+        big = fs[ests >= np.percentile(ests, 80)]
+        small = fs[ests <= np.percentile(ests, 20)]
+        assert big.mean() < small.mean()
+
+    def test_direction_validated(self, inst):
+        with pytest.raises(ValueError, match="direction"):
+            size_correlated_factors(inst, direction=0)
+
+    def test_identical_estimates_handled(self):
+        from repro.workloads.generators import identical_instance
+
+        inst = identical_instance(10, 2, alpha=2.0)
+        real = size_correlated_factors(inst, seed=0)
+        assert len(real) == 10

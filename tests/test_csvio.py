@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.csvio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.csvio import read_csv, results_dir, write_csv
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(tmp_path / "t.csv", rows)
+        back = read_csv(path)
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_union_headers_first_seen_order(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2, "a": 3}]
+        path = write_csv(tmp_path / "t.csv", rows)
+        with open(path) as fh:
+            header = fh.readline().strip()
+        assert header == "a,b"
+
+    def test_missing_values_blank(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        back = read_csv(write_csv(tmp_path / "t.csv", rows))
+        assert back[0]["b"] == ""
+
+    def test_explicit_headers_subset(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        back = read_csv(write_csv(tmp_path / "t.csv", rows, headers=["a"]))
+        assert back == [{"a": "1"}]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", [])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "t.csv", [{"a": 1}])
+        assert path.exists()
+
+
+class TestResultsDir:
+    def test_explicit_base(self, tmp_path):
+        d = results_dir(tmp_path / "r")
+        assert d.exists()
+        assert d.name == "r"
+
+    def test_default_is_repo_results(self):
+        d = results_dir()
+        assert d.name == "results"
+        assert d.exists()

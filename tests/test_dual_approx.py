@@ -1,0 +1,88 @@
+"""Unit and property tests for repro.schedulers.dual_approx."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact.optimal import optimal_makespan
+from repro.schedulers.dual_approx import dual_approx_schedule, dual_feasible_schedule
+from repro.schedulers.lpt import lpt_schedule
+from tests.conftest import estimates_strategy
+
+
+class TestDualFeasible:
+    def test_infeasible_when_task_exceeds_deadline(self):
+        assert dual_feasible_schedule([5.0], 2, deadline=4.0, eps=0.2) is None
+
+    def test_infeasible_when_total_exceeds(self):
+        assert dual_feasible_schedule([3.0, 3.0, 3.0], 1, deadline=5.0, eps=0.2) is None
+
+    def test_feasible_trivial(self):
+        a = dual_feasible_schedule([1.0, 1.0], 2, deadline=1.0, eps=0.25)
+        assert a is not None
+        assert sorted(a) == [0, 1]
+
+    def test_relaxed_deadline_respected(self):
+        times = [4.0, 3.0, 3.0, 2.0]
+        eps = 0.25
+        deadline = 6.0
+        a = dual_feasible_schedule(times, 2, deadline, eps)
+        assert a is not None
+        loads = [0.0, 0.0]
+        for j, i in enumerate(a):
+            loads[i] += times[j]
+        assert max(loads) <= (1 + 2 * eps) * deadline * (1 + 1e-9)
+
+    def test_none_certifies_infeasibility(self):
+        """When the dual test says None, the deadline must truly be
+        infeasible (soundness of the certificate)."""
+        times = [3.0, 3.0, 3.0, 3.0, 3.0]
+        opt = optimal_makespan(times, 2).value  # 9
+        a = dual_feasible_schedule(times, 2, deadline=opt * 0.8, eps=0.2)
+        assert a is None
+
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=3))
+    def test_feasible_at_optimum(self, times, m):
+        """At deadline = OPT the test must succeed (completeness)."""
+        opt = optimal_makespan(times, m, exact_limit=12)
+        if not opt.optimal:
+            return
+        a = dual_feasible_schedule(times, m, opt.value * (1 + 1e-9), eps=0.3)
+        assert a is not None
+
+
+class TestDualApproxSchedule:
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=3))
+    def test_guarantee(self, times, m):
+        """The binary-searched schedule is within (1+2eps) of optimum."""
+        eps = 0.2
+        opt = optimal_makespan(times, m, exact_limit=12)
+        if not opt.optimal:
+            return
+        r = dual_approx_schedule(times, m, eps=eps)
+        assert r.makespan <= (1 + 2 * eps) * opt.value * (1 + 1e-6)
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_never_worse_than_lpt(self, times, m):
+        r = dual_approx_schedule(times, m, eps=0.2)
+        assert r.makespan <= lpt_schedule(times, m).makespan * (1 + 1e-9)
+
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=3))
+    def test_assignment_loads_consistent(self, times, m):
+        r = dual_approx_schedule(times, m, eps=0.3)
+        loads = [0.0] * m
+        for pos, j in enumerate(r.order):
+            loads[r.assignment[pos]] += times[j]
+        assert loads == pytest.approx(list(r.loads))
+        assert sum(loads) == pytest.approx(sum(times))
+
+    def test_small_eps_near_optimal(self):
+        times = [3.0, 3.0, 2.0, 2.0, 2.0]
+        r = dual_approx_schedule(times, 2, eps=0.05)
+        assert r.makespan <= 6.0 * 1.11  # OPT=6, within 1+2eps
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            dual_approx_schedule([1.0], 1, eps=0.0)

@@ -1,0 +1,68 @@
+"""Tests for the uniform-machines (speed) extension of the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import make_instance
+from repro.core.placement import everywhere_placement, single_machine_placement
+from repro.core.strategy import FixedOrderPolicy
+from repro.simulation.engine import SimulationError, simulate
+from repro.uncertainty.realization import truthful_realization
+
+
+@pytest.fixture
+def inst():
+    return make_instance([4.0, 4.0, 2.0, 2.0], m=2, alpha=1.5)
+
+
+class TestSpeeds:
+    def test_unit_speeds_match_default(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t_default = simulate(p, real, FixedOrderPolicy(range(4)))
+        t_unit = simulate(p, real, FixedOrderPolicy(range(4)), speeds=[1.0, 1.0])
+        assert t_default.runs == t_unit.runs
+
+    def test_faster_machine_shorter_duration(self, inst):
+        p = single_machine_placement(inst, [0, 1, 0, 1])
+        real = truthful_realization(inst)
+        trace = simulate(p, real, FixedOrderPolicy(range(4)), speeds=[2.0, 1.0])
+        # Machine 0 runs tasks 0 and 2 at double speed: 2 + 1 = 3.
+        assert trace.loads(2)[0] == pytest.approx(3.0)
+        assert trace.loads(2)[1] == pytest.approx(6.0)
+        trace.validate(p, real, speeds=[2.0, 1.0])
+
+    def test_online_dispatch_follows_speeds(self, inst):
+        """A fast machine finishes early and absorbs more tasks."""
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        trace = simulate(p, real, FixedOrderPolicy(range(4)), speeds=[4.0, 1.0])
+        # Machine 0 at 4x speed: task0 takes 1, task2 takes 0.5, ...
+        counts = [len(ts) for ts in trace.tasks_per_machine(2)]
+        assert counts[0] > counts[1]
+
+    def test_validation_catches_wrong_speeds(self, inst):
+        p = single_machine_placement(inst, [0, 1, 0, 1])
+        real = truthful_realization(inst)
+        trace = simulate(p, real, FixedOrderPolicy(range(4)), speeds=[2.0, 1.0])
+        with pytest.raises(ValueError, match="ran for"):
+            trace.validate(p, real)  # validating without speeds must fail
+
+    def test_bad_speeds_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        with pytest.raises(SimulationError, match="length"):
+            simulate(p, real, FixedOrderPolicy(range(4)), speeds=[1.0])
+        with pytest.raises(SimulationError, match="> 0"):
+            simulate(p, real, FixedOrderPolicy(range(4)), speeds=[1.0, 0.0])
+
+    def test_global_speed_error_is_alpha_band_shift(self, inst):
+        """A uniformly wrong speed estimate scales the makespan linearly —
+        the paper's remark that throughput inaccuracy reduces to the
+        multiplicative band."""
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        base = simulate(p, real, FixedOrderPolicy(range(4)))
+        slowed = simulate(p, real, FixedOrderPolicy(range(4)), speeds=[0.5, 0.5])
+        assert slowed.makespan == pytest.approx(2.0 * base.makespan)

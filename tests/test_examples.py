@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion and prints results.
+
+Examples are user-facing documentation; a broken example is a broken API
+promise, so each one runs in-process (fast) with its ``main()`` invoked.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 5, f"{name} printed almost nothing"
+
+
+def test_quickstart_shows_monotone_tradeoff(capsys):
+    """The quickstart's core message: guarantees improve with replication."""
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "lpt_no_choice" in out
+    assert "lpt_no_restriction" in out
+    assert "makespan" in out

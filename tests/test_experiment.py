@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiment import ExperimentGrid, run_grid
+from repro.core.strategies import LPTNoChoice, LSGroup
+from repro.uncertainty.realization import truthful_realization
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def instances():
+    return [uniform_instance(10, 2, alpha=1.5, seed=s) for s in range(2)]
+
+
+class TestRunGrid:
+    def test_record_count(self, instances):
+        records = run_grid(
+            [LPTNoChoice()], instances, ["uniform"], seeds=(0, 1), exact_limit=12
+        )
+        assert len(records) == 2 * 2  # instances x seeds
+
+    def test_record_fields(self, instances):
+        rec = run_grid([LPTNoChoice()], instances[:1], ["uniform"])[0]
+        assert rec.strategy == "lpt_no_choice"
+        assert rec.n == 10 and rec.m == 2
+        assert rec.ratio >= 1.0 - 1e-9 or not rec.optimum_exact
+        assert rec.replication == 1
+        d = rec.as_dict()
+        assert d["strategy"] == "lpt_no_choice"
+        assert "ratio" in d
+
+    def test_custom_factory(self, instances):
+        records = run_grid(
+            [LPTNoChoice()],
+            instances[:1],
+            [lambda inst, seed: truthful_realization(inst)],
+        )
+        assert records[0].realization == "truthful"
+        assert records[0].ratio == pytest.approx(
+            records[0].makespan / records[0].optimum
+        )
+
+    def test_incompatible_group_strategy_skipped(self, instances):
+        grid = ExperimentGrid(
+            strategies=[LSGroup(3)],  # m=2 not divisible by 3... k>m in fact
+            instances=instances[:1],
+            realization_models=["uniform"],
+        )
+        records = grid.run()
+        assert records == []
+        assert grid.skipped
+
+    def test_deterministic(self, instances):
+        a = run_grid([LPTNoChoice()], instances, ["log_uniform"], seeds=(3,))
+        b = run_grid([LPTNoChoice()], instances, ["log_uniform"], seeds=(3,))
+        assert [r.ratio for r in a] == [r.ratio for r in b]

@@ -1,0 +1,103 @@
+"""Unit tests for repro.memory.frontier (Figure-6 curves)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    abo_makespan_guarantee,
+    abo_memory_guarantee,
+    sabo_makespan_guarantee,
+    sabo_memory_guarantee,
+)
+from repro.memory.frontier import (
+    abo_curve,
+    delta_for_makespan_target,
+    impossibility_curve,
+    sabo_curve,
+)
+
+
+class TestCurves:
+    def test_sabo_points_match_formulas(self):
+        pts = sabo_curve(1.5, 4 / 3, 4 / 3, deltas=[0.5, 1.0, 2.0])
+        for p in pts:
+            assert p.makespan == pytest.approx(
+                sabo_makespan_guarantee(1.5, 4 / 3, p.delta)
+            )
+            assert p.memory == pytest.approx(sabo_memory_guarantee(4 / 3, p.delta))
+
+    def test_abo_points_match_formulas(self):
+        pts = abo_curve(1.5, 1.0, 1.0, 5, deltas=[0.5, 1.0, 2.0])
+        for p in pts:
+            assert p.makespan == pytest.approx(
+                abo_makespan_guarantee(1.5, 1.0, p.delta, 5)
+            )
+            assert p.memory == pytest.approx(abo_memory_guarantee(1.0, p.delta, 5))
+
+    def test_default_grid_is_log_spaced_and_positive(self):
+        pts = sabo_curve(1.5, 1.0, 1.0, num=11)
+        deltas = [p.delta for p in pts]
+        assert len(deltas) == 11
+        assert deltas == sorted(deltas)
+        assert deltas[0] == pytest.approx(0.01)
+        assert deltas[-1] == pytest.approx(100.0)
+
+    def test_curves_monotone_tradeoff(self):
+        pts = sabo_curve(1.5, 1.0, 1.0, num=51)
+        makes = [p.makespan for p in pts]
+        mems = [p.memory for p in pts]
+        assert makes == sorted(makes)
+        assert mems == sorted(mems, reverse=True)
+
+    def test_empty_deltas_rejected(self):
+        with pytest.raises(ValueError):
+            sabo_curve(1.5, 1.0, 1.0, deltas=[])
+
+
+class TestImpossibility:
+    def test_skips_infeasible(self):
+        pts = impossibility_curve([0.5, 1.0, 2.0])
+        assert [x for x, _ in pts] == [2.0]
+
+    def test_hyperbola_values(self):
+        pts = dict(impossibility_curve([1.5, 2.0, 3.0]))
+        assert pts[1.5] == pytest.approx(3.0)
+        assert pts[2.0] == pytest.approx(2.0)
+        assert pts[3.0] == pytest.approx(1.5)
+
+
+class TestDeltaForTarget:
+    def test_sabo_inversion(self):
+        alpha, rho1 = 1.5, 1.0
+        d = delta_for_makespan_target(4.0, alpha, rho1, 5, algorithm="sabo")
+        assert d is not None
+        assert sabo_makespan_guarantee(alpha, rho1, d) == pytest.approx(4.0)
+
+    def test_abo_inversion(self):
+        alpha, rho1, m = 1.5, 1.0, 5
+        d = delta_for_makespan_target(4.0, alpha, rho1, m, algorithm="abo")
+        assert d is not None
+        assert abo_makespan_guarantee(alpha, rho1, d, m) == pytest.approx(4.0)
+
+    def test_impossible_target(self):
+        # SABO can never guarantee below alpha^2*rho1.
+        assert delta_for_makespan_target(1.0, 2.0, 1.0, 5, algorithm="sabo") is None
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            delta_for_makespan_target(3.0, 1.5, 1.0, 5, algorithm="x")
+
+    def test_paper_scenario_fig6b(self):
+        """Paper: 'if you want to guarantee a makespan less than 3 as in
+        Figure 6b (m=5, alpha^2=3, rho=1), you should use ABO'."""
+        alpha = math.sqrt(3.0)
+        sabo_d = delta_for_makespan_target(3.0, alpha, 1.0, 5, algorithm="sabo")
+        abo_d = delta_for_makespan_target(3.0, alpha, 1.0, 5, algorithm="abo")
+        # SABO cannot reach 3 at all ((1+D)*3 > 3 for any D > 0)...
+        assert sabo_d is None
+        # ...while ABO can.
+        assert abo_d is not None
+        assert abo_memory_guarantee(1.0, abo_d, 5) > 1.0  # at a memory price

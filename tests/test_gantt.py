@@ -1,0 +1,67 @@
+"""Unit tests for repro.simulation.gantt."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.gantt import render_gantt
+from repro.simulation.trace import ScheduleTrace, TaskRun
+
+
+def _trace():
+    return ScheduleTrace(
+        (
+            TaskRun(0, 0, 0.0, 4.0),
+            TaskRun(1, 1, 0.0, 2.0),
+            TaskRun(2, 1, 2.0, 3.0),
+        ),
+        label="demo",
+    )
+
+
+class TestRenderGantt:
+    def test_one_row_per_machine(self):
+        out = render_gantt(_trace(), m=2)
+        lines = out.splitlines()
+        assert any(line.startswith("M0") for line in lines)
+        assert any(line.startswith("M1") for line in lines)
+
+    def test_makespan_in_footer(self):
+        out = render_gantt(_trace(), m=2)
+        assert "makespan = 4" in out
+        assert "[demo]" in out
+
+    def test_row_width_respected(self):
+        out = render_gantt(_trace(), m=2, width=40)
+        for line in out.splitlines():
+            if line.startswith("M"):
+                inner = line.split("|")[1]
+                assert len(inner) == 40
+
+    def test_task_ids_shown(self):
+        out = render_gantt(_trace(), m=2, width=60, show_ids=True)
+        assert "0" in out.split("\n")[1]
+
+    def test_ids_suppressed(self):
+        trace = ScheduleTrace((TaskRun(0, 0, 0.0, 1.0),))
+        out = render_gantt(trace, m=1, show_ids=False)
+        row = [l for l in out.splitlines() if l.startswith("M0")][0]
+        assert "0" not in row.split("|")[1]
+
+    def test_longer_task_wider_block(self):
+        out = render_gantt(_trace(), m=2, width=40, show_ids=False)
+        rows = [l for l in out.splitlines() if l.startswith("M")]
+        filled0 = sum(c != " " for c in rows[0].split("|")[1])
+        # Machine 0 is busy the whole horizon; machine 1 three quarters.
+        filled1 = sum(c != " " for c in rows[1].split("|")[1])
+        assert filled0 > filled1
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            render_gantt(_trace(), m=2, width=5)
+
+    def test_idle_machine_rendered_empty(self):
+        trace = ScheduleTrace((TaskRun(0, 0, 0.0, 1.0),))
+        out = render_gantt(trace, m=3, show_ids=False)
+        m2_row = [l for l in out.splitlines() if l.startswith("M2")][0]
+        assert set(m2_row.split("|")[1]) == {" "}

@@ -1,0 +1,110 @@
+"""Unit tests for repro.workloads.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    WORKLOAD_FAMILIES,
+    bimodal_instance,
+    bounded_pareto_instance,
+    exponential_instance,
+    generate,
+    identical_instance,
+    staircase_instance,
+    uniform_instance,
+)
+
+ALL_FAMILIES = sorted(WORKLOAD_FAMILIES) + ["identical", "staircase"]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_shape_and_params(self, family):
+        inst = generate(family, 30, 4, 1.5, seed=0)
+        assert inst.n == 30
+        assert inst.m == 4
+        assert inst.alpha == 1.5
+        assert all(t.estimate > 0 for t in inst)
+        assert inst.name
+
+    @pytest.mark.parametrize("family", sorted(WORKLOAD_FAMILIES))
+    def test_deterministic_given_seed(self, family):
+        a = generate(family, 20, 3, 1.2, seed=42)
+        b = generate(family, 20, 3, 1.2, seed=42)
+        assert a.estimates == b.estimates
+
+    @pytest.mark.parametrize("family", sorted(WORKLOAD_FAMILIES))
+    def test_seed_changes_output(self, family):
+        a = generate(family, 20, 3, 1.2, seed=1)
+        b = generate(family, 20, 3, 1.2, seed=2)
+        assert a.estimates != b.estimates
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown workload family"):
+            generate("nope", 10, 2)
+
+
+class TestUniform:
+    def test_range(self):
+        inst = uniform_instance(200, 2, seed=0, lo=2.0, hi=5.0)
+        assert all(2.0 <= t.estimate <= 5.0 for t in inst)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            uniform_instance(10, 2, seed=0, lo=5.0, hi=2.0)
+
+
+class TestExponential:
+    def test_floor_respected(self):
+        inst = exponential_instance(500, 2, seed=0, mean=0.01, floor=0.5)
+        assert all(t.estimate >= 0.5 for t in inst)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self):
+        inst = bounded_pareto_instance(500, 2, seed=0, lo=1.0, hi=100.0)
+        assert all(1.0 - 1e-9 <= t.estimate <= 100.0 + 1e-9 for t in inst)
+
+    def test_heavy_tail(self):
+        """A heavy-tailed sample's max should dwarf its median."""
+        inst = bounded_pareto_instance(2000, 2, seed=0, shape=1.1, lo=1.0, hi=10000.0)
+        ests = np.asarray(inst.estimates)
+        assert ests.max() > 20 * np.median(ests)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            bounded_pareto_instance(10, 2, seed=0, lo=2.0, hi=2.0)
+
+
+class TestBimodal:
+    def test_two_modes(self):
+        inst = bimodal_instance(500, 2, seed=0, short=1.0, long=50.0, p_long=0.3, jitter=0.0)
+        ests = set(inst.estimates)
+        assert ests == {1.0, 50.0}
+
+    def test_p_long_extremes(self):
+        all_short = bimodal_instance(50, 2, seed=0, p_long=0.0, jitter=0.0)
+        assert set(all_short.estimates) == {1.0}
+        all_long = bimodal_instance(50, 2, seed=0, p_long=1.0, jitter=0.0, long=20.0)
+        assert set(all_long.estimates) == {20.0}
+
+    def test_p_long_validated(self):
+        with pytest.raises(ValueError):
+            bimodal_instance(10, 2, p_long=1.5)
+
+
+class TestDeterministicFamilies:
+    def test_identical(self):
+        inst = identical_instance(10, 3, 2.0)
+        assert set(inst.estimates) == {1.0}
+
+    def test_staircase(self):
+        inst = staircase_instance(4, 2)
+        assert inst.estimates == (4.0, 3.0, 2.0, 1.0)
+
+    def test_generate_ignores_seed_for_deterministic(self):
+        a = generate("identical", 5, 2, seed=1)
+        b = generate("identical", 5, 2, seed=2)
+        assert a.estimates == b.estimates

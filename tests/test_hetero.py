@@ -1,0 +1,143 @@
+"""Tests for heterogeneous per-task uncertainty (repro.hetero)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.ratios import run_strategy
+from repro.core.model import make_instance
+from repro.core.strategies import SelectiveReplication
+from repro.hetero import (
+    HeteroUncertainty,
+    RiskAwareReplication,
+    hetero_realization,
+    hetero_workload,
+)
+
+
+@pytest.fixture
+def hetero():
+    inst = make_instance([8.0, 6.0, 2.0, 1.0], m=2, alpha=2.0)
+    # Big tasks are well-profiled; small ones are wild.
+    return HeteroUncertainty(inst, (1.05, 1.05, 2.0, 2.0))
+
+
+class TestHeteroUncertainty:
+    def test_validation_length(self):
+        inst = make_instance([1.0, 2.0], m=2, alpha=2.0)
+        with pytest.raises(ValueError, match="cover all"):
+            HeteroUncertainty(inst, (1.5,))
+
+    def test_validation_cap(self):
+        inst = make_instance([1.0], m=1, alpha=1.5)
+        with pytest.raises(ValueError, match="exceeds"):
+            HeteroUncertainty(inst, (2.0,))
+
+    def test_validation_below_one(self):
+        inst = make_instance([1.0], m=1, alpha=1.5)
+        with pytest.raises(ValueError):
+            HeteroUncertainty(inst, (0.9,))
+
+    def test_risk_scores(self, hetero):
+        # risk = p̃ (a - 1/a): task0 = 8*(1.05-1/1.05), task2 = 2*(2-0.5)=3.
+        assert hetero.risk(2) == pytest.approx(3.0)
+        assert hetero.risk(0) == pytest.approx(8.0 * (1.05 - 1 / 1.05))
+        # The short wild task out-risks the long profiled one.
+        assert hetero.risk(2) > hetero.risk(0)
+
+    def test_risk_order(self, hetero):
+        order = hetero.risk_order()
+        assert order[0] == 2  # riskiest
+        assert order[1] == 3
+
+    def test_total_risk(self, hetero):
+        assert hetero.total_risk() == pytest.approx(sum(hetero.risks()))
+
+
+class TestHeteroRealization:
+    def test_respects_per_task_bands(self, hetero):
+        real = hetero_realization(hetero, seed=1)
+        for j, a in enumerate(hetero.alphas):
+            f = real.factor(j)
+            assert 1 / a - 1e-9 <= f <= a + 1e-9
+
+    def test_extreme_at_band_edges(self, hetero):
+        real = hetero_realization(hetero, seed=2, extreme=True)
+        for j, a in enumerate(hetero.alphas):
+            f = real.factor(j)
+            assert math.isclose(f, a, rel_tol=1e-9) or math.isclose(
+                f, 1 / a, rel_tol=1e-9
+            )
+
+    def test_valid_for_homogeneous_model(self, hetero):
+        """Per-task bands under the cap remain valid global realizations."""
+        real = hetero_realization(hetero, seed=3, extreme=True)
+        # Construction through factors_realization already validated this;
+        # double-check the worst factor.
+        assert max(max(f, 1 / f) for f in real.factors()) <= hetero.instance.alpha + 1e-9
+
+    def test_deterministic(self, hetero):
+        a = hetero_realization(hetero, seed=7).actuals
+        b = hetero_realization(hetero, seed=7).actuals
+        assert a == b
+
+
+class TestHeteroWorkload:
+    def test_mixed_alphas(self):
+        h = hetero_workload(100, 4, novel_fraction=0.3, seed=1)
+        alphas = set(h.alphas)
+        assert alphas == {1.05, 2.0}
+        novel = sum(1 for a in h.alphas if a == 2.0)
+        assert 15 <= novel <= 45  # ~30% of 100
+
+    def test_validates(self):
+        with pytest.raises(ValueError, match="alpha_profiled"):
+            hetero_workload(10, 2, alpha_novel=1.2, alpha_profiled=1.5)
+
+
+class TestRiskAwareReplication:
+    def test_replicates_riskiest_not_biggest(self, hetero):
+        strategy = RiskAwareReplication(hetero, fraction=0.5)
+        placement = strategy.place(hetero.instance)
+        critical = set(placement.meta["critical"])
+        # The wild small tasks, not the profiled big ones.
+        assert 2 in critical
+        assert 0 not in critical
+
+    def test_fraction_endpoints(self, hetero):
+        empty = RiskAwareReplication(hetero, 0.0).place(hetero.instance)
+        assert empty.is_no_replication()
+        full = RiskAwareReplication(hetero, 1.0).place(hetero.instance)
+        # Everything with positive risk is replicated (all tasks here).
+        assert full.is_full_replication()
+
+    def test_wrong_instance_rejected(self, hetero):
+        other = make_instance([1.0, 1.0, 1.0, 1.0], m=2, alpha=2.0)
+        with pytest.raises(ValueError, match="uncertainty profile"):
+            RiskAwareReplication(hetero, 0.5).place(other)
+
+    def test_feasible_end_to_end(self):
+        h = hetero_workload(20, 4, seed=5)
+        strategy = RiskAwareReplication(h, 0.6)
+        real = hetero_realization(h, seed=6, extreme=True)
+        outcome = run_strategy(strategy, h.instance, real)
+        outcome.trace.validate(outcome.placement, real)
+
+    def test_beats_size_based_at_equal_budget(self):
+        """On mixed-certainty workloads, insuring by risk beats insuring by
+        size at comparable replica counts (aggregate over seeds)."""
+        risk_total = size_total = 0.0
+        for seed in range(6):
+            h = hetero_workload(24, 4, novel_fraction=0.3, seed=seed)
+            real = hetero_realization(h, seed=100 + seed, extreme=True)
+            risk_strategy = RiskAwareReplication(h, 0.8)
+            risk_placement = risk_strategy.place(h.instance)
+            budget = risk_placement.total_replicas()
+            # Size-based selective with a fraction chosen to match budget.
+            frac = (budget - h.instance.n) / (h.instance.n * (h.instance.m - 1))
+            size_strategy = SelectiveReplication(min(max(frac, 0.0), 1.0))
+            risk_total += run_strategy(risk_strategy, h.instance, real).makespan
+            size_total += run_strategy(size_strategy, h.instance, real).makespan
+        assert risk_total <= size_total * (1 + 0.02)

@@ -1,0 +1,94 @@
+"""Unit and property tests for repro.schedulers.lpt."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact.optimal import optimal_makespan
+from repro.schedulers.lpt import (
+    critical_task,
+    lpt_assignment_by_task,
+    lpt_order,
+    lpt_schedule,
+)
+from tests.conftest import estimates_strategy
+
+
+class TestLptOrder:
+    def test_sorted_descending(self):
+        assert lpt_order([1.0, 3.0, 2.0]) == [1, 2, 0]
+
+    def test_ties_by_index(self):
+        assert lpt_order([2.0, 2.0, 2.0]) == [0, 1, 2]
+
+
+class TestLptSchedule:
+    def test_docstring_example(self):
+        assert lpt_schedule([2.0, 3.0, 2.0, 2.0], m=2).makespan == 5.0
+
+    def test_classic_worst_case(self):
+        # n = 2m+1 equal-ish tasks: LPT ratio approaches 4/3 - 1/(3m).
+        # m=2: tasks 3,3,2,2,2 -> LPT gives 7, OPT = 6.
+        times = [3.0, 3.0, 2.0, 2.0, 2.0]
+        r = lpt_schedule(times, 2)
+        assert r.makespan == 7.0
+        assert optimal_makespan(times, 2).value == 6.0
+
+    def test_perfect_fit(self):
+        r = lpt_schedule([4.0, 3.0, 2.0, 1.0], m=2)
+        assert r.makespan == 5.0
+
+    def test_assignment_by_task_alignment(self):
+        times = [1.0, 5.0, 2.0]
+        by_task = lpt_assignment_by_task(times, 2)
+        loads = [0.0, 0.0]
+        for j, i in enumerate(by_task):
+            loads[i] += times[j]
+        assert max(loads) == lpt_schedule(times, 2).makespan
+
+
+class TestCriticalTask:
+    def test_identifies_last_on_critical_machine(self):
+        # times 3,3,2,2,2 on m=2: loads (3+2+2, 3+2) = (7, 5); the last task
+        # placed on the load-7 machine is the critical one.
+        r = lpt_schedule([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        l = critical_task(r, [3.0, 3.0, 2.0, 2.0, 2.0])
+        machine_of_l = r.assignment[list(r.order).index(l)]
+        assert r.loads[machine_of_l] == r.makespan
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_critical_task_on_makespan_machine(self, times, m):
+        r = lpt_schedule(times, m)
+        l = critical_task(r, times)
+        machine_of_l = r.assignment[list(r.order).index(l)]
+        assert r.loads[machine_of_l] == pytest.approx(r.makespan)
+
+
+class TestLptGuarantees:
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=4))
+    def test_graham_4_3_bound(self, times, m):
+        """LPT <= (4/3 - 1/(3m)) OPT, verified against the exact optimum."""
+        r = lpt_schedule(times, m)
+        opt = optimal_makespan(times, m, exact_limit=12)
+        if opt.optimal:
+            assert r.makespan <= (4.0 / 3.0 - 1.0 / (3 * m)) * opt.value * (1 + 1e-9)
+
+    @given(estimates_strategy(1, 15), st.integers(min_value=1, max_value=5))
+    def test_lpt_never_worse_than_ls_bound(self, times, m):
+        r = lpt_schedule(times, m)
+        bound = sum(times) / m + (m - 1) / m * max(times)
+        assert r.makespan <= bound * (1 + 1e-9)
+
+    @given(estimates_strategy(2, 12), st.integers(min_value=2, max_value=4))
+    def test_theorem2_bookkeeping_inequalities(self, times, m):
+        """The two structural facts Theorem 2's proof uses about LPT."""
+        r = lpt_schedule(times, m)
+        l = critical_task(r, times)
+        p_l = times[l]
+        c_tilde = r.makespan
+        # Eq. (2): C̃_max <= (sum + (m-1) p_l) / m
+        assert c_tilde <= (sum(times) + (m - 1) * p_l) / m + 1e-9
+        # LPT property: sum - p_l >= m (C̃_max - p_l)
+        assert sum(times) - p_l >= m * (c_tilde - p_l) - 1e-9

@@ -1,0 +1,88 @@
+"""Tests for Strategy 1 — LPT-No Choice (Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import measured_ratio, run_strategy
+from repro.core.bounds import ub_lpt_no_choice
+from repro.core.strategies import LPTNoChoice
+from repro.core.adversary import theorem1_realization
+from repro.core.model import make_instance
+from repro.schedulers.lpt import lpt_schedule
+from repro.uncertainty.realization import truthful_realization
+from repro.uncertainty.stochastic import sample_realization
+from tests.conftest import instances
+
+
+class TestPlacement:
+    def test_no_replication(self, small_instance):
+        p = LPTNoChoice().place(small_instance)
+        assert p.is_no_replication()
+        assert p.meta["strategy"] == "lpt_no_choice"
+
+    def test_matches_offline_lpt(self, small_instance):
+        p = LPTNoChoice().place(small_instance)
+        loads = p.estimated_load_per_machine()
+        assert max(loads) == lpt_schedule(small_instance.estimates, small_instance.m).makespan
+
+    @given(instances(min_n=2, max_n=12, max_m=4))
+    def test_placement_estimated_makespan_is_lpt(self, inst):
+        p = LPTNoChoice().place(inst)
+        assert max(p.estimated_load_per_machine()) == pytest.approx(
+            lpt_schedule(inst.estimates, inst.m).makespan
+        )
+
+
+class TestExecution:
+    def test_truthful_run_equals_lpt_makespan(self, small_instance):
+        outcome = run_strategy(
+            LPTNoChoice(), small_instance, truthful_realization(small_instance)
+        )
+        assert outcome.makespan == pytest.approx(
+            lpt_schedule(small_instance.estimates, small_instance.m).makespan
+        )
+
+    def test_makespan_is_load_sum_regardless_of_order(self, small_instance):
+        """With pinned tasks, makespan = max machine load under actuals."""
+        real = sample_realization(small_instance, "uniform", seed=4)
+        outcome = run_strategy(LPTNoChoice(), small_instance, real)
+        loads = [0.0] * small_instance.m
+        assignment = outcome.placement.fixed_assignment()
+        for j in range(small_instance.n):
+            loads[assignment[j]] += real.actual(j)
+        assert outcome.makespan == pytest.approx(max(loads))
+
+
+class TestTheorem2Guarantee:
+    def test_guarantee_value(self):
+        inst = make_instance([1.0] * 6, m=3, alpha=2.0)
+        assert LPTNoChoice().guarantee(inst) == pytest.approx(
+            ub_lpt_no_choice(2.0, 3)
+        )
+
+    @given(instances(min_n=2, max_n=10, max_m=3), st.integers(0, 3))
+    def test_ratio_within_guarantee_random(self, inst, seed):
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        rec = measured_ratio(LPTNoChoice(), inst, real, exact_limit=12)
+        if rec.optimum.optimal:
+            assert rec.ratio <= rec.guarantee * (1 + 1e-9)
+
+    @given(instances(min_n=3, max_n=10, max_m=3))
+    def test_ratio_within_guarantee_adversarial(self, inst):
+        strategy = LPTNoChoice()
+        p = strategy.place(inst)
+        real = theorem1_realization(p)
+        rec = measured_ratio(strategy, inst, real, exact_limit=12)
+        if rec.optimum.optimal:
+            assert rec.ratio <= rec.guarantee * (1 + 1e-9)
+
+    def test_alpha_one_reduces_to_lpt_bound(self):
+        """With no uncertainty the Theorem-2 bound is weaker than Graham's
+        4/3 for LPT, but the *measured* ratio must respect 4/3."""
+        inst = make_instance([3.0, 3.0, 2.0, 2.0, 2.0], m=2, alpha=1.0)
+        rec = measured_ratio(LPTNoChoice(), inst, truthful_realization(inst))
+        assert rec.ratio == pytest.approx(7.0 / 6.0)
+        assert rec.ratio <= 4.0 / 3.0 - 1.0 / 6.0 + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for Strategy 2 — LPT-No Restriction (Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import measured_ratio, run_strategy
+from repro.core.bounds import ub_graham_ls, ub_lpt_no_restriction
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.core.model import make_instance
+from repro.uncertainty.realization import factors_realization, truthful_realization
+from repro.uncertainty.stochastic import sample_realization
+from tests.conftest import instances
+
+
+class TestPlacement:
+    def test_full_replication(self, small_instance):
+        p = LPTNoRestriction().place(small_instance)
+        assert p.is_full_replication()
+        assert p.total_replicas() == small_instance.n * small_instance.m
+
+
+class TestOnlineBehaviour:
+    def test_dispatch_follows_lpt_order(self, small_instance):
+        outcome = run_strategy(
+            LPTNoRestriction(), small_instance, truthful_realization(small_instance)
+        )
+        starts = [outcome.trace.runs[j].start for j in range(small_instance.n)]
+        order = small_instance.lpt_order()
+        # Tasks earlier in LPT order never start later than tasks after them
+        # ... at equal start times the earlier-order task has priority.
+        for a, b in zip(order, order[1:]):
+            assert starts[a] <= starts[b] + 1e-12
+
+    def test_adapts_to_actuals(self):
+        """A machine stuck on an inflated task receives no further tasks —
+        the flexibility that distinguishes Strategy 2 from Strategy 1."""
+        inst = make_instance([4.0, 4.0, 1.0, 1.0, 1.0, 1.0], m=2, alpha=2.0)
+        # Task 0 runs double, task 1 runs half.
+        real = factors_realization(inst, [2.0, 0.5, 1.0, 1.0, 1.0, 1.0])
+        out_flex = run_strategy(LPTNoRestriction(), inst, real)
+        out_pinned = run_strategy(LPTNoChoice(), inst, real)
+        # All four unit tasks should pile onto the fast machine online.
+        assert out_flex.makespan <= out_pinned.makespan
+        assert out_flex.trace.machine_of(2) == out_flex.trace.machine_of(3)
+
+    def test_work_conserving(self, small_instance):
+        real = sample_realization(small_instance, "uniform", seed=1)
+        outcome = run_strategy(LPTNoRestriction(), small_instance, real)
+        # No machine may idle before the last task *starts*.
+        last_start = max(r.start for r in outcome.trace.runs)
+        loads_before = [0.0] * small_instance.m
+        for r in outcome.trace.runs:
+            loads_before[r.machine] += min(r.end, last_start) - min(r.start, last_start)
+        # Every machine is busy from 0 until (at least) last_start.
+        for load in loads_before:
+            assert load == pytest.approx(last_start, rel=1e-9) or load >= last_start - 1e-9
+
+
+class TestTheorem3Guarantee:
+    def test_guarantee_is_min_form(self):
+        inst_small_alpha = make_instance([1.0] * 4, m=4, alpha=1.1)
+        assert LPTNoRestriction().guarantee(inst_small_alpha) == pytest.approx(
+            ub_lpt_no_restriction(1.1, 4)
+        )
+        inst_big_alpha = make_instance([1.0] * 4, m=4, alpha=3.0)
+        assert LPTNoRestriction().guarantee(inst_big_alpha) == pytest.approx(
+            ub_graham_ls(4)
+        )
+
+    @given(instances(min_n=2, max_n=10, max_m=3), st.integers(0, 3))
+    def test_ratio_within_guarantee(self, inst, seed):
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        rec = measured_ratio(LPTNoRestriction(), inst, real, exact_limit=12)
+        if rec.optimum.optimal:
+            assert rec.ratio <= rec.guarantee * (1 + 1e-9)
+
+    @given(instances(min_n=2, max_n=9, max_m=3))
+    def test_graham_always_holds(self, inst):
+        """Independent of alpha, the online LS bound 2 - 1/m holds."""
+        real = sample_realization(inst, "bimodal_extreme", 7)
+        rec = measured_ratio(LPTNoRestriction(), inst, real, exact_limit=12)
+        if rec.optimum.optimal:
+            assert rec.ratio <= ub_graham_ls(inst.m) * (1 + 1e-9)
+
+    def test_alpha_one_truthful_equals_lpt(self):
+        inst = make_instance([3.0, 3.0, 2.0, 2.0, 2.0], m=2, alpha=1.0)
+        rec = measured_ratio(LPTNoRestriction(), inst, truthful_realization(inst))
+        assert rec.ratio == pytest.approx(7.0 / 6.0)

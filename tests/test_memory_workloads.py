@@ -1,0 +1,72 @@
+"""Unit tests for repro.workloads.memory_workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.memory_workloads import (
+    MEMORY_WORKLOADS,
+    anticorrelated_sizes,
+    correlated_sizes,
+    independent_sizes,
+    planted_two_class,
+)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("family", sorted(MEMORY_WORKLOADS))
+    def test_shape(self, family):
+        inst = MEMORY_WORKLOADS[family](30, 4, 1.5, seed=0)
+        assert inst.n == 30
+        assert inst.m == 4
+        assert all(t.size > 0 for t in inst)
+        assert inst.name.startswith("mem_")
+
+    @pytest.mark.parametrize("family", sorted(MEMORY_WORKLOADS))
+    def test_deterministic(self, family):
+        a = MEMORY_WORKLOADS[family](20, 3, 1.2, seed=9)
+        b = MEMORY_WORKLOADS[family](20, 3, 1.2, seed=9)
+        assert a.sizes == b.sizes
+
+
+def _corr(inst) -> float:
+    times = np.asarray(inst.estimates)
+    sizes = np.asarray(inst.sizes)
+    return float(np.corrcoef(times, sizes)[0, 1])
+
+
+class TestCorrelationStructure:
+    def test_correlated_positive(self):
+        assert _corr(correlated_sizes(200, 4, seed=0)) > 0.7
+
+    def test_anticorrelated_negative(self):
+        assert _corr(anticorrelated_sizes(200, 4, seed=0)) < -0.5
+
+    def test_independent_near_zero(self):
+        assert abs(_corr(independent_sizes(500, 4, seed=0))) < 0.15
+
+
+class TestPlantedTwoClass:
+    def test_structure(self):
+        inst = planted_two_class(3, 5, m=2)
+        assert inst.n == 8
+        for j in range(3):
+            assert inst.tasks[j].estimate == 10.0
+            assert inst.tasks[j].size == 1.0
+        for j in range(3, 8):
+            assert inst.tasks[j].estimate == 1.0
+            assert inst.tasks[j].size == 10.0
+
+    def test_custom_magnitudes(self):
+        inst = planted_two_class(
+            1, 1, m=2, time_heavy=7.0, time_light=2.0, size_heavy=9.0, size_light=3.0
+        )
+        assert inst.tasks[0].estimate == 7.0
+        assert inst.tasks[1].size == 9.0
+
+    def test_degenerate_classes_rejected(self):
+        with pytest.raises(ValueError):
+            planted_two_class(2, 2, m=2, time_heavy=1.0, time_light=1.0)
+        with pytest.raises(ValueError):
+            planted_two_class(2, 2, m=2, size_heavy=1.0, size_light=1.0)

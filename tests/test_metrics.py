@@ -1,0 +1,97 @@
+"""Tests for schedule metrics (repro.simulation.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ratios import run_strategy
+from repro.core.strategies import LPTNoRestriction
+from repro.core.model import make_instance
+from repro.simulation.metrics import (
+    load_imbalance,
+    machine_utilization,
+    max_flow_time,
+    mean_flow_time,
+    mean_stretch,
+    metrics_summary,
+    total_completion_time,
+)
+from repro.simulation.trace import ScheduleTrace, TaskRun
+from repro.uncertainty.realization import truthful_realization
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def trace():
+    # M0: task0 [0,4); M1: task1 [0,2), task2 [2,3).
+    return ScheduleTrace(
+        (
+            TaskRun(0, 0, 0.0, 4.0),
+            TaskRun(1, 1, 0.0, 2.0),
+            TaskRun(2, 1, 2.0, 3.0),
+        )
+    )
+
+
+@pytest.fixture
+def inst():
+    return make_instance([4.0, 2.0, 1.0], m=2, alpha=1.0)
+
+
+class TestBasicMetrics:
+    def test_total_completion_time(self, trace):
+        assert total_completion_time(trace) == 9.0
+
+    def test_mean_flow_time_zero_releases(self, trace):
+        assert mean_flow_time(trace) == pytest.approx(3.0)
+
+    def test_flow_time_with_releases(self, trace):
+        # Task 2 released at 1 -> flow 2 instead of 3.
+        assert mean_flow_time(trace, [0.0, 0.0, 1.0]) == pytest.approx((4 + 2 + 2) / 3)
+        assert max_flow_time(trace, [0.0, 0.0, 1.0]) == 4.0
+
+    def test_release_length_validated(self, trace):
+        with pytest.raises(ValueError):
+            mean_flow_time(trace, [0.0])
+
+    def test_mean_stretch(self, trace, inst):
+        real = truthful_realization(inst)
+        # stretches: 4/4=1, 2/2=1, 3/1=3 -> mean 5/3.
+        assert mean_stretch(trace, real) == pytest.approx(5 / 3)
+
+    def test_utilization(self, trace):
+        # busy 7 over 2 machines x makespan 4.
+        assert machine_utilization(trace, 2) == pytest.approx(7 / 8)
+
+    def test_load_imbalance(self, trace):
+        # loads (4, 3); mean 3.5 -> 4/3.5.
+        assert load_imbalance(trace, 2) == pytest.approx(4 / 3.5)
+
+    def test_summary_keys(self, trace, inst):
+        real = truthful_realization(inst)
+        summary = metrics_summary(trace, real, 2)
+        assert set(summary) == {
+            "makespan",
+            "total_completion_time",
+            "mean_flow_time",
+            "max_flow_time",
+            "mean_stretch",
+            "machine_utilization",
+            "load_imbalance",
+        }
+        assert summary["makespan"] == 4.0
+
+
+class TestOnRealSchedules:
+    def test_invariants(self):
+        inst = uniform_instance(20, 4, alpha=1.5, seed=0)
+        from repro.uncertainty.stochastic import sample_realization
+
+        real = sample_realization(inst, "log_uniform", 1)
+        outcome = run_strategy(LPTNoRestriction(), inst, real)
+        summary = metrics_summary(outcome.trace, real, inst.m)
+        assert 0 < summary["machine_utilization"] <= 1.0
+        assert summary["load_imbalance"] >= 1.0
+        assert summary["mean_stretch"] >= 1.0
+        assert summary["mean_flow_time"] <= summary["max_flow_time"]
+        assert summary["max_flow_time"] <= summary["makespan"] + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for the MILP exact solver (cross-validation oracle)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact.bnb import branch_and_bound
+from repro.exact.milp import milp_makespan
+from tests.conftest import estimates_strategy
+
+
+class TestClosedForms:
+    def test_single_machine(self):
+        r = milp_makespan([1.0, 2.0], 1)
+        assert r.makespan == 3.0
+
+    def test_one_task_per_machine(self):
+        r = milp_makespan([5.0, 1.0], 3)
+        assert r.makespan == 5.0
+
+
+class TestKnownInstances:
+    def test_lpt_suboptimal_instance(self):
+        assert milp_makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2).makespan == pytest.approx(6.0)
+
+    def test_three_machines(self):
+        assert milp_makespan([5.0, 4.0, 3.0, 3.0, 3.0], 3).makespan == pytest.approx(7.0)
+
+    def test_assignment_is_consistent(self):
+        times = [4.0, 3.0, 3.0, 2.0, 2.0, 1.0]
+        r = milp_makespan(times, 3)
+        loads = [0.0] * 3
+        for j, i in enumerate(r.assignment):
+            loads[i] += times[j]
+        assert max(loads) == pytest.approx(r.makespan)
+
+    def test_without_symmetry_breaking(self):
+        r = milp_makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2, symmetry_breaking=False)
+        assert r.makespan == pytest.approx(6.0)
+
+
+class TestCrossValidation:
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25)
+    def test_agrees_with_branch_and_bound(self, times, m):
+        """Two independently implemented exact solvers must agree."""
+        assert milp_makespan(times, m).makespan == pytest.approx(
+            branch_and_bound(times, m).makespan, rel=1e-6
+        )

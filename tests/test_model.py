@@ -1,0 +1,194 @@
+"""Unit and property tests for repro.core.model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import Instance, Task, make_instance
+from tests.conftest import instances
+
+
+class TestTask:
+    def test_basic_construction(self):
+        t = Task(0, 2.5, 1.0)
+        assert t.tid == 0
+        assert t.estimate == 2.5
+        assert t.size == 1.0
+
+    def test_default_size_zero(self):
+        assert Task(1, 1.0).size == 0.0
+
+    def test_rejects_non_positive_estimate(self):
+        with pytest.raises(ValueError):
+            Task(0, 0.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Task(0, 1.0, -1.0)
+
+    def test_rejects_negative_tid(self):
+        with pytest.raises(ValueError):
+            Task(-1, 1.0)
+
+    def test_bounds(self):
+        t = Task(0, 4.0)
+        lo, hi = t.bounds(2.0)
+        assert lo == 2.0
+        assert hi == 8.0
+
+    def test_bounds_alpha_one(self):
+        lo, hi = Task(0, 3.0).bounds(1.0)
+        assert lo == hi == 3.0
+
+    def test_admits_interior(self):
+        assert Task(0, 4.0).admits(5.0, 2.0)
+
+    def test_admits_edges_with_tolerance(self):
+        t = Task(0, 1.0)
+        assert t.admits(1.0 / 1.5, 1.5)
+        assert t.admits(1.5, 1.5)
+
+    def test_rejects_outside_band(self):
+        t = Task(0, 4.0)
+        assert not t.admits(8.5, 2.0)
+        assert not t.admits(1.9, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Task(0, 1.0).estimate = 2.0  # type: ignore[misc]
+
+
+class TestInstanceConstruction:
+    def test_make_instance(self):
+        inst = make_instance([3.0, 1.0], m=2, alpha=1.5)
+        assert inst.n == 2
+        assert inst.m == 2
+        assert inst.alpha == 1.5
+        assert inst.estimates == (3.0, 1.0)
+
+    def test_make_instance_with_sizes(self):
+        inst = make_instance([1.0, 2.0], 2, sizes=[5.0, 0.0])
+        assert inst.sizes == (5.0, 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_instance([], 2)
+
+    def test_rejects_size_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            make_instance([1.0], 1, sizes=[1.0, 2.0])
+
+    def test_rejects_bad_tid_numbering(self):
+        with pytest.raises(ValueError, match="numbered contiguously"):
+            Instance((Task(1, 1.0),), m=1, alpha=1.0)
+
+    def test_rejects_non_task(self):
+        with pytest.raises(TypeError):
+            Instance((1.0,), m=1, alpha=1.0)  # type: ignore[arg-type]
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            make_instance([1.0], 1, alpha=0.5)
+
+    def test_name_not_compared(self):
+        a = make_instance([1.0], 1, name="a")
+        b = make_instance([1.0], 1, name="b")
+        assert a == b
+
+
+class TestInstanceAccessors:
+    def test_iter_and_len(self, small_instance):
+        assert len(small_instance) == 6
+        assert [t.tid for t in small_instance] == list(range(6))
+
+    def test_task_lookup(self, small_instance):
+        assert small_instance.task(2).estimate == 3.0
+
+    def test_machines_range(self, small_instance):
+        assert list(small_instance.machines) == [0, 1]
+
+    def test_total_and_max_estimate(self, small_instance):
+        assert small_instance.total_estimate == 18.0
+        assert small_instance.max_estimate == 5.0
+
+    def test_average_estimated_load(self, small_instance):
+        assert small_instance.average_estimated_load() == 9.0
+
+    def test_total_size_default_zero(self, small_instance):
+        assert small_instance.total_size == 0.0
+
+
+class TestOrders:
+    def test_lpt_order(self):
+        inst = make_instance([1.0, 5.0, 3.0], 2)
+        assert inst.lpt_order() == [1, 2, 0]
+
+    def test_lpt_order_tie_by_id(self):
+        inst = make_instance([2.0, 2.0, 2.0], 2)
+        assert inst.lpt_order() == [0, 1, 2]
+
+    def test_spt_order(self):
+        inst = make_instance([1.0, 5.0, 3.0], 2)
+        assert inst.spt_order() == [0, 2, 1]
+
+    def test_input_order(self, small_instance):
+        assert small_instance.input_order() == list(range(6))
+
+    @given(instances(min_n=2, max_n=10))
+    def test_lpt_order_is_permutation_and_sorted(self, inst):
+        order = inst.lpt_order()
+        assert sorted(order) == list(range(inst.n))
+        ests = [inst.tasks[j].estimate for j in order]
+        assert all(a >= b for a, b in zip(ests, ests[1:]))
+
+
+class TestDerivation:
+    def test_with_alpha(self, small_instance):
+        inst2 = small_instance.with_alpha(2.0)
+        assert inst2.alpha == 2.0
+        assert inst2.estimates == small_instance.estimates
+
+    def test_with_m(self, small_instance):
+        assert small_instance.with_m(4).m == 4
+
+    def test_with_sizes(self, small_instance):
+        inst2 = small_instance.with_sizes([1, 2, 3, 4, 5, 6])
+        assert inst2.sizes == (1, 2, 3, 4, 5, 6)
+
+    def test_with_sizes_wrong_length(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.with_sizes([1.0])
+
+    def test_subset_renumbers(self, small_instance):
+        sub = small_instance.subset([3, 5])
+        assert sub.n == 2
+        assert sub.tasks[0].tid == 0
+        assert sub.tasks[0].estimate == 3.0
+        assert sub.tasks[1].estimate == 1.0
+
+    def test_subset_rejects_empty(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.subset([])
+
+    def test_subset_rejects_out_of_range(self, small_instance):
+        with pytest.raises(ValueError):
+            small_instance.subset([99])
+
+
+class TestInstanceProperties:
+    @given(instances())
+    def test_totals_consistent(self, inst):
+        assert math.isclose(inst.total_estimate, sum(inst.estimates))
+        assert inst.max_estimate == max(inst.estimates)
+        assert inst.average_estimated_load() <= inst.total_estimate
+
+    @given(instances(), st.floats(min_value=1.0, max_value=5.0))
+    def test_band_contains_estimate(self, inst, alpha):
+        inst = inst.with_alpha(alpha)
+        for t in inst:
+            lo, hi = t.bounds(inst.alpha)
+            assert lo <= t.estimate <= hi

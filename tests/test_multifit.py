@@ -1,0 +1,84 @@
+"""Unit and property tests for repro.schedulers.multifit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exact.optimal import optimal_makespan
+from repro.schedulers.lpt import lpt_schedule
+from repro.schedulers.multifit import MULTIFIT_RATIO, ffd_pack, multifit_schedule
+from tests.conftest import estimates_strategy
+
+
+class TestFfdPack:
+    def test_fits_when_capacity_ample(self):
+        a = ffd_pack([3.0, 2.0, 1.0], m=2, capacity=6.0)
+        assert a is not None
+        loads = [0.0, 0.0]
+        for j, i in enumerate(a):
+            loads[i] += [3.0, 2.0, 1.0][j]
+        assert max(loads) <= 6.0
+
+    def test_fails_when_capacity_too_small(self):
+        assert ffd_pack([3.0, 3.0, 3.0], m=2, capacity=3.5) is None
+
+    def test_fails_when_single_task_too_big(self):
+        assert ffd_pack([5.0], m=3, capacity=4.0) is None
+
+    def test_capacity_zero(self):
+        assert ffd_pack([1.0], m=1, capacity=0.0) is None
+
+    def test_exact_capacity_accepted(self):
+        a = ffd_pack([2.0, 2.0], m=2, capacity=2.0)
+        assert a is not None
+        assert a[0] != a[1]
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_pack_respects_capacity(self, times, m):
+        cap = sum(times)  # always feasible on one bin
+        a = ffd_pack(times, m, cap)
+        assert a is not None
+        loads = [0.0] * m
+        for j, i in enumerate(a):
+            loads[i] += times[j]
+        assert max(loads) <= cap * (1 + 1e-9)
+
+
+class TestMultifit:
+    def test_beats_or_matches_lpt(self):
+        # Classic instance where MULTIFIT beats LPT.
+        times = [3.0, 3.0, 2.0, 2.0, 2.0]
+        mf = multifit_schedule(times, 2)
+        lpt = lpt_schedule(times, 2)
+        assert mf.makespan <= lpt.makespan
+        assert mf.makespan == 6.0  # optimal here
+
+    @given(estimates_strategy(1, 11), st.integers(min_value=1, max_value=4))
+    def test_never_worse_than_lpt(self, times, m):
+        assert (
+            multifit_schedule(times, m).makespan
+            <= lpt_schedule(times, m).makespan * (1 + 1e-9)
+        )
+
+    @given(estimates_strategy(1, 10), st.integers(min_value=1, max_value=4))
+    def test_13_11_guarantee(self, times, m):
+        opt = optimal_makespan(times, m, exact_limit=12)
+        if opt.optimal:
+            assert multifit_schedule(times, m).makespan <= MULTIFIT_RATIO * opt.value * (
+                1 + 1e-9
+            )
+
+    @given(estimates_strategy(1, 12), st.integers(min_value=1, max_value=4))
+    def test_assignment_complete_and_consistent(self, times, m):
+        r = multifit_schedule(times, m)
+        assert len(r.assignment) == len(times)
+        loads = [0.0] * m
+        for pos, j in enumerate(r.order):
+            loads[r.assignment[pos]] += times[j]
+        assert loads == pytest.approx(list(r.loads))
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            multifit_schedule([1.0], 1, iterations=0)

@@ -1,0 +1,71 @@
+"""Tests for the non-clairvoyant baseline strategy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import measured_ratio, run_strategy
+from repro.core.bounds import ub_graham_ls
+from repro.core.strategies import LPTNoRestriction, NonClairvoyantLS
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+from tests.conftest import instances
+
+
+class TestBasics:
+    def test_full_replication(self, small_instance):
+        assert NonClairvoyantLS().place(small_instance).is_full_replication()
+
+    def test_never_reads_estimates(self, small_instance):
+        """Two instances with identical n but different estimates produce
+        the same dispatch order."""
+        inst_a = uniform_instance(12, 3, alpha=1.5, seed=1)
+        inst_b = uniform_instance(12, 3, alpha=1.5, seed=2)
+        s = NonClairvoyantLS(seed=7)
+        pa, pb = s.place(inst_a), s.place(inst_b)
+        policy_a = s.make_policy(inst_a, pa)
+        policy_b = s.make_policy(inst_b, pb)
+        assert policy_a._order == policy_b._order  # type: ignore[attr-defined]
+
+    def test_seeded_shuffle_deterministic(self, small_instance):
+        s = NonClairvoyantLS(seed=3)
+        p = s.place(small_instance)
+        o1 = s.make_policy(small_instance, p)._order  # type: ignore[attr-defined]
+        o2 = s.make_policy(small_instance, p)._order  # type: ignore[attr-defined]
+        assert o1 == o2
+
+    def test_names(self):
+        assert NonClairvoyantLS().name == "nonclairvoyant_ls"
+        assert NonClairvoyantLS(seed=4).name == "nonclairvoyant_ls[shuffle=4]"
+
+
+class TestGrahamGuarantee:
+    @given(instances(min_n=2, max_n=10, max_m=4), st.integers(0, 3))
+    def test_within_graham(self, inst, seed):
+        """List scheduling in any order is (2 - 1/m)-competitive regardless
+        of alpha."""
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        rec = measured_ratio(NonClairvoyantLS(seed=seed), inst, real, exact_limit=12)
+        if rec.optimum.optimal:
+            assert rec.ratio <= ub_graham_ls(inst.m) * (1 + 1e-9)
+
+    def test_guarantee_is_alpha_independent(self, small_instance):
+        s = NonClairvoyantLS()
+        g1 = s.guarantee(small_instance.with_alpha(1.0))
+        g2 = s.guarantee(small_instance.with_alpha(3.0))
+        assert g1 == g2 == ub_graham_ls(small_instance.m)
+
+
+class TestRegimeBehaviour:
+    def test_estimates_help_at_low_alpha(self):
+        """At small alpha LPT-No Restriction (estimate-aware) should beat
+        the blind baseline on average."""
+        aware_total = blind_total = 0.0
+        for seed in range(8):
+            inst = uniform_instance(25, 5, alpha=1.1, seed=seed)
+            real = sample_realization(inst, "log_uniform", 400 + seed)
+            aware_total += run_strategy(LPTNoRestriction(), inst, real).makespan
+            blind_total += run_strategy(NonClairvoyantLS(seed=seed), inst, real).makespan
+        assert aware_total <= blind_total * (1 + 1e-9)

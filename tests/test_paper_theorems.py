@@ -1,0 +1,259 @@
+"""Property-based validation of every theorem in the paper.
+
+One test class per theorem.  Each samples random instances and
+α-admissible realizations (including the adversarial extremes the proofs
+use) and checks the theorem's inequality against the *exact* clairvoyant
+optimum.  A failure here would mean either a bug in an algorithm or a
+counterexample to the paper — both worth knowing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import measured_ratio, run_strategy
+from repro.core.adversary import exhaustive_worst_case, theorem1_instance, theorem1_realization
+from repro.core.bounds import (
+    lb_no_replication,
+    ub_graham_ls,
+    ub_lpt_no_choice,
+    ub_lpt_no_restriction,
+    ub_ls_group,
+)
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
+from repro.core.model import Instance, make_instance
+from repro.exact.optimal import optimal_makespan
+from repro.memory.abo import ABO
+from repro.memory.model import memory_lower_bound
+from repro.memory.sabo import SABO
+from repro.uncertainty.realization import factors_realization
+from repro.uncertainty.stochastic import sample_realization
+from tests.conftest import instances, sized_instances
+
+REALIZATION_MODELS = ("bimodal_extreme", "log_uniform", "uniform")
+
+
+def _check_ratio(strategy, inst, real, guarantee) -> None:
+    rec = measured_ratio(strategy, inst, real, exact_limit=14)
+    if rec.optimum.optimal:
+        assert rec.ratio <= guarantee * (1 + 1e-9), (
+            f"{strategy.name}: measured ratio {rec.ratio:.6f} exceeds guarantee "
+            f"{guarantee:.6f} on n={inst.n}, m={inst.m}, alpha={inst.alpha}, "
+            f"realization={real.label}"
+        )
+
+
+class TestTheorem1LowerBoundIsRealizable:
+    """The adversary construction approaches its stated bound and the bound
+    never exceeds Theorem 2's guarantee (consistency of the sandwich)."""
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    @pytest.mark.parametrize("alpha", [1.3, 2.0])
+    def test_adversary_ratio_bounded_by_theory(self, m, alpha):
+        lam = 3
+        inst = theorem1_instance(lam, m, alpha)
+        strategy = LPTNoChoice()
+        placement = strategy.place(inst)
+        real = theorem1_realization(placement)
+        outcome = run_strategy(strategy, inst, real)
+        opt = optimal_makespan(real.actuals, m, exact_limit=lam * m)
+        ratio = outcome.makespan / opt.value
+        # Sandwich: measured <= Th.2 guarantee, and the Th.1 bound sits
+        # between 1 and the Th.2 guarantee.
+        assert 1.0 - 1e-9 <= ratio <= ub_lpt_no_choice(alpha, m) + 1e-9
+        assert 1.0 <= lb_no_replication(alpha, m) <= ub_lpt_no_choice(alpha, m) + 1e-9
+
+    def test_adversary_ratio_grows_with_lambda(self):
+        """Against *balanced* placements the adversary's measured ratio is
+        non-decreasing in lambda and approaches the Theorem-1 bound."""
+        m, alpha = 2, 2.0
+        ratios = []
+        for lam in (1, 2, 4):
+            inst = theorem1_instance(lam, m, alpha)
+            strategy = LPTNoChoice()
+            placement = strategy.place(inst)
+            real = theorem1_realization(placement)
+            outcome = run_strategy(strategy, inst, real)
+            opt = optimal_makespan(real.actuals, m, exact_limit=lam * m)
+            ratios.append(outcome.makespan / opt.value)
+        assert ratios == sorted(ratios)
+        bound = lb_no_replication(alpha, m)
+        # Already at lambda=4 the adversary extracts > 80% of the bound.
+        assert ratios[-1] >= 0.8 * bound
+
+
+class TestTheorem2:
+    """LPT-No Choice <= 2α²m/(2α²+m−1) · OPT."""
+
+    @given(
+        instances(min_n=2, max_n=11, max_m=4),
+        st.sampled_from(REALIZATION_MODELS),
+        st.integers(0, 4),
+    )
+    def test_random_realizations(self, inst, model, seed):
+        real = sample_realization(inst, model, seed)
+        _check_ratio(LPTNoChoice(), inst, real, ub_lpt_no_choice(inst.alpha, inst.m))
+
+    @given(instances(min_n=2, max_n=9, max_m=3))
+    @settings(max_examples=15)
+    def test_exhaustive_extreme_realizations(self, inst):
+        """Search all 2^n extreme realizations: even the worst stays within
+        Theorem 2."""
+        strategy = LPTNoChoice()
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        _, worst = exhaustive_worst_case(inst, run)
+        assert worst <= ub_lpt_no_choice(inst.alpha, inst.m) * (1 + 1e-9)
+
+
+class TestTheorem3:
+    """LPT-No Restriction <= min(1 + (m-1)/m · α²/2, 2 − 1/m) · OPT."""
+
+    @given(
+        instances(min_n=2, max_n=11, max_m=4),
+        st.sampled_from(REALIZATION_MODELS),
+        st.integers(0, 4),
+    )
+    def test_random_realizations(self, inst, model, seed):
+        real = sample_realization(inst, model, seed)
+        _check_ratio(
+            LPTNoRestriction(), inst, real, ub_lpt_no_restriction(inst.alpha, inst.m)
+        )
+
+    @given(instances(min_n=2, max_n=9, max_m=3))
+    @settings(max_examples=15)
+    def test_exhaustive_extreme_realizations(self, inst):
+        strategy = LPTNoRestriction()
+
+        def run(real):
+            return run_strategy(strategy, inst, real).makespan
+
+        _, worst = exhaustive_worst_case(inst, run)
+        assert worst <= ub_lpt_no_restriction(inst.alpha, inst.m) * (1 + 1e-9)
+
+    def test_lemma1_two_task_bound(self):
+        """Lemma 1: if the critical machine ran >= 2 tasks, OPT >= 2 p_l/α²."""
+        inst = make_instance([4.0, 4.0, 4.0, 3.0, 3.0, 3.0], m=2, alpha=1.5)
+        real = sample_realization(inst, "bimodal_extreme", 3)
+        outcome = run_strategy(LPTNoRestriction(), inst, real)
+        per_machine = outcome.trace.tasks_per_machine(inst.m)
+        # Find the task reaching C_max.
+        ends = outcome.trace.completion_times()
+        l = max(range(inst.n), key=lambda j: ends[j])
+        machine_l = outcome.trace.machine_of(l)
+        if len(per_machine[machine_l]) >= 2:
+            opt = optimal_makespan(real.actuals, inst.m).value
+            assert opt >= 2.0 * real.actual(l) / inst.alpha**2 - 1e-9
+
+
+class TestTheorem4:
+    """LS-Group(k) <= [kα²/(α²+k−1)(1+(k−1)/m) + (m−k)/m] · OPT."""
+
+    @given(
+        instances(min_n=2, max_n=11, max_m=4),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(REALIZATION_MODELS),
+        st.integers(0, 3),
+    )
+    def test_random_realizations(self, inst, k, model, seed):
+        if inst.m % k != 0:
+            return
+        real = sample_realization(inst, model, seed)
+        _check_ratio(LSGroup(k), inst, real, ub_ls_group(inst.alpha, inst.m, k))
+
+    @given(instances(min_n=2, max_n=8, max_m=4))
+    @settings(max_examples=10)
+    def test_exhaustive_all_divisors(self, inst):
+        for k in range(1, inst.m + 1):
+            if inst.m % k != 0:
+                continue
+            strategy = LSGroup(k)
+
+            def run(real):
+                return run_strategy(strategy, inst, real).makespan
+
+            _, worst = exhaustive_worst_case(inst, run)
+            assert worst <= ub_ls_group(inst.alpha, inst.m, k) * (1 + 1e-9)
+
+    def test_graham_holds_for_k1(self):
+        """k=1 is plain online LS on everything: Graham's bound applies."""
+        inst = make_instance([5.0, 1.0, 1.0, 1.0, 1.0, 1.0], m=3, alpha=1.2)
+        real = sample_realization(inst, "bimodal_extreme", 1)
+        rec = measured_ratio(LSGroup(1), inst, real)
+        assert rec.ratio <= ub_graham_ls(inst.m) * (1 + 1e-9)
+
+
+class TestTheorems5And6Sabo:
+    @given(
+        sized_instances(min_n=2, max_n=10, max_m=3),
+        st.sampled_from((0.25, 1.0, 4.0)),
+        st.sampled_from(REALIZATION_MODELS),
+        st.integers(0, 2),
+    )
+    def test_both_objectives(self, inst, delta, model, seed):
+        strategy = SABO(delta)
+        real = sample_realization(inst, model, seed)
+        outcome = run_strategy(strategy, inst, real)
+        opt = optimal_makespan(real.actuals, inst.m, exact_limit=12)
+        if opt.optimal:
+            assert outcome.makespan <= strategy.makespan_guarantee(inst) * opt.value * (
+                1 + 1e-9
+            )
+        mem_lb = memory_lower_bound(inst.sizes, inst.m)
+        if mem_lb > 0:
+            assert outcome.memory_max <= strategy.memory_guarantee(inst) * mem_lb * (
+                1 + 1e-9
+            )
+
+
+class TestTheorems7And8Abo:
+    @given(
+        sized_instances(min_n=2, max_n=10, max_m=3),
+        st.sampled_from((0.25, 1.0, 4.0)),
+        st.sampled_from(REALIZATION_MODELS),
+        st.integers(0, 2),
+    )
+    def test_both_objectives(self, inst, delta, model, seed):
+        strategy = ABO(delta)
+        real = sample_realization(inst, model, seed)
+        outcome = run_strategy(strategy, inst, real)
+        opt = optimal_makespan(real.actuals, inst.m, exact_limit=12)
+        if opt.optimal:
+            assert outcome.makespan <= strategy.makespan_guarantee(inst) * opt.value * (
+                1 + 1e-9
+            )
+        mem_lb = memory_lower_bound(inst.sizes, inst.m)
+        if mem_lb > 0:
+            assert outcome.memory_max <= strategy.memory_guarantee(inst) * mem_lb * (
+                1 + 1e-9
+            )
+
+
+class TestCrossTheoremConsistency:
+    """Relations the paper states between the results."""
+
+    @given(st.floats(min_value=1.0, max_value=3.0), st.integers(min_value=2, max_value=100))
+    def test_sandwich_lb_le_ub(self, alpha, m):
+        assert lb_no_replication(alpha, m) <= ub_lpt_no_choice(alpha, m) + 1e-12
+
+    @given(st.floats(min_value=1.0, max_value=3.0), st.integers(min_value=2, max_value=100))
+    def test_full_replication_beats_no_replication_guarantee(self, alpha, m):
+        """Strategy 2's guarantee never exceeds Strategy 1's — replication
+        can only help in guarantee terms."""
+        assert ub_lpt_no_restriction(alpha, m) <= ub_lpt_no_choice(alpha, m) + 1e-12
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    def test_group_guarantee_interpolates(self, alpha):
+        """LS-Group's guarantee at k=1 is near Strategy 2's regime and at
+        k=m near Strategy 1's (within the looseness the paper notes)."""
+        m = 30
+        g1 = ub_ls_group(alpha, m, 1)
+        gm = ub_ls_group(alpha, m, m)
+        assert g1 <= gm + 1e-9
+        assert g1 <= ub_graham_ls(m) + 1e-9

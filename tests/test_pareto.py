@@ -1,0 +1,103 @@
+"""Unit and property tests for repro.memory.pareto."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.pareto import BiPoint, dominates, front_area, pareto_front, zenith_value
+
+points = st.builds(
+    BiPoint,
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates(BiPoint(1, 1), BiPoint(2, 2))
+        assert dominates(BiPoint(1, 2), BiPoint(2, 2))
+
+    def test_equal_not_strict(self):
+        assert not dominates(BiPoint(1, 1), BiPoint(1, 1))
+        assert dominates(BiPoint(1, 1), BiPoint(1, 1), strict=False)
+
+    def test_incomparable(self):
+        assert not dominates(BiPoint(1, 3), BiPoint(3, 1))
+        assert not dominates(BiPoint(3, 1), BiPoint(1, 3))
+
+
+class TestParetoFront:
+    def test_simple(self):
+        pts = [BiPoint(1, 3), BiPoint(2, 2), BiPoint(3, 1), BiPoint(3, 3)]
+        front = pareto_front(pts)
+        assert [(p.makespan, p.memory) for p in front] == [(1, 3), (2, 2), (3, 1)]
+
+    def test_duplicates_collapsed(self):
+        pts = [BiPoint(1, 1), BiPoint(1, 1)]
+        assert len(pareto_front(pts)) == 1
+
+    def test_single_point(self):
+        assert pareto_front([BiPoint(5, 5)]) == [BiPoint(5, 5)]
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_front_is_mutually_nondominated(self, pts):
+        front = pareto_front(pts)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_every_point_dominated_or_on_front(self, pts):
+        front = pareto_front(pts)
+        coords = {p.as_tuple() for p in front}
+        for p in pts:
+            assert p.as_tuple() in coords or any(
+                dominates(f, p, strict=False) for f in front
+            )
+
+    @given(st.lists(points, min_size=1, max_size=30))
+    def test_sorted_by_makespan(self, pts):
+        front = pareto_front(pts)
+        xs = [p.makespan for p in front]
+        assert xs == sorted(xs)
+
+
+class TestZenith:
+    def test_max_norm(self):
+        assert zenith_value(BiPoint(2, 3)) == 3.0
+
+    def test_weights(self):
+        assert zenith_value(BiPoint(2, 3), make_weight=2.0) == 4.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            zenith_value(BiPoint(1, 1), make_weight=0.0)
+
+
+class TestFrontArea:
+    def test_single_point_rectangle(self):
+        area = front_area([BiPoint(1, 1)], ref=(3, 3))
+        assert area == pytest.approx(4.0)
+
+    def test_staircase(self):
+        area = front_area([BiPoint(1, 2), BiPoint(2, 1)], ref=(3, 3))
+        # strips: [1,2]x(3-2) + [2,3]x(3-1) = 1 + 2 = 3.
+        assert area == pytest.approx(3.0)
+
+    def test_point_outside_ref_ignored(self):
+        assert front_area([BiPoint(5, 5)], ref=(3, 3)) == 0.0
+
+    @given(st.lists(points, min_size=1, max_size=20))
+    def test_area_nonnegative_and_bounded(self, pts):
+        ref = (11.0, 11.0)
+        area = front_area(pts, ref=ref)
+        assert 0.0 <= area <= ref[0] * ref[1]
+
+    @given(st.lists(points, min_size=1, max_size=15), points)
+    def test_adding_point_never_shrinks_area(self, pts, extra):
+        ref = (11.0, 11.0)
+        assert front_area(pts + [extra], ref=ref) >= front_area(pts, ref=ref) - 1e-9

@@ -1,0 +1,169 @@
+"""Unit and property tests for repro.core.placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import make_instance
+from repro.core.placement import (
+    Placement,
+    everywhere_placement,
+    group_placement,
+    single_machine_placement,
+)
+from tests.conftest import instances
+
+
+class TestConstruction:
+    def test_basic(self, small_instance):
+        p = Placement(small_instance, tuple(frozenset({0}) for _ in range(6)))
+        assert p.machines_for(0) == frozenset({0})
+
+    def test_rejects_wrong_count(self, small_instance):
+        with pytest.raises(ValueError, match="cover all"):
+            Placement(small_instance, (frozenset({0}),))
+
+    def test_rejects_empty_set(self, small_instance):
+        sets = [frozenset({0})] * 5 + [frozenset()]
+        with pytest.raises(ValueError, match="empty machine set"):
+            Placement(small_instance, tuple(sets))
+
+    def test_rejects_out_of_range_machine(self, small_instance):
+        sets = [frozenset({0})] * 5 + [frozenset({7})]
+        with pytest.raises(ValueError, match="outside"):
+            Placement(small_instance, tuple(sets))
+
+    def test_rejects_non_frozenset(self, small_instance):
+        sets = [frozenset({0})] * 5 + [{0}]
+        with pytest.raises(TypeError):
+            Placement(small_instance, tuple(sets))  # type: ignore[arg-type]
+
+
+class TestSingleMachine:
+    def test_assignment_round_trip(self, small_instance):
+        p = single_machine_placement(small_instance, [0, 1, 0, 1, 0, 1])
+        assert p.fixed_assignment() == [0, 1, 0, 1, 0, 1]
+        assert p.is_no_replication()
+        assert not p.is_full_replication()
+
+    def test_estimated_loads(self, small_instance):
+        p = single_machine_placement(small_instance, [0, 1, 0, 1, 0, 1])
+        # estimates 5,4,3,3,2,1 -> machine0: 5+3+2=10, machine1: 4+3+1=8
+        assert p.estimated_load_per_machine() == [10.0, 8.0]
+
+    def test_meta_contains_assignment(self, small_instance):
+        p = single_machine_placement(small_instance, [1] * 6)
+        assert p.meta["assignment"] == (1,) * 6
+
+    def test_wrong_length_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            single_machine_placement(small_instance, [0])
+
+
+class TestEverywhere:
+    def test_full_replication(self, small_instance):
+        p = everywhere_placement(small_instance)
+        assert p.is_full_replication()
+        assert p.max_replication() == 2
+        assert p.total_replicas() == 12
+
+    def test_allows_all(self, small_instance):
+        p = everywhere_placement(small_instance)
+        for j in range(6):
+            for i in range(2):
+                assert p.allows(j, i)
+
+    def test_fixed_assignment_raises(self, small_instance):
+        with pytest.raises(ValueError, match="fixed_assignment"):
+            everywhere_placement(small_instance).fixed_assignment()
+
+
+class TestGroups:
+    @pytest.fixture
+    def inst6(self):
+        return make_instance([1.0] * 8, m=6, alpha=1.5)
+
+    def test_group_sets(self, inst6):
+        groups = [[0, 1, 2], [3, 4, 5]]
+        p = group_placement(inst6, [0, 1, 0, 1, 0, 1, 0, 1], groups)
+        assert p.machines_for(0) == frozenset({0, 1, 2})
+        assert p.machines_for(1) == frozenset({3, 4, 5})
+        assert p.max_replication() == 3
+
+    def test_meta(self, inst6):
+        groups = [[0, 1, 2], [3, 4, 5]]
+        p = group_placement(inst6, [0] * 8, groups)
+        assert p.meta["groups"] == ((0, 1, 2), (3, 4, 5))
+
+    def test_rejects_overlapping_groups(self, inst6):
+        with pytest.raises(ValueError, match="disjoint"):
+            group_placement(inst6, [0] * 8, [[0, 1, 2], [2, 3, 4, 5]])
+
+    def test_rejects_incomplete_cover(self, inst6):
+        with pytest.raises(ValueError, match="cover all machines"):
+            group_placement(inst6, [0] * 8, [[0, 1], [2, 3]])
+
+    def test_rejects_empty_group(self, inst6):
+        with pytest.raises(ValueError, match="empty"):
+            group_placement(inst6, [0] * 8, [[0, 1, 2, 3, 4, 5], []])
+
+    def test_rejects_bad_group_index(self, inst6):
+        with pytest.raises(ValueError, match="out of range"):
+            group_placement(inst6, [5] * 8, [[0, 1, 2], [3, 4, 5]])
+
+
+class TestMetrics:
+    def test_replication_histogram(self, small_instance):
+        sets = [frozenset({0})] * 3 + [frozenset({0, 1})] * 3
+        p = Placement(small_instance, tuple(sets))
+        assert p.replication_histogram() == {1: 3, 2: 3}
+        assert p.max_replication() == 2
+        assert p.min_replication() == 1
+        assert p.total_replicas() == 9
+
+    def test_tasks_on(self, small_instance):
+        sets = [frozenset({0})] * 3 + [frozenset({1})] * 3
+        p = Placement(small_instance, tuple(sets))
+        assert p.tasks_on(0) == [0, 1, 2]
+        assert p.tasks_on(1) == [3, 4, 5]
+
+    def test_memory_per_machine(self):
+        inst = make_instance([1.0, 1.0], m=2, sizes=[3.0, 5.0])
+        sets = (frozenset({0, 1}), frozenset({1}))
+        p = Placement(inst, sets)
+        assert p.memory_per_machine() == [3.0, 8.0]
+        assert p.memory_max() == 8.0
+        assert p.total_memory() == 11.0
+
+    def test_restrict(self, small_instance):
+        p = everywhere_placement(small_instance)
+        p2 = p.restrict(0, [1])
+        assert p2.machines_for(0) == frozenset({1})
+        assert p2.machines_for(1) == frozenset({0, 1})
+        # Original untouched (immutability).
+        assert p.machines_for(0) == frozenset({0, 1})
+
+
+class TestProperties:
+    @given(instances(min_n=1, max_n=10, max_m=4))
+    def test_everywhere_memory_max_is_total_size(self, inst):
+        p = everywhere_placement(inst)
+        assert p.memory_max() == pytest.approx(inst.total_size)
+
+    @given(
+        instances(min_n=1, max_n=10, max_m=4).flatmap(
+            lambda inst: st.lists(
+                st.integers(min_value=0, max_value=inst.m - 1),
+                min_size=inst.n,
+                max_size=inst.n,
+            ).map(lambda a: (inst, a))
+        )
+    )
+    def test_single_machine_invariants(self, inst_and_assignment):
+        inst, assignment = inst_and_assignment
+        p = single_machine_placement(inst, assignment)
+        assert p.is_no_replication()
+        assert p.total_replicas() == inst.n
+        assert sum(p.estimated_load_per_machine()) == pytest.approx(inst.total_estimate)

@@ -1,0 +1,104 @@
+"""Tests for the numeric proof verification (repro.theory)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    check_lemma1_chain,
+    check_theorem1_chain,
+    check_theorem2_chain,
+    check_theorem3_chain,
+    check_theorem4_chain,
+    verify_all,
+)
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import generate, uniform_instance
+from tests.conftest import instances
+
+
+class TestTheorem1Chain:
+    @pytest.mark.parametrize("lam,m,alpha", [(1, 2, 1.5), (3, 4, 2.0), (5, 3, 1.2)])
+    def test_all_steps_hold(self, lam, m, alpha):
+        check = check_theorem1_chain(lam, m, alpha)
+        assert check.all_hold, check.render()
+
+    def test_unbalanced_b(self):
+        check = check_theorem1_chain(2, 3, 1.5, b=4)
+        assert check.all_hold, check.render()
+
+    def test_render(self):
+        out = check_theorem1_chain(2, 2, 1.5).render()
+        assert "Theorem 1" in out and "ok" in out
+
+
+class TestTheorem2Chain:
+    @given(instances(min_n=4, max_n=12, max_m=4))
+    @settings(max_examples=25)
+    def test_random_instances(self, inst):
+        check = check_theorem2_chain(inst)
+        assert check.all_hold, check.render()
+
+    def test_worked_example(self):
+        inst = generate("staircase", 8, 3, 1.5)
+        check = check_theorem2_chain(inst)
+        assert check.steps, "expected a non-trivial chain"
+        assert check.all_hold, check.render()
+
+    def test_single_task_machines_skipped(self):
+        inst = uniform_instance(2, 2, alpha=1.5, seed=0)
+        check = check_theorem2_chain(inst)
+        assert not check.steps
+        assert check.notes
+
+
+class TestLemma1Chain:
+    @given(instances(min_n=5, max_n=12, max_m=3), st.integers(0, 3))
+    @settings(max_examples=25)
+    def test_random_instances(self, inst, seed):
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        check = check_lemma1_chain(inst, real)
+        assert check.all_hold, check.render()
+
+
+class TestTheorem3Chain:
+    @given(instances(min_n=4, max_n=12, max_m=4), st.integers(0, 3))
+    @settings(max_examples=25)
+    def test_random_instances(self, inst, seed):
+        real = sample_realization(inst, "log_uniform", seed)
+        check = check_theorem3_chain(inst, real)
+        assert check.all_hold, check.render()
+
+
+class TestTheorem4Chain:
+    @given(instances(min_n=4, max_n=12, max_m=4), st.integers(0, 2))
+    @settings(max_examples=25)
+    def test_all_divisors(self, inst, seed):
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        for k in range(1, inst.m + 1):
+            if inst.m % k:
+                continue
+            check = check_theorem4_chain(inst, real, k)
+            assert check.all_hold, check.render()
+
+
+class TestVerifyAll:
+    def test_full_battery(self):
+        inst = generate("uniform", 12, 4, 1.8, seed=3)
+        real = sample_realization(inst, "bimodal_extreme", 9)
+        checks = verify_all(inst, real)
+        # Th.1, Th.2, Lemma 1, Th.3 + one Th.4 per divisor of 4.
+        assert len(checks) == 4 + 3
+        for c in checks:
+            assert c.all_hold, c.render()
+
+    def test_failures_listed(self):
+        from repro.theory.proof_steps import ProofCheck
+
+        c = ProofCheck("demo")
+        c.require("impossible", 2.0, 1.0)
+        assert not c.all_hold
+        assert len(c.failures()) == 1
+        assert "FAIL" in c.render()

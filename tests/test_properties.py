@@ -1,0 +1,147 @@
+"""Cross-cutting property tests: simulator honesty and system invariants.
+
+Where :mod:`tests.test_paper_theorems` checks the paper's inequalities,
+this module checks the *machinery*: any strategy × any admissible
+realization must yield a feasible, work-conserving, deterministic
+execution whose aggregates are internally consistent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import run_strategy
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
+from repro.exact.optimal import optimal_makespan
+from repro.memory.abo import ABO
+from repro.memory.sabo import SABO
+from repro.schedulers.lower_bounds import combined_lower_bound
+from repro.uncertainty.stochastic import sample_realization
+from tests.conftest import instances, sized_instances
+
+MODELS = ("uniform", "bimodal_extreme", "log_uniform", "lognormal")
+
+
+def _strategies_for(m: int):
+    out = [LPTNoChoice(), LPTNoRestriction()]
+    for k in range(1, m + 1):
+        if m % k == 0:
+            out.append(LSGroup(k))
+    return out
+
+
+class TestFeasibilityUniversal:
+    @given(
+        instances(min_n=1, max_n=12, max_m=4),
+        st.sampled_from(MODELS),
+        st.integers(0, 3),
+    )
+    def test_all_strategies_feasible(self, inst, model, seed):
+        real = sample_realization(inst, model, seed)
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            # validate() raises on any feasibility violation.
+            outcome.trace.validate(outcome.placement, real)
+
+    @given(
+        sized_instances(min_n=1, max_n=10, max_m=3),
+        st.sampled_from((0.5, 2.0)),
+        st.integers(0, 2),
+    )
+    def test_memory_strategies_feasible(self, inst, delta, seed):
+        real = sample_realization(inst, "uniform", seed)
+        for strategy in (SABO(delta), ABO(delta)):
+            outcome = run_strategy(strategy, inst, real)
+            outcome.trace.validate(outcome.placement, real)
+
+
+class TestMakespanSanity:
+    @given(
+        instances(min_n=1, max_n=12, max_m=4),
+        st.sampled_from(MODELS),
+        st.integers(0, 3),
+    )
+    def test_sandwiched_by_trivial_bounds(self, inst, model, seed):
+        """max p_j <= C_max <= sum p_j for every strategy."""
+        real = sample_realization(inst, model, seed)
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            assert outcome.makespan >= real.max * (1 - 1e-9)
+            assert outcome.makespan <= real.total * (1 + 1e-9)
+
+    @given(instances(min_n=2, max_n=10, max_m=3), st.integers(0, 3))
+    def test_never_below_lower_bound(self, inst, seed):
+        real = sample_realization(inst, "log_uniform", seed)
+        lb = combined_lower_bound(list(real.actuals), inst.m)
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            assert outcome.makespan >= lb * (1 - 1e-9)
+
+    @given(instances(min_n=2, max_n=10, max_m=3), st.integers(0, 2))
+    def test_never_below_exact_optimum(self, inst, seed):
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        opt = optimal_makespan(list(real.actuals), inst.m, exact_limit=12)
+        if not opt.optimal:
+            return
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            assert outcome.makespan >= opt.value * (1 - 1e-9)
+
+
+class TestWorkConservation:
+    @given(instances(min_n=2, max_n=12, max_m=4), st.integers(0, 3))
+    def test_online_strategies_no_early_idle(self, inst, seed):
+        """For full-replication dispatch no machine idles before the last
+        task has started (List-Scheduling work conservation)."""
+        real = sample_realization(inst, "uniform", seed)
+        outcome = run_strategy(LPTNoRestriction(), inst, real)
+        last_start = max(r.start for r in outcome.trace.runs)
+        # Each machine's busy time within [0, last_start] equals last_start
+        # whenever it hosts at least one task interval covering it.
+        busy = [0.0] * inst.m
+        for r in outcome.trace.runs:
+            busy[r.machine] += min(r.end, last_start) - min(r.start, last_start)
+        for i in range(inst.m):
+            assert busy[i] >= last_start - 1e-9 or last_start == 0.0
+
+    @given(instances(min_n=1, max_n=12, max_m=4), st.integers(0, 2))
+    def test_starts_packed_from_zero(self, inst, seed):
+        """Every machine that runs anything starts its first task at 0 for
+        the paper's strategies (all tasks released at 0)."""
+        real = sample_realization(inst, "uniform", seed)
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            firsts: dict[int, float] = {}
+            for r in outcome.trace.runs:
+                firsts[r.machine] = min(firsts.get(r.machine, float("inf")), r.start)
+            for start in firsts.values():
+                assert start == pytest.approx(0.0)
+
+
+class TestAggregateConsistency:
+    @given(instances(min_n=1, max_n=12, max_m=4), st.integers(0, 2))
+    def test_loads_sum_to_total_work(self, inst, seed):
+        real = sample_realization(inst, "lognormal", seed)
+        for strategy in _strategies_for(inst.m):
+            outcome = run_strategy(strategy, inst, real)
+            assert sum(outcome.trace.loads(inst.m)) == pytest.approx(real.total)
+
+    @given(instances(min_n=1, max_n=12, max_m=4))
+    def test_replication_metric_matches_strategy(self, inst):
+        assert LPTNoChoice().replication_of(inst) == 1
+        assert LPTNoRestriction().replication_of(inst) == inst.m
+        for k in range(1, inst.m + 1):
+            if inst.m % k == 0:
+                assert LSGroup(k).replication_of(inst) == inst.m // k
+
+
+class TestAlphaOneDegeneration:
+    @given(instances(min_n=2, max_n=12, max_m=4, alphas=(1.0,)), st.sampled_from(MODELS))
+    @settings(max_examples=20)
+    def test_certain_model_realization_is_truthful(self, inst, model):
+        """alpha=1 forces every realization to equal the estimates, so all
+        strategies reduce to their classical certain-time counterparts."""
+        real = sample_realization(inst, model, 0)
+        assert list(real.actuals) == pytest.approx(list(inst.estimates))

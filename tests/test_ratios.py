@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ratios import measured_ratio, run_strategy
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.core.model import make_instance
+from repro.uncertainty.realization import factors_realization, truthful_realization
+
+
+@pytest.fixture
+def inst():
+    return make_instance([3.0, 3.0, 2.0, 2.0, 2.0], m=2, alpha=1.5)
+
+
+class TestRunStrategy:
+    def test_outcome_fields(self, inst):
+        out = run_strategy(LPTNoChoice(), inst, truthful_realization(inst))
+        assert out.strategy_name == "lpt_no_choice"
+        assert out.replication == 1
+        assert out.makespan == pytest.approx(7.0)  # LPT on this instance
+        assert out.trace.label == "lpt_no_choice/truthful"
+
+    def test_memory_metric(self):
+        inst = make_instance([2.0, 1.0], m=2, sizes=[3.0, 4.0], alpha=1.2)
+        out = run_strategy(LPTNoRestriction(), inst, truthful_realization(inst))
+        assert out.memory_max == pytest.approx(7.0)  # everything everywhere
+
+    def test_validation_runs_by_default(self, inst):
+        # If validation were skipped a broken policy would pass silently;
+        # spot-check by ensuring a valid run does not raise.
+        run_strategy(LPTNoRestriction(), inst, truthful_realization(inst), validate=True)
+
+
+class TestMeasuredRatio:
+    def test_exact_ratio(self, inst):
+        rec = measured_ratio(LPTNoChoice(), inst, truthful_realization(inst))
+        assert rec.optimum.optimal
+        assert rec.optimum.value == pytest.approx(6.0)
+        assert rec.ratio == pytest.approx(7.0 / 6.0)
+
+    def test_guarantee_attached(self, inst):
+        rec = measured_ratio(LPTNoChoice(), inst, truthful_realization(inst))
+        assert rec.guarantee is not None
+        assert rec.within_guarantee is True
+
+    def test_within_guarantee_none_when_lb_denominator(self):
+        big = make_instance([1.0 + 0.01 * j for j in range(60)], m=3, alpha=1.5)
+        rec = measured_ratio(
+            LPTNoChoice(), big, truthful_realization(big), exact_limit=5
+        )
+        assert not rec.optimum.optimal
+        # Ratio happens to be within the guarantee here, so True; the None
+        # case needs a violation which a valid strategy cannot produce
+        # against its own guarantee... construct one artificially:
+        from repro.analysis.ratios import RatioRecord
+
+        fake = RatioRecord(rec.outcome, rec.optimum, ratio=99.0, guarantee=2.0)
+        assert fake.within_guarantee is None
+
+    def test_within_guarantee_false_requires_exact(self, inst):
+        from repro.analysis.ratios import RatioRecord
+
+        rec = measured_ratio(LPTNoChoice(), inst, truthful_realization(inst))
+        fake = RatioRecord(rec.outcome, rec.optimum, ratio=99.0, guarantee=2.0)
+        assert fake.within_guarantee is False
+
+    def test_ratio_at_least_one_for_exact(self, inst):
+        real = factors_realization(inst, [1.5, 1 / 1.5, 1.0, 1.0, 1.0])
+        rec = measured_ratio(LPTNoRestriction(), inst, real)
+        assert rec.ratio >= 1.0 - 1e-9

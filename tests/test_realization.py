@@ -1,0 +1,110 @@
+"""Unit and property tests for repro.uncertainty.realization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.core.model import make_instance
+from repro.uncertainty.realization import (
+    Realization,
+    factors_realization,
+    truthful_realization,
+)
+from tests.conftest import factor_vectors, instances
+
+
+class TestConstruction:
+    def test_truthful(self, small_instance):
+        real = truthful_realization(small_instance)
+        assert real.actuals == small_instance.estimates
+        assert real.label == "truthful"
+
+    def test_factors(self, small_instance):
+        real = factors_realization(small_instance, [1.5, 1.0, 1.0, 1.0, 1.0, 1 / 1.5])
+        assert math.isclose(real.actual(0), 7.5)
+        assert math.isclose(real.actual(5), 1.0 / 1.5)
+
+    def test_rejects_wrong_length(self, small_instance):
+        with pytest.raises(ValueError, match="cover all"):
+            Realization(small_instance, (1.0, 2.0))
+
+    def test_rejects_band_violation_high(self, small_instance):
+        actuals = list(small_instance.estimates)
+        actuals[0] = actuals[0] * 1.6  # alpha is 1.5
+        with pytest.raises(ValueError, match="alpha-band"):
+            Realization(small_instance, tuple(actuals))
+
+    def test_rejects_band_violation_low(self, small_instance):
+        actuals = list(small_instance.estimates)
+        actuals[3] = actuals[3] / 1.6
+        with pytest.raises(ValueError, match="alpha-band"):
+            Realization(small_instance, tuple(actuals))
+
+    def test_rejects_non_positive_actual(self):
+        inst = make_instance([1.0], 1, alpha=2.0)
+        with pytest.raises(ValueError):
+            Realization(inst, (0.0,))
+
+    def test_factors_rejects_out_of_band(self, small_instance):
+        with pytest.raises(ValueError):
+            factors_realization(small_instance, [2.0] * 6)  # alpha = 1.5
+
+
+class TestAccessors:
+    def test_getitem_and_len(self, small_instance):
+        real = truthful_realization(small_instance)
+        assert real[0] == 5.0
+        assert len(real) == 6
+
+    def test_total_and_max(self, small_instance):
+        real = truthful_realization(small_instance)
+        assert real.total == 18.0
+        assert real.max == 5.0
+
+    def test_average_load(self, small_instance):
+        real = truthful_realization(small_instance)
+        assert real.average_load() == 9.0
+
+    def test_factor_round_trip(self, small_instance):
+        real = factors_realization(small_instance, [1.2] * 6)
+        for j in range(6):
+            assert math.isclose(real.factor(j), 1.2)
+        assert all(math.isclose(f, 1.2) for f in real.factors())
+
+
+class TestMapFactors:
+    def test_identity_map(self, small_instance):
+        real = truthful_realization(small_instance)
+        real2 = real.map_factors(lambda j, f: f)
+        assert real2.actuals == real.actuals
+
+    def test_scaling_map(self, small_instance):
+        real = truthful_realization(small_instance)
+        real2 = real.map_factors(lambda j, f: 1.4, label="scaled")
+        assert real2.label == "scaled"
+        assert math.isclose(real2.actual(0), 7.0)
+
+    def test_out_of_band_map_raises(self, small_instance):
+        real = truthful_realization(small_instance)
+        with pytest.raises(ValueError):
+            real.map_factors(lambda j, f: 10.0)
+
+
+class TestProperties:
+    @given(instances())
+    def test_truthful_always_valid(self, inst):
+        real = truthful_realization(inst)
+        assert real.total == pytest.approx(sum(inst.estimates))
+
+    @given(instances(min_n=2, max_n=8).flatmap(
+        lambda inst: factor_vectors(inst).map(lambda fs: (inst, fs))
+    ))
+    def test_admissible_factors_accepted(self, inst_and_factors):
+        inst, factors = inst_and_factors
+        real = factors_realization(inst, factors)
+        for j in range(inst.n):
+            lo, hi = inst.tasks[j].bounds(inst.alpha)
+            assert lo * (1 - 1e-9) <= real.actual(j) <= hi * (1 + 1e-9)

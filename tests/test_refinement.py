@@ -1,0 +1,120 @@
+"""Tests for the adaptive estimate-refinement extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adaptive import EstimateRefiner, IterativeSession
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.core.model import make_instance
+from repro.uncertainty.realization import factors_realization, truthful_realization
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def inst():
+    return make_instance([4.0, 3.0, 2.0, 1.0], m=2, alpha=2.0)
+
+
+class TestEstimateRefiner:
+    def test_truthful_observation_keeps_estimates(self, inst):
+        r = EstimateRefiner(inst, eta=0.5)
+        r.observe(truthful_realization(inst))
+        assert r.estimates == pytest.approx(list(inst.estimates))
+        assert r.effective_alpha() == pytest.approx(1.0)
+
+    def test_full_eta_jumps_to_observation(self, inst):
+        r = EstimateRefiner(inst, eta=1.0)
+        real = factors_realization(inst, [2.0, 0.5, 1.0, 1.0])
+        r.observe(real)
+        assert r.estimates[0] == pytest.approx(8.0)
+        assert r.estimates[1] == pytest.approx(1.5)
+
+    def test_half_eta_geometric_mean(self, inst):
+        r = EstimateRefiner(inst, eta=0.5)
+        real = factors_realization(inst, [2.0, 1.0, 1.0, 1.0])
+        r.observe(real)
+        # sqrt(4 * 8) = 5.657...
+        assert r.estimates[0] == pytest.approx(math.sqrt(4.0 * 8.0))
+
+    def test_effective_alpha_tracks_worst_miss(self, inst):
+        r = EstimateRefiner(inst, eta=0.0)
+        real = factors_realization(inst, [2.0, 0.5, 1.1, 1.0])
+        r.observe(real)
+        assert r.effective_alpha() == pytest.approx(2.0)
+
+    def test_repeated_observation_converges(self, inst):
+        """Observing the same biased durations repeatedly drives the
+        effective alpha to ~1."""
+        r = EstimateRefiner(inst, eta=0.5)
+        actuals = tuple(e * f for e, f in zip(inst.estimates, [2.0, 0.5, 1.5, 1.0]))
+        current = inst
+        for _ in range(12):
+            real_factors = [a / e for a, e in zip(actuals, r.estimates)]
+            clipped = [min(max(f, 1 / current.alpha), current.alpha) for f in real_factors]
+            real = factors_realization(current, clipped)
+            r.observe(real)
+            current = r.refined_instance(alpha=2.0)
+        assert r.effective_alpha() < 1.05
+
+    def test_refined_instance_carries_metadata(self, inst):
+        r = EstimateRefiner(inst, eta=0.3)
+        r.observe(truthful_realization(inst))
+        refined = r.refined_instance()
+        assert refined.m == inst.m
+        assert refined.n == inst.n
+        assert refined.alpha >= 1.0
+
+    def test_eta_validated(self, inst):
+        with pytest.raises(ValueError):
+            EstimateRefiner(inst, eta=1.5)
+
+
+class TestIterativeSession:
+    def test_runs_and_reports(self):
+        inst = uniform_instance(20, 4, alpha=2.0, seed=1)
+        session = IterativeSession(inst, LPTNoChoice(), seed=3)
+        results = session.run(5, refine=True)
+        assert len(results) == 5
+        assert all(r.makespan > 0 for r in results)
+        assert [r.iteration for r in results] == list(range(5))
+
+    def test_refinement_shrinks_effective_alpha(self):
+        inst = uniform_instance(24, 4, alpha=2.0, seed=2)
+        session = IterativeSession(inst, LPTNoChoice(), bias_fraction=0.8, seed=5)
+        results = session.run(8, refine=True, eta=0.7)
+        assert results[-1].effective_alpha < results[0].effective_alpha
+
+    def test_no_refinement_keeps_alpha_high(self):
+        inst = uniform_instance(24, 4, alpha=2.0, seed=2)
+        session = IterativeSession(inst, LPTNoChoice(), bias_fraction=0.8, seed=5)
+        results = session.run(8, refine=False)
+        # Persistent bias never learned: misses stay roughly constant.
+        assert results[-1].effective_alpha > 1.2
+
+    def test_refinement_improves_pinned_makespan(self):
+        """With a mostly-learnable bias, refined estimates let the pinned
+        strategy re-balance; later iterations beat early ones on average."""
+        totals = {True: 0.0, False: 0.0}
+        for seed in range(4):
+            inst = uniform_instance(30, 5, alpha=2.0, seed=seed)
+            for refine in (True, False):
+                session = IterativeSession(
+                    inst, LPTNoChoice(), bias_fraction=0.9, seed=100 + seed
+                )
+                results = session.run(6, refine=refine, eta=0.8)
+                totals[refine] += sum(r.ratio_vs_lb for r in results[-3:]) / 3
+        assert totals[True] <= totals[False] * (1 + 1e-9)
+
+    def test_deterministic(self):
+        inst = uniform_instance(15, 3, alpha=1.8, seed=0)
+        a = IterativeSession(inst, LPTNoRestriction(), seed=9).run(4)
+        b = IterativeSession(inst, LPTNoRestriction(), seed=9).run(4)
+        assert [r.makespan for r in a] == [r.makespan for r in b]
+
+    def test_bias_fraction_validated(self):
+        inst = uniform_instance(5, 2, alpha=1.5, seed=0)
+        with pytest.raises(ValueError):
+            IterativeSession(inst, LPTNoChoice(), bias_fraction=1.2)

@@ -1,0 +1,91 @@
+"""Tests for the regime analysis (repro.analysis.regimes)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.regimes import (
+    alpha_crossovers,
+    clairvoyance_value,
+    dominant_strategy_map,
+    replication_value,
+)
+from repro.core.bounds import ub_lpt_no_choice, ub_ls_group
+
+
+class TestDominantStrategyMap:
+    def test_low_alpha_full_replication_wins(self):
+        row = dominant_strategy_map([1.05], 30)[0]
+        assert row["best_strategy"] == "lpt_no_restriction"
+        assert row["best_replication"] == 30
+
+    def test_per_replication_complete(self):
+        row = dominant_strategy_map([1.5], 30)[0]
+        per = row["per_replication"]
+        # One entry per divisor-induced replication level.
+        assert set(per) == {30 // k for k in (1, 2, 3, 5, 6, 10, 15, 30)}
+
+    def test_best_is_min_over_levels(self):
+        row = dominant_strategy_map([2.0], 12)[0]
+        per = row["per_replication"]
+        assert row["best_guarantee"] == pytest.approx(
+            min(v for _, v in per.values())
+        )
+
+    def test_replication_one_best_of_group_and_no_choice(self):
+        row = dominant_strategy_map([1.2], 6)[0]
+        name, value = row["per_replication"][1]
+        expected = min(ub_lpt_no_choice(1.2, 6), ub_ls_group(1.2, 6, 6))
+        assert value == pytest.approx(expected)
+
+
+class TestAlphaCrossovers:
+    def test_th3_crossover_is_sqrt2(self):
+        assert alpha_crossovers(10)["th3_vs_graham"] == pytest.approx(math.sqrt(2))
+
+    def test_group_crossover_found(self):
+        cross = alpha_crossovers(30, k=5)["group_vs_no_choice"]
+        assert 1.0 <= cross < 2.0
+        # Verify: just above the crossover the group strategy wins.
+        assert ub_ls_group(cross + 0.01, 30, 5) < ub_lpt_no_choice(cross + 0.01, 30)
+
+    def test_without_k_no_group_entry(self):
+        assert "group_vs_no_choice" not in alpha_crossovers(10)
+
+
+class TestClairvoyanceValue:
+    def test_positive_below_sqrt2(self):
+        assert clairvoyance_value(1.1, 20) > 0
+
+    def test_zero_at_and_above_sqrt2(self):
+        assert clairvoyance_value(math.sqrt(2), 20) == pytest.approx(0.0, abs=1e-12)
+        assert clairvoyance_value(2.5, 20) == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=1.0, max_value=3.0), st.integers(min_value=2, max_value=200))
+    def test_nonnegative_and_bounded(self, alpha, m):
+        v = clairvoyance_value(alpha, m)
+        assert -1e-12 <= v <= 1.0  # can never exceed Graham - 1
+
+
+class TestReplicationValue:
+    def test_rows_cover_consecutive_levels(self):
+        rows = replication_value(2.0, 30)
+        levels = [r["from_replication"] for r in rows] + [rows[-1]["to_replication"]]
+        assert levels == sorted(levels)
+        assert levels[0] == 1.0 and levels[-1] == 30.0
+
+    def test_diminishing_returns_at_high_alpha(self):
+        """The paper: 'when alpha is large, only few replications improve
+        the performance significantly' — the first step's per-replica value
+        dominates the last step's."""
+        rows = replication_value(2.0, 210)
+        assert rows[0]["drop_per_replica"] > 10 * rows[-1]["drop_per_replica"]
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    def test_all_drops_nonnegative(self, alpha):
+        for r in replication_value(alpha, 30):
+            assert r["guarantee_drop"] >= -1e-9

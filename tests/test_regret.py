@@ -1,0 +1,87 @@
+"""Tests for scenario-based min-max regret evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.regret import (
+    build_scenarios,
+    evaluate_scenarios,
+    minmax_regret_choice,
+)
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(12, 4, alpha=2.0, seed=3)
+
+
+class TestBuildScenarios:
+    def test_includes_truthful_and_samples(self, inst):
+        scenarios = build_scenarios(inst, models=("uniform",), seeds=(0, 1))
+        assert len(scenarios) == 3
+        assert scenarios[0].label == "truthful"
+
+    def test_without_truthful(self, inst):
+        scenarios = build_scenarios(
+            inst, models=("uniform",), seeds=(0,), include_truthful=False
+        )
+        assert len(scenarios) == 1
+
+
+class TestEvaluateScenarios:
+    def test_regret_nonnegative_when_exact(self, inst):
+        scenarios = build_scenarios(inst, seeds=(0, 1))
+        evals = evaluate_scenarios(
+            [LPTNoChoice(), LPTNoRestriction()], inst, scenarios, exact_limit=14
+        )
+        for e in evals:
+            if e.all_optima_exact:
+                assert e.max_abs_regret >= -1e-9
+                assert e.max_rel_regret >= -1e-9
+            assert e.mean_rel_regret <= e.max_rel_regret + 1e-12
+            assert e.scenarios == len(scenarios)
+
+    def test_worst_scenario_labeled(self, inst):
+        scenarios = build_scenarios(inst, models=("bimodal_extreme",), seeds=(0,))
+        evals = evaluate_scenarios([LPTNoChoice()], inst, scenarios)
+        assert evals[0].worst_scenario in {"truthful", "bimodal_extreme"}
+
+    def test_empty_scenarios_rejected(self, inst):
+        with pytest.raises(ValueError):
+            evaluate_scenarios([LPTNoChoice()], inst, [])
+
+
+class TestMinmaxChoice:
+    def test_picks_smallest_max_regret(self, inst):
+        scenarios = build_scenarios(inst, seeds=(0, 1, 2))
+        evals = evaluate_scenarios(
+            [LPTNoChoice(), LSGroup(2), LPTNoRestriction()], inst, scenarios,
+            exact_limit=14,
+        )
+        winner = minmax_regret_choice(evals)
+        assert winner.max_rel_regret == min(e.max_rel_regret for e in evals)
+
+    def test_full_replication_usually_wins(self, inst):
+        """Under a scenario set with extreme corners, the most flexible
+        strategy should be the min-max-regret choice."""
+        scenarios = build_scenarios(inst, models=("bimodal_extreme",), seeds=(0, 1, 2, 3))
+        evals = evaluate_scenarios(
+            [LPTNoChoice(), LPTNoRestriction()], inst, scenarios, exact_limit=14
+        )
+        winner = minmax_regret_choice(evals)
+        assert winner.strategy == "lpt_no_restriction"
+
+    def test_absolute_variant(self, inst):
+        scenarios = build_scenarios(inst, seeds=(0,))
+        evals = evaluate_scenarios(
+            [LPTNoChoice(), LPTNoRestriction()], inst, scenarios, exact_limit=14
+        )
+        winner = minmax_regret_choice(evals, relative=False)
+        assert winner.max_abs_regret == min(e.max_abs_regret for e in evals)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minmax_regret_choice([])

@@ -1,0 +1,65 @@
+"""Tests for the reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.csvio import write_csv
+from repro.analysis.report import artifact_inventory, generate_report
+
+
+@pytest.fixture
+def populated(tmp_path):
+    (tmp_path / "fig1_adversary.txt").write_text("FIG1 RENDERING\n")
+    (tmp_path / "e1_empirical_ratios.txt").write_text("E1 TABLE\n")
+    write_csv(
+        tmp_path / "e1_empirical_ratios.csv",
+        [{"strategy": "x", "ratio": 1.2}, {"strategy": "y", "ratio": 1.1}],
+    )
+    (tmp_path / "custom_artifact.txt").write_text("CUSTOM\n")
+    return tmp_path
+
+
+class TestInventory:
+    def test_groups_txt_and_csv(self, populated):
+        inv = artifact_inventory(populated)
+        assert set(inv["e1_empirical_ratios"]) == {"txt", "csv"}
+        assert set(inv["fig1_adversary"]) == {"txt"}
+
+    def test_report_itself_excluded(self, populated):
+        (populated / "REPORT.txt").write_text("x")
+        generate_report(populated)
+        inv = artifact_inventory(populated)
+        assert "REPORT" not in inv
+
+
+class TestGenerateReport:
+    def test_contains_artifacts_in_order(self, populated):
+        path = generate_report(populated)
+        text = path.read_text()
+        assert text.index("Figure 1") < text.index("E1 —")
+        assert "FIG1 RENDERING" in text
+        assert "E1 TABLE" in text
+
+    def test_csv_summarized(self, populated):
+        text = generate_report(populated).read_text()
+        assert "2 rows" in text
+        assert "strategy" in text
+
+    def test_unknown_artifacts_appended(self, populated):
+        text = generate_report(populated).read_text()
+        assert "custom_artifact" in text
+        assert text.index("E1 —") < text.index("custom_artifact")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no artifacts"):
+            generate_report(tmp_path)
+
+    def test_real_results_dir_if_present(self):
+        """After the bench suite has run, the real report generates too."""
+        from repro.analysis.csvio import results_dir
+
+        if any(results_dir().glob("*.txt")):
+            path = generate_report()
+            assert path.exists()
+            assert path.read_text().startswith("# Reproduction report")

@@ -1,0 +1,51 @@
+"""Tests that the figure reports emit their SVG artifacts."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.csvio import results_dir
+from repro.reporting import (
+    fig1_report,
+    fig2_report,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    fig6_report,
+)
+
+
+@pytest.mark.parametrize(
+    "report_fn,svg_names",
+    [
+        (fig1_report, ["fig1_adversary.svg"]),
+        (fig2_report, ["fig2_group_example.svg"]),
+        (fig4_report, ["fig4_sabo_schedule.svg"]),
+        (fig5_report, ["fig5_abo_schedule.svg"]),
+    ],
+)
+def test_gantt_reports_write_valid_svg(report_fn, svg_names):
+    report_fn()
+    for name in svg_names:
+        path = results_dir() / name
+        assert path.exists()
+        root = ET.parse(path).getroot()
+        assert root.tag.endswith("svg")
+
+
+def test_fig3_writes_one_svg_per_alpha():
+    fig3_report(m=30, alphas=(1.2, 1.9))
+    for alpha in (1.2, 1.9):
+        path = results_dir() / f"fig3_alpha_{alpha:g}.svg"
+        assert path.exists()
+        ET.parse(path)
+
+
+def test_fig6_writes_three_panels():
+    fig6_report()
+    panels = list(results_dir().glob("fig6_a2_*.svg"))
+    assert len(panels) >= 3
+    for p in panels:
+        ET.parse(p)

@@ -1,0 +1,93 @@
+"""Tests for SABO_Δ (Theorems 5 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import run_strategy
+from repro.exact.optimal import optimal_makespan
+from repro.memory.model import memory_lower_bound
+from repro.memory.sabo import SABO
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.memory_workloads import planted_two_class
+from tests.conftest import sized_instances
+
+DELTAS = (0.5, 1.0, 2.0)
+
+
+class TestPlacement:
+    def test_no_replication(self, sized_instance):
+        p = SABO(1.0).place(sized_instance)
+        assert p.is_no_replication()
+
+    def test_meta_records_split(self, sized_instance):
+        p = SABO(1.0).place(sized_instance)
+        assert sorted(p.meta["s1"] + p.meta["s2"]) == list(range(sized_instance.n))
+
+    def test_name(self):
+        assert SABO(0.5).name == "sabo[delta=0.5]"
+
+    def test_delta_validated(self):
+        with pytest.raises(ValueError):
+            SABO(-1.0)
+
+
+class TestTheorem5Makespan:
+    @given(sized_instances(min_n=2, max_n=9, max_m=3), st.sampled_from(DELTAS), st.integers(0, 2))
+    def test_makespan_within_guarantee(self, inst, delta, seed):
+        strategy = SABO(delta)
+        real = sample_realization(inst, "bimodal_extreme", seed)
+        outcome = run_strategy(strategy, inst, real)
+        opt = optimal_makespan(real.actuals, inst.m, exact_limit=12)
+        if opt.optimal:
+            guarantee = strategy.makespan_guarantee(inst)
+            assert outcome.makespan <= guarantee * opt.value * (1 + 1e-9)
+
+    def test_guarantee_formula(self, sized_instance):
+        s = SABO(2.0)
+        a2 = sized_instance.alpha**2
+        rho1 = 4 / 3 - 1 / (3 * sized_instance.m)
+        assert s.makespan_guarantee(sized_instance) == pytest.approx(3.0 * a2 * rho1)
+
+    def test_explicit_rho_override(self, sized_instance):
+        assert SABO(1.0).makespan_guarantee(sized_instance, rho1=1.0) == pytest.approx(
+            2.0 * sized_instance.alpha**2
+        )
+
+
+class TestTheorem6Memory:
+    @given(sized_instances(min_n=2, max_n=10, max_m=3), st.sampled_from(DELTAS))
+    def test_memory_within_guarantee(self, inst, delta):
+        """Memory is realization-independent; check directly on placement."""
+        strategy = SABO(delta)
+        placement = strategy.place(inst)
+        mem_lb = memory_lower_bound(inst.sizes, inst.m)
+        if mem_lb == 0.0:
+            return
+        guarantee = strategy.memory_guarantee(inst)
+        assert placement.memory_max() <= guarantee * mem_lb * (1 + 1e-9)
+
+    def test_guarantee_formula(self, sized_instance):
+        rho2 = 4 / 3 - 1 / (3 * sized_instance.m)
+        assert SABO(2.0).memory_guarantee(sized_instance) == pytest.approx(1.5 * rho2)
+
+
+class TestBehaviour:
+    def test_memory_improves_with_delta(self):
+        """Larger Δ routes more tasks via π₂, reducing Mem_max."""
+        inst = planted_two_class(6, 10, m=4)
+        mems = [SABO(d).place(inst).memory_max() for d in (0.01, 1.0, 100.0)]
+        assert mems[0] >= mems[-1] - 1e-9
+
+    def test_static_phase2(self, sized_instance):
+        """Pinned execution: makespan equals max actual load of the fixed
+        assignment."""
+        strategy = SABO(1.0)
+        real = sample_realization(sized_instance, "uniform", seed=3)
+        outcome = run_strategy(strategy, sized_instance, real)
+        loads = [0.0] * sized_instance.m
+        for j, i in enumerate(outcome.placement.fixed_assignment()):
+            loads[i] += real.actual(j)
+        assert outcome.makespan == pytest.approx(max(loads))

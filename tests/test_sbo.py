@@ -1,0 +1,88 @@
+"""Unit tests for the SBO_Δ split (repro.memory.sbo)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import make_instance
+from repro.memory.sbo import sbo_split
+from repro.workloads.memory_workloads import planted_two_class
+from tests.conftest import sized_instances
+
+
+class TestSplitRule:
+    def test_planted_classes_recovered(self):
+        inst = planted_two_class(4, 6, m=3)
+        split = sbo_split(inst, delta=1.0)
+        # Tasks 0..3 are time-heavy/small-size; 4..9 memory-heavy/quick.
+        assert set(split.s1) == set(range(4))
+        assert set(split.s2) == set(range(4, 10))
+
+    def test_partition_complete_and_disjoint(self, sized_instance):
+        split = sbo_split(sized_instance, delta=1.0)
+        assert sorted(split.s1 + split.s2) == list(range(sized_instance.n))
+
+    def test_threshold_condition_verified(self, sized_instance):
+        delta = 0.7
+        split = sbo_split(sized_instance, delta)
+        c1 = split.pi1.objective
+        m2 = split.pi2.objective
+        for j in split.s2:
+            t = sized_instance.tasks[j]
+            assert t.estimate / c1 <= delta * t.size / m2 + 1e-12
+        for j in split.s1:
+            t = sized_instance.tasks[j]
+            assert t.estimate / c1 > delta * t.size / m2 - 1e-12
+
+    def test_delta_zero_rejected(self, sized_instance):
+        with pytest.raises(ValueError):
+            sbo_split(sized_instance, 0.0)
+
+    def test_all_zero_sizes_all_time_intensive(self):
+        inst = make_instance([1.0, 2.0], m=2, sizes=[0.0, 0.0])
+        split = sbo_split(inst, delta=1.0)
+        assert split.s2 == ()
+        assert set(split.s1) == {0, 1}
+
+
+class TestDeltaMonotonicity:
+    @given(sized_instances(min_n=2, max_n=10, max_m=3))
+    def test_s2_grows_with_delta(self, inst):
+        """Raising Δ moves tasks from S1 to S2 (more memory-routed)."""
+        small = set(sbo_split(inst, 0.1).s2)
+        large = set(sbo_split(inst, 10.0).s2)
+        assert small <= large
+
+    def test_extreme_deltas(self):
+        inst = planted_two_class(3, 3, m=2)
+        tiny = sbo_split(inst, 1e-6)
+        assert tiny.s2 == ()  # nothing memory-intensive enough
+        huge = sbo_split(inst, 1e6)
+        assert huge.s1 == ()  # everything memory-routed
+
+
+class TestCombinedAssignment:
+    def test_machines_come_from_right_schedule(self, sized_instance):
+        split = sbo_split(sized_instance, delta=1.0)
+        assignment = split.combined_assignment()
+        for j in split.s1:
+            assert assignment[j] == split.pi1.assignment[j]
+        for j in split.s2:
+            assert assignment[j] == split.pi2.assignment[j]
+
+    def test_certain_model_guarantees(self):
+        """The classical SBO bi-objective bounds hold on the estimates:
+        makespan <= (1+Δ)·C̃^π1, memory <= (1+1/Δ)·Mem^π2."""
+        inst = planted_two_class(5, 8, m=3)
+        for delta in (0.5, 1.0, 2.0):
+            split = sbo_split(inst, delta)
+            assignment = split.combined_assignment()
+            loads = [0.0] * inst.m
+            mem = [0.0] * inst.m
+            for j, i in enumerate(assignment):
+                loads[i] += inst.tasks[j].estimate
+                mem[i] += inst.tasks[j].size
+            assert max(loads) <= (1 + delta) * split.pi1.objective * (1 + 1e-9)
+            assert max(mem) <= (1 + 1 / delta) * split.pi2.objective * (1 + 1e-9)

@@ -1,0 +1,99 @@
+"""Tests for schedule sensitivity/robustness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    robustness_radius,
+    single_task_sensitivity,
+    slack_profile,
+    worst_single_inflation,
+)
+from repro.analysis.ratios import run_strategy
+from repro.core.strategies import LPTNoChoice, LPTNoRestriction
+from repro.core.model import make_instance
+from repro.uncertainty.realization import truthful_realization
+from repro.workloads.generators import uniform_instance
+
+
+@pytest.fixture
+def inst():
+    return make_instance([5.0, 4.0, 3.0, 3.0, 2.0, 1.0], m=2, alpha=1.5)
+
+
+class TestSingleTaskSensitivity:
+    def test_length_and_lower_bound(self, inst):
+        sens = single_task_sensitivity(LPTNoChoice(), inst)
+        truthful = run_strategy(
+            LPTNoChoice(), inst, truthful_realization(inst)
+        ).makespan
+        assert len(sens) == inst.n
+        # Inflating any task can only help the adversary: makespan >= truthful.
+        assert all(s >= truthful - 1e-9 for s in sens)
+
+    def test_pinned_sensitivity_is_additive(self, inst):
+        """For a pinned placement, inflating task j adds exactly
+        (alpha-1)p̃_j to j's machine load."""
+        strategy = LPTNoChoice()
+        placement = strategy.place(inst)
+        assignment = placement.fixed_assignment()
+        loads = placement.estimated_load_per_machine()
+        sens = single_task_sensitivity(strategy, inst)
+        for j in range(inst.n):
+            bumped = list(loads)
+            bumped[assignment[j]] += (inst.alpha - 1.0) * inst.tasks[j].estimate
+            assert sens[j] == pytest.approx(max(bumped))
+
+    def test_replication_reduces_sensitivity(self):
+        """Full replication absorbs single inflations at least as well as
+        pinning, task by task."""
+        inst = uniform_instance(14, 4, alpha=2.0, seed=3)
+        pinned = single_task_sensitivity(LPTNoChoice(), inst)
+        flexible = single_task_sensitivity(LPTNoRestriction(), inst)
+        assert sum(flexible) <= sum(pinned) * (1 + 1e-9)
+
+
+class TestWorstSingleInflation:
+    def test_returns_argmax(self, inst):
+        j, value = worst_single_inflation(LPTNoChoice(), inst)
+        sens = single_task_sensitivity(LPTNoChoice(), inst)
+        assert value == max(sens)
+        assert sens[j] == value
+
+
+class TestSlackProfile:
+    def test_critical_machine_zero_slack(self, inst):
+        slack = slack_profile(LPTNoChoice(), inst)
+        assert min(slack) == pytest.approx(0.0)
+        assert all(s >= -1e-9 for s in slack)
+
+    def test_explicit_target(self, inst):
+        slack = slack_profile(LPTNoChoice(), inst, target=100.0)
+        assert all(s > 80 for s in slack)
+
+
+class TestRobustnessRadius:
+    def test_full_band_when_target_generous(self, inst):
+        r = robustness_radius(LPTNoChoice(), inst, target=1e9)
+        assert r == pytest.approx(inst.alpha)
+
+    def test_zero_when_target_impossible(self, inst):
+        assert robustness_radius(LPTNoChoice(), inst, target=1e-6) == 0.0
+
+    def test_matches_static_closed_form(self, inst):
+        """For pinned placements the radius is target/truthful, clipped."""
+        strategy = LPTNoChoice()
+        truthful = run_strategy(strategy, inst, truthful_realization(inst)).makespan
+        target = 1.2 * truthful
+        r = robustness_radius(strategy, inst, target, tol=1e-9)
+        assert r == pytest.approx(min(1.2, inst.alpha), abs=1e-6)
+
+    def test_monotone_in_target(self, inst):
+        strategy = LPTNoRestriction()
+        truthful = run_strategy(strategy, inst, truthful_realization(inst)).makespan
+        radii = [
+            robustness_radius(strategy, inst, t * truthful)
+            for t in (1.05, 1.2, 1.5)
+        ]
+        assert radii == sorted(radii)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.analysis.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import ci_halfwidth, summarize
+
+samples = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.count == 1
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.minimum == s.maximum == s.p50 == 3.0
+        assert s.ci95 == 0.0
+
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == 2.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, math.nan])
+
+    def test_format_line(self):
+        line = summarize([1.0, 2.0]).format()
+        assert "n=2" in line and "mean=" in line
+
+    @given(samples)
+    def test_invariants(self, xs):
+        s = summarize(xs)
+        # An ulp of slack: np.mean of identical values can differ from them
+        # in the last bit.
+        slack = 1e-12 * max(1.0, abs(s.maximum), abs(s.minimum))
+        assert s.minimum <= s.p50 <= s.maximum
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+        assert s.p50 <= s.p95 <= s.maximum + slack
+        assert s.count == len(xs)
+        assert s.std >= 0.0
+
+
+class TestCiHalfwidth:
+    def test_zero_for_small_samples(self):
+        assert ci_halfwidth([]) == 0.0
+        assert ci_halfwidth([1.0]) == 0.0
+
+    def test_matches_formula(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        expected = 1.96 * np.std(xs, ddof=1) / math.sqrt(5)
+        assert ci_halfwidth(xs) == pytest.approx(expected)
+
+    @given(samples)
+    def test_nonnegative(self, xs):
+        assert ci_halfwidth(xs) >= 0.0

@@ -1,0 +1,138 @@
+"""Unit and property tests for repro.uncertainty.stochastic."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.stochastic import (
+    STOCHASTIC_MODELS,
+    beta_factors,
+    bimodal_extreme_factors,
+    log_uniform_factors,
+    lognormal_factors,
+    sample_realization,
+    uniform_factors,
+)
+from repro.workloads.generators import uniform_instance
+from tests.conftest import instances
+
+ALL_MODELS = sorted(STOCHASTIC_MODELS)
+
+
+@pytest.fixture
+def inst():
+    return uniform_instance(50, 4, alpha=2.0, seed=7)
+
+
+class TestAllModels:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_respects_band(self, model, inst):
+        real = sample_realization(inst, model, seed=3)
+        a = inst.alpha
+        for j in range(inst.n):
+            f = real.factor(j)
+            assert 1.0 / a - 1e-9 <= f <= a + 1e-9
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_deterministic_given_seed(self, model, inst):
+        r1 = sample_realization(inst, model, seed=11)
+        r2 = sample_realization(inst, model, seed=11)
+        assert r1.actuals == r2.actuals
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_different_seeds_differ(self, model, inst):
+        r1 = sample_realization(inst, model, seed=1)
+        r2 = sample_realization(inst, model, seed=2)
+        assert r1.actuals != r2.actuals
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_label_set(self, model, inst):
+        assert sample_realization(inst, model, seed=0).label
+
+    def test_unknown_model_raises(self, inst):
+        with pytest.raises(ValueError, match="unknown stochastic model"):
+            sample_realization(inst, "nope")
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_alpha_one_gives_truthful(self, model):
+        certain = uniform_instance(20, 3, alpha=1.0, seed=5)
+        real = sample_realization(certain, model, seed=0)
+        for j in range(certain.n):
+            assert math.isclose(real.actual(j), certain.tasks[j].estimate)
+
+
+class TestUniform:
+    def test_covers_band(self, inst):
+        real = uniform_factors(inst, seed=0)
+        fs = real.factors()
+        assert min(fs) < 1.0 < max(fs)
+
+
+class TestLogUniform:
+    def test_symmetric_in_log(self, inst):
+        big = uniform_instance(4000, 4, alpha=2.0, seed=1)
+        real = log_uniform_factors(big, seed=0)
+        mean_log = float(np.mean(np.log(real.factors())))
+        assert abs(mean_log) < 0.05
+
+
+class TestLognormal:
+    def test_sigma_frac_validated(self, inst):
+        with pytest.raises(ValueError):
+            lognormal_factors(inst, seed=0, sigma_frac=0.0)
+
+    def test_clamped_to_band(self, inst):
+        real = lognormal_factors(inst, seed=0, sigma_frac=5.0)
+        a = inst.alpha
+        assert all(1 / a - 1e-9 <= f <= a + 1e-9 for f in real.factors())
+
+
+class TestBimodal:
+    def test_only_extremes(self, inst):
+        real = bimodal_extreme_factors(inst, seed=0)
+        a = inst.alpha
+        for f in real.factors():
+            assert math.isclose(f, a) or math.isclose(f, 1.0 / a)
+
+    def test_p_up_one(self, inst):
+        real = bimodal_extreme_factors(inst, seed=0, p_up=1.0)
+        assert all(math.isclose(f, inst.alpha) for f in real.factors())
+
+    def test_p_up_zero(self, inst):
+        real = bimodal_extreme_factors(inst, seed=0, p_up=0.0)
+        assert all(math.isclose(f, 1.0 / inst.alpha) for f in real.factors())
+
+    def test_p_up_validated(self, inst):
+        with pytest.raises(ValueError):
+            bimodal_extreme_factors(inst, seed=0, p_up=1.5)
+
+
+class TestBeta:
+    def test_skew_up(self, inst):
+        real = beta_factors(inst, seed=0, a=8.0, b=1.0)
+        assert float(np.mean(np.log(real.factors()))) > 0
+
+    def test_skew_down(self, inst):
+        real = beta_factors(inst, seed=0, a=1.0, b=8.0)
+        assert float(np.mean(np.log(real.factors()))) < 0
+
+    def test_params_validated(self, inst):
+        with pytest.raises(ValueError):
+            beta_factors(inst, seed=0, a=0.0)
+
+
+class TestPropertyAcrossInstances:
+    @given(instances(min_n=1, max_n=10), st.sampled_from(ALL_MODELS))
+    def test_any_instance_any_model(self, inst, model):
+        real = sample_realization(inst, model, seed=0)
+        assert len(real) == inst.n
+
+    def test_generator_object_accepted(self, inst):
+        rng = np.random.default_rng(5)
+        real = uniform_factors(inst, rng)
+        assert len(real) == inst.n

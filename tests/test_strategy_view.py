@@ -1,0 +1,106 @@
+"""Unit tests for SchedulerView and FixedOrderPolicy (repro.core.strategy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import make_instance
+from repro.core.placement import everywhere_placement, single_machine_placement
+from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, SchedulerView
+
+
+@pytest.fixture
+def inst():
+    return make_instance([3.0, 2.0, 1.0], m=2, alpha=1.5)
+
+
+@pytest.fixture
+def view(inst):
+    return SchedulerView(inst, everywhere_placement(inst))
+
+
+class TestSchedulerView:
+    def test_static_data(self, view, inst):
+        assert view.instance is inst
+        assert view.estimate(0) == 3.0
+        assert view.allowed_machines(1) == frozenset({0, 1})
+
+    def test_initial_dynamic_state(self, view):
+        assert view.pending_tasks() == [0, 1, 2]
+        assert not view.is_started(0)
+        assert not view.is_completed(0)
+        assert view.now == 0.0
+        assert view.running_on(0) is None
+
+    def test_start_complete_cycle(self, view):
+        view._mark_started(0, 1)
+        assert view.is_started(0)
+        assert view.running_on(1) == 0
+        assert view.pending_tasks() == [1, 2]
+        view._advance(3.0)
+        view._mark_completed(0, 3.3)
+        assert view.is_completed(0)
+        assert view.running_on(1) is None
+        assert view.revealed_actual(0) == 3.3
+        assert view.now == 3.0
+
+    def test_revealed_actual_raises_before_completion(self, view):
+        with pytest.raises(KeyError):
+            view.revealed_actual(0)
+        view._mark_started(0, 0)
+        with pytest.raises(KeyError):
+            view.revealed_actual(0)
+
+    def test_pending_on_respects_placement(self, inst):
+        p = single_machine_placement(inst, [0, 1, 0])
+        v = SchedulerView(inst, p)
+        assert v.pending_on(0) == [0, 2]
+        assert v.pending_on(1) == [1]
+
+
+class TestFixedOrderPolicy:
+    def test_dispatch_in_order(self, inst, view):
+        policy = FixedOrderPolicy([2, 0, 1])
+        assert policy.select(0, view) == 2
+        view._mark_started(2, 0)
+        assert policy.select(1, view) == 0
+        view._mark_started(0, 1)
+        assert policy.select(0, view) == 1
+
+    def test_respects_placement_restriction(self, inst):
+        p = single_machine_placement(inst, [1, 0, 1])
+        v = SchedulerView(inst, p)
+        policy = FixedOrderPolicy([0, 1, 2])
+        # Machine 0 may only run task 1 (the first allowed in order).
+        assert policy.select(0, v) == 1
+        # Machine 1 gets task 0 even though task 1 precedes it in order.
+        assert policy.select(1, v) == 0
+
+    def test_returns_none_when_exhausted(self, inst, view):
+        policy = FixedOrderPolicy([0, 1, 2])
+        for tid in (0, 1, 2):
+            view._mark_started(tid, 0)
+        assert policy.select(0, view) is None
+
+    def test_skips_started(self, inst, view):
+        policy = FixedOrderPolicy([0, 1, 2])
+        view._mark_started(0, 0)
+        view._mark_started(1, 1)
+        assert policy.select(0, view) == 2
+
+    def test_earlier_restricted_task_not_lost(self, inst):
+        """A restricted task earlier in the order must still be found after
+        later tasks have started (regression for cursor-style bugs)."""
+        p = single_machine_placement(inst, [1, 0, 0])
+        v = SchedulerView(inst, p)
+        policy = FixedOrderPolicy([0, 1, 2])
+        # Machine 0 polls first: task 0 is pinned to machine 1, so it gets 1.
+        assert policy.select(0, v) == 1
+        v._mark_started(1, 0)
+        assert policy.select(0, v) == 2
+        v._mark_started(2, 0)
+        # Now machine 1 polls: task 0 must still be delivered.
+        assert policy.select(1, v) == 0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(FixedOrderPolicy([]), OnlinePolicy)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.workloads.suites."""
+
+from __future__ import annotations
+
+from repro.workloads.suites import (
+    medium_suite,
+    memory_suite,
+    paper_figure3_machines,
+    small_exact_suite,
+)
+
+
+class TestSmallExactSuite:
+    def test_non_empty_and_small(self):
+        cases = list(small_exact_suite(seeds=1))
+        assert cases
+        for c in cases:
+            assert c.instance.n <= 16
+            assert c.instance.m <= 4
+            assert c.instance.n > c.instance.m
+
+    def test_reproducible(self):
+        a = [c.instance.estimates for c in small_exact_suite(seeds=1)]
+        b = [c.instance.estimates for c in small_exact_suite(seeds=1)]
+        assert a == b
+
+    def test_metadata_consistent(self):
+        for c in small_exact_suite(seeds=1):
+            assert c.instance.n == c.n
+            assert c.instance.m == c.m
+            assert c.instance.alpha == c.alpha
+
+
+class TestMediumSuite:
+    def test_covers_divisor_rich_m(self):
+        ms = {c.m for c in medium_suite(seeds=1)}
+        assert 30 in ms
+
+    def test_sizes(self):
+        for c in medium_suite(seeds=1):
+            assert c.n in (60, 200)
+
+
+class TestMemorySuite:
+    def test_all_sized(self):
+        for c in memory_suite(seeds=1):
+            assert all(t.size > 0 for t in c.instance)
+            assert c.m == 5  # Figure-6 machine count
+
+    def test_alphas_match_paper(self):
+        alphas = {round(c.alpha**2, 1) for c in memory_suite(seeds=1)}
+        assert alphas == {2.0, 3.0}
+
+
+def test_figure3_machines():
+    assert paper_figure3_machines() == 210

@@ -1,0 +1,117 @@
+"""Tests for the SVG chart/Gantt renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg_plot import SvgSeries, render_svg_chart, render_svg_gantt
+from repro.simulation.trace import ScheduleTrace, TaskRun
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            SvgSeries([1, 2], [1], label="x")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            SvgSeries([], [])
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SvgSeries([1], [1], mode="splines")
+
+
+class TestRenderChart:
+    def test_valid_xml(self):
+        svg = render_svg_chart(
+            [SvgSeries([1, 2, 3], [1.0, 4.0, 9.0], label="sq")],
+            title="T",
+            x_label="n",
+            y_label="n^2",
+        )
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_title_labels_legend(self):
+        svg = render_svg_chart(
+            [SvgSeries([1, 2], [3.0, 4.0], label="curveA")],
+            title="My Title",
+            x_label="widgets",
+            y_label="ratio",
+        )
+        assert "My Title" in svg
+        assert "widgets" in svg and "ratio" in svg
+        assert "curveA" in svg
+
+    def test_line_and_markers(self):
+        svg = render_svg_chart([SvgSeries([1, 2, 3], [1.0, 2.0, 3.0])])
+        assert "<polyline" in svg
+        assert "<circle" in svg
+
+    def test_marker_only(self):
+        svg = render_svg_chart([SvgSeries([1, 2], [1.0, 2.0], mode="marker")])
+        assert "<polyline" not in svg
+        assert "<circle" in svg
+
+    def test_log_axis(self):
+        svg = render_svg_chart(
+            [SvgSeries([1, 10, 100], [1.0, 2.0, 3.0])], x_log=True
+        )
+        assert "(log)" in svg
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_svg_chart([SvgSeries([0, 1], [1.0, 2.0])], x_log=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg_chart([])
+
+    def test_title_escaped(self):
+        svg = render_svg_chart(
+            [SvgSeries([1], [1.0])], title="a < b & c"
+        )
+        _parse(svg)  # would raise on unescaped characters
+        assert "a &lt; b &amp; c" in svg
+
+    def test_custom_color(self):
+        svg = render_svg_chart([SvgSeries([1], [1.0], color="#123456")])
+        assert "#123456" in svg
+
+
+class TestRenderGantt:
+    def _trace(self):
+        return ScheduleTrace(
+            (
+                TaskRun(0, 0, 0.0, 4.0),
+                TaskRun(1, 1, 0.0, 2.0),
+                TaskRun(2, 1, 2.0, 3.0),
+            ),
+            aborted=(TaskRun(0, 1, 3.0, 3.5),),
+        )
+
+    def test_valid_xml_with_rows(self):
+        svg = render_svg_gantt(self._trace(), m=2, title="run")
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+        assert "M0" in svg and "M1" in svg
+
+    def test_one_rect_per_run_plus_aborted(self):
+        svg = render_svg_gantt(self._trace(), m=2)
+        # 1 background + 3 runs + 1 aborted = 5 rects.
+        assert svg.count("<rect") == 5
+
+    def test_tooltips_present(self):
+        svg = render_svg_gantt(self._trace(), m=2)
+        assert "<title>task 0" in svg
+
+    def test_time_axis_annotated(self):
+        svg = render_svg_gantt(self._trace(), m=2)
+        assert "t=0" in svg and "t=4" in svg

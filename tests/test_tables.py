@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_markdown_table, format_table, format_value
+
+
+class TestFormatValue:
+    def test_float_digits(self):
+        assert format_value(3.14159, digits=3) == "3.14"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.25}])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "4.25" in out
+
+    def test_sequence_rows_need_headers(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table([[1, 2]])
+
+    def test_sequence_rows(self):
+        out = format_table([[1, 2], [3, 4]], headers=["x", "y"])
+        assert "x" in out and "3" in out
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table([[1, 2], [3]], headers=["x", "y"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="Hello")
+        assert out.splitlines()[0] == "Hello"
+
+    def test_alignment(self):
+        out = format_table([{"col": "short"}, {"col": "a-much-longer-cell"}])
+        lines = out.splitlines()
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_missing_keys_blank(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out  # no KeyError; missing cell rendered empty
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table([{"a": 1, "b": 2}])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_sequence_rows(self):
+        out = format_markdown_table([[1.5, "x"]], headers=["n", "s"])
+        assert "| 1.5 | x |" in out

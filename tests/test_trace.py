@@ -1,0 +1,141 @@
+"""Unit tests for repro.simulation.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import make_instance
+from repro.core.placement import everywhere_placement, single_machine_placement
+from repro.simulation.trace import ScheduleTrace, TaskRun
+from repro.uncertainty.realization import truthful_realization
+
+
+@pytest.fixture
+def inst():
+    return make_instance([2.0, 3.0, 1.0], m=2, alpha=1.5)
+
+
+def _trace(runs):
+    return ScheduleTrace(tuple(runs))
+
+
+class TestAggregates:
+    def test_makespan(self, inst):
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 2.0, 3.0)]
+        )
+        assert t.makespan == 3.0
+        assert t.n == 3
+
+    def test_assignment_and_machine_of(self, inst):
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 2.0, 3.0)]
+        )
+        assert t.assignment() == [0, 1, 0]
+        assert t.machine_of(2) == 0
+
+    def test_loads(self):
+        t = _trace([TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0)])
+        assert t.loads(2) == [2.0, 3.0]
+
+    def test_tasks_per_machine_ordered_by_start(self):
+        t = _trace(
+            [TaskRun(0, 0, 1.0, 2.0), TaskRun(1, 0, 0.0, 1.0), TaskRun(2, 1, 0.0, 0.5)]
+        )
+        assert t.tasks_per_machine(2) == [[1, 0], [2]]
+
+    def test_idle_time(self):
+        t = _trace([TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 1.0)])
+        # makespan 2, busy 3, m=2 -> idle = 4 - 3 = 1
+        assert t.idle_time(2) == pytest.approx(1.0)
+
+    def test_completion_times(self):
+        t = _trace([TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 1.0, 4.0)])
+        assert t.completion_times() == [2.0, 4.0]
+
+    def test_from_runs_sorts(self):
+        t = ScheduleTrace.from_runs(
+            [TaskRun(1, 0, 0.0, 1.0), TaskRun(0, 1, 0.0, 1.0)], label="x"
+        )
+        assert [r.tid for r in t.runs] == [0, 1]
+        assert t.label == "x"
+
+
+class TestValidate:
+    def test_valid_trace_passes(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 2.0, 3.0)]
+        )
+        t.validate(p, real)  # should not raise
+
+    def test_missing_task_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace([TaskRun(0, 0, 0.0, 2.0)])
+        with pytest.raises(ValueError, match="covers 1 tasks"):
+            t.validate(p, real)
+
+    def test_placement_violation_rejected(self, inst):
+        p = single_machine_placement(inst, [0, 0, 0])
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 2.0, 3.0)]
+        )
+        with pytest.raises(ValueError, match="data is only on"):
+            t.validate(p, real)
+
+    def test_wrong_duration_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.5), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 2.5, 3.5)]
+        )
+        with pytest.raises(ValueError, match="ran for"):
+            t.validate(p, real)
+
+    def test_overlap_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 0, 1.0, 4.0), TaskRun(2, 1, 0.0, 1.0)]
+        )
+        with pytest.raises(ValueError, match="overlaps"):
+            t.validate(p, real)
+
+    def test_negative_start_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, -1.0, 1.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 1.0, 2.0)]
+        )
+        with pytest.raises(ValueError, match="negative"):
+            t.validate(p, real)
+
+    def test_bad_machine_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 5, 0.0, 2.0), TaskRun(1, 1, 0.0, 3.0), TaskRun(2, 0, 0.0, 1.0)]
+        )
+        with pytest.raises(ValueError, match="outside"):
+            t.validate(p, real)
+
+    def test_unordered_runs_rejected(self, inst):
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = ScheduleTrace(
+            (TaskRun(1, 1, 0.0, 3.0), TaskRun(0, 0, 0.0, 2.0), TaskRun(2, 0, 2.0, 3.0))
+        )
+        with pytest.raises(ValueError, match="task-id ordered"):
+            t.validate(p, real)
+
+    def test_back_to_back_allowed(self, inst):
+        """Zero-gap consecutive tasks on one machine are fine."""
+        p = everywhere_placement(inst)
+        real = truthful_realization(inst)
+        t = _trace(
+            [TaskRun(0, 0, 0.0, 2.0), TaskRun(1, 0, 2.0, 5.0), TaskRun(2, 1, 0.0, 1.0)]
+        )
+        t.validate(p, real)

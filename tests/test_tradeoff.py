@@ -1,0 +1,93 @@
+"""Tests for the Figure-3 tradeoff analysis (repro.core.tradeoff).
+
+These tests pin the *shape claims* the paper makes about Figure 3, so the
+reproduced figure provably tells the same story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import divisors, lb_no_replication, ub_lpt_no_choice
+from repro.core.tradeoff import ratio_replication_series, tradeoff_findings
+
+
+M = 210  # the paper's machine count for Figure 3
+
+
+class TestSeriesStructure:
+    def test_all_series_present(self):
+        series = ratio_replication_series(1.5, M)
+        assert set(series) == {
+            "lower_bound",
+            "lpt_no_choice",
+            "lpt_no_restriction",
+            "ls_group",
+        }
+
+    def test_group_series_covers_divisors(self):
+        series = ratio_replication_series(1.5, M)
+        reps = [p.replication for p in series["ls_group"]]
+        assert sorted(reps) == sorted(M // k for k in divisors(M))
+
+    def test_group_series_sorted_by_replication(self):
+        series = ratio_replication_series(2.0, M)
+        reps = [p.replication for p in series["ls_group"]]
+        assert reps == sorted(reps)
+
+    def test_endpoints(self):
+        series = ratio_replication_series(1.5, M)
+        assert series["lpt_no_choice"][0].replication == 1
+        assert series["lpt_no_restriction"][0].replication == M
+        assert series["lower_bound"][0].ratio == pytest.approx(
+            lb_no_replication(1.5, M)
+        )
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("alpha", [1.1, 1.5, 2.0])
+    def test_more_replication_better_guarantee(self, alpha):
+        series = ratio_replication_series(alpha, M)["ls_group"]
+        ratios = [p.ratio for p in series]  # replication ascending
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+class TestPaperNarrative:
+    """The qualitative observations of Section 5.4, quantified."""
+
+    def test_alpha_11_significant_gap_to_lower_bound(self):
+        f = tradeoff_findings(1.1, M)
+        # "there is a significant gap between the guarantee of LPT-No
+        # Choice and the lower bound" — over a full ratio unit at alpha=1.1.
+        assert f["gap_lb_vs_no_choice"] > 1.0
+
+    def test_alpha_11_full_replication_beats_one_group(self):
+        f = tradeoff_findings(1.1, M)
+        # "significant improvement in using LPT-No Restriction over using
+        # LS-Group with only 1 group" at small alpha.
+        assert f["full_vs_one_group"] > 0.3
+
+    def test_alpha_15_no_difference_full_vs_one_group(self):
+        f = tradeoff_findings(1.5, M)
+        # "no more differences" at alpha = 1.5 (both hit Graham's 2-1/m).
+        assert abs(f["full_vs_one_group"]) < 1e-9
+
+    def test_alpha_2_beats_no_choice_with_few_replicas(self):
+        f = tradeoff_findings(2.0, M)
+        # "a better approximation using less than 50 replications".
+        assert f["min_replicas_to_beat_no_choice"] is not None
+        assert f["min_replicas_to_beat_no_choice"] < 50
+
+    def test_alpha_2_ratio_below_6_at_3_replicas(self):
+        f = tradeoff_findings(2.0, M)
+        # "from more than 7.5 with data on 1 machine to less than 6 with
+        # only replicating the data on 3 machines".
+        assert f["no_choice_ratio"] > 7.5
+        assert f["ratio_at_replication_3"] is not None
+        assert f["ratio_at_replication_3"] < 6.0
+
+    @pytest.mark.parametrize("alpha", [1.1, 1.5, 2.0])
+    def test_lower_bound_below_no_choice(self, alpha):
+        f = tradeoff_findings(alpha, M)
+        assert f["lower_bound_ratio"] < f["no_choice_ratio"]
+        assert f["no_choice_ratio"] == pytest.approx(ub_lpt_no_choice(alpha, M))

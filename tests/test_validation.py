@@ -1,0 +1,196 @@
+"""Unit tests for repro._validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_alpha,
+    check_delta,
+    check_finite,
+    check_fraction,
+    check_group_count,
+    check_in_range,
+    check_machine_count,
+    check_non_negative_float,
+    check_non_negative_int,
+    check_positive_float,
+    check_positive_int,
+    check_sizes,
+    check_times,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_float(self):
+        assert check_finite(1.5, "x") == 1.5
+
+    def test_accepts_int(self):
+        assert check_finite(3, "x") == 3.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="x must be finite"):
+            check_finite(bad, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "n") == 1
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "n") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="n must be >= 1"):
+            check_positive_int(0, "n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="n must be an integer"):
+            check_positive_int(2.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative_int(-1, "n")
+
+
+class TestCheckPositiveFloat:
+    def test_accepts_positive(self):
+        assert check_positive_float(0.25, "x") == 0.25
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive_float(0.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive_float(math.nan, "x")
+
+
+class TestCheckNonNegativeFloat:
+    def test_accepts_zero(self):
+        assert check_non_negative_float(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_float(-0.1, "x")
+
+
+class TestCheckAlpha:
+    def test_accepts_one(self):
+        assert check_alpha(1.0) == 1.0
+
+    def test_accepts_large(self):
+        assert check_alpha(10.0) == 10.0
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError, match="alpha must be >= 1"):
+            check_alpha(0.99)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_alpha(math.inf)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, v):
+        assert check_fraction(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01])
+    def test_rejects_outside(self, v):
+        with pytest.raises(ValueError):
+            check_fraction(v, "p")
+
+
+class TestCheckDelta:
+    def test_accepts_positive(self):
+        assert check_delta(0.5) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="delta must be > 0"):
+            check_delta(0.0)
+
+
+class TestCheckGroupCount:
+    def test_divisor_accepted(self):
+        assert check_group_count(3, 6) == 3
+
+    def test_k_equals_m(self):
+        assert check_group_count(6, 6) == 6
+
+    def test_k_one(self):
+        assert check_group_count(1, 7) == 1
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ValueError, match="k must divide m"):
+            check_group_count(4, 6)
+
+    def test_k_above_m_rejected(self):
+        with pytest.raises(ValueError, match="must be <= m"):
+            check_group_count(7, 6)
+
+
+class TestCheckTimes:
+    def test_accepts_list(self):
+        assert check_times([1, 2.5]) == [1.0, 2.5]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_times([])
+
+    def test_rejects_zero_entry(self):
+        with pytest.raises(ValueError, match=r"\[1\] must be > 0"):
+            check_times([1.0, 0.0])
+
+    def test_rejects_nan_entry(self):
+        with pytest.raises(ValueError):
+            check_times([1.0, math.nan])
+
+
+class TestCheckSizes:
+    def test_accepts_zeros(self):
+        assert check_sizes([0.0, 1.0], 2) == [0.0, 1.0]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length 3"):
+            check_sizes([1.0], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_sizes([-1.0], 1)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, 1.0, 2.0, "x") == 1.0
+        assert check_in_range(2.0, 1.0, 2.0, "x") == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="in \\[1.0, 2.0\\]"):
+            check_in_range(2.5, 1.0, 2.0, "x")
+
+
+class TestCheckMachineCount:
+    def test_accepts(self):
+        assert check_machine_count(5) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_machine_count(0)
