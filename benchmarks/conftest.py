@@ -13,15 +13,25 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.analysis.csvio import results_dir
+from repro.obs.provenance import bench_manifest
 
 #: Artifacts emitted during this session, printed in the terminal summary.
 _EMITTED: list[tuple[str, str]] = []
 
 
 def emit(name: str, text: str) -> Path:
-    """Save an artifact to results/ and queue it for the run summary."""
+    """Save an artifact to results/ and queue it for the run summary.
+
+    Next to every ``results/<name>.txt`` a ``results/<name>.manifest.json``
+    provenance sidecar is written (library/python/git identity plus any
+    metrics the run recorded), so the perf trajectory the benches build up
+    is attributable from PR 1 onward.
+    """
     path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
+    bench_manifest(name, artifact=path.name).write(
+        results_dir() / f"{name}.manifest.json"
+    )
     _EMITTED.append((name, text))
     return path
 

@@ -27,7 +27,9 @@ Layers
   realizations;
 * :mod:`repro.memory` — the memory-aware model (SBO/SABO/ABO);
 * :mod:`repro.workloads` — synthetic workload generators and suites;
-* :mod:`repro.analysis` — experiment harness, stats, tables, plots.
+* :mod:`repro.analysis` — experiment harness, stats, tables, plots;
+* :mod:`repro.obs` — structured observability: spans, metrics, run
+  provenance (no-op unless enabled).
 """
 
 from repro.adaptive import EstimateRefiner, IterativeSession
@@ -93,6 +95,15 @@ from repro.hetero import (
     RiskAwareReplication,
     hetero_realization,
     hetero_workload,
+)
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    get_tracer,
+    observed,
 )
 from repro.robust import RobustPinnedPlacement
 from repro.memory import (
@@ -213,6 +224,14 @@ __all__ = [
     "staircase_instance",
     "planted_two_class",
     "generate",
+    # observability
+    "Tracer",
+    "get_tracer",
+    "observed",
+    "MetricsRegistry",
+    "MemorySink",
+    "JsonlSink",
+    "RunManifest",
     # analysis
     "run_strategy",
     "measured_ratio",

@@ -15,12 +15,18 @@ from dataclasses import dataclass, field
 from repro.analysis.ratios import RatioRecord, measured_ratio
 from repro.core.model import Instance
 from repro.core.strategy import TwoPhaseStrategy
+from repro.obs.provenance import run_manifest
+from repro.obs.tracer import get_tracer
 from repro.uncertainty.realization import Realization
 from repro.uncertainty.stochastic import sample_realization
 
-__all__ = ["ExperimentRecord", "ExperimentGrid", "run_grid"]
+__all__ = ["ExperimentRecord", "ExperimentGrid", "run_grid", "ProgressCallback"]
 
 RealizationFactory = Callable[[Instance, int], Realization]
+
+#: Called after each grid cell with (cells_done, cells_total, record) —
+#: ``record`` is None when the cell was skipped (incompatible pair).
+ProgressCallback = Callable[[int, int, "ExperimentRecord | None"], None]
 
 
 @dataclass(frozen=True)
@@ -109,6 +115,9 @@ class ExperimentGrid:
         Seeds per (instance, model) pair.
     exact_limit:
         Passed to :func:`repro.exact.optimal.optimal_makespan`.
+    progress:
+        Optional :data:`ProgressCallback` invoked after every cell —
+        long sweeps can report liveness without the driver growing a UI.
     """
 
     strategies: Sequence[TwoPhaseStrategy]
@@ -117,30 +126,93 @@ class ExperimentGrid:
     seeds: Sequence[int] = (0,)
     exact_limit: int = 22
     skipped: list[str] = field(default_factory=list)
+    progress: ProgressCallback | None = None
+
+    def total_cells(self) -> int:
+        """Number of grid cells ``run()`` will attempt."""
+        return (
+            len(self.instances)
+            * len(self.realization_models)
+            * len(self.seeds)
+            * len(self.strategies)
+        )
 
     def run(self) -> list[ExperimentRecord]:
+        tracer = get_tracer()
         records: list[ExperimentRecord] = []
-        for instance in self.instances:
-            for model in self.realization_models:
-                factory = _stochastic_factory(model) if isinstance(model, str) else model
-                for seed in self.seeds:
-                    realization = factory(instance, seed)
-                    for strategy in self.strategies:
-                        try:
-                            rec = measured_ratio(
-                                strategy,
-                                instance,
-                                realization,
-                                exact_limit=self.exact_limit,
-                            )
-                        except ValueError as exc:
-                            # Group strategies reject m not divisible by k;
-                            # record and move on.
-                            self.skipped.append(
-                                f"{strategy.name} on {instance.name}: {exc}"
-                            )
-                            continue
-                        records.append(ExperimentRecord.from_ratio(rec, seed))
+        total = self.total_cells()
+        done = 0
+        with tracer.span(
+            "run_grid",
+            strategies=len(self.strategies),
+            instances=len(self.instances),
+            models=len(self.realization_models),
+            seeds=len(self.seeds),
+            cells=total,
+        ) as grid_span:
+            for instance in self.instances:
+                for model in self.realization_models:
+                    factory = _stochastic_factory(model) if isinstance(model, str) else model
+                    model_name = model if isinstance(model, str) else getattr(
+                        model, "__name__", "custom"
+                    )
+                    for seed in self.seeds:
+                        realization = factory(instance, seed)
+                        for strategy in self.strategies:
+                            done += 1
+                            record: ExperimentRecord | None = None
+                            with tracer.span(
+                                "grid.cell",
+                                strategy=strategy.name,
+                                instance=instance.name,
+                                model=model_name,
+                                seed=seed,
+                            ) as cell_span:
+                                try:
+                                    rec = measured_ratio(
+                                        strategy,
+                                        instance,
+                                        realization,
+                                        exact_limit=self.exact_limit,
+                                    )
+                                except ValueError as exc:
+                                    # Group strategies reject m not divisible
+                                    # by k; record and move on.
+                                    self.skipped.append(
+                                        f"{strategy.name} on {instance.name}: {exc}"
+                                    )
+                                    tracer.count("grid.cells_skipped")
+                                    cell_span.set(skipped=True)
+                                else:
+                                    record = ExperimentRecord.from_ratio(rec, seed)
+                                    records.append(record)
+                                    tracer.count("grid.cells_done")
+                                    cell_span.set(ratio=record.ratio)
+                            if tracer.enabled:
+                                tracer.registry.timer(
+                                    f"grid.strategy.{strategy.name}"
+                                ).observe(cell_span.duration)
+                            if self.progress is not None:
+                                self.progress(done, total, record)
+        if tracer.enabled:
+            tracer.manifest(
+                run_manifest(
+                    "grid",
+                    f"{len(records)} records / {total} cells",
+                    params={
+                        "strategies": [s.name for s in self.strategies],
+                        "instances": [i.name for i in self.instances],
+                        "models": [
+                            m if isinstance(m, str) else getattr(m, "__name__", "custom")
+                            for m in self.realization_models
+                        ],
+                        "seeds": list(self.seeds),
+                        "exact_limit": self.exact_limit,
+                        "skipped": len(self.skipped),
+                    },
+                    timing={"run_grid_s": grid_span.duration},
+                )
+            )
         return records
 
 
@@ -151,6 +223,7 @@ def run_grid(
     *,
     seeds: Sequence[int] = (0,),
     exact_limit: int = 22,
+    progress: ProgressCallback | None = None,
 ) -> list[ExperimentRecord]:
     """One-call wrapper around :class:`ExperimentGrid`."""
     grid = ExperimentGrid(
@@ -159,5 +232,6 @@ def run_grid(
         realization_models=list(realization_models),
         seeds=list(seeds),
         exact_limit=exact_limit,
+        progress=progress,
     )
     return grid.run()

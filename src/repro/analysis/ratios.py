@@ -13,8 +13,10 @@ from dataclasses import dataclass
 
 from repro.core.model import Instance
 from repro.core.placement import Placement
+from repro.core.strategies.registry import build_placement
 from repro.core.strategy import TwoPhaseStrategy
 from repro.exact.optimal import OptimalValue, optimal_makespan
+from repro.obs.tracer import get_tracer
 from repro.simulation.engine import simulate
 from repro.simulation.trace import ScheduleTrace
 from repro.uncertainty.realization import Realization
@@ -97,14 +99,18 @@ def run_strategy(
     ``validate`` (default on) re-checks the produced trace for full
     feasibility; disable only inside tight benchmark loops.
     """
-    placement = strategy.place(instance)
+    tracer = get_tracer()
+    placement = build_placement(strategy, instance)
     policy = strategy.make_policy(instance, placement)
-    trace = simulate(
-        placement,
-        realization,
-        policy,
-        label=f"{strategy.name}/{realization.label}",
-    )
+    with tracer.span(
+        "phase2", strategy=strategy.name, realization=realization.label
+    ):
+        trace = simulate(
+            placement,
+            realization,
+            policy,
+            label=f"{strategy.name}/{realization.label}",
+        )
     if validate:
         trace.validate(placement, realization)
     return StrategyOutcome(strategy.name, placement, trace, trace.makespan)

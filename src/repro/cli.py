@@ -14,7 +14,12 @@ subcommands so results can be regenerated without pytest:
 ``fig6``             Figure 6 — memory/makespan guarantee tradeoff
 ``run``              Run one strategy on a generated workload
 ``sweep``            Empirical ratio sweep over all strategies
+``obs``              Traced demo run + metrics summary (observability)
 ===================  ====================================================
+
+``run`` and ``sweep`` accept ``--trace PATH`` (write a JSONL event trace,
+see ``docs/observability.md``) and ``--metrics`` (print the counter/timer
+table); ``repro obs`` is the same machinery with tracing always on.
 
 The figure/table commands delegate to the same code paths the benchmark
 suite uses (`benchmarks/` merely wraps them with pytest-benchmark), so CLI
@@ -26,9 +31,14 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.analysis import format_table, measured_ratio, summarize
 from repro.core.strategies import full_sweep, make_strategy
+from repro.obs import JsonlSink, MemorySink, get_tracer
+from repro.obs import disable as obs_disable
+from repro.obs import enable as obs_enable
 from repro.reporting import (
     fig1_report,
     fig2_report,
@@ -86,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--model", default="log_uniform", help="realization model")
     run.add_argument("--gantt", action="store_true", help="print the Gantt chart")
+    _add_obs_flags(run)
 
     sweep = sub.add_parser("sweep", help="ratio sweep over all strategies")
     sweep.add_argument("--family", default="uniform")
@@ -94,6 +105,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--alpha", type=float, default=1.5)
     sweep.add_argument("--seeds", type=int, default=5)
     sweep.add_argument("--model", default="bimodal_extreme")
+    _add_obs_flags(sweep)
+
+    obs = sub.add_parser(
+        "obs",
+        help="traced demo run: JSONL trace out, metrics summary table",
+    )
+    obs.add_argument("--strategy", default="lpt_no_choice")
+    obs.add_argument("--family", default="uniform")
+    obs.add_argument("--n", type=int, default=40)
+    obs.add_argument("--m", type=int, default=6)
+    obs.add_argument("--alpha", type=float, default=1.5)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--model", default="log_uniform")
+    obs.add_argument(
+        "--trace-out", default=None, metavar="PATH", help="write the JSONL trace here"
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the counter/gauge/timer summary table",
+    )
 
     proofs = sub.add_parser(
         "proofs", help="replay every proof's inequalities on a concrete instance"
@@ -116,6 +148,51 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="assemble results/REPORT.md from the bench artifacts"
     )
     return parser
+
+
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable tracing and write the JSONL event trace to PATH",
+    )
+    sub_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability counter/timer table after the run",
+    )
+
+
+def _print_metrics() -> None:
+    rows = get_tracer().registry.rows()
+    if rows:
+        print()
+        print(format_table(rows, title="observability metrics"))
+
+
+@contextmanager
+def _observability(trace_path: str | None, want_metrics: bool) -> Iterator[None]:
+    """Enable the global tracer for one CLI command if asked to.
+
+    ``--trace PATH`` attaches a JSONL sink; ``--metrics`` alone uses a
+    memory sink just to light the counters up.  Restores the disabled
+    default afterwards.
+    """
+    if not trace_path and not want_metrics:
+        yield
+        return
+    sinks = [JsonlSink(trace_path)] if trace_path else [MemorySink()]
+    obs_enable(*sinks)
+    try:
+        yield
+    finally:
+        get_tracer().snapshot_counters()
+        if want_metrics:
+            _print_metrics()
+        obs_disable()
+        if trace_path:
+            print(f"\ntrace written to {trace_path}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -194,6 +271,41 @@ def _cmd_proofs(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Demo the observability layer on one end-to-end strategy run."""
+    sinks = [JsonlSink(args.trace_out)] if args.trace_out else [MemorySink()]
+    tracer = obs_enable(*sinks)
+    memory = sinks[0] if isinstance(sinks[0], MemorySink) else None
+    try:
+        instance = generate(args.family, args.n, args.m, args.alpha, args.seed)
+        realization = sample_realization(instance, args.model, args.seed + 1)
+        strategy = make_strategy(args.strategy)
+        record = measured_ratio(strategy, instance, realization)
+        counters = tracer.registry.counters
+        print(f"strategy     : {record.outcome.strategy_name}")
+        print(f"instance     : {instance.name} (alpha={instance.alpha})")
+        print(f"makespan     : {record.outcome.makespan:.6g}  ratio {record.ratio:.4f}")
+        print(f"dispatches   : {counters['sim.dispatches'].value}")
+        print(f"completions  : {counters['sim.completions'].value}")
+        print(f"events       : {counters['sim.events_processed'].value}")
+        spans = tracer.registry.timers
+        for name in sorted(spans):
+            if name.startswith("span."):
+                t = spans[name]
+                print(f"{name:13s}: {t.count} × mean {t.mean * 1e3:.3f} ms")
+        if memory is not None:
+            print(f"buffered     : {len(memory.events)} trace events (in memory)")
+        if args.metrics:
+            _print_metrics()
+    finally:
+        tracer.snapshot_counters()
+        obs_disable()
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out}")
+        print(f"validate with: python -m repro.obs.validate {args.trace_out}")
+    return 0
+
+
 def _cmd_regimes(args: argparse.Namespace) -> int:
     from repro.analysis.regimes import clairvoyance_value, dominant_strategy_map
 
@@ -241,9 +353,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "fig6":
         print(fig6_report(m=args.m))
     elif command == "run":
-        return _cmd_run(args)
+        with _observability(args.trace, args.metrics):
+            return _cmd_run(args)
     elif command == "sweep":
-        return _cmd_sweep(args)
+        with _observability(args.trace, args.metrics):
+            return _cmd_sweep(args)
+    elif command == "obs":
+        return _cmd_obs(args)
     elif command == "proofs":
         return _cmd_proofs(args)
     elif command == "regimes":

@@ -5,7 +5,12 @@ from repro.core.strategies.lpt_no_restriction import LPTNoRestriction
 from repro.core.strategies.ls_group import LPTGroup, LSGroup, equal_groups
 from repro.core.strategies.nonclairvoyant import NonClairvoyantLS
 from repro.core.strategies.overlapping import OverlappingWindows, window_machines
-from repro.core.strategies.registry import full_sweep, make_strategy, strategy_names
+from repro.core.strategies.registry import (
+    build_placement,
+    full_sweep,
+    make_strategy,
+    strategy_names,
+)
 from repro.core.strategies.selective import BudgetedReplication, SelectiveReplication
 
 __all__ = [
@@ -22,4 +27,5 @@ __all__ = [
     "make_strategy",
     "strategy_names",
     "full_sweep",
+    "build_placement",
 ]

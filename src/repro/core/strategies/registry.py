@@ -11,6 +11,8 @@ from __future__ import annotations
 import re
 
 from repro.core.bounds import divisors
+from repro.core.model import Instance
+from repro.core.placement import Placement
 from repro.core.strategies.lpt_no_choice import LPTNoChoice
 from repro.core.strategies.lpt_no_restriction import LPTNoRestriction
 from repro.core.strategies.ls_group import LPTGroup, LSGroup
@@ -18,8 +20,15 @@ from repro.core.strategies.nonclairvoyant import NonClairvoyantLS
 from repro.core.strategies.overlapping import OverlappingWindows
 from repro.core.strategies.selective import BudgetedReplication, SelectiveReplication
 from repro.core.strategy import TwoPhaseStrategy
+from repro.obs.tracer import get_tracer
 
-__all__ = ["make_strategy", "strategy_names", "full_sweep", "STRATEGY_FACTORIES"]
+__all__ = [
+    "make_strategy",
+    "strategy_names",
+    "full_sweep",
+    "build_placement",
+    "STRATEGY_FACTORIES",
+]
 
 _GROUP_RE = re.compile(r"^(ls_group|lpt_group)\[k=(\d+)\]$")
 _SELECTIVE_RE = re.compile(r"^selective\[(\d*\.?\d+)(?:,(work|count))?\]$")
@@ -80,3 +89,26 @@ def strategy_names(m: int, *, include_ablation: bool = False) -> list[str]:
 def full_sweep(m: int, *, include_ablation: bool = False) -> list[TwoPhaseStrategy]:
     """Instantiate every strategy applicable to ``m`` machines."""
     return [make_strategy(s) for s in strategy_names(m, include_ablation=include_ablation)]
+
+
+def build_placement(strategy: TwoPhaseStrategy, instance: Instance) -> Placement:
+    """Run Phase 1 (``strategy.place``) under an observability span.
+
+    The canonical instrumented entry point for placement builds: the
+    experiment harness and :func:`repro.analysis.ratios.run_strategy` route
+    through here so every Phase-1 build shows up as a ``phase1`` span with
+    a ``phase1.placements`` counter, at zero cost when tracing is off.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return strategy.place(instance)
+    with tracer.span(
+        "phase1", strategy=strategy.name, n=instance.n, m=instance.m
+    ) as span:
+        placement = strategy.place(instance)
+        span.set(
+            replication=placement.max_replication(),
+            total_replicas=placement.total_replicas(),
+        )
+    tracer.count("phase1.placements")
+    return placement

@@ -1,0 +1,58 @@
+"""Structured observability: tracing, metrics, and run provenance.
+
+The layer every other subsystem reports into:
+
+* :mod:`repro.obs.tracer` — nestable spans + point events, no-op unless
+  enabled (:func:`enable` / :func:`observed` / CLI ``--trace``);
+* :mod:`repro.obs.metrics` — named counters, gauges, histogram timers;
+* :mod:`repro.obs.events` / :mod:`repro.obs.sink` — the structured event
+  record and where it goes (ring buffer, JSONL file, stdlib logging);
+* :mod:`repro.obs.provenance` — :class:`RunManifest` records tying every
+  result back to its exact configuration;
+* :mod:`repro.obs.validate` — schema validation for trace files
+  (``python -m repro.obs.validate trace.jsonl``).
+
+Quickstart::
+
+    from repro.obs import MemorySink, observed
+
+    with observed(MemorySink()) as tracer:
+        rec = repro.measured_ratio(strategy, inst, real)
+        print(tracer.registry.summary()["counters"])
+"""
+
+# NOTE: repro.obs.validate is deliberately NOT imported here — importing
+# it from the package __init__ would trip CPython's double-import warning
+# when CI runs ``python -m repro.obs.validate``.  Import it directly:
+# ``from repro.obs.validate import validate_trace``.
+from repro.obs.events import EVENT_KINDS, SCHEMA_VERSION, TraceEvent, validate_record
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.provenance import RunManifest, bench_manifest, environment_info, run_manifest
+from repro.obs.sink import JsonlSink, LoggingSink, MemorySink, Sink, read_jsonl
+from repro.obs.tracer import Span, Tracer, disable, enable, get_tracer, observed
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "validate_record",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "LoggingSink",
+    "read_jsonl",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "enable",
+    "disable",
+    "observed",
+    "RunManifest",
+    "run_manifest",
+    "bench_manifest",
+    "environment_info",
+]

@@ -1,0 +1,165 @@
+"""Named counters, gauges, and histogram timers.
+
+A :class:`MetricsRegistry` is the numeric side of observability: the
+tracer records *what happened when*, the registry records *how much and
+how long*.  Zero dependencies, zero background threads — instruments are
+plain objects the hot path mutates directly, so an increment is one
+attribute add and the whole layer stays safe to leave compiled into the
+simulator.
+
+Naming convention (dots as namespaces, mirroring the span names):
+``sim.dispatches``, ``sim.restarts``, ``grid.cell`` … — see
+``docs/observability.md`` for the full inventory.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer (dispatches, completions, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+
+class Gauge:
+    """A last-write-wins float (queue depth, idle fraction, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class Timer:
+    """A duration histogram: count / total / min / max of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def time(self) -> _TimerContext:
+        """``with timer.time(): ...`` observes the block's wall time."""
+        return _TimerContext(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    ``counter``/``gauge``/``timer`` return the existing instrument for a
+    name or create it, so call sites never need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def timer(self, name: str) -> Timer:
+        t = self.timers.get(name)
+        if t is None:
+            t = self.timers[name] = Timer(name)
+        return t
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run starts from zero)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+
+    def summary(self) -> dict[str, Any]:
+        """Nested dict snapshot, JSON-serializable."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "timers": {
+                n: {
+                    "count": t.count,
+                    "total_s": t.total,
+                    "mean_s": t.mean,
+                    "min_s": t.min if t.count else 0.0,
+                    "max_s": t.max,
+                }
+                for n, t in sorted(self.timers.items())
+            },
+        }
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat rows for :func:`repro.analysis.tables.format_table`."""
+        out: list[dict[str, object]] = []
+        for name, c in sorted(self.counters.items()):
+            out.append({"metric": name, "type": "counter", "value": c.value})
+        for name, g in sorted(self.gauges.items()):
+            out.append({"metric": name, "type": "gauge", "value": g.value})
+        for name, t in sorted(self.timers.items()):
+            out.append(
+                {
+                    "metric": name,
+                    "type": "timer",
+                    "value": t.count,
+                    "total s": t.total,
+                    "mean s": t.mean,
+                    "max s": t.max,
+                }
+            )
+        return out

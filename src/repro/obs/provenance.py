@@ -1,0 +1,136 @@
+"""Run provenance: every result traceable to its exact configuration.
+
+A :class:`RunManifest` freezes what produced a result — the instance
+parameters, strategy, seed, realization model, library/python versions,
+``git describe`` when a checkout is available, and timing totals — so a
+CSV row under ``results/`` or a bench artifact can always be traced back
+to the code and configuration that emitted it.  Manifests are emitted
+into traces (``kind="manifest"`` events) by :func:`repro.simulate` and
+:func:`repro.run_grid` when tracing is on, and written as sidecar
+``*.manifest.json`` files by the bench harness unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunManifest", "run_manifest", "bench_manifest", "environment_info"]
+
+
+@lru_cache(maxsize=1)
+def _git_describe() -> str | None:
+    """``git describe --always --dirty`` of the source checkout, if any."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+@lru_cache(maxsize=1)
+def environment_info() -> dict[str, Any]:
+    """Library/interpreter/platform identity, computed once per process."""
+    from repro import __version__
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "git_describe": _git_describe(),
+        "argv0": sys.argv[0] if sys.argv else None,
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Frozen provenance record for one run/grid/bench invocation.
+
+    Attributes
+    ----------
+    kind:
+        What produced it: ``"simulate"``, ``"grid"``, ``"bench"``, ...
+    label:
+        Human identifier (trace label, bench name, grid description).
+    params:
+        The run's configuration (n, m, alpha, strategy, seed, model, ...).
+    timing:
+        Wall-time totals in seconds (keys are phase names).
+    environment:
+        Output of :func:`environment_info`.
+    created_unix:
+        ``time.time()`` at creation (the one wall-clock field; everything
+        inside traces uses monotonic offsets instead).
+    """
+
+    kind: str
+    label: str
+    params: dict[str, Any] = field(default_factory=dict)
+    timing: dict[str, float] = field(default_factory=dict)
+    environment: dict[str, Any] = field(default_factory=environment_info)
+    created_unix: float = field(default_factory=time.time)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "params": dict(self.params),
+            "timing": dict(self.timing),
+            "environment": dict(self.environment),
+            "created_unix": self.created_unix,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True, default=str)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest as pretty JSON; returns the path."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return p
+
+
+def run_manifest(
+    kind: str,
+    label: str,
+    *,
+    params: dict[str, Any] | None = None,
+    timing: dict[str, float] | None = None,
+) -> RunManifest:
+    """Build a manifest with the current environment attached."""
+    return RunManifest(
+        kind=kind,
+        label=label,
+        params=dict(params) if params else {},
+        timing=dict(timing) if timing else {},
+    )
+
+
+def bench_manifest(name: str, **params: Any) -> RunManifest:
+    """Manifest for one bench artifact (the ``results/`` sidecar files).
+
+    Snapshots the global tracer's metrics when any were recorded, so a
+    traced bench run carries its own counters in the sidecar.
+    """
+    from repro.obs.tracer import get_tracer
+
+    registry = get_tracer().registry
+    summary = registry.summary()
+    if any(summary[k] for k in ("counters", "gauges", "timers")):
+        params = {**params, "metrics": summary}
+    return run_manifest("bench", name, params=params)

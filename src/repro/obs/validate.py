@@ -1,0 +1,124 @@
+"""Trace-file validation: ``python -m repro.obs.validate trace.jsonl``.
+
+Checks a JSONL trace line-by-line against the event schema
+(:func:`repro.obs.events.validate_record`) plus the cross-record
+invariants the schema alone can't express:
+
+* ``seq`` strictly increasing from 0;
+* ``ts`` non-decreasing (monotonic clock);
+* every ``span_end`` matches the innermost open ``span_start`` (proper
+  nesting), and no span is left open at EOF.
+
+Exit code 0 on a valid trace, 1 otherwise — CI runs this after a traced
+``repro run`` so trace-format regressions fail fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.obs.events import validate_record
+
+__all__ = ["validate_trace", "main"]
+
+
+def validate_trace(path: str | Path) -> tuple[dict[str, int], list[str]]:
+    """Validate one JSONL trace file.
+
+    Returns ``(stats, errors)`` where ``stats`` counts records by kind
+    (plus ``"records"`` and ``"spans"``) and ``errors`` is human-readable,
+    each prefixed with the offending line number.  Empty ``errors`` means
+    the trace is valid.
+    """
+    errors: list[str] = []
+    stats: dict[str, int] = {"records": 0, "spans": 0}
+    open_spans: list[tuple[str, int]] = []  # (name, depth)
+    prev_seq = -1
+    prev_ts = -1.0
+    with Path(path).open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            stats["records"] += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not valid JSON ({exc})")
+                continue
+            record_errors = validate_record(record)
+            if record_errors:
+                errors.extend(f"line {lineno}: {e}" for e in record_errors)
+                continue
+            kind = record["kind"]
+            stats[kind] = stats.get(kind, 0) + 1
+            if record["seq"] != prev_seq + 1:
+                errors.append(
+                    f"line {lineno}: seq {record['seq']} breaks the monotonic "
+                    f"sequence (previous was {prev_seq})"
+                )
+            prev_seq = record["seq"]
+            if record["ts"] < prev_ts:
+                errors.append(
+                    f"line {lineno}: ts {record['ts']} went backwards "
+                    f"(previous was {prev_ts})"
+                )
+            prev_ts = record["ts"]
+            if kind == "span_start":
+                if record["depth"] != len(open_spans):
+                    errors.append(
+                        f"line {lineno}: span_start {record['name']!r} at depth "
+                        f"{record['depth']} but {len(open_spans)} spans are open"
+                    )
+                open_spans.append((record["name"], record["depth"]))
+                stats["spans"] += 1
+            elif kind == "span_end":
+                if not open_spans:
+                    errors.append(
+                        f"line {lineno}: span_end {record['name']!r} with no open span"
+                    )
+                else:
+                    name, depth = open_spans.pop()
+                    if name != record["name"] or depth != record["depth"]:
+                        errors.append(
+                            f"line {lineno}: span_end {record['name']!r}@{record['depth']} "
+                            f"does not match innermost open span {name!r}@{depth}"
+                        )
+    for name, depth in open_spans:
+        errors.append(f"EOF: span {name!r}@{depth} was never closed")
+    return stats, errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a repro JSONL trace against the event schema.",
+    )
+    parser.add_argument("trace", help="path to the trace .jsonl file")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-kind summary"
+    )
+    args = parser.parse_args(argv)
+    try:
+        stats, errors = validate_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        for key in sorted(stats):
+            print(f"{key:12s} {stats[key]}")
+    if errors:
+        for err in errors:
+            print(f"INVALID  {err}", file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(errors)} errors)", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: OK ({stats['records']} records, {stats['spans']} spans)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,7 +8,9 @@ call these, so the artifact is produced identically everywhere.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import functools
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from repro.analysis.ascii_plot import Series, render_plot
 from repro.analysis.csvio import results_dir, write_csv
@@ -35,6 +37,7 @@ from repro.core.tradeoff import ratio_replication_series, tradeoff_findings
 from repro.exact.optimal import optimal_makespan
 from repro.memory import ABO, SABO
 from repro.memory.frontier import abo_curve, impossibility_curve, sabo_curve
+from repro.obs.tracer import get_tracer
 from repro.simulation.gantt import render_gantt
 from repro.uncertainty.realization import truthful_realization
 from repro.workloads.generators import staircase_instance
@@ -53,11 +56,41 @@ __all__ = [
     "fig6_series_rows",
 ]
 
+_F = TypeVar("_F", bound=Callable[..., str])
+
+
+def _traced_report(name: str) -> Callable[[_F], _F]:
+    """Wrap a report builder in a ``report.<name>`` span + timer.
+
+    When tracing is off the wrapper is a single attribute check, so the
+    artifact pipeline's cost profile is unchanged.
+    """
+
+    def deco(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args: object, **kwargs: object) -> str:
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            attrs = {
+                k: v
+                for k, v in kwargs.items()
+                if isinstance(v, (int, float, str, bool))
+            }
+            with tracer.span(f"report.{name}", **attrs):
+                tracer.count("report.artifacts")
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco
+
 
 # ---------------------------------------------------------------------------
 # Table 1
 # ---------------------------------------------------------------------------
 
+@_traced_report("table1")
 def table1_report(
     *,
     alphas: Sequence[float] = (1.1, 1.5, 2.0),
@@ -102,6 +135,7 @@ def table1_report(
 # Table 2
 # ---------------------------------------------------------------------------
 
+@_traced_report("table2")
 def table2_report(
     *,
     m: int = 5,
@@ -147,6 +181,7 @@ def table2_report(
 # Figure 1
 # ---------------------------------------------------------------------------
 
+@_traced_report("fig1")
 def fig1_report(*, lam: int = 3, m: int = 6, alpha: float = 1.5) -> str:
     """Figure 1: the Theorem-1 adversary at (λ, m) = (3, 6).
 
@@ -192,6 +227,7 @@ def fig1_report(*, lam: int = 3, m: int = 6, alpha: float = 1.5) -> str:
 # Figure 2
 # ---------------------------------------------------------------------------
 
+@_traced_report("fig2")
 def fig2_report(*, m: int = 6, k: int = 2, n: int = 12, alpha: float = 1.5) -> str:
     """Figure 2: the two phases of group replication at (m, k) = (6, 2)."""
     instance = staircase_instance(n, m, alpha)
@@ -251,6 +287,7 @@ def fig3_series_rows(alpha: float, m: int) -> list[dict[str, object]]:
     return rows
 
 
+@_traced_report("fig3")
 def fig3_report(*, m: int = 210, alphas: Sequence[float] = (1.1, 1.5, 2.0)) -> str:
     """Figure 3: guarantee vs replication for each α, plus the paper's findings."""
     chunks: list[str] = []
@@ -341,6 +378,7 @@ def _memory_example_instance(m: int = 4, alpha: float = 1.4):
     return planted_two_class(6, 10, m, alpha, time_heavy=8.0, time_light=1.5, size_heavy=6.0, size_light=0.5)
 
 
+@_traced_report("fig4")
 def fig4_report(*, delta: float = 1.0) -> str:
     """Figure 4: a SABO_Δ two-phase schedule on a two-class instance."""
     instance = _memory_example_instance()
@@ -367,6 +405,7 @@ def fig4_report(*, delta: float = 1.0) -> str:
     return "\n".join(lines)
 
 
+@_traced_report("fig5")
 def fig5_report(*, delta: float = 1.0) -> str:
     """Figure 5: an ABO_Δ schedule — pinned memory tasks, replicated time tasks."""
     instance = _memory_example_instance()
@@ -434,6 +473,7 @@ def fig6_series_rows(m: int = 5) -> list[dict[str, object]]:
     return rows
 
 
+@_traced_report("fig6")
 def fig6_report(*, m: int = 5, mem_cap: float = 40.0, make_cap: float = 25.0) -> str:
     """Figure 6: SABO vs ABO guarantee curves and the impossibility frontier."""
     chunks: list[str] = []

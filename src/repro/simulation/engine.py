@@ -30,6 +30,8 @@ from collections.abc import Mapping, Sequence
 
 from repro.core.placement import Placement
 from repro.core.strategy import OnlinePolicy, SchedulerView
+from repro.obs.provenance import run_manifest
+from repro.obs.tracer import get_tracer
 from repro.simulation.events import EventKind, EventQueue
 from repro.simulation.trace import ScheduleTrace, TaskRun
 from repro.uncertainty.realization import Realization
@@ -147,110 +149,156 @@ def simulate(
     busy: dict[int, int] = {}  # machine -> running tid
     task_start: dict[int, float] = {}  # tid -> start time of current attempt
 
-    while queue:
-        ev = queue.pop()
-        view._advance(ev.time)
+    tracer = get_tracer()
+    obs = tracer.enabled  # hoisted: the hot loop pays one bool check per event
 
-        if ev.kind == EventKind.TASK_RELEASE:
-            released.add(ev.payload)
-            view._mark_released(ev.payload)
-            continue
+    with tracer.span("simulate", label=label, n=n, m=m) as sim_span:
+        while queue:
+            ev = queue.pop()
+            view._advance(ev.time)
+            if obs:
+                tracer.count("sim.events_processed")
 
-        if ev.kind == EventKind.TASK_COMPLETION:
-            tid, machine = ev.payload
-            if busy.get(machine) != tid:
-                continue  # stale completion: the attempt was aborted by a failure
-            view._mark_completed(tid, realization.actual(tid))
-            del busy[machine]
-            task_start.pop(tid, None)
-            queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
-            continue
-
-        if ev.kind == EventKind.MACHINE_FAILURE:
-            machine = ev.payload
-            if machine in failed:
+            if ev.kind == EventKind.TASK_RELEASE:
+                released.add(ev.payload)
+                view._mark_released(ev.payload)
+                if obs:
+                    tracer.count("sim.releases")
                 continue
-            failed.add(machine)
-            view._mark_machine_failed(machine)
-            running = busy.pop(machine, None)
-            if running is not None:
-                # Abort the attempt: the task reverts to unstarted and must
-                # rerun from scratch elsewhere.
-                aborted_runs.append(
-                    TaskRun(running, machine, task_start.pop(running), ev.time)
+
+            if ev.kind == EventKind.TASK_COMPLETION:
+                tid, machine = ev.payload
+                if busy.get(machine) != tid:
+                    continue  # stale completion: the attempt was aborted by a failure
+                view._mark_completed(tid, realization.actual(tid))
+                del busy[machine]
+                task_start.pop(tid, None)
+                queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+                if obs:
+                    tracer.count("sim.completions")
+                    tracer.event("completion", task=tid, machine=machine, t=ev.time)
+                continue
+
+            if ev.kind == EventKind.MACHINE_FAILURE:
+                machine = ev.payload
+                if machine in failed:
+                    continue
+                failed.add(machine)
+                view._mark_machine_failed(machine)
+                if obs:
+                    tracer.count("sim.machine_failures")
+                    tracer.event("machine_failure", machine=machine, t=ev.time)
+                running = busy.pop(machine, None)
+                if running is not None:
+                    # Abort the attempt: the task reverts to unstarted and must
+                    # rerun from scratch elsewhere.
+                    aborted_runs.append(
+                        TaskRun(running, machine, task_start.pop(running), ev.time)
+                    )
+                    runs[running] = None
+                    started_count -= 1
+                    view._mark_aborted(running)
+                    if obs:
+                        tracer.count("sim.restarts")
+                        tracer.event("restart", task=running, machine=machine, t=ev.time)
+                    # Wake every healthy idle machine: one of them must pick
+                    # the orphaned task up (they may have retired with None
+                    # before the abort existed).
+                    for i in range(m):
+                        if i not in failed and i not in busy:
+                            queue.push(ev.time, EventKind.MACHINE_IDLE, i)
+                continue
+
+            # MACHINE_IDLE
+            machine = ev.payload
+            if machine in busy or machine in failed:
+                # Stale poll (a dispatch or failure raced this event).
+                continue
+            choice = policy.select(machine, view)
+            if choice is None:
+                # Work-conserving re-poll: if unreleased tasks could later run
+                # here, wake the machine at the next release time.
+                future = [
+                    r
+                    for r, j in pending_releases
+                    if j not in released and placement.allows(j, machine) and r > ev.time
+                ]
+                if future:
+                    queue.push(min(future), EventKind.MACHINE_IDLE, machine)
+                continue
+
+            tid = choice
+            if not 0 <= tid < n:
+                raise SimulationError(f"policy selected invalid task id {tid}")
+            if runs[tid] is not None or view.is_started(tid):
+                raise SimulationError(f"policy selected already-started task {tid}")
+            if tid not in released:
+                raise SimulationError(
+                    f"policy selected task {tid} before its release time {releases[tid]}"
                 )
-                runs[running] = None
-                started_count -= 1
-                view._mark_aborted(running)
-                # Wake every healthy idle machine: one of them must pick
-                # the orphaned task up (they may have retired with None
-                # before the abort existed).
-                for i in range(m):
-                    if i not in failed and i not in busy:
-                        queue.push(ev.time, EventKind.MACHINE_IDLE, i)
-            continue
+            if not placement.allows(tid, machine):
+                raise SimulationError(
+                    f"policy sent task {tid} to machine {machine}, but its data is only on "
+                    f"{sorted(placement.machines_for(tid))}"
+                )
+            duration = realization.actual(tid) / machine_speed[machine]
+            end = ev.time + duration
+            runs[tid] = TaskRun(tid, machine, ev.time, end)
+            task_start[tid] = ev.time
+            view._mark_started(tid, machine)
+            busy[machine] = tid
+            started_count += 1
+            queue.push(end, EventKind.TASK_COMPLETION, (tid, machine))
+            if obs:
+                tracer.count("sim.dispatches")
+                tracer.event("dispatch", task=tid, machine=machine, t=ev.time)
 
-        # MACHINE_IDLE
-        machine = ev.payload
-        if machine in busy or machine in failed:
-            # Stale poll (a dispatch or failure raced this event).
-            continue
-        choice = policy.select(machine, view)
-        if choice is None:
-            # Work-conserving re-poll: if unreleased tasks could later run
-            # here, wake the machine at the next release time.
-            future = [
-                r
-                for r, j in pending_releases
-                if j not in released and placement.allows(j, machine) and r > ev.time
+        missing = [j for j, r in enumerate(runs) if r is None]
+        if missing:
+            stranded = [
+                j
+                for j in missing
+                if all(i in failed for i in placement.machines_for(j))
             ]
-            if future:
-                queue.push(min(future), EventKind.MACHINE_IDLE, machine)
-            continue
-
-        tid = choice
-        if not 0 <= tid < n:
-            raise SimulationError(f"policy selected invalid task id {tid}")
-        if runs[tid] is not None or view.is_started(tid):
-            raise SimulationError(f"policy selected already-started task {tid}")
-        if tid not in released:
+            if stranded:
+                raise SimulationError(
+                    f"{len(stranded)} tasks lost to machine failures (first few: "
+                    f"{stranded[:5]}): every machine holding their data failed — "
+                    "replication would have kept them runnable"
+                )
             raise SimulationError(
-                f"policy selected task {tid} before its release time {releases[tid]}"
+                f"simulation ended with {len(missing)} unscheduled tasks "
+                f"(first few: {missing[:5]}); the policy retired machines "
+                "that still had eligible work"
             )
-        if not placement.allows(tid, machine):
-            raise SimulationError(
-                f"policy sent task {tid} to machine {machine}, but its data is only on "
-                f"{sorted(placement.machines_for(tid))}"
-            )
-        duration = realization.actual(tid) / machine_speed[machine]
-        end = ev.time + duration
-        runs[tid] = TaskRun(tid, machine, ev.time, end)
-        task_start[tid] = ev.time
-        view._mark_started(tid, machine)
-        busy[machine] = tid
-        started_count += 1
-        queue.push(end, EventKind.TASK_COMPLETION, (tid, machine))
-
-    missing = [j for j, r in enumerate(runs) if r is None]
-    if missing:
-        stranded = [
-            j
-            for j in missing
-            if all(i in failed for i in placement.machines_for(j))
-        ]
-        if stranded:
-            raise SimulationError(
-                f"{len(stranded)} tasks lost to machine failures (first few: "
-                f"{stranded[:5]}): every machine holding their data failed — "
-                "replication would have kept them runnable"
-            )
-        raise SimulationError(
-            f"simulation ended with {len(missing)} unscheduled tasks "
-            f"(first few: {missing[:5]}); the policy retired machines "
-            "that still had eligible work"
+        trace = ScheduleTrace(
+            tuple(runs),  # type: ignore[arg-type]
+            label=label,
+            aborted=tuple(aborted_runs),
         )
-    return ScheduleTrace(
-        tuple(runs),  # type: ignore[arg-type]
-        label=label,
-        aborted=tuple(aborted_runs),
-    )
+        if obs:
+            sim_span.set(makespan=trace.makespan)
+            _record_run_telemetry(tracer, trace, instance, label)
+    if obs:
+        tracer.manifest(
+            run_manifest(
+                "simulate",
+                label or instance.name,
+                params={"n": n, "m": m, "alpha": instance.alpha, "label": label},
+                timing={"simulate_s": sim_span.duration},
+            )
+        )
+    return trace
+
+
+def _record_run_telemetry(tracer, trace: ScheduleTrace, instance, label: str) -> None:
+    """Post-run gauges: makespan and per-machine idle time.
+
+    Idle time here is ``makespan − busy time`` per machine — the quantity
+    load-balancing work will want to watch shrink.
+    """
+    registry = tracer.registry
+    registry.gauge("sim.makespan").set(trace.makespan)
+    idle = registry.timer("sim.idle_time")
+    for load in trace.loads(instance.m):
+        idle.observe(trace.makespan - load)

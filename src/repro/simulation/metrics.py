@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import get_tracer
 from repro.simulation.trace import ScheduleTrace
 from repro.uncertainty.realization import Realization
 
@@ -107,9 +109,18 @@ def metrics_summary(
     realization: Realization,
     m: int,
     release_times: Sequence[float] | None = None,
+    *,
+    registry: "MetricsRegistry | None" = None,
 ) -> dict[str, float]:
-    """All metrics in one dict (keys are the function names)."""
-    return {
+    """All metrics in one dict (keys are the function names).
+
+    When an observability trace was recorded (the global tracer is
+    enabled, or an explicit :class:`~repro.obs.metrics.MetricsRegistry`
+    is passed), the engine's exact ``events_processed`` and ``restarts``
+    counters are merged in.  Without a trace the dict is exactly the
+    historical pure-function output, so existing callers are unaffected.
+    """
+    out = {
         "makespan": trace.makespan,
         "total_completion_time": total_completion_time(trace),
         "mean_flow_time": mean_flow_time(trace, release_times),
@@ -118,3 +129,14 @@ def metrics_summary(
         "machine_utilization": machine_utilization(trace, m),
         "load_imbalance": load_imbalance(trace, m),
     }
+    reg = registry
+    if reg is None:
+        tracer = get_tracer()
+        reg = tracer.registry if tracer.enabled else None
+    if reg is not None:
+        counters = reg.counters
+        if "sim.events_processed" in counters:
+            out["events_processed"] = float(counters["sim.events_processed"].value)
+        if "sim.restarts" in counters:
+            out["restarts"] = float(counters["sim.restarts"].value)
+    return out
