@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, grid_opts
 from repro.analysis.csvio import results_dir, write_csv
 from repro.analysis.experiment import run_grid
 from repro.analysis.stats import summarize
@@ -37,6 +37,7 @@ def _run_e1():
         ["bimodal_extreme", "log_uniform"],
         seeds=(0, 1),
         exact_limit=16,
+        **grid_opts(),
     )
     by_strategy: dict[str, list] = defaultdict(list)
     for rec in records:

@@ -3,13 +3,20 @@
 Not a paper artifact — these track the cost of the building blocks so
 performance regressions in the simulator or solvers are visible in the
 benchmark log: offline LPT at scale, the event-driven engine, the exact
-branch-and-bound, MULTIFIT, and a full two-phase strategy run.
+branch-and-bound, MULTIFIT, a full two-phase strategy run, and the
+experiment grid's serial-vs-parallel comparison (the sweep substrate
+every E-bench runs on).
 """
 
 from __future__ import annotations
 
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.experiment import run_grid
 from repro.analysis.ratios import run_strategy
-from repro.core.strategies import LPTNoRestriction, LSGroup
+from repro.core.strategies import LPTNoRestriction, LSGroup, full_sweep
 from repro.exact.bnb import branch_and_bound
 from repro.schedulers.lpt import lpt_schedule
 from repro.schedulers.multifit import multifit_schedule
@@ -61,3 +68,57 @@ def bench_branch_and_bound_n16_m4(benchmark):
 
     value = benchmark(solve)
     assert value > 0
+
+
+_SPEEDUP_WORKERS = 4
+
+
+def _speedup_grid_args():
+    """A multi-second grid: every m=8 strategy × 4 instances × 2 seeds.
+
+    Sized so per-cell compute dominates pool startup and IPC — the
+    speedup assertion must measure the backend, not the fork cost.
+    """
+    strategies = full_sweep(8)
+    instances = [uniform_instance(2_000, 8, alpha=1.5, seed=s) for s in range(4)]
+    return strategies, instances, ["log_uniform"]
+
+
+def _run_speedup_comparison():
+    strategies, instances, models = _speedup_grid_args()
+    t0 = time.perf_counter()
+    serial = run_grid(strategies, instances, models, seeds=(0, 1))
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_grid(
+        strategies, instances, models, seeds=(0, 1), workers=_SPEEDUP_WORKERS
+    )
+    parallel_s = time.perf_counter() - t0
+    return serial, parallel, serial_s, parallel_s
+
+
+def bench_grid_parallel_speedup(benchmark):
+    """Serial vs parallel grid execution on the same sweep.
+
+    Asserts the parallel backend's determinism guarantee (identical
+    record lists) always, and near-linear speedup (>1.5× with 4 workers)
+    whenever the host actually has ≥4 cores to scale onto.
+    """
+    serial, parallel, serial_s, parallel_s = benchmark.pedantic(
+        _run_speedup_comparison, rounds=1, iterations=1
+    )
+    assert serial == parallel, "parallel grid must reproduce the serial records"
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    emit(
+        "perf_grid_parallel_speedup",
+        f"grid cells: {len(serial)}  workers: {_SPEEDUP_WORKERS}  cores: {cores}\n"
+        f"serial:   {serial_s:8.3f} s\n"
+        f"parallel: {parallel_s:8.3f} s\n"
+        f"speedup:  {speedup:8.2f}x",
+    )
+    if cores >= _SPEEDUP_WORKERS:
+        assert speedup > 1.5, (
+            f"expected >1.5x speedup with {_SPEEDUP_WORKERS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x"
+        )

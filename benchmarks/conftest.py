@@ -10,13 +10,37 @@ every reproduced table and figure alongside the timing table.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
+from typing import Any
 
+from repro.analysis.cache import CellCache
 from repro.analysis.csvio import results_dir
 from repro.obs.provenance import bench_manifest
 
 #: Artifacts emitted during this session, printed in the terminal summary.
 _EMITTED: list[tuple[str, str]] = []
+
+
+def grid_opts() -> dict[str, Any]:
+    """Environment-driven ``run_grid`` kwargs for the grid benches.
+
+    * ``REPRO_BENCH_WORKERS=N`` — fan grid cells over N worker processes
+      (results are identical to serial; see docs/performance.md);
+    * ``REPRO_BENCH_CACHE=PATH`` — enable the on-disk cell cache there,
+      so a re-run only recomputes cells whose inputs changed.
+
+    Defaults (unset) are serial and uncached — benchmark timings stay
+    honest unless the caller explicitly opts in.
+    """
+    opts: dict[str, Any] = {}
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    if workers > 1:
+        opts["workers"] = workers
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "").strip()
+    if cache_dir:
+        opts["cache"] = CellCache(cache_dir)
+    return opts
 
 
 def emit(name: str, text: str) -> Path:

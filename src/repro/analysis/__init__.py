@@ -1,4 +1,12 @@
-"""Experiment harness: runs, ratios, statistics, tables, plots, CSV."""
+"""Experiment harness: runs, ratios, statistics, tables, plots, CSV.
+
+The sweep substrate behind every empirical paper artifact: the grid
+driver (:mod:`~repro.analysis.experiment`) with its parallel backend
+(:mod:`~repro.analysis.parallel`) and on-disk cell cache
+(:mod:`~repro.analysis.cache`), the per-cell measurement kernel
+(:mod:`~repro.analysis.ratios`), and the reporting stack the benches
+render artifacts with.
+"""
 
 from repro.analysis.ascii_plot import Series, render_plot
 from repro.analysis.calibration import (
@@ -7,8 +15,9 @@ from repro.analysis.calibration import (
     fit_alpha,
 )
 from repro.analysis.comparison import PairedComparison, compare_strategies, sign_test_pvalue
+from repro.analysis.cache import CellCache, cell_fingerprint
 from repro.analysis.csvio import read_csv, results_dir, write_csv
-from repro.analysis.experiment import ExperimentGrid, ExperimentRecord, run_grid
+from repro.analysis.experiment import ExperimentGrid, ExperimentRecord, SkippedCell, run_grid
 from repro.analysis.ratios import RatioRecord, StrategyOutcome, measured_ratio, run_strategy
 from repro.analysis.regret import (
     ScenarioEvaluation,
@@ -60,6 +69,9 @@ __all__ = [
     "RatioRecord",
     "ExperimentGrid",
     "ExperimentRecord",
+    "SkippedCell",
+    "CellCache",
+    "cell_fingerprint",
     "run_grid",
     "Summary",
     "summarize",

@@ -1,0 +1,214 @@
+"""On-disk result cache for experiment-grid cells.
+
+Serves sweep re-runs across every grid-driven artifact (E1–E16, figure
+benches, ``repro sweep``): a cell whose inputs have not changed is read
+back from ``.repro-cache/`` instead of recomputed, so editing one
+strategy no longer pays for the whole grid again.
+
+A cell's **fingerprint** is the SHA-256 of a canonical JSON document
+covering everything its outcome depends on:
+
+* ``schema`` — :data:`CACHE_SCHEMA_VERSION`, bumped whenever the
+  measurement code changes semantics (bulk invalidation);
+* ``strategy`` — class qualname, display name, and public constructor
+  state (``vars()`` minus underscored keys);
+* ``instance`` — full content hash: n, m, alpha, name, every estimate
+  and size;
+* ``model`` / ``seed`` — the realization model name and seed;
+* ``exact_limit`` — the optimum solver's exhaustiveness cutoff.
+
+Cells whose realization model is a custom callable (not a registered
+model name) are **uncacheable** — a function's identity is not a stable
+key — and silently bypass the cache.
+
+Entries are one JSON file per fingerprint, sharded by the first two hex
+chars.  A corrupt or unreadable entry counts as a miss (and a
+``grid.cache_corrupt`` tick) and is recomputed, never raised.  Hits,
+misses, stores, and corruption are tracked on the cache object and
+mirrored into the tracer's :class:`~repro.obs.metrics.MetricsRegistry`
+as ``grid.cache_hits`` / ``grid.cache_misses`` / ``grid.cache_stores`` /
+``grid.cache_corrupt``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.parallel import CellOutcome, CellSpec
+from repro.analysis.records import ExperimentRecord, SkippedCell
+from repro.obs.tracer import get_tracer
+
+__all__ = ["CellCache", "cell_fingerprint", "CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR"]
+
+#: Bump to invalidate every existing cache entry at once (schema or
+#: measurement-semantics changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Where caches land unless a caller says otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _strategy_key(strategy: Any) -> dict[str, Any]:
+    """Stable strategy identity: class, display name, public params."""
+    params: dict[str, Any] = {}
+    state = getattr(strategy, "__dict__", None)
+    if state:
+        params = {k: v for k, v in sorted(state.items()) if not k.startswith("_")}
+    return {
+        "class": f"{type(strategy).__module__}.{type(strategy).__qualname__}",
+        "name": getattr(strategy, "name", type(strategy).__name__),
+        "params": {k: repr(v) for k, v in params.items()},
+    }
+
+
+def _instance_key(instance: Any) -> dict[str, Any]:
+    """Full content identity of an instance (estimates and sizes included)."""
+    return {
+        "n": instance.n,
+        "m": instance.m,
+        "alpha": instance.alpha,
+        "name": instance.name,
+        "estimates": list(instance.estimates),
+        "sizes": list(instance.sizes),
+    }
+
+
+def cell_fingerprint(spec: CellSpec) -> str | None:
+    """SHA-256 key of one cell, or ``None`` when the cell is uncacheable."""
+    if not isinstance(spec.model, str):
+        return None
+    document = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "strategy": _strategy_key(spec.strategy),
+        "instance": _instance_key(spec.instance),
+        "model": spec.model,
+        "seed": spec.seed,
+        "exact_limit": spec.exact_limit,
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CellCache:
+    """Fingerprint-keyed store of grid-cell outcomes under ``root``.
+
+    One instance per sweep is the intended use; hit/miss/store counters
+    accumulate across ``get``/``put`` calls and feed the grid manifest's
+    cache section.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when none happened)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready summary for manifests and CLI output."""
+        return {
+            "dir": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, spec: CellSpec) -> CellOutcome | None:
+        """Return the cached outcome for ``spec``, or ``None`` on a miss.
+
+        Corrupt entries (truncated writes, schema drift, hand edits) are
+        treated as misses; the subsequent :meth:`put` overwrites them.
+        """
+        fingerprint = cell_fingerprint(spec)
+        if fingerprint is None:
+            return None
+        tracer = get_tracer()
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            outcome = self._decode(spec, fingerprint, payload)
+        except FileNotFoundError:
+            outcome = None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.corrupt += 1
+            tracer.count("grid.cache_corrupt")
+            outcome = None
+        if outcome is None:
+            self.misses += 1
+            tracer.count("grid.cache_misses")
+        else:
+            self.hits += 1
+            tracer.count("grid.cache_hits")
+        return outcome
+
+    def put(self, spec: CellSpec, outcome: CellOutcome) -> bool:
+        """Persist one computed outcome; returns False when uncacheable."""
+        fingerprint = cell_fingerprint(spec)
+        if fingerprint is None:
+            return False
+        payload: dict[str, Any] = {
+            "v": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "duration_s": outcome.duration_s,
+        }
+        if outcome.record is not None:
+            payload["kind"] = "record"
+            payload["record"] = outcome.record.to_cache_dict()
+        elif outcome.skipped is not None:
+            payload["kind"] = "skipped"
+            payload["skipped"] = outcome.skipped.as_dict()
+        else:  # pragma: no cover - outcomes always carry one of the two
+            return False
+        path = self._path(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+        except OSError:
+            return False
+        self.stores += 1
+        get_tracer().count("grid.cache_stores")
+        return True
+
+    def _decode(
+        self, spec: CellSpec, fingerprint: str, payload: dict[str, Any]
+    ) -> CellOutcome:
+        """Rebuild a :class:`CellOutcome`; raises on any inconsistency."""
+        if payload.get("v") != CACHE_SCHEMA_VERSION:
+            raise ValueError(f"cache schema {payload.get('v')!r} != {CACHE_SCHEMA_VERSION}")
+        if payload.get("fingerprint") != fingerprint:
+            raise ValueError("cache entry fingerprint mismatch")
+        duration = float(payload.get("duration_s", 0.0))
+        kind = payload.get("kind")
+        if kind == "record":
+            record = ExperimentRecord.from_cache_dict(payload["record"])
+            return CellOutcome(spec.index, record, None, duration)
+        if kind == "skipped":
+            s = payload["skipped"]
+            skipped = SkippedCell(s["strategy"], s["instance"], s["error"])
+            return CellOutcome(spec.index, None, skipped, duration)
+        raise ValueError(f"unknown cache entry kind {kind!r}")

@@ -1,5 +1,9 @@
 """Calibrating the uncertainty factor α from historical data.
 
+Serves the operator-workflow side of the reproduction: the
+``examples/calibrating_alpha.py`` scenario and the capacity-planning
+benches that need a defensible α before any guarantee applies.
+
 The paper assumes α is "a quantity known to the scheduler" and points at
 machine-learning / analytic-model sources for it.  In practice α is
 *estimated* from historical (estimate, actual) pairs; this module does

@@ -3,8 +3,25 @@
 An :class:`ExperimentGrid` crosses strategies × instances × realization
 models × seeds, runs every cell through
 :func:`repro.analysis.ratios.measured_ratio`, and returns flat records the
-benches aggregate and write out.  Keeping the sweep in one driver means
-every bench agrees on provenance fields and determinism.
+benches aggregate and write out — it is the substrate behind every
+empirical paper artifact (benches E1–E16 and the figure sweeps).
+Keeping the sweep in one driver means every bench agrees on provenance
+fields and determinism.
+
+The driver has three execution modes, freely combined:
+
+* **serial** (``workers=1``, the default) — the historical in-process
+  loop, one ``grid.cell`` span per cell;
+* **parallel** (``workers=N``) — cells are enumerated up front into
+  picklable specs and fanned out over a process pool by
+  :mod:`repro.analysis.parallel`; results merge in cell-index order, so
+  the record list is identical to the serial run;
+* **cached** (``cache=CellCache(...)``) — cell outcomes are fingerprinted
+  and persisted by :mod:`repro.analysis.cache`; warm cells skip
+  :func:`~repro.analysis.ratios.measured_ratio` entirely.
+
+See ``docs/performance.md`` for the worker model, determinism guarantee,
+and cache invalidation rules.
 """
 
 from __future__ import annotations
@@ -12,87 +29,36 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.analysis.ratios import RatioRecord, measured_ratio
+from repro.analysis.cache import CellCache
+from repro.analysis.parallel import (
+    CellOutcome,
+    CellSpec,
+    enumerate_cells,
+    execute_cells,
+    model_display_name,
+    run_cell,
+)
+from repro.analysis.records import ExperimentRecord, SkippedCell
 from repro.core.model import Instance
 from repro.core.strategy import TwoPhaseStrategy
+from repro.obs.merge import merge_registry_summary, replay_events
 from repro.obs.provenance import run_manifest
 from repro.obs.tracer import get_tracer
 from repro.uncertainty.realization import Realization
-from repro.uncertainty.stochastic import sample_realization
 
-__all__ = ["ExperimentRecord", "ExperimentGrid", "run_grid", "ProgressCallback"]
+__all__ = [
+    "ExperimentRecord",
+    "SkippedCell",
+    "ExperimentGrid",
+    "run_grid",
+    "ProgressCallback",
+]
 
 RealizationFactory = Callable[[Instance, int], Realization]
 
 #: Called after each grid cell with (cells_done, cells_total, record) —
 #: ``record`` is None when the cell was skipped (incompatible pair).
 ProgressCallback = Callable[[int, int, "ExperimentRecord | None"], None]
-
-
-@dataclass(frozen=True)
-class ExperimentRecord:
-    """One cell of the grid, flattened for CSV output."""
-
-    strategy: str
-    instance_name: str
-    n: int
-    m: int
-    alpha: float
-    realization: str
-    seed: int
-    replication: int
-    makespan: float
-    optimum: float
-    optimum_exact: bool
-    ratio: float
-    guarantee: float | None
-    within_guarantee: bool | None
-
-    @staticmethod
-    def from_ratio(record: RatioRecord, seed: int) -> "ExperimentRecord":
-        out = record.outcome
-        inst = out.placement.instance
-        return ExperimentRecord(
-            strategy=out.strategy_name,
-            instance_name=inst.name,
-            n=inst.n,
-            m=inst.m,
-            alpha=inst.alpha,
-            realization=out.trace.label.split("/")[-1],
-            seed=seed,
-            replication=out.replication,
-            makespan=out.makespan,
-            optimum=record.optimum.value,
-            optimum_exact=record.optimum.optimal,
-            ratio=record.ratio,
-            guarantee=record.guarantee,
-            within_guarantee=record.within_guarantee,
-        )
-
-    def as_dict(self) -> dict[str, object]:
-        return {
-            "strategy": self.strategy,
-            "instance": self.instance_name,
-            "n": self.n,
-            "m": self.m,
-            "alpha": self.alpha,
-            "realization": self.realization,
-            "seed": self.seed,
-            "replication": self.replication,
-            "makespan": self.makespan,
-            "optimum": self.optimum,
-            "optimum_exact": self.optimum_exact,
-            "ratio": self.ratio,
-            "guarantee": "" if self.guarantee is None else self.guarantee,
-            "within_guarantee": "" if self.within_guarantee is None else self.within_guarantee,
-        }
-
-
-def _stochastic_factory(model: str) -> RealizationFactory:
-    def make(instance: Instance, seed: int) -> Realization:
-        return sample_realization(instance, model, seed)
-
-    return make
 
 
 @dataclass
@@ -104,7 +70,7 @@ class ExperimentGrid:
     strategies:
         The strategies to run (instantiated; group strategies must match
         each instance's ``m`` — incompatible pairs are skipped and
-        counted in :attr:`skipped`).
+        recorded as :class:`SkippedCell` entries in :attr:`skipped`).
     instances:
         The instances to run on.
     realization_models:
@@ -118,6 +84,16 @@ class ExperimentGrid:
     progress:
         Optional :data:`ProgressCallback` invoked after every cell —
         long sweeps can report liveness without the driver growing a UI.
+        In parallel mode it fires during the deterministic merge, in cell
+        order, after computation finishes.
+    workers:
+        Process-pool width; ``1`` (default) runs in-process.  Any ``N>1``
+        produces the same record list as the serial run.
+    cache:
+        Optional :class:`~repro.analysis.cache.CellCache`; warm cells are
+        served from disk without calling ``measured_ratio``.
+    chunk_size:
+        Cells per worker dispatch (default: auto, ~4 chunks per worker).
     """
 
     strategies: Sequence[TwoPhaseStrategy]
@@ -125,8 +101,11 @@ class ExperimentGrid:
     realization_models: Sequence[str | RealizationFactory]
     seeds: Sequence[int] = (0,)
     exact_limit: int = 22
-    skipped: list[str] = field(default_factory=list)
+    skipped: list[SkippedCell] = field(default_factory=list)
     progress: ProgressCallback | None = None
+    workers: int = 1
+    cache: CellCache | None = None
+    chunk_size: int | None = None
 
     def total_cells(self) -> int:
         """Number of grid cells ``run()`` will attempt."""
@@ -139,9 +118,7 @@ class ExperimentGrid:
 
     def run(self) -> list[ExperimentRecord]:
         tracer = get_tracer()
-        records: list[ExperimentRecord] = []
         total = self.total_cells()
-        done = 0
         with tracer.span(
             "run_grid",
             strategies=len(self.strategies),
@@ -149,71 +126,146 @@ class ExperimentGrid:
             models=len(self.realization_models),
             seeds=len(self.seeds),
             cells=total,
+            workers=self.workers,
+            cached=self.cache is not None,
         ) as grid_span:
-            for instance in self.instances:
-                for model in self.realization_models:
-                    factory = _stochastic_factory(model) if isinstance(model, str) else model
-                    model_name = model if isinstance(model, str) else getattr(
-                        model, "__name__", "custom"
-                    )
-                    for seed in self.seeds:
-                        realization = factory(instance, seed)
-                        for strategy in self.strategies:
-                            done += 1
-                            record: ExperimentRecord | None = None
-                            with tracer.span(
-                                "grid.cell",
-                                strategy=strategy.name,
-                                instance=instance.name,
-                                model=model_name,
-                                seed=seed,
-                            ) as cell_span:
-                                try:
-                                    rec = measured_ratio(
-                                        strategy,
-                                        instance,
-                                        realization,
-                                        exact_limit=self.exact_limit,
-                                    )
-                                except ValueError as exc:
-                                    # Group strategies reject m not divisible
-                                    # by k; record and move on.
-                                    self.skipped.append(
-                                        f"{strategy.name} on {instance.name}: {exc}"
-                                    )
-                                    tracer.count("grid.cells_skipped")
-                                    cell_span.set(skipped=True)
-                                else:
-                                    record = ExperimentRecord.from_ratio(rec, seed)
-                                    records.append(record)
-                                    tracer.count("grid.cells_done")
-                                    cell_span.set(ratio=record.ratio)
-                            if tracer.enabled:
-                                tracer.registry.timer(
-                                    f"grid.strategy.{strategy.name}"
-                                ).observe(cell_span.duration)
-                            if self.progress is not None:
-                                self.progress(done, total, record)
-        if tracer.enabled:
-            tracer.manifest(
-                run_manifest(
-                    "grid",
-                    f"{len(records)} records / {total} cells",
-                    params={
-                        "strategies": [s.name for s in self.strategies],
-                        "instances": [i.name for i in self.instances],
-                        "models": [
-                            m if isinstance(m, str) else getattr(m, "__name__", "custom")
-                            for m in self.realization_models
-                        ],
-                        "seeds": list(self.seeds),
-                        "exact_limit": self.exact_limit,
-                        "skipped": len(self.skipped),
-                    },
-                    timing={"run_grid_s": grid_span.duration},
-                )
+            cells = enumerate_cells(
+                self.strategies,
+                self.instances,
+                self.realization_models,
+                self.seeds,
+                self.exact_limit,
             )
+            if self.workers <= 1:
+                records = self._run_serial(cells, total, tracer)
+            else:
+                records = self._run_parallel(cells, total, tracer)
+        if tracer.enabled:
+            self._emit_manifest(tracer, records, total, grid_span.duration)
         return records
+
+    # -- execution paths ---------------------------------------------------
+
+    def _run_serial(self, cells: list[CellSpec], total: int, tracer) -> list[ExperimentRecord]:
+        """The in-process path: one streaming pass in enumeration order.
+
+        Cache lookups, computation, cache stores, and progress callbacks
+        all interleave per cell, so long sweeps stay live.  Realizations
+        are sampled once per (instance, model, seed) group, as always.
+        """
+        records: list[ExperimentRecord] = []
+        realizations: dict[int, Realization] = {}
+        done = 0
+        for spec in cells:
+            outcome = self._lookup(spec, tracer)
+            if outcome is None:
+                realization = realizations.get(spec.group)
+                if realization is None:
+                    realization = realizations[spec.group] = spec.realization()
+                outcome = run_cell(spec, realization)
+                if self.cache is not None:
+                    self.cache.put(spec, outcome)
+            done += 1
+            self._fold(outcome, done, total, records)
+        return records
+
+    def _run_parallel(
+        self, cells: list[CellSpec], total: int, tracer
+    ) -> list[ExperimentRecord]:
+        """The pooled path: resolve warm cells, fan out the rest, merge.
+
+        Results are merged strictly by cell index, so the record list —
+        and the order of ``progress`` callbacks — matches the serial run
+        regardless of worker completion order.
+        """
+        hits: list[CellOutcome] = []
+        pending: list[CellSpec] = []
+        for spec in cells:
+            outcome = self._lookup(spec, tracer)
+            if outcome is None:
+                pending.append(spec)
+            else:
+                hits.append(outcome)
+        computed, worker_traces = execute_cells(
+            pending,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            traced=tracer.enabled,
+        )
+        for wt in worker_traces:
+            replay_events(tracer, wt.events, worker=wt.worker)
+            merge_registry_summary(tracer.registry, wt.metrics)
+        if self.cache is not None:
+            by_index = {spec.index: spec for spec in pending}
+            for outcome in computed:
+                spec = by_index.get(outcome.index)
+                if spec is not None:
+                    self.cache.put(spec, outcome)
+        records: list[ExperimentRecord] = []
+        done = 0
+        for outcome in sorted(hits + computed, key=lambda o: o.index):
+            done += 1
+            self._fold(outcome, done, total, records)
+        return records
+
+    def _lookup(self, spec: CellSpec, tracer) -> CellOutcome | None:
+        """Cache probe for one cell, with warm-cell counters and event."""
+        if self.cache is None:
+            return None
+        outcome = self.cache.get(spec)
+        if outcome is None:
+            return None
+        # Keep the grid's aggregate counters meaningful on warm runs.
+        if outcome.skipped is not None:
+            tracer.count("grid.cells_skipped")
+        else:
+            tracer.count("grid.cells_done")
+        tracer.event(
+            "grid.cell_cached",
+            strategy=spec.strategy.name,
+            instance=spec.instance.name,
+            model=spec.model_name,
+            seed=spec.seed,
+        )
+        return outcome
+
+    def _fold(
+        self,
+        outcome: CellOutcome,
+        done: int,
+        total: int,
+        records: list[ExperimentRecord],
+    ) -> None:
+        """Accumulate one outcome into records/skips and report progress."""
+        if outcome.skipped is not None:
+            self.skipped.append(outcome.skipped)
+        elif outcome.record is not None:
+            records.append(outcome.record)
+        if self.progress is not None:
+            self.progress(done, total, outcome.record)
+
+    def _emit_manifest(
+        self, tracer, records: list[ExperimentRecord], total: int, duration: float
+    ) -> None:
+        params: dict[str, object] = {
+            "strategies": [s.name for s in self.strategies],
+            "instances": [i.name for i in self.instances],
+            "models": [model_display_name(m) for m in self.realization_models],
+            "seeds": list(self.seeds),
+            "exact_limit": self.exact_limit,
+            "skipped": len(self.skipped),
+            "workers": self.workers,
+        }
+        if self.cache is not None:
+            params["cache"] = self.cache.stats()
+        tracer.manifest(
+            run_manifest(
+                "grid",
+                f"{len(records)} records / {total} cells",
+                params=params,
+                timing={"run_grid_s": duration},
+            )
+        )
 
 
 def run_grid(
@@ -224,6 +276,9 @@ def run_grid(
     seeds: Sequence[int] = (0,),
     exact_limit: int = 22,
     progress: ProgressCallback | None = None,
+    workers: int = 1,
+    cache: CellCache | None = None,
+    chunk_size: int | None = None,
 ) -> list[ExperimentRecord]:
     """One-call wrapper around :class:`ExperimentGrid`."""
     grid = ExperimentGrid(
@@ -233,5 +288,8 @@ def run_grid(
         seeds=list(seeds),
         exact_limit=exact_limit,
         progress=progress,
+        workers=workers,
+        cache=cache,
+        chunk_size=chunk_size,
     )
     return grid.run()

@@ -1,0 +1,335 @@
+"""Parallel execution backend for the experiment grid.
+
+Serves every grid-driven paper artifact (benches E1–E16 and the figure
+sweeps): :func:`enumerate_cells` flattens a strategies × instances ×
+models × seeds sweep into picklable :class:`CellSpec` objects up front,
+and :func:`execute_cells` fans them out over a ``concurrent.futures``
+process pool in chunks.  Results come back keyed by cell index and are
+merged in enumeration order, so the record list is identical to the
+serial path no matter which worker finishes first.
+
+Design points:
+
+* **Determinism** — a cell's outcome depends only on its spec (strategy,
+  instance, model, seed, exact limit); realizations are resampled
+  deterministically inside the worker.  The merge sorts by cell index,
+  so ``workers=N`` returns byte-identical records to ``workers=1``.
+* **Chunked dispatch** — cells are shipped in contiguous chunks (default
+  ``~4`` chunks per worker) to amortize pickling/IPC, and a chunk memoizes
+  realizations per (instance, model, seed) group exactly like the serial
+  loop does.
+* **Serial fallback** — ``workers <= 1``, an unpicklable chunk (custom
+  realization factories built from closures), or an unavailable pool
+  (restricted environments) all degrade to running in-process; callers
+  never have to care.
+* **Worker observability** — when the parent tracer is enabled each
+  worker records into a private tracer and ships its events and metric
+  summary back with the results; :mod:`repro.obs.merge` folds them into
+  the parent trace.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis import ratios
+from repro.analysis.records import ExperimentRecord, SkippedCell
+from repro.core.model import Instance
+from repro.core.strategy import TwoPhaseStrategy
+from repro.obs.sink import MemorySink
+from repro.obs.tracer import get_tracer
+from repro.uncertainty.realization import Realization
+from repro.uncertainty.stochastic import sample_realization
+
+__all__ = [
+    "CellSpec",
+    "CellOutcome",
+    "WorkerTrace",
+    "enumerate_cells",
+    "execute_cells",
+    "run_cell",
+    "default_chunk_size",
+]
+
+RealizationFactory = Callable[[Instance, int], Realization]
+
+#: Ring capacity of each worker's private event buffer.  Workers emit a
+#: handful of events per cell, so this comfortably holds the largest
+#: chunks while bounding memory on runaway grids.
+_WORKER_EVENT_CAPACITY = 100_000
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell, fully specified and (usually) picklable.
+
+    ``index`` is the cell's position in serial enumeration order — the
+    merge key that makes parallel output deterministic.  ``group``
+    identifies the (instance, model, seed) realization group so executors
+    can sample each realization once per chunk.
+    """
+
+    index: int
+    group: int
+    strategy: TwoPhaseStrategy
+    instance: Instance
+    model: str | RealizationFactory
+    model_name: str
+    seed: int
+    exact_limit: int
+
+    def realization(self) -> Realization:
+        """Sample (deterministically) the realization this cell runs under."""
+        if isinstance(self.model, str):
+            return sample_realization(self.instance, self.model, self.seed)
+        return self.model(self.instance, self.seed)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one cell produced: a record, or a structured skip."""
+
+    index: int
+    record: ExperimentRecord | None
+    skipped: SkippedCell | None
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class WorkerTrace:
+    """One worker chunk's observability payload, shipped back over IPC."""
+
+    worker: int
+    events: tuple[dict[str, Any], ...]
+    metrics: dict[str, Any]
+
+
+def model_display_name(model: str | RealizationFactory) -> str:
+    """The name a model contributes to spans, manifests, and fingerprints."""
+    return model if isinstance(model, str) else getattr(model, "__name__", "custom")
+
+
+def enumerate_cells(
+    strategies: Sequence[TwoPhaseStrategy],
+    instances: Sequence[Instance],
+    realization_models: Sequence[str | RealizationFactory],
+    seeds: Sequence[int],
+    exact_limit: int,
+) -> list[CellSpec]:
+    """Flatten the sweep into specs, in the serial loop's nesting order.
+
+    The nesting (instances, then models, then seeds, then strategies)
+    matches the historical serial driver, so cell indices — and therefore
+    merged output order — are stable across backends.
+    """
+    cells: list[CellSpec] = []
+    index = 0
+    group = 0
+    for instance in instances:
+        for model in realization_models:
+            name = model_display_name(model)
+            for seed in seeds:
+                for strategy in strategies:
+                    cells.append(
+                        CellSpec(
+                            index=index,
+                            group=group,
+                            strategy=strategy,
+                            instance=instance,
+                            model=model,
+                            model_name=name,
+                            seed=seed,
+                            exact_limit=exact_limit,
+                        )
+                    )
+                    index += 1
+                group += 1
+    return cells
+
+
+def run_cell(spec: CellSpec, realization: Realization | None = None) -> CellOutcome:
+    """Execute one cell under the current tracer (serial and worker path).
+
+    Emits the same instrumentation regardless of which process it runs
+    in: a ``grid.cell`` span, ``grid.cells_done``/``grid.cells_skipped``
+    counters, a structured ``grid.cell_skipped`` event on incompatible
+    pairs, and a per-strategy timer observation.
+    """
+    tracer = get_tracer()
+    if realization is None:
+        realization = spec.realization()
+    start = time.perf_counter()
+    record: ExperimentRecord | None = None
+    skipped: SkippedCell | None = None
+    with tracer.span(
+        "grid.cell",
+        strategy=spec.strategy.name,
+        instance=spec.instance.name,
+        model=spec.model_name,
+        seed=spec.seed,
+    ) as cell_span:
+        try:
+            rec = ratios.measured_ratio(
+                spec.strategy,
+                spec.instance,
+                realization,
+                exact_limit=spec.exact_limit,
+            )
+        except ValueError as exc:
+            # Group strategies reject m not divisible by k; record the
+            # structured skip and move on.
+            skipped = SkippedCell(spec.strategy.name, spec.instance.name, str(exc))
+            tracer.count("grid.cells_skipped")
+            tracer.event(
+                "grid.cell_skipped",
+                strategy=skipped.strategy,
+                instance=skipped.instance,
+                error=skipped.error,
+            )
+            cell_span.set(skipped=True)
+        else:
+            record = ExperimentRecord.from_ratio(rec, spec.seed)
+            tracer.count("grid.cells_done")
+            cell_span.set(ratio=record.ratio)
+    duration = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.registry.timer(f"grid.strategy.{spec.strategy.name}").observe(duration)
+    return CellOutcome(spec.index, record, skipped, duration)
+
+
+def _run_chunk_inline(chunk: Sequence[CellSpec]) -> list[CellOutcome]:
+    """Run a chunk in the current process, memoizing realizations per group."""
+    outcomes: list[CellOutcome] = []
+    realizations: dict[int, Realization] = {}
+    for spec in chunk:
+        realization = realizations.get(spec.group)
+        if realization is None:
+            realization = realizations[spec.group] = spec.realization()
+        outcomes.append(run_cell(spec, realization))
+    return outcomes
+
+
+def _worker_chunk(payload: tuple[Sequence[CellSpec], bool]) -> tuple[
+    list[CellOutcome], WorkerTrace | None
+]:
+    """Process-pool entry point: run one chunk, optionally traced.
+
+    The worker *always* rebuilds its tracer state: with the ``fork``
+    start method a child inherits the parent's enabled tracer and open
+    sinks, and writing to those would interleave with the parent.  The
+    inherited sinks are dropped without closing (closing would flush the
+    parent's duplicated buffer — the parent flushes before forking
+    instead) and replaced by a private memory sink when tracing is on.
+    """
+    chunk, traced = payload
+    tracer = get_tracer()
+    tracer.enabled = False
+    tracer.sinks = []
+    sink: MemorySink | None = None
+    if traced:
+        from repro.obs.metrics import MetricsRegistry
+
+        sink = MemorySink(capacity=_WORKER_EVENT_CAPACITY)
+        tracer.sinks = [sink]
+        tracer.registry = MetricsRegistry()
+        tracer._stack = []
+        tracer.enabled = True
+    try:
+        outcomes = _run_chunk_inline(chunk)
+    finally:
+        tracer.enabled = False
+    trace: WorkerTrace | None = None
+    if sink is not None:
+        trace = WorkerTrace(
+            worker=os.getpid(),
+            events=tuple(ev.as_dict() for ev in sink.events),
+            metrics=tracer.registry.summary(),
+        )
+    return outcomes, trace
+
+
+def default_chunk_size(n_cells: int, workers: int) -> int:
+    """Contiguous cells per dispatch: ~4 chunks per worker, at least 1.
+
+    Small enough to load-balance uneven cell costs, large enough that
+    pickling strategies/instances is amortized over many cells.
+    """
+    if n_cells <= 0:
+        return 1
+    return max(1, -(-n_cells // max(1, workers * 4)))
+
+
+def _chunks(cells: Sequence[CellSpec], size: int) -> list[list[CellSpec]]:
+    return [list(cells[i : i + size]) for i in range(0, len(cells), size)]
+
+
+def _picklable(chunk: list[CellSpec]) -> bool:
+    try:
+        pickle.dumps(chunk)
+    except Exception:
+        return False
+    return True
+
+
+def execute_cells(
+    cells: Sequence[CellSpec],
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    traced: bool = False,
+) -> tuple[list[CellOutcome], list[WorkerTrace]]:
+    """Run every cell and return (outcomes sorted by index, worker traces).
+
+    ``workers <= 1`` runs inline under the caller's tracer (no traces to
+    merge).  ``workers > 1`` distributes picklable chunks over a process
+    pool; unpicklable chunks and pool failures fall back inline, so the
+    call always completes with the full outcome list.
+    """
+    if not cells:
+        return [], []
+    if workers <= 1:
+        return _run_chunk_inline(cells), []
+
+    size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
+        len(cells), workers
+    )
+    remote: list[list[CellSpec]] = []
+    inline: list[list[CellSpec]] = []
+    for chunk in _chunks(cells, size):
+        (remote if _picklable(chunk) else inline).append(chunk)
+
+    outcomes: list[CellOutcome] = []
+    traces: list[WorkerTrace] = []
+    if remote:
+        # A forked child duplicates any buffered sink bytes; flush first so
+        # nothing is written twice when the child tears down.
+        for sink in get_tracer().sinks:
+            sink.flush()
+        remote_outcomes: list[CellOutcome] = []
+        remote_traces: list[WorkerTrace] = []
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for chunk_outcomes, trace in pool.map(
+                    _worker_chunk, [(chunk, traced) for chunk in remote]
+                ):
+                    remote_outcomes.extend(chunk_outcomes)
+                    if trace is not None:
+                        remote_traces.append(trace)
+        except (ImportError, OSError, PermissionError, RuntimeError):
+            # Pool unavailable (sandboxed interpreter, missing semaphores,
+            # broken pool ...): discard partial results, degrade to serial.
+            remote_outcomes, remote_traces = [], []
+            inline = inline + remote
+        outcomes.extend(remote_outcomes)
+        traces.extend(remote_traces)
+    for chunk in inline:
+        outcomes.extend(_run_chunk_inline(chunk))
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes, traces

@@ -4,7 +4,15 @@
 simulation under a realization) and returns the full outcome;
 :func:`measured_ratio` divides the achieved makespan by the exact optimum
 (or a certified lower bound — flagged) of the realized times.  Everything
-else in the empirical benches is built on these two calls.
+else in the empirical benches is built on these two calls: they are the
+per-cell kernel behind every measured paper artifact (Table 1/2 checks,
+Figure 3, benches E1–E16).
+
+Both entry points are pure functions of picklable inputs (strategies,
+instances, and realizations are all plain frozen dataclasses), which is
+what lets :mod:`repro.analysis.parallel` ship grid cells to worker
+processes and still merge byte-identical results.  Keep it that way: no
+module-level mutable state, no closures in the call signature.
 """
 
 from __future__ import annotations

@@ -1,0 +1,140 @@
+"""Flat result records shared by the grid driver, workers, and the cache.
+
+Serves the empirical campaign (benches E1–E16 and the figure sweeps):
+an :class:`ExperimentRecord` is one grid cell flattened to scalars — the
+row format every ``results/*.csv`` artifact is built from — and a
+:class:`SkippedCell` is the structured note left behind when a strategy
+cannot run on an instance (e.g. a group strategy whose ``k`` does not
+divide ``m``).
+
+Both types are leaf dataclasses of JSON scalars only: picklable (they
+cross process boundaries in the parallel backend), losslessly
+JSON-round-trippable (they live in the on-disk cell cache), and cheap to
+construct in hot sweep loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, NamedTuple
+
+from repro.analysis.ratios import RatioRecord
+
+__all__ = ["ExperimentRecord", "SkippedCell"]
+
+
+class SkippedCell(NamedTuple):
+    """One grid cell that could not run (incompatible strategy/instance).
+
+    Benches filter these by field (``skip.strategy``, ``skip.instance``)
+    instead of parsing preformatted strings; ``str(skip)`` still renders
+    the historical one-line form for logs.
+    """
+
+    strategy: str
+    instance: str
+    error: str
+
+    def __str__(self) -> str:
+        return f"{self.strategy} on {self.instance}: {self.error}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {"strategy": self.strategy, "instance": self.instance, "error": self.error}
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One cell of the grid, flattened for CSV output."""
+
+    strategy: str
+    instance_name: str
+    n: int
+    m: int
+    alpha: float
+    realization: str
+    seed: int
+    replication: int
+    makespan: float
+    optimum: float
+    optimum_exact: bool
+    ratio: float
+    guarantee: float | None
+    within_guarantee: bool | None
+
+    @staticmethod
+    def from_ratio(record: RatioRecord, seed: int) -> "ExperimentRecord":
+        out = record.outcome
+        inst = out.placement.instance
+        return ExperimentRecord(
+            strategy=out.strategy_name,
+            instance_name=inst.name,
+            n=inst.n,
+            m=inst.m,
+            alpha=inst.alpha,
+            realization=out.trace.label.split("/")[-1],
+            seed=seed,
+            replication=out.replication,
+            makespan=out.makespan,
+            optimum=record.optimum.value,
+            optimum_exact=record.optimum.optimal,
+            ratio=record.ratio,
+            guarantee=record.guarantee,
+            within_guarantee=record.within_guarantee,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "instance": self.instance_name,
+            "n": self.n,
+            "m": self.m,
+            "alpha": self.alpha,
+            "realization": self.realization,
+            "seed": self.seed,
+            "replication": self.replication,
+            "makespan": self.makespan,
+            "optimum": self.optimum,
+            "optimum_exact": self.optimum_exact,
+            "ratio": self.ratio,
+            "guarantee": "" if self.guarantee is None else self.guarantee,
+            "within_guarantee": "" if self.within_guarantee is None else self.within_guarantee,
+        }
+
+    def to_cache_dict(self) -> dict[str, Any]:
+        """Lossless JSON form (unlike :meth:`as_dict`, ``None`` survives)."""
+        return {
+            "strategy": self.strategy,
+            "instance_name": self.instance_name,
+            "n": self.n,
+            "m": self.m,
+            "alpha": self.alpha,
+            "realization": self.realization,
+            "seed": self.seed,
+            "replication": self.replication,
+            "makespan": self.makespan,
+            "optimum": self.optimum,
+            "optimum_exact": self.optimum_exact,
+            "ratio": self.ratio,
+            "guarantee": self.guarantee,
+            "within_guarantee": self.within_guarantee,
+        }
+
+    @staticmethod
+    def from_cache_dict(data: dict[str, Any]) -> "ExperimentRecord":
+        """Inverse of :meth:`to_cache_dict`; raises on missing fields."""
+        return ExperimentRecord(
+            strategy=data["strategy"],
+            instance_name=data["instance_name"],
+            n=data["n"],
+            m=data["m"],
+            alpha=data["alpha"],
+            realization=data["realization"],
+            seed=data["seed"],
+            replication=data["replication"],
+            makespan=data["makespan"],
+            optimum=data["optimum"],
+            optimum_exact=data["optimum_exact"],
+            ratio=data["ratio"],
+            guarantee=data["guarantee"],
+            within_guarantee=data["within_guarantee"],
+        )

@@ -1,5 +1,8 @@
 """Regime analysis: where each strategy's guarantee dominates.
 
+Serves the E6 regime-map artifact (``bench_e6_regime_map`` →
+``results/e6_regime_map.*``) and the ``repro regimes`` CLI command.
+
 The paper's conclusion frames the open problem as locating the boundary
 between two regimes: "when α is low, the problem is no different than the
 offline problem, and when it is large, the problem converges to the

@@ -1,5 +1,8 @@
 """Scenario-based robust evaluation: min-max regret.
 
+Serves the E13 min-max-regret artifact (``bench_e13_minmax_regret`` →
+``results/e13_minmax_regret.*``).
+
 The related-work section notes that "most of the work on robust
 scheduling use scenarios to structure the variability of uncertain
 parameters" (Daniels & Kouvelis et al.).  This module evaluates the

@@ -1,5 +1,8 @@
 """Schedule sensitivity and robustness metrics.
 
+Serves the E9 robustness-metrics artifact (``bench_e9_robustness_metrics``
+→ ``results/e9_robustness_metrics.*``).
+
 The related-work section surveys *robust scheduling* — slack-based
 techniques, sensitivity analysis, scenario methods — as the alternative to
 the paper's replication approach.  This module implements the standard

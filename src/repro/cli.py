@@ -20,6 +20,11 @@ subcommands so results can be regenerated without pytest:
 ``run`` and ``sweep`` accept ``--trace PATH`` (write a JSONL event trace,
 see ``docs/observability.md``) and ``--metrics`` (print the counter/timer
 table); ``repro obs`` is the same machinery with tracing always on.
+``sweep`` additionally runs through the parallel grid backend:
+``--workers N`` fans cells over a process pool (identical results to
+serial), and cell outcomes are cached under ``.repro-cache/`` between
+invocations (``--no-cache`` / ``--cache-dir`` override; see
+``docs/performance.md``).
 
 The figure/table commands delegate to the same code paths the benchmark
 suite uses (`benchmarks/` merely wraps them with pytest-benchmark), so CLI
@@ -103,8 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n", type=int, default=16)
     sweep.add_argument("--m", type=int, default=4)
     sweep.add_argument("--alpha", type=float, default=1.5)
-    sweep.add_argument("--seeds", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    sweep.add_argument("--seeds", type=int, default=5, help="realization seeds per strategy")
     sweep.add_argument("--model", default="bimodal_extreme")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="grid worker processes (1 = serial; results are identical)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cell cache for this sweep",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cell cache directory (default: .repro-cache)",
+    )
     _add_obs_flags(sweep)
 
     obs = sub.add_parser(
@@ -222,26 +246,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Ratio sweep through :func:`repro.analysis.run_grid`.
+
+    One instance (from ``--seed``), every strategy applicable to ``m``,
+    ``--seeds`` realization draws — fanned over ``--workers`` processes
+    and served from the cell cache when warm (``--no-cache`` opts out).
+    """
+    from repro.analysis import CellCache, run_grid
+
+    instance = generate(args.family, args.n, args.m, args.alpha, args.seed)
+    strategies = full_sweep(args.m)
+    cache = None
+    if not args.no_cache:
+        cache = CellCache(args.cache_dir) if args.cache_dir else CellCache()
+    records = run_grid(
+        strategies,
+        [instance],
+        [args.model],
+        seeds=tuple(1000 + s for s in range(args.seeds)),
+        workers=args.workers,
+        cache=cache,
+    )
+    by_strategy: dict[str, list] = {s.name: [] for s in strategies}
+    for rec in records:
+        by_strategy[rec.strategy].append(rec)
     rows = []
-    for strategy in full_sweep(args.m):
-        ratios = []
-        guarantee = None
-        for seed in range(args.seeds):
-            instance = generate(args.family, args.n, args.m, args.alpha, seed)
-            realization = sample_realization(instance, args.model, 1000 + seed)
-            record = measured_ratio(strategy, instance, realization)
-            ratios.append(record.ratio)
-            guarantee = record.guarantee
-        s = summarize(ratios)
+    for name, recs in by_strategy.items():
+        if not recs:
+            continue
+        s = summarize([r.ratio for r in recs])
         rows.append(
             {
-                "strategy": strategy.name,
-                "replication": strategy.replication_of(
-                    generate(args.family, args.n, args.m, args.alpha, 0)
-                ),
+                "strategy": name,
+                "replication": recs[0].replication,
                 "mean ratio": s.mean,
                 "max ratio": s.maximum,
-                "guarantee": guarantee if guarantee is not None else "",
+                "guarantee": recs[0].guarantee if recs[0].guarantee is not None else "",
             }
         )
     print(
@@ -253,6 +293,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"\ncell cache: {stats['hits']} hits / {stats['misses']} misses "
+            f"(hit rate {stats['hit_rate']:.0%}) in {stats['dir']}"
+        )
     return 0
 
 

@@ -10,7 +10,9 @@ The layer every other subsystem reports into:
 * :mod:`repro.obs.provenance` — :class:`RunManifest` records tying every
   result back to its exact configuration;
 * :mod:`repro.obs.validate` — schema validation for trace files
-  (``python -m repro.obs.validate trace.jsonl``).
+  (``python -m repro.obs.validate trace.jsonl``);
+* :mod:`repro.obs.merge` — fold worker-process events and metrics back
+  into the parent tracer (the parallel grid backend's trace merge).
 
 Quickstart::
 
@@ -26,6 +28,7 @@ Quickstart::
 # when CI runs ``python -m repro.obs.validate``.  Import it directly:
 # ``from repro.obs.validate import validate_trace``.
 from repro.obs.events import EVENT_KINDS, SCHEMA_VERSION, TraceEvent, validate_record
+from repro.obs.merge import merge_registry_summary, replay_events
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.provenance import RunManifest, bench_manifest, environment_info, run_manifest
 from repro.obs.sink import JsonlSink, LoggingSink, MemorySink, Sink, read_jsonl
@@ -55,4 +58,6 @@ __all__ = [
     "run_manifest",
     "bench_manifest",
     "environment_info",
+    "replay_events",
+    "merge_registry_summary",
 ]

@@ -1,0 +1,82 @@
+"""Cross-process observability merge.
+
+The parallel experiment backend (:mod:`repro.analysis.parallel`) runs grid
+cells in worker processes.  Each worker records into its *own* tracer —
+a private :class:`~repro.obs.sink.MemorySink` plus a private
+:class:`~repro.obs.metrics.MetricsRegistry` — because sharing the parent's
+sinks across ``fork`` would interleave writes and corrupt JSONL traces.
+This module folds those per-worker observations back into the parent:
+
+* :func:`replay_events` re-emits a worker's serialized events through the
+  parent tracer.  Replayed events get fresh parent sequence numbers and
+  timestamps (keeping the trace schema-valid: ``seq`` monotone, ``ts``
+  from one epoch) while the worker's original ``seq``/``ts`` and its pid
+  travel in the payload (``worker``, ``worker_seq``, ``worker_ts``) so
+  offline analysis can reconstruct per-worker timelines.
+* :func:`merge_registry_summary` folds a worker registry's
+  ``summary()`` dict into the parent registry: counters add, gauges
+  last-write-wins, timers merge their count/total/min/max.
+
+Both are no-ops against a disabled tracer, like all obs entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["replay_events", "merge_registry_summary"]
+
+#: Worker event kinds that are *not* replayed: ``counter`` snapshots and
+#: ``manifest`` records are per-process summaries the parent either
+#: rebuilds from the merged registry or emits itself.
+_SKIP_KINDS = frozenset({"counter", "manifest"})
+
+
+def replay_events(
+    tracer: Tracer,
+    events: Iterable[dict[str, Any]],
+    *,
+    worker: int | str | None = None,
+) -> int:
+    """Re-emit serialized worker events through ``tracer``; returns the count.
+
+    ``events`` are ``TraceEvent.as_dict()`` records shipped back from a
+    worker process.  Events are replayed in the worker's emission order,
+    with their depths re-based onto the parent's currently open span
+    stack — a worker chunk's spans are balanced, so the merged stream
+    still nests properly and passes ``repro.obs.validate``.
+    """
+    if not tracer.enabled:
+        return 0
+    base_depth = len(tracer._stack)
+    replayed = 0
+    for ev in events:
+        kind = ev.get("kind")
+        if kind in _SKIP_KINDS or kind is None:
+            continue
+        payload = dict(ev.get("payload", {}))
+        payload["worker_seq"] = ev.get("seq")
+        payload["worker_ts"] = ev.get("ts")
+        if worker is not None:
+            payload["worker"] = worker
+        tracer._emit(kind, ev.get("name", ""), base_depth + ev.get("depth", 0), payload)
+        replayed += 1
+    return replayed
+
+
+def merge_registry_summary(registry: MetricsRegistry, summary: dict[str, Any]) -> None:
+    """Fold one worker registry ``summary()`` dict into ``registry``."""
+    for name, value in summary.get("counters", {}).items():
+        registry.counter(name).inc(int(value))
+    for name, value in summary.get("gauges", {}).items():
+        registry.gauge(name).set(float(value))
+    for name, stats in summary.get("timers", {}).items():
+        registry.timer(name).merge(
+            count=int(stats.get("count", 0)),
+            total=float(stats.get("total_s", 0.0)),
+            minimum=float(stats.get("min_s", 0.0)),
+            maximum=float(stats.get("max_s", 0.0)),
+        )

@@ -86,6 +86,17 @@ class Timer:
         """``with timer.time(): ...`` observes the block's wall time."""
         return _TimerContext(self)
 
+    def merge(self, *, count: int, total: float, minimum: float, maximum: float) -> None:
+        """Fold another timer's aggregate in (cross-process registry merge)."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        if minimum < self.min:
+            self.min = minimum
+        if maximum > self.max:
+            self.max = maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -33,6 +33,14 @@ class Sink:
     def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered data to durable storage (no-op by default).
+
+        The parallel backend flushes every sink before forking workers so
+        a child process never inherits (and later double-flushes) a
+        parent's buffered bytes.
+        """
+
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
@@ -70,6 +78,10 @@ class JsonlSink(Sink):
             raise ValueError(f"JsonlSink({self.path}) is closed")
         self._fh.write(json.dumps(event.as_dict(), separators=(",", ":")) + "\n")
         self.written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

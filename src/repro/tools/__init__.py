@@ -1,0 +1,8 @@
+"""Developer tooling shipped with the library.
+
+Not part of the paper reproduction itself — these are the maintenance
+commands CI runs to keep the codebase honest:
+
+* :mod:`repro.tools.check_docstrings` — fail when a public module or
+  class is missing its docstring (``python -m repro.tools.check_docstrings``).
+"""

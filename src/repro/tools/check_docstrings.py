@@ -1,0 +1,98 @@
+"""Docstring lint: every public module and class must say what it is for.
+
+The reproduction guide (``docs/reproduction_guide.md``) maps theorems to
+modules; that mapping only stays trustworthy if each module states its
+purpose at the top.  This lint enforces the floor: a **module docstring**
+on every public module (anything not underscore-prefixed, ``__init__.py``
+included) and a **class docstring** on every public top-level class.
+
+Usage::
+
+    python -m repro.tools.check_docstrings            # lint the repro package
+    python -m repro.tools.check_docstrings PATH ...   # lint specific files/dirs
+
+Exit code 0 when clean, 1 with one ``path:line: message`` per violation —
+CI runs it on every push.  Purely ``ast``-based: nothing is imported, so
+the lint is safe on any tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["check_file", "check_paths", "main"]
+
+
+def _is_public_module(path: Path) -> bool:
+    stem = path.stem
+    if stem == "__init__":
+        return True
+    return not stem.startswith("_")
+
+
+def check_file(path: Path) -> list[str]:
+    """Lint one source file; returns ``path:line: message`` violations."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno or 0}: unparseable ({exc.msg})"]
+    violations: list[str] = []
+    if _is_public_module(path) and ast.get_docstring(tree) is None:
+        violations.append(f"{path}:1: public module is missing a docstring")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            if ast.get_docstring(node) is None:
+                violations.append(
+                    f"{path}:{node.lineno}: public class {node.name!r} "
+                    "is missing a docstring"
+                )
+    return violations
+
+
+def check_paths(paths: Sequence[Path]) -> list[str]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    violations: list[str] = []
+    for file in files:
+        violations.extend(check_file(file))
+    return violations
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check_docstrings",
+        description="Fail when public modules/classes lack docstrings.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    violations = check_paths(paths)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} docstring violations", file=sys.stderr)
+        return 1
+    print("docstring lint: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

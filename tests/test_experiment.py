@@ -52,6 +52,13 @@ class TestRunGrid:
         records = grid.run()
         assert records == []
         assert grid.skipped
+        # Skips are structured: strategy/instance names plus the reason.
+        skip = grid.skipped[0]
+        assert skip.strategy == "ls_group[k=3]"
+        assert skip.instance == instances[0].name
+        assert skip.error
+        assert skip.strategy in str(skip) and skip.instance in str(skip)
+        assert skip.as_dict()["error"] == skip.error
 
     def test_deterministic(self, instances):
         a = run_grid([LPTNoChoice()], instances, ["log_uniform"], seeds=(3,))
