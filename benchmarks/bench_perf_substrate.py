@@ -110,13 +110,20 @@ def bench_grid_parallel_speedup(benchmark):
     assert serial == parallel, "parallel grid must reproduce the serial records"
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cores = os.cpu_count() or 1
-    emit(
-        "perf_grid_parallel_speedup",
-        f"grid cells: {len(serial)}  workers: {_SPEEDUP_WORKERS}  cores: {cores}\n"
-        f"serial:   {serial_s:8.3f} s\n"
-        f"parallel: {parallel_s:8.3f} s\n"
+    lines = [
+        f"grid cells: {len(serial)}  workers: {_SPEEDUP_WORKERS}  cores: {cores}",
+        f"serial:   {serial_s:8.3f} s",
+        f"parallel: {parallel_s:8.3f} s",
         f"speedup:  {speedup:8.2f}x",
-    )
+    ]
+    if cores < _SPEEDUP_WORKERS:
+        lines.append(
+            f"note: host has {cores} core(s) < {_SPEEDUP_WORKERS} workers — below "
+            "the parallelism break-even point, so the pool's fork/IPC overhead "
+            "makes a sub-1x ratio expected here; the >1.5x speedup assertion "
+            f"only applies on hosts with >= {_SPEEDUP_WORKERS} cores"
+        )
+    emit("perf_grid_parallel_speedup", "\n".join(lines))
     if cores >= _SPEEDUP_WORKERS:
         assert speedup > 1.5, (
             f"expected >1.5x speedup with {_SPEEDUP_WORKERS} workers on "
