@@ -2,63 +2,60 @@
 
 The paper notes that Hadoop-style systems already replicate data for fault
 tolerance, and uses that as evidence replication is affordable.  This
-example turns the argument around with the failure-injection extension:
-the *same* replicas that insure against bad runtime estimates also insure
-against machine loss.
+example turns the argument around with the unified fault-injection
+subsystem (:mod:`repro.faults`): the *same* replicas that insure against
+bad runtime estimates also insure against machine loss.
 
-We run a batch under every strategy while killing machines mid-run:
+Three fault regimes, all described by :class:`repro.FaultPlan`:
 
-* pinned placements (**LPT-No Choice**) lose whatever the dead machine
-  exclusively held — the batch cannot finish;
-* group placements survive any failure that leaves each group partly
-  alive, restarting interrupted tasks on the group's survivors;
-* full replication survives anything short of total loss.
+* **crash-stop** — two machines die mid-run and stay dead; pinned
+  placements (**LPT-No Choice**) lose whatever the dead machines
+  exclusively held, group placements restart interrupted tasks on the
+  group's survivors, full replication survives anything short of total
+  loss;
+* **crash-recover + rack loss** — a whole rack fails together but rejoins
+  after a downtime; even pinned placements can finish, late;
+* **stragglers** — nobody dies, machines just degrade to a fraction of
+  their speed for a while; every strategy survives and the interesting
+  number is makespan inflation.
 
 Run:  python examples/fault_tolerant_scheduling.py
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 import repro
-from repro.simulation.engine import SimulationError, simulate
+from repro.simulation.engine import simulate
 
 
-def run_with_failures(strategy, instance, realization, failures):
-    placement = strategy.place(instance)
-    policy = strategy.make_policy(instance, placement)
-    baseline = simulate(placement, realization, strategy.make_policy(instance, placement))
-    try:
-        degraded = simulate(placement, realization, policy, failures=failures)
-        return {
-            "strategy": strategy.name,
-            "replicas/task": placement.max_replication(),
-            "outcome": "completed",
-            "makespan": degraded.makespan,
-            "vs healthy": degraded.makespan / baseline.makespan,
-            "restarts": len(degraded.aborted),
-        }
-    except SimulationError as exc:
-        reason = "data lost" if "lost to machine failures" in str(exc) else "stuck"
-        return {
-            "strategy": strategy.name,
-            "replicas/task": placement.max_replication(),
-            "outcome": reason,
-            "makespan": float("nan"),
-            "vs healthy": float("nan"),
-            "restarts": 0,
-        }
+def scenario_table(strategies, instance, realization, plan):
+    """One row per strategy under one fault plan (via the robustness layer)."""
+    rows = []
+    for strategy in strategies:
+        rec = repro.run_under_faults(strategy, instance, realization, plan)
+        rows.append(
+            {
+                "strategy": rec.strategy,
+                "replicas/task": rec.replication,
+                "outcome": "completed" if rec.survived else _reason(rec.error),
+                "makespan": rec.makespan,
+                "vs healthy": rec.inflation,
+                "restarts": rec.restarts,
+            }
+        )
+    return rows
+
+
+def _reason(error: str) -> str:
+    return "data lost" if "lost to machine failures" in error else "stuck"
 
 
 def main() -> None:
     m = 6
     instance = repro.uniform_instance(n=30, m=m, alpha=1.5, seed=2)
     realization = repro.sample_realization(instance, "log_uniform", seed=3)
-    failures = {1: 4.0, 4: 9.0}  # two machines die mid-run
-    print(
-        f"batch of {instance.n} tasks on {m} machines; machines "
-        f"{sorted(failures)} fail at t={sorted(failures.values())}\n"
-    )
-
     strategies = [
         repro.LPTNoChoice(),
         repro.LSGroup(3),
@@ -66,8 +63,65 @@ def main() -> None:
         repro.SelectiveReplication(0.5, by_work=True),
         repro.LPTNoRestriction(),
     ]
-    rows = [run_with_failures(s, instance, realization, failures) for s in strategies]
-    print(repro.format_table(rows, title="surviving two machine failures:"))
+
+    # -- regime 1: permanent crashes --------------------------------------
+    crashes = repro.FaultPlan.of(
+        repro.CrashStop(machine=1, at=4.0),
+        repro.CrashStop(machine=4, at=9.0),
+    )
+    print(f"batch of {instance.n} tasks on {m} machines; {crashes.describe()}\n")
+    print(
+        repro.format_table(
+            scenario_table(strategies, instance, realization, crashes),
+            title="surviving two permanent machine crashes:",
+        )
+    )
+
+    # -- regime 2: a rack dies together, then recovers ---------------------
+    rack = repro.FaultPlan.of(
+        repro.CorrelatedFailure(machines=(0, 1, 2), at=3.0, downtime=6.0)
+    )
+    print()
+    print(
+        repro.format_table(
+            scenario_table(strategies, instance, realization, rack),
+            title="rack {0,1,2} down from t=3 to t=9 (crash-recover):",
+        )
+    )
+    print(
+        "\nwith recovery even pinned tasks eventually run — availability "
+        "becomes a *latency* cost instead of a lost batch."
+    )
+
+    # -- regime 3: stragglers ----------------------------------------------
+    stragglers = repro.StragglerSlowdowns(m, prob=0.5, factors=(0.3, 0.6)).sample(
+        np.random.default_rng(7)
+    )
+    print()
+    print(
+        repro.format_table(
+            scenario_table(strategies, instance, realization, stragglers),
+            title=f"degraded-speed stragglers ({stragglers.describe()}):",
+        )
+    )
+
+    # -- the replication-vs-availability curve ------------------------------
+    model = repro.RandomCrashes(m, count=(0, 2), window=(0.0, 12.0))
+    rng = np.random.default_rng(11)
+    scenarios = 12
+    records = repro.run_fault_grid(
+        strategies,
+        [instance] * scenarios,
+        [realization] * scenarios,
+        [model.sample(rng) for _ in range(scenarios)],
+    )
+    print()
+    print(
+        repro.format_table(
+            repro.availability_curve(records),
+            title=f"replication vs availability ({scenarios} random 0-2 crash scenarios):",
+        )
+    )
     print(
         "\nthe same replicas that hedge against wrong runtime estimates keep "
         "the batch alive when hardware dies — the paper's Hadoop motivation, "
@@ -81,9 +135,9 @@ def main() -> None:
         placement,
         realization,
         strategy.make_policy(instance, placement),
-        failures=failures,
+        faults=crashes,
     )
-    print("\nLS-Group(k=2) schedule under failures (restarted tasks rerun later):")
+    print("\nLS-Group(k=2) schedule under the crash plan (restarted tasks rerun later):")
     print(repro.render_gantt(trace, m, width=66, show_ids=False))
     if trace.aborted:
         aborted = ", ".join(

@@ -27,6 +27,9 @@ Layers
   realizations;
 * :mod:`repro.memory` — the memory-aware model (SBO/SABO/ABO);
 * :mod:`repro.workloads` — synthetic workload generators and suites;
+* :mod:`repro.faults` — unified fault injection: crash-stop /
+  crash-recover / degraded-speed / correlated fault plans and seeded
+  generators;
 * :mod:`repro.analysis` — experiment harness, stats, tables, plots;
 * :mod:`repro.obs` — structured observability: spans, metrics, run
   provenance (no-op unless enabled).
@@ -36,15 +39,21 @@ from repro.adaptive import EstimateRefiner, IterativeSession
 from repro.analysis import (
     ExperimentGrid,
     ExperimentRecord,
+    FaultRunRecord,
     Series,
     Summary,
+    availability_curve,
     format_markdown_table,
     format_table,
+    inflation_summary,
     measured_ratio,
     render_plot,
+    run_fault_grid,
     run_grid,
     run_strategy,
+    run_under_faults,
     summarize,
+    survival_rate,
     write_csv,
 )
 from repro.core import (
@@ -90,6 +99,18 @@ from repro.core.strategies import (
 )
 from repro.core.tradeoff import ratio_replication_series, tradeoff_findings
 from repro.exact import optimal_makespan
+from repro.faults import (
+    CorrelatedFailure,
+    CrashRecover,
+    CrashStop,
+    DegradedInterval,
+    FaultModel,
+    FaultPlan,
+    RackFailure,
+    RandomCrashes,
+    StragglerSlowdowns,
+    merge_plans,
+)
 from repro.hetero import (
     HeteroUncertainty,
     RiskAwareReplication,
@@ -245,4 +266,21 @@ __all__ = [
     "Series",
     "render_plot",
     "write_csv",
+    # faults + robustness
+    "FaultPlan",
+    "CrashStop",
+    "CrashRecover",
+    "DegradedInterval",
+    "CorrelatedFailure",
+    "merge_plans",
+    "FaultModel",
+    "RandomCrashes",
+    "RackFailure",
+    "StragglerSlowdowns",
+    "FaultRunRecord",
+    "run_under_faults",
+    "run_fault_grid",
+    "survival_rate",
+    "inflation_summary",
+    "availability_curve",
 ]

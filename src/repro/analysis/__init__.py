@@ -17,8 +17,23 @@ from repro.analysis.calibration import (
 from repro.analysis.comparison import PairedComparison, compare_strategies, sign_test_pvalue
 from repro.analysis.cache import CellCache, cell_fingerprint
 from repro.analysis.csvio import read_csv, results_dir, write_csv
-from repro.analysis.experiment import ExperimentGrid, ExperimentRecord, SkippedCell, run_grid
+from repro.analysis.experiment import (
+    ExperimentGrid,
+    ExperimentRecord,
+    RetryPolicy,
+    SkippedCell,
+    run_grid,
+)
 from repro.analysis.ratios import RatioRecord, StrategyOutcome, measured_ratio, run_strategy
+from repro.analysis.robustness import (
+    FaultRunRecord,
+    availability_curve,
+    inflation_summary,
+    restart_total,
+    run_fault_grid,
+    run_under_faults,
+    survival_rate,
+)
 from repro.analysis.regret import (
     ScenarioEvaluation,
     build_scenarios,
@@ -69,10 +84,18 @@ __all__ = [
     "RatioRecord",
     "ExperimentGrid",
     "ExperimentRecord",
+    "RetryPolicy",
     "SkippedCell",
     "CellCache",
     "cell_fingerprint",
     "run_grid",
+    "FaultRunRecord",
+    "run_under_faults",
+    "run_fault_grid",
+    "survival_rate",
+    "inflation_summary",
+    "restart_total",
+    "availability_curve",
     "Summary",
     "summarize",
     "ci_halfwidth",

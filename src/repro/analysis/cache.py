@@ -23,11 +23,16 @@ key — and silently bypass the cache.
 
 Entries are one JSON file per fingerprint, sharded by the first two hex
 chars.  A corrupt or unreadable entry counts as a miss (and a
-``grid.cache_corrupt`` tick) and is recomputed, never raised.  Hits,
-misses, stores, and corruption are tracked on the cache object and
-mirrored into the tracer's :class:`~repro.obs.metrics.MetricsRegistry`
-as ``grid.cache_hits`` / ``grid.cache_misses`` / ``grid.cache_stores`` /
-``grid.cache_corrupt``.
+``grid.cache_corrupt`` tick) and is recomputed, never raised; the bad
+shard is additionally *quarantined* — moved aside to ``<entry>.corrupt``
+(a ``grid.cache_quarantined`` tick) so a warm rerun never trips over it
+again.  Quarantined cells (``kind="quarantined"`` skips from the retry
+layer) are refused by :meth:`CellCache.put`: a transient crash must not
+be frozen into a permanent skip.  Hits, misses, stores, corruption, and
+quarantines are tracked on the cache object and mirrored into the
+tracer's :class:`~repro.obs.metrics.MetricsRegistry` as
+``grid.cache_hits`` / ``grid.cache_misses`` / ``grid.cache_stores`` /
+``grid.cache_corrupt`` / ``grid.cache_quarantined``.
 """
 
 from __future__ import annotations
@@ -106,6 +111,7 @@ class CellCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.quarantined = 0
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -125,6 +131,7 @@ class CellCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
             "hit_rate": self.hit_rate(),
         }
 
@@ -137,7 +144,9 @@ class CellCache:
         """Return the cached outcome for ``spec``, or ``None`` on a miss.
 
         Corrupt entries (truncated writes, schema drift, hand edits) are
-        treated as misses; the subsequent :meth:`put` overwrites them.
+        treated as misses and moved aside to ``<entry>.corrupt`` so a
+        warm rerun starts clean; the subsequent :meth:`put` rewrites the
+        real entry.
         """
         fingerprint = cell_fingerprint(spec)
         if fingerprint is None:
@@ -152,6 +161,7 @@ class CellCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.corrupt += 1
             tracer.count("grid.cache_corrupt")
+            self._quarantine(path)
             outcome = None
         if outcome is None:
             self.misses += 1
@@ -161,8 +171,24 @@ class CellCache:
             tracer.count("grid.cache_hits")
         return outcome
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt shard aside so it cannot poison a warm rerun."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.quarantined += 1
+        get_tracer().count("grid.cache_quarantined")
+
     def put(self, spec: CellSpec, outcome: CellOutcome) -> bool:
-        """Persist one computed outcome; returns False when uncacheable."""
+        """Persist one computed outcome; returns False when uncacheable.
+
+        Quarantined skips (a cell that exhausted its retries) are refused
+        on purpose: the failure may be transient, and caching it would
+        turn one bad run into a permanently missing cell.
+        """
+        if outcome.skipped is not None and outcome.skipped.kind == "quarantined":
+            return False
         fingerprint = cell_fingerprint(spec)
         if fingerprint is None:
             return False
@@ -209,6 +235,12 @@ class CellCache:
             return CellOutcome(spec.index, record, None, duration)
         if kind == "skipped":
             s = payload["skipped"]
-            skipped = SkippedCell(s["strategy"], s["instance"], s["error"])
+            skipped = SkippedCell(
+                s["strategy"],
+                s["instance"],
+                s["error"],
+                kind=s.get("kind", "incompatible"),
+                attempts=int(s.get("attempts", 1)),
+            )
             return CellOutcome(spec.index, None, skipped, duration)
         raise ValueError(f"unknown cache entry kind {kind!r}")

@@ -31,12 +31,14 @@ from dataclasses import dataclass, field
 
 from repro.analysis.cache import CellCache
 from repro.analysis.parallel import (
+    DEFAULT_RETRY,
     CellOutcome,
     CellSpec,
+    RetryPolicy,
     enumerate_cells,
     execute_cells,
     model_display_name,
-    run_cell,
+    run_cell_resilient,
 )
 from repro.analysis.records import ExperimentRecord, SkippedCell
 from repro.core.model import Instance
@@ -50,6 +52,7 @@ __all__ = [
     "ExperimentRecord",
     "SkippedCell",
     "ExperimentGrid",
+    "RetryPolicy",
     "run_grid",
     "ProgressCallback",
 ]
@@ -94,6 +97,15 @@ class ExperimentGrid:
         served from disk without calling ``measured_ratio``.
     chunk_size:
         Cells per worker dispatch (default: auto, ~4 chunks per worker).
+    retry:
+        Per-cell :class:`~repro.analysis.parallel.RetryPolicy`.  Crashing
+        cells are retried with backoff; cells that exhaust their attempts
+        land in :attr:`skipped` as ``kind="quarantined"`` entries rather
+        than aborting the sweep.
+    resilience:
+        Accumulated fault accounting for the last ``run()``: total
+        ``retries`` (attempts beyond the first), ``timeouts``, and
+        ``quarantined`` cells.  Mirrored into the grid manifest.
     """
 
     strategies: Sequence[TwoPhaseStrategy]
@@ -106,6 +118,10 @@ class ExperimentGrid:
     workers: int = 1
     cache: CellCache | None = None
     chunk_size: int | None = None
+    retry: RetryPolicy = DEFAULT_RETRY
+    resilience: dict[str, int] = field(
+        default_factory=lambda: {"retries": 0, "timeouts": 0, "quarantined": 0}
+    )
 
     def total_cells(self) -> int:
         """Number of grid cells ``run()`` will attempt."""
@@ -162,7 +178,7 @@ class ExperimentGrid:
                 realization = realizations.get(spec.group)
                 if realization is None:
                     realization = realizations[spec.group] = spec.realization()
-                outcome = run_cell(spec, realization)
+                outcome = run_cell_resilient(spec, realization, self.retry)
                 if self.cache is not None:
                     self.cache.put(spec, outcome)
             done += 1
@@ -191,6 +207,7 @@ class ExperimentGrid:
             workers=self.workers,
             chunk_size=self.chunk_size,
             traced=tracer.enabled,
+            retry=self.retry,
         )
         for wt in worker_traces:
             replay_events(tracer, wt.events, worker=wt.worker)
@@ -237,7 +254,11 @@ class ExperimentGrid:
         records: list[ExperimentRecord],
     ) -> None:
         """Accumulate one outcome into records/skips and report progress."""
+        self.resilience["retries"] += max(0, outcome.attempts - 1)
+        self.resilience["timeouts"] += outcome.timed_out
         if outcome.skipped is not None:
+            if outcome.skipped.kind == "quarantined":
+                self.resilience["quarantined"] += 1
             self.skipped.append(outcome.skipped)
         elif outcome.record is not None:
             records.append(outcome.record)
@@ -255,6 +276,7 @@ class ExperimentGrid:
             "exact_limit": self.exact_limit,
             "skipped": len(self.skipped),
             "workers": self.workers,
+            "resilience": dict(self.resilience),
         }
         if self.cache is not None:
             params["cache"] = self.cache.stats()
@@ -279,6 +301,7 @@ def run_grid(
     workers: int = 1,
     cache: CellCache | None = None,
     chunk_size: int | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY,
 ) -> list[ExperimentRecord]:
     """One-call wrapper around :class:`ExperimentGrid`."""
     grid = ExperimentGrid(
@@ -291,5 +314,6 @@ def run_grid(
         workers=workers,
         cache=cache,
         chunk_size=chunk_size,
+        retry=retry,
     )
     return grid.run()

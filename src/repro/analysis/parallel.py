@@ -22,6 +22,12 @@ Design points:
   realization factories built from closures), or an unavailable pool
   (restricted environments) all degrade to running in-process; callers
   never have to care.
+* **Resilience** — every cell runs under a :class:`RetryPolicy`: a cell
+  that raises (or exceeds a per-cell wall-clock timeout) is retried with
+  exponential backoff, and a cell that keeps failing is *quarantined* as
+  a structured :class:`~repro.analysis.records.SkippedCell` instead of
+  aborting the sweep.  A crashed pool chunk falls back inline, so one
+  broken worker never loses the run.
 * **Worker observability** — when the parent tracer is enabled each
   worker records into a private tracer and ships its events and metric
   summary back with the results; :mod:`repro.obs.merge` folds them into
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -41,6 +48,7 @@ from repro.analysis import ratios
 from repro.analysis.records import ExperimentRecord, SkippedCell
 from repro.core.model import Instance
 from repro.core.strategy import TwoPhaseStrategy
+from repro.faults import inject
 from repro.obs.sink import MemorySink
 from repro.obs.tracer import get_tracer
 from repro.uncertainty.realization import Realization
@@ -49,10 +57,14 @@ from repro.uncertainty.stochastic import sample_realization
 __all__ = [
     "CellSpec",
     "CellOutcome",
+    "CellTimeout",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
     "WorkerTrace",
     "enumerate_cells",
     "execute_cells",
     "run_cell",
+    "run_cell_resilient",
     "default_chunk_size",
 ]
 
@@ -92,12 +104,70 @@ class CellSpec:
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """What one cell produced: a record, or a structured skip."""
+    """What one cell produced: a record, or a structured skip.
+
+    ``attempts`` counts how many tries the cell needed (1 = clean first
+    run) and ``timed_out`` how many of the failed tries hit the
+    :class:`RetryPolicy` wall-clock timeout; both feed the grid's
+    resilience accounting.
+    """
 
     index: int
     record: ExperimentRecord | None
     skipped: SkippedCell | None
     duration_s: float
+    attempts: int = 1
+    timed_out: int = 0
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded its :class:`RetryPolicy` wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for grid cells.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per cell (first run included).  After the last failed
+        attempt the cell is quarantined as a ``kind="quarantined"``
+        :class:`~repro.analysis.records.SkippedCell` instead of raising.
+    backoff_s:
+        Sleep before the second attempt; each further retry multiplies it
+        by ``backoff_factor``.  Zero disables sleeping (tests).
+    backoff_factor:
+        Exponential growth of the backoff.
+    timeout_s:
+        Optional per-attempt wall-clock budget.  ``None`` (the default)
+        runs the cell directly in the calling thread; a number runs it in
+        a daemon thread and abandons it past the deadline.  An abandoned
+        attempt keeps executing in the background until it finishes on
+        its own — cheap measurement kernels make this acceptable — so
+        enable timeouts only for untraced sweeps (a zombie attempt would
+        otherwise keep emitting events into the live tracer).
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+#: The grid's default policy: three attempts, 50 ms then 100 ms backoff,
+#: no per-cell timeout (timeouts are opt-in; see ``--cell-timeout``).
+DEFAULT_RETRY = RetryPolicy()
 
 
 @dataclass(frozen=True)
@@ -202,7 +272,119 @@ def run_cell(spec: CellSpec, realization: Realization | None = None) -> CellOutc
     return CellOutcome(spec.index, record, skipped, duration)
 
 
-def _run_chunk_inline(chunk: Sequence[CellSpec]) -> list[CellOutcome]:
+def _attempt_cell(
+    spec: CellSpec, realization: Realization, timeout_s: float | None
+) -> CellOutcome:
+    """One try of one cell: fault-injection check, then (bounded) run.
+
+    With a timeout the cell runs in a daemon thread; past the deadline
+    the thread is abandoned (see :class:`RetryPolicy.timeout_s`) and
+    :class:`CellTimeout` is raised for the retry loop to handle.
+    """
+    inject.check(spec.index)
+    if timeout_s is None:
+        return run_cell(spec, realization)
+    box: list[CellOutcome] = []
+    error: list[BaseException] = []
+
+    def _target() -> None:
+        try:
+            box.append(run_cell(spec, realization))
+        except BaseException as exc:  # noqa: BLE001 - reraised in the caller
+            error.append(exc)
+
+    thread = threading.Thread(target=_target, daemon=True, name=f"cell-{spec.index}")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise CellTimeout(
+            f"cell {spec.index} ({spec.strategy.name} on {spec.instance.name}) "
+            f"exceeded {timeout_s}s"
+        )
+    if error:
+        raise error[0]
+    return box[0]
+
+
+def run_cell_resilient(
+    spec: CellSpec,
+    realization: Realization | None = None,
+    retry: RetryPolicy = DEFAULT_RETRY,
+) -> CellOutcome:
+    """Run one cell under a retry policy; never raises for cell faults.
+
+    Transient failures (a crashing cell, an injected fault, a timeout)
+    are retried up to ``retry.max_attempts`` times with exponential
+    backoff, counted as ``grid.cell_retries`` / ``grid.cell_timeouts``
+    and traced as ``grid.cell_retry`` events.  A cell that exhausts its
+    attempts is *quarantined*: counted as ``grid.cells_quarantined``,
+    traced as ``grid.cell_quarantined``, and returned as a structured
+    ``kind="quarantined"`` skip so the sweep completes without it.
+
+    ``KeyboardInterrupt``/``SystemExit`` always propagate — resilience
+    must not swallow a user abort.
+    """
+    tracer = get_tracer()
+    if realization is None:
+        realization = spec.realization()
+    timeouts = 0
+    delay = retry.backoff_s
+    last_error = ""
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            outcome = _attempt_cell(spec, realization, retry.timeout_s)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if isinstance(exc, CellTimeout):
+                timeouts += 1
+                tracer.count("grid.cell_timeouts")
+            last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < retry.max_attempts:
+                tracer.count("grid.cell_retries")
+                tracer.event(
+                    "grid.cell_retry",
+                    strategy=spec.strategy.name,
+                    instance=spec.instance.name,
+                    attempt=attempt,
+                    error=last_error,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= retry.backoff_factor
+            continue
+        return CellOutcome(
+            outcome.index,
+            outcome.record,
+            outcome.skipped,
+            outcome.duration_s,
+            attempts=attempt,
+            timed_out=timeouts,
+        )
+    tracer.count("grid.cells_quarantined")
+    tracer.event(
+        "grid.cell_quarantined",
+        strategy=spec.strategy.name,
+        instance=spec.instance.name,
+        attempts=retry.max_attempts,
+        error=last_error,
+    )
+    skipped = SkippedCell(
+        spec.strategy.name,
+        spec.instance.name,
+        last_error,
+        kind="quarantined",
+        attempts=retry.max_attempts,
+    )
+    return CellOutcome(
+        spec.index, None, skipped, 0.0,
+        attempts=retry.max_attempts, timed_out=timeouts,
+    )
+
+
+def _run_chunk_inline(
+    chunk: Sequence[CellSpec], retry: RetryPolicy = DEFAULT_RETRY
+) -> list[CellOutcome]:
     """Run a chunk in the current process, memoizing realizations per group."""
     outcomes: list[CellOutcome] = []
     realizations: dict[int, Realization] = {}
@@ -210,11 +392,11 @@ def _run_chunk_inline(chunk: Sequence[CellSpec]) -> list[CellOutcome]:
         realization = realizations.get(spec.group)
         if realization is None:
             realization = realizations[spec.group] = spec.realization()
-        outcomes.append(run_cell(spec, realization))
+        outcomes.append(run_cell_resilient(spec, realization, retry))
     return outcomes
 
 
-def _worker_chunk(payload: tuple[Sequence[CellSpec], bool]) -> tuple[
+def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tuple[
     list[CellOutcome], WorkerTrace | None
 ]:
     """Process-pool entry point: run one chunk, optionally traced.
@@ -226,7 +408,7 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool]) -> tuple[
     parent's duplicated buffer — the parent flushes before forking
     instead) and replaced by a private memory sink when tracing is on.
     """
-    chunk, traced = payload
+    chunk, traced, retry = payload
     tracer = get_tracer()
     tracer.enabled = False
     tracer.sinks = []
@@ -240,7 +422,7 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool]) -> tuple[
         tracer._stack = []
         tracer.enabled = True
     try:
-        outcomes = _run_chunk_inline(chunk)
+        outcomes = _run_chunk_inline(chunk, retry)
     finally:
         tracer.enabled = False
     trace: WorkerTrace | None = None
@@ -282,18 +464,22 @@ def execute_cells(
     workers: int = 1,
     chunk_size: int | None = None,
     traced: bool = False,
+    retry: RetryPolicy = DEFAULT_RETRY,
 ) -> tuple[list[CellOutcome], list[WorkerTrace]]:
     """Run every cell and return (outcomes sorted by index, worker traces).
 
     ``workers <= 1`` runs inline under the caller's tracer (no traces to
     merge).  ``workers > 1`` distributes picklable chunks over a process
-    pool; unpicklable chunks and pool failures fall back inline, so the
-    call always completes with the full outcome list.
+    pool, one future per chunk; unpicklable chunks, a pool that cannot
+    start, and *individual crashed chunks* (a worker killed mid-flight,
+    a broken pool) all fall back inline, so the call always completes
+    with the full outcome list.  Inside workers and inline alike, each
+    cell runs under ``retry`` (see :func:`run_cell_resilient`).
     """
     if not cells:
         return [], []
     if workers <= 1:
-        return _run_chunk_inline(cells), []
+        return _run_chunk_inline(cells, retry), []
 
     size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
         len(cells), workers
@@ -308,28 +494,40 @@ def execute_cells(
     if remote:
         # A forked child duplicates any buffered sink bytes; flush first so
         # nothing is written twice when the child tears down.
-        for sink in get_tracer().sinks:
+        tracer = get_tracer()
+        for sink in tracer.sinks:
             sink.flush()
-        remote_outcomes: list[CellOutcome] = []
-        remote_traces: list[WorkerTrace] = []
+        failed: list[list[CellSpec]] = []
         try:
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for chunk_outcomes, trace in pool.map(
-                    _worker_chunk, [(chunk, traced) for chunk in remote]
-                ):
-                    remote_outcomes.extend(chunk_outcomes)
+                futures = [
+                    pool.submit(_worker_chunk, (chunk, traced, retry))
+                    for chunk in remote
+                ]
+                for chunk, future in zip(remote, futures):
+                    try:
+                        chunk_outcomes, trace = future.result()
+                    except (OSError, RuntimeError, pickle.PickleError):
+                        # This chunk's worker died (BrokenProcessPool is a
+                        # RuntimeError); recover just this chunk inline.
+                        tracer.count("grid.chunk_failovers")
+                        failed.append(chunk)
+                        continue
+                    outcomes.extend(chunk_outcomes)
                     if trace is not None:
-                        remote_traces.append(trace)
+                        traces.append(trace)
         except (ImportError, OSError, PermissionError, RuntimeError):
             # Pool unavailable (sandboxed interpreter, missing semaphores,
-            # broken pool ...): discard partial results, degrade to serial.
-            remote_outcomes, remote_traces = [], []
-            inline = inline + remote
-        outcomes.extend(remote_outcomes)
-        traces.extend(remote_traces)
+            # failed startup ...): degrade every undone chunk to serial.
+            done = {o.index for o in outcomes}
+            failed = [
+                [spec for spec in chunk if spec.index not in done]
+                for chunk in remote
+            ]
+        inline = inline + [chunk for chunk in failed if chunk]
     for chunk in inline:
-        outcomes.extend(_run_chunk_inline(chunk))
+        outcomes.extend(_run_chunk_inline(chunk, retry))
     outcomes.sort(key=lambda o: o.index)
     return outcomes, traces

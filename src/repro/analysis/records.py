@@ -24,7 +24,18 @@ __all__ = ["ExperimentRecord", "SkippedCell"]
 
 
 class SkippedCell(NamedTuple):
-    """One grid cell that could not run (incompatible strategy/instance).
+    """One grid cell that produced no record, with the reason attached.
+
+    Two kinds exist:
+
+    * ``"incompatible"`` — the strategy cannot run on the instance at all
+      (e.g. a group strategy whose ``k`` does not divide ``m``); retrying
+      would change nothing, so the cell is skipped on the first attempt.
+    * ``"quarantined"`` — the cell kept *crashing or timing out* and
+      exhausted its :class:`~repro.analysis.parallel.RetryPolicy`;
+      ``attempts`` records how many tries were burned and ``error`` the
+      last failure.  Quarantined skips are poison markers: the cache
+      refuses to persist them, so a later run retries the cell.
 
     Benches filter these by field (``skip.strategy``, ``skip.instance``)
     instead of parsing preformatted strings; ``str(skip)`` still renders
@@ -34,12 +45,21 @@ class SkippedCell(NamedTuple):
     strategy: str
     instance: str
     error: str
+    kind: str = "incompatible"
+    attempts: int = 1
 
     def __str__(self) -> str:
-        return f"{self.strategy} on {self.instance}: {self.error}"
+        note = f" [{self.kind}, {self.attempts} attempts]" if self.kind != "incompatible" else ""
+        return f"{self.strategy} on {self.instance}: {self.error}{note}"
 
-    def as_dict(self) -> dict[str, str]:
-        return {"strategy": self.strategy, "instance": self.instance, "error": self.error}
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "instance": self.instance,
+            "error": self.error,
+            "kind": self.kind,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass(frozen=True)

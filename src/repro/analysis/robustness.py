@@ -1,0 +1,229 @@
+"""Robustness metrics: survival, makespan inflation, availability curves.
+
+Quantifies the paper's fault-tolerance motivation ("most Hadoop systems
+replicate the data for the purpose of tolerating hardware faults"): given
+fault scenarios from :mod:`repro.faults`, these helpers measure what each
+replication level actually buys —
+
+* **survival rate** — the fraction of scenarios a strategy finishes at
+  all (a pinned placement dies with its machine, replication survives);
+* **makespan inflation** — survivors' makespan relative to the
+  fault-free baseline on the same realization;
+* **restart counts** — aborted attempts that had to rerun from scratch;
+* **availability curves** — survival/inflation aggregated per
+  replication factor, the empirical replication-vs-availability tradeoff.
+
+:func:`run_fault_grid` crosses strategies × seeded scenarios exactly like
+:func:`repro.analysis.run_grid` crosses strategies × realizations, and the
+flat :class:`FaultRunRecord` rows feed the same table/CSV reporting stack
+(bench E7 and ``examples/fault_tolerant_scheduling.py`` are the
+consumers).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.model import Instance
+from repro.core.strategy import TwoPhaseStrategy
+from repro.faults.plan import FaultPlan
+from repro.obs.tracer import get_tracer
+from repro.simulation.engine import SimulationError, simulate
+from repro.uncertainty.realization import Realization
+
+__all__ = [
+    "FaultRunRecord",
+    "run_under_faults",
+    "run_fault_grid",
+    "survival_rate",
+    "inflation_summary",
+    "restart_total",
+    "availability_curve",
+]
+
+
+@dataclass(frozen=True)
+class FaultRunRecord:
+    """One (strategy, fault scenario) cell, flattened for tables and CSV.
+
+    ``makespan`` and ``inflation`` are ``nan`` when the run did not
+    survive; ``error`` then carries the engine's explanation (data lost
+    vs. stuck).
+    """
+
+    strategy: str
+    replication: int
+    scenario: int
+    n_faults: int
+    survived: bool
+    makespan: float
+    baseline_makespan: float
+    inflation: float
+    restarts: int
+    error: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """CSV row form (nan renders as empty for dead runs)."""
+        return {
+            "strategy": self.strategy,
+            "replication": self.replication,
+            "scenario": self.scenario,
+            "faults": self.n_faults,
+            "survived": self.survived,
+            "makespan": "" if math.isnan(self.makespan) else self.makespan,
+            "baseline": self.baseline_makespan,
+            "inflation": "" if math.isnan(self.inflation) else self.inflation,
+            "restarts": self.restarts,
+            "error": self.error,
+        }
+
+
+def run_under_faults(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    realization: Realization,
+    plan: FaultPlan,
+    *,
+    scenario: int = 0,
+    baseline_makespan: float | None = None,
+) -> FaultRunRecord:
+    """Run one strategy under one fault scenario and measure the damage.
+
+    The fault-free baseline on the same realization is simulated unless
+    ``baseline_makespan`` is supplied (callers sweeping many scenarios
+    over one realization should compute it once).  Survivor traces are
+    feasibility-checked (durations exempt when the plan degrades speeds —
+    remaining work is rescaled mid-run, see
+    :meth:`~repro.simulation.trace.ScheduleTrace.validate`).
+    """
+    tracer = get_tracer()
+    placement = strategy.place(instance)
+    replication = placement.max_replication()
+    if baseline_makespan is None:
+        baseline = simulate(
+            placement, realization, strategy.make_policy(instance, placement)
+        )
+        baseline_makespan = baseline.makespan
+    with tracer.span(
+        "fault_run", strategy=strategy.name, scenario=scenario, faults=len(plan.faults)
+    ) as span:
+        try:
+            trace = simulate(
+                placement,
+                realization,
+                strategy.make_policy(instance, placement),
+                faults=plan,
+                label=f"{strategy.name}/faults[{scenario}]",
+            )
+        except SimulationError as exc:
+            span.set(survived=False)
+            return FaultRunRecord(
+                strategy=strategy.name,
+                replication=replication,
+                scenario=scenario,
+                n_faults=len(plan.faults),
+                survived=False,
+                makespan=float("nan"),
+                baseline_makespan=baseline_makespan,
+                inflation=float("nan"),
+                restarts=0,
+                error=str(exc),
+            )
+        trace.validate(
+            placement, realization, check_durations=not plan.slowdowns()
+        )
+        span.set(survived=True, makespan=trace.makespan)
+    return FaultRunRecord(
+        strategy=strategy.name,
+        replication=replication,
+        scenario=scenario,
+        n_faults=len(plan.faults),
+        survived=True,
+        makespan=trace.makespan,
+        baseline_makespan=baseline_makespan,
+        inflation=trace.makespan / baseline_makespan,
+        restarts=len(trace.aborted),
+        error="",
+    )
+
+
+def run_fault_grid(
+    strategies: Sequence[TwoPhaseStrategy],
+    instances: Sequence[Instance],
+    realizations: Sequence[Realization],
+    plans: Sequence[FaultPlan],
+) -> list[FaultRunRecord]:
+    """Cross strategies × scenarios; scenario ``i`` pairs instance/realization/plan ``i``.
+
+    ``instances``, ``realizations`` and ``plans`` must be equal-length
+    parallel sequences (one triple per scenario) — the shape bench E7
+    uses.  Baselines are computed once per (strategy, scenario).
+    """
+    if not len(instances) == len(realizations) == len(plans):
+        raise ValueError(
+            "instances, realizations and plans must be parallel sequences, got "
+            f"lengths {len(instances)}/{len(realizations)}/{len(plans)}"
+        )
+    records: list[FaultRunRecord] = []
+    for strategy in strategies:
+        for scenario, (instance, realization, plan) in enumerate(
+            zip(instances, realizations, plans)
+        ):
+            records.append(
+                run_under_faults(
+                    strategy, instance, realization, plan, scenario=scenario
+                )
+            )
+    return records
+
+
+def survival_rate(records: Iterable[FaultRunRecord]) -> float:
+    """Fraction of records that survived (1.0 for an empty iterable)."""
+    records = list(records)
+    if not records:
+        return 1.0
+    return sum(1 for r in records if r.survived) / len(records)
+
+
+def inflation_summary(records: Iterable[FaultRunRecord]) -> Summary | None:
+    """Summary statistics of survivors' makespan inflation (None if no survivors)."""
+    inflations = [r.inflation for r in records if r.survived]
+    if not inflations:
+        return None
+    return summarize(inflations)
+
+
+def restart_total(records: Iterable[FaultRunRecord]) -> int:
+    """Total restarted (aborted-and-rerun) attempts across survivors."""
+    return sum(r.restarts for r in records if r.survived)
+
+
+def availability_curve(records: Iterable[FaultRunRecord]) -> list[dict[str, object]]:
+    """Survival and inflation per replication factor, ascending.
+
+    The empirical replication-vs-availability tradeoff: one row per
+    replication level seen in ``records``, with its survival rate, mean
+    survivor inflation, and restart total — ready for
+    :func:`repro.analysis.tables.format_table` or CSV output.
+    """
+    by_replication: dict[int, list[FaultRunRecord]] = {}
+    for record in records:
+        by_replication.setdefault(record.replication, []).append(record)
+    rows: list[dict[str, object]] = []
+    for replication in sorted(by_replication):
+        group = by_replication[replication]
+        inflation = inflation_summary(group)
+        rows.append(
+            {
+                "replication": replication,
+                "runs": len(group),
+                "survival rate": survival_rate(group),
+                "mean inflation": inflation.mean if inflation else float("nan"),
+                "max inflation": inflation.maximum if inflation else float("nan"),
+                "restarts": restart_total(group),
+            }
+        )
+    return rows

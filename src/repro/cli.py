@@ -129,6 +129,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="cell cache directory (default: .repro-cache)",
     )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per grid cell before quarantining it (default: 3)",
+    )
+    sweep.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget; a timed-out attempt counts as a failure",
+    )
     _add_obs_flags(sweep)
 
     obs = sub.add_parser(
@@ -251,22 +265,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     One instance (from ``--seed``), every strategy applicable to ``m``,
     ``--seeds`` realization draws — fanned over ``--workers`` processes
     and served from the cell cache when warm (``--no-cache`` opts out).
+    Crashing cells are retried ``--retries`` times (quarantined after);
+    ``--cell-timeout`` bounds each attempt's wall clock.
     """
-    from repro.analysis import CellCache, run_grid
+    from repro.analysis import CellCache, ExperimentGrid, RetryPolicy
 
     instance = generate(args.family, args.n, args.m, args.alpha, args.seed)
     strategies = full_sweep(args.m)
     cache = None
     if not args.no_cache:
         cache = CellCache(args.cache_dir) if args.cache_dir else CellCache()
-    records = run_grid(
-        strategies,
-        [instance],
-        [args.model],
+    grid = ExperimentGrid(
+        strategies=list(strategies),
+        instances=[instance],
+        realization_models=[args.model],
         seeds=tuple(1000 + s for s in range(args.seeds)),
         workers=args.workers,
         cache=cache,
+        retry=RetryPolicy(max_attempts=max(1, args.retries), timeout_s=args.cell_timeout),
     )
+    records = grid.run()
     by_strategy: dict[str, list] = {s.name: [] for s in strategies}
     for rec in records:
         by_strategy[rec.strategy].append(rec)
@@ -295,10 +313,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         stats = cache.stats()
+        quarantined = (
+            f", {stats['quarantined']} corrupt shards quarantined"
+            if stats["quarantined"]
+            else ""
+        )
         print(
             f"\ncell cache: {stats['hits']} hits / {stats['misses']} misses "
-            f"(hit rate {stats['hit_rate']:.0%}) in {stats['dir']}"
+            f"(hit rate {stats['hit_rate']:.0%}) in {stats['dir']}{quarantined}"
         )
+    res = grid.resilience
+    if res["retries"] or res["timeouts"] or res["quarantined"]:
+        print(
+            f"resilience: {res['retries']} cell retries, {res['timeouts']} timeouts, "
+            f"{res['quarantined']} cells quarantined"
+        )
+    for skip in grid.skipped:
+        if skip.kind == "quarantined":
+            print(f"  quarantined: {skip}")
     return 0
 
 

@@ -96,7 +96,11 @@ class SchedulerView:
         return self._abort_epoch
 
     def is_failed(self, machine: int) -> bool:
-        """Whether ``machine`` has permanently failed."""
+        """Whether ``machine`` is currently down (it may recover later).
+
+        Crash-stop machines stay failed forever; crash-recover machines
+        (``repro.faults`` extension) leave this set when they rejoin.
+        """
         return machine in self._failed_machines
 
     def revealed_actual(self, tid: int) -> float:
@@ -153,6 +157,10 @@ class SchedulerView:
 
     def _mark_machine_failed(self, machine: int) -> None:
         self._failed_machines.add(machine)
+
+    def _mark_machine_recovered(self, machine: int) -> None:
+        """A crashed machine finished its downtime and rejoined."""
+        self._failed_machines.discard(machine)
 
 
 @runtime_checkable

@@ -1,0 +1,143 @@
+"""Deterministic fault injection for the experiment substrate itself.
+
+The grid driver's resilience machinery (bounded retry, poison-cell
+quarantine — see :mod:`repro.analysis.parallel`) needs *reproducible*
+worker failures to be testable: CI smokes a traced sweep with injected
+transient faults and asserts it still completes, and the substrate tests
+poison specific cells and assert quarantine instead of a crashed sweep.
+
+A :class:`CellFaultSpec` says which grid cells fail and how often.  It is
+activated either programmatically (:func:`configure`, for in-process
+tests) or through the ``REPRO_INJECT_CELL_FAULTS`` environment variable
+(``"every=3,fails=1"`` — which propagates into pool worker processes, so
+CI can inject faults into a multiprocess sweep from the command line).
+When neither is set, :func:`check` is a dict lookup and a return —
+nothing is injected in normal operation.
+
+Attempt counting is per-process: the substrate retries a failed cell
+inside the same process (worker or parent), so a ``fails=1`` spec makes
+each targeted cell fail exactly once and then succeed on retry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "CellFaultSpec",
+    "configure",
+    "active_spec",
+    "check",
+    "reset",
+]
+
+#: Environment variable carrying a :meth:`CellFaultSpec.parse` string.
+ENV_VAR = "REPRO_INJECT_CELL_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic error an injected cell attempt raises."""
+
+
+@dataclass(frozen=True)
+class CellFaultSpec:
+    """Which grid cells fail, and how many attempts each costs.
+
+    Attributes
+    ----------
+    every:
+        Inject into cells whose index is a multiple of ``every``
+        (``1`` = every cell).  Ignored when ``only`` is set.
+    fails:
+        Failing attempts per targeted cell before it succeeds;
+        ``-1`` means the cell is poisoned and *never* succeeds.
+    only:
+        Target exactly this cell index instead of the ``every`` pattern.
+    """
+
+    every: int = 1
+    fails: int = 1
+    only: int | None = None
+
+    @staticmethod
+    def parse(text: str) -> "CellFaultSpec":
+        """Parse ``"every=3,fails=1"`` / ``"only=5,fails=-1"`` form.
+
+        Unknown keys raise ``ValueError`` — a typo in a CI environment
+        variable should fail loudly, not silently inject nothing.
+        """
+        fields: dict[str, int | None] = {"every": 1, "fails": 1, "only": None}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in fields:
+                raise ValueError(
+                    f"unknown fault-injection key {key!r} in {text!r} "
+                    f"(expected {sorted(fields)})"
+                )
+            fields[key] = int(value)
+        spec = CellFaultSpec(**fields)  # type: ignore[arg-type]
+        if spec.every <= 0:
+            raise ValueError(f"every must be >= 1, got {spec.every}")
+        return spec
+
+    def targets(self, index: int) -> bool:
+        """Whether this spec injects into cell ``index``."""
+        if self.only is not None:
+            return index == self.only
+        return index % self.every == 0
+
+
+#: Programmatic override; ``None`` falls back to the environment.
+_CONFIGURED: CellFaultSpec | None = None
+
+#: Injected-failure count per cell index, in this process.
+_ATTEMPTS: dict[int, int] = {}
+
+
+def configure(spec: CellFaultSpec | None) -> None:
+    """Set (or with ``None``, clear) the in-process injection spec.
+
+    Takes precedence over the environment variable.  Also clears attempt
+    counters, so one test's injections never leak into the next.
+    """
+    global _CONFIGURED
+    _CONFIGURED = spec
+    _ATTEMPTS.clear()
+
+
+def active_spec() -> CellFaultSpec | None:
+    """The spec in effect: the configured one, else the environment's."""
+    if _CONFIGURED is not None:
+        return _CONFIGURED
+    text = os.environ.get(ENV_VAR, "").strip()
+    return CellFaultSpec.parse(text) if text else None
+
+
+def check(index: int) -> None:
+    """Raise :class:`InjectedFault` if cell ``index``'s attempt should fail.
+
+    Called by the substrate at the top of every cell attempt.  No active
+    spec (the normal case) returns immediately.
+    """
+    spec = active_spec()
+    if spec is None or not spec.targets(index):
+        return
+    done = _ATTEMPTS.get(index, 0)
+    if spec.fails >= 0 and done >= spec.fails:
+        return
+    _ATTEMPTS[index] = done + 1
+    raise InjectedFault(
+        f"injected fault (attempt {done + 1}) for grid cell {index}"
+    )
+
+
+def reset() -> None:
+    """Clear configuration and attempt counters (test teardown)."""
+    configure(None)

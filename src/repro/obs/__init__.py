@@ -27,7 +27,13 @@ Quickstart::
 # it from the package __init__ would trip CPython's double-import warning
 # when CI runs ``python -m repro.obs.validate``.  Import it directly:
 # ``from repro.obs.validate import validate_trace``.
-from repro.obs.events import EVENT_KINDS, SCHEMA_VERSION, TraceEvent, validate_record
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_PAYLOAD_FIELDS,
+    SCHEMA_VERSION,
+    TraceEvent,
+    validate_record,
+)
 from repro.obs.merge import merge_registry_summary, replay_events
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.provenance import RunManifest, bench_manifest, environment_info, run_manifest
@@ -37,6 +43,7 @@ from repro.obs.tracer import Span, Tracer, disable, enable, get_tracer, observed
 __all__ = [
     "TraceEvent",
     "EVENT_KINDS",
+    "EVENT_PAYLOAD_FIELDS",
     "SCHEMA_VERSION",
     "validate_record",
     "Counter",

@@ -18,6 +18,7 @@ from typing import Any
 __all__ = [
     "TraceEvent",
     "EVENT_KINDS",
+    "EVENT_PAYLOAD_FIELDS",
     "SCHEMA_VERSION",
     "validate_record",
 ]
@@ -39,6 +40,21 @@ EVENT_KINDS = frozenset(
 #: Payload values must be JSON scalars (or None); nested containers are
 #: flattened by the caller before emission.
 _SCALAR_TYPES = (str, int, float, bool, type(None))
+
+#: Required payload fields for known simulator point events (``kind ==
+#: "event"``).  Extra fields are always allowed (worker replay adds
+#: provenance keys, for instance); missing required fields are schema
+#: violations — an engine refactor that drops a field fails validation.
+EVENT_PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
+    "dispatch": ("task", "machine", "t"),
+    "completion": ("task", "machine", "t"),
+    "restart": ("task", "machine", "t"),
+    "machine_failure": ("machine", "t"),
+    "machine_recovery": ("machine", "t"),
+    "machine_degraded": ("machine", "factor", "t"),
+    "grid.cell_retry": ("strategy", "instance", "attempt", "error"),
+    "grid.cell_quarantined": ("strategy", "instance", "attempts", "error"),
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,4 +157,13 @@ def validate_record(record: object) -> list[str]:
             errors.append(
                 f"span_end payload must carry a non-negative duration_s, got {dur!r}"
             )
+    if kind == "event" and isinstance(payload, dict) and isinstance(name, str):
+        required = EVENT_PAYLOAD_FIELDS.get(name)
+        if required:
+            for field_name in required:
+                if field_name not in payload:
+                    errors.append(
+                        f"event {name!r} payload is missing required field "
+                        f"{field_name!r}"
+                    )
     return errors

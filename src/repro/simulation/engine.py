@@ -22,14 +22,24 @@ Optional ``release_times`` extend the model beyond the paper (all paper
 experiments use release 0); a machine that finds nothing to run re-polls
 at the next release instead of retiring, so the extension preserves the
 work-conserving property.
+
+Fault injection (the Hadoop fault-tolerance motivation for replication)
+is driven by a :class:`~repro.faults.plan.FaultPlan` via ``faults=``:
+machines can crash permanently, crash and recover after a downtime, or
+straggle through degraded-speed intervals (a running task's *remaining
+work* is rescaled at each speed boundary — no lost progress, no free
+speedup).  The legacy ``failures={machine: time}`` mapping is kept as a
+crash-stop shim and produces identical traces.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping, Sequence
 
 from repro.core.placement import Placement
 from repro.core.strategy import OnlinePolicy, SchedulerView
+from repro.faults.plan import FaultPlan
 from repro.obs.provenance import run_manifest
 from repro.obs.tracer import get_tracer
 from repro.simulation.events import EventKind, EventQueue
@@ -51,6 +61,7 @@ def simulate(
     release_times: Sequence[float] | None = None,
     speeds: Sequence[float] | None = None,
     failures: Mapping[int, float] | None = None,
+    faults: FaultPlan | None = None,
     label: str = "",
 ) -> ScheduleTrace:
     """Run Phase 2 and return the resulting trace.
@@ -74,21 +85,28 @@ def simulate(
         Completion events still reveal the *work* :math:`p_j` (durations
         are machine-dependent, work is not).
     failures:
-        Optional ``{machine: fail_time}`` (failure-injection extension —
-        the Hadoop fault-tolerance motivation for replication): the
-        machine stops permanently at ``fail_time``; a task it was running
-        is aborted, reverts to unstarted, and must restart from scratch on
-        another machine holding its data.  A task whose replicas are all
-        on failed machines makes the run raise — exactly the availability
-        argument for replication.
+        Legacy crash-stop shim, equivalent to
+        ``faults=FaultPlan.from_failures(failures)``: each machine stops
+        permanently at its mapped time.  Mutually exclusive with
+        ``faults``.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` of crash-stop,
+        crash-recover, degraded-speed, and correlated faults.  A machine
+        that fails aborts its running task (the task reverts to unstarted
+        and must restart from scratch on a machine holding its data), a
+        recovered machine polls for work again, and degraded intervals
+        rescale the remaining work of whatever is running.  A task whose
+        replicas are all on *permanently* failed machines makes the run
+        raise — exactly the availability argument for replication.
     label:
         Annotation stored on the returned trace.
 
     Raises
     ------
     SimulationError
-        If the policy dispatches an invalid task, or retires machines while
-        work remains that only retired machines could run (deadlock).
+        If the policy dispatches an invalid task, the fault plan is
+        malformed, or the run cannot complete (tasks stranded on failed
+        machines, or machines retired while eligible work remains).
     """
     instance = placement.instance
     if realization.instance is not instance and realization.instance != instance:
@@ -117,6 +135,14 @@ def simulate(
             if r < 0:
                 raise SimulationError(f"release_times[{j}] must be >= 0, got {r}")
 
+    if failures is not None and faults is not None:
+        raise SimulationError("pass either failures= (legacy shim) or faults=, not both")
+    plan: FaultPlan | None = None
+    if failures:
+        plan = FaultPlan.from_failures(failures)
+    elif faults:
+        plan = faults
+
     view = SchedulerView(instance, placement)
     queue = EventQueue()
     released: set[int] = set()
@@ -132,22 +158,32 @@ def simulate(
         queue.push(r, EventKind.TASK_RELEASE, j)
 
     failed: set[int] = set()
-    if failures:
-        for i, t_fail in failures.items():
-            if not 0 <= int(i) < m:
-                raise SimulationError(f"failures references machine {i}, outside 0..{m-1}")
-            if float(t_fail) < 0:
-                raise SimulationError(f"failure time for machine {i} must be >= 0")
-            queue.push(float(t_fail), EventKind.MACHINE_FAILURE, int(i))
+    if plan:
+        try:
+            plan.validate(m)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from exc
+        for at, machine, downtime in plan.crashes():
+            queue.push(at, EventKind.MACHINE_FAILURE, (machine, downtime))
+        for slow in plan.slowdowns():
+            queue.push(slow.start, EventKind.MACHINE_SPEED, (slow.machine, slow.factor))
+            if math.isfinite(slow.end):
+                queue.push(slow.end, EventKind.MACHINE_SPEED, (slow.machine, 1.0))
 
     for i in range(m):
         queue.push(0.0, EventKind.MACHINE_IDLE, i)
 
     runs: list[TaskRun | None] = [None] * n
     aborted_runs: list[TaskRun] = []
-    started_count = 0
     busy: dict[int, int] = {}  # machine -> running tid
     task_start: dict[int, float] = {}  # tid -> start time of current attempt
+    # Degraded-interval multiplier per machine (1.0 = healthy base speed).
+    degrade: list[float] = [1.0] * m
+    # Completion-event staleness: each scheduled completion carries the
+    # machine's attempt token; aborts and speed-rescheduling bump it so a
+    # superseded completion event is ignored when it surfaces.
+    attempt_token: dict[int, int] = {}
+    scheduled_end: dict[int, float] = {}  # machine -> current completion time
 
     tracer = get_tracer()
     obs = tracer.enabled  # hoisted: the hot loop pays one bool check per event
@@ -167,12 +203,15 @@ def simulate(
                 continue
 
             if ev.kind == EventKind.TASK_COMPLETION:
-                tid, machine = ev.payload
-                if busy.get(machine) != tid:
-                    continue  # stale completion: the attempt was aborted by a failure
+                tid, machine, token = ev.payload
+                if busy.get(machine) != tid or attempt_token.get(machine) != token:
+                    # Stale: the attempt was aborted by a failure, or a
+                    # speed change rescheduled its completion.
+                    continue
                 view._mark_completed(tid, realization.actual(tid))
+                runs[tid] = TaskRun(tid, machine, task_start.pop(tid), ev.time)
                 del busy[machine]
-                task_start.pop(tid, None)
+                scheduled_end.pop(machine, None)
                 queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
                 if obs:
                     tracer.count("sim.completions")
@@ -180,11 +219,13 @@ def simulate(
                 continue
 
             if ev.kind == EventKind.MACHINE_FAILURE:
-                machine = ev.payload
+                machine, downtime = ev.payload
                 if machine in failed:
-                    continue
+                    continue  # absorbed: the machine is already down
                 failed.add(machine)
                 view._mark_machine_failed(machine)
+                if math.isfinite(downtime):
+                    queue.push(ev.time + downtime, EventKind.MACHINE_RECOVERY, machine)
                 if obs:
                     tracer.count("sim.machine_failures")
                     tracer.event("machine_failure", machine=machine, t=ev.time)
@@ -195,8 +236,7 @@ def simulate(
                     aborted_runs.append(
                         TaskRun(running, machine, task_start.pop(running), ev.time)
                     )
-                    runs[running] = None
-                    started_count -= 1
+                    scheduled_end.pop(machine, None)
                     view._mark_aborted(running)
                     if obs:
                         tracer.count("sim.restarts")
@@ -207,6 +247,44 @@ def simulate(
                     for i in range(m):
                         if i not in failed and i not in busy:
                             queue.push(ev.time, EventKind.MACHINE_IDLE, i)
+                continue
+
+            if ev.kind == EventKind.MACHINE_RECOVERY:
+                machine = ev.payload
+                if machine not in failed:
+                    continue
+                failed.discard(machine)
+                view._mark_machine_recovered(machine)
+                if obs:
+                    tracer.count("sim.machine_recoveries")
+                    tracer.event("machine_recovery", machine=machine, t=ev.time)
+                queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+                continue
+
+            if ev.kind == EventKind.MACHINE_SPEED:
+                machine, factor = ev.payload
+                old_eff = machine_speed[machine] * degrade[machine]
+                degrade[machine] = factor
+                new_eff = machine_speed[machine] * factor
+                if obs:
+                    if factor != 1.0:
+                        tracer.count("sim.machine_degraded")
+                    tracer.event(
+                        "machine_degraded", machine=machine, factor=factor, t=ev.time
+                    )
+                running = busy.get(machine)
+                if running is not None and new_eff != old_eff:
+                    # Rescale the remaining work onto the new speed and
+                    # supersede the previously scheduled completion.
+                    remaining_work = (scheduled_end[machine] - ev.time) * old_eff
+                    new_end = ev.time + remaining_work / new_eff
+                    attempt_token[machine] += 1
+                    scheduled_end[machine] = new_end
+                    queue.push(
+                        new_end,
+                        EventKind.TASK_COMPLETION,
+                        (running, machine, attempt_token[machine]),
+                    )
                 continue
 
             # MACHINE_IDLE
@@ -230,7 +308,7 @@ def simulate(
             tid = choice
             if not 0 <= tid < n:
                 raise SimulationError(f"policy selected invalid task id {tid}")
-            if runs[tid] is not None or view.is_started(tid):
+            if view.is_started(tid):
                 raise SimulationError(f"policy selected already-started task {tid}")
             if tid not in released:
                 raise SimulationError(
@@ -241,14 +319,14 @@ def simulate(
                     f"policy sent task {tid} to machine {machine}, but its data is only on "
                     f"{sorted(placement.machines_for(tid))}"
                 )
-            duration = realization.actual(tid) / machine_speed[machine]
+            duration = realization.actual(tid) / (machine_speed[machine] * degrade[machine])
             end = ev.time + duration
-            runs[tid] = TaskRun(tid, machine, ev.time, end)
             task_start[tid] = ev.time
             view._mark_started(tid, machine)
             busy[machine] = tid
-            started_count += 1
-            queue.push(end, EventKind.TASK_COMPLETION, (tid, machine))
+            attempt_token[machine] = attempt_token.get(machine, 0) + 1
+            scheduled_end[machine] = end
+            queue.push(end, EventKind.TASK_COMPLETION, (tid, machine, attempt_token[machine]))
             if obs:
                 tracer.count("sim.dispatches")
                 tracer.event("dispatch", task=tid, machine=machine, t=ev.time)

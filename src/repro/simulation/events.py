@@ -28,13 +28,19 @@ class EventKind(IntEnum):
     released work is visible to same-instant decisions.
     ``MACHINE_FAILURE`` sits between completion and idle: a task finishing
     exactly at the failure instant still completes, but the failed machine
-    never dispatches at (or after) that instant.
+    never dispatches at (or after) that instant.  ``MACHINE_RECOVERY``
+    follows failure (a machine that fails and recovers at the same instant
+    ends up alive) and ``MACHINE_SPEED`` transitions apply before any
+    same-instant dispatch, so a task dispatched at a degraded interval's
+    boundary runs at the interval's speed.
     """
 
     TASK_RELEASE = 0
     TASK_COMPLETION = 1
     MACHINE_FAILURE = 2
-    MACHINE_IDLE = 3
+    MACHINE_RECOVERY = 3
+    MACHINE_SPEED = 4
+    MACHINE_IDLE = 5
 
 
 @dataclass(frozen=True, slots=True, order=True)

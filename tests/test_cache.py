@@ -154,7 +154,75 @@ class TestCellCache:
 
     def test_stats_shape(self, tmp_path):
         stats = CellCache(tmp_path).stats()
-        assert set(stats) == {"dir", "hits", "misses", "stores", "corrupt", "hit_rate"}
+        assert set(stats) == {
+            "dir", "hits", "misses", "stores", "corrupt", "quarantined", "hit_rate"
+        }
+
+
+class TestCorruptionQuarantine:
+    """Corrupt shards are moved aside and can never poison a warm rerun."""
+
+    def test_corrupt_shard_is_moved_aside(self, instance, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _spec(instance)
+        cache.put(spec, run_cell(spec))
+        path = cache._path(cell_fingerprint(spec))
+        path.write_text("\x00garbage\x00", encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1 and cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # The shard is gone, so the next probe is a plain miss, not
+        # another corruption event.
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
+    def test_truncated_shard_counts_as_miss(self, instance, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _spec(instance)
+        cache.put(spec, run_cell(spec))
+        path = cache._path(cell_fingerprint(spec))
+        path.write_text(path.read_text()[: 10], encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.misses == 1 and cache.quarantined == 1
+
+    def test_warm_rerun_clean_after_corruption(self, instance, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _spec(instance)
+        outcome = run_cell(spec)
+        cache.put(spec, outcome)
+        path = cache._path(cell_fingerprint(spec))
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        cache.put(spec, outcome)
+        fresh = CellCache(tmp_path)
+        cached = fresh.get(spec)
+        assert cached is not None and cached.record == outcome.record
+        assert fresh.corrupt == 0
+
+    def test_quarantined_skip_is_refused(self, instance, tmp_path):
+        from repro.analysis.records import SkippedCell
+        from repro.analysis.parallel import CellOutcome
+
+        cache = CellCache(tmp_path)
+        spec = _spec(instance)
+        poisoned = CellOutcome(
+            spec.index,
+            None,
+            SkippedCell("s", "i", "boom", kind="quarantined", attempts=3),
+            0.0,
+        )
+        assert not cache.put(spec, poisoned)
+        assert cache.stores == 0
+        assert cache.get(spec) is None
+
+    def test_incompatible_skip_round_trips_kind_fields(self, instance, tmp_path):
+        cache = CellCache(tmp_path)
+        spec = _spec(instance, strategy=LSGroup(4))  # cannot split m=2
+        outcome = run_cell(spec)
+        cache.put(spec, outcome)
+        cached = cache.get(spec).skipped
+        assert cached.kind == "incompatible" and cached.attempts == 1
 
 
 class TestGridIntegration:
