@@ -30,12 +30,14 @@ Layers
 * :mod:`repro.faults` — unified fault injection: crash-stop /
   crash-recover / degraded-speed / correlated fault plans and seeded
   generators;
+* :mod:`repro.registry` — the declarative strategy-plugin registry:
+  typed spec parsing, canonical round-tripping, capability flags;
 * :mod:`repro.analysis` — experiment harness, stats, tables, plots;
 * :mod:`repro.obs` — structured observability: spans, metrics, run
   provenance (no-op unless enabled).
 """
 
-from repro.adaptive import EstimateRefiner, IterativeSession
+from repro.adaptive import AdaptiveRefinement, EstimateRefiner, IterativeSession
 from repro.analysis import (
     ExperimentGrid,
     ExperimentRecord,
@@ -126,7 +128,17 @@ from repro.obs import (
     get_tracer,
     observed,
 )
+from repro.registry import (
+    Capabilities,
+    CapabilityError,
+    canonical_spec,
+    capabilities_of,
+    describe_strategy,
+    select_strategies,
+    strategy_entries,
+)
 from repro.robust import RobustPinnedPlacement
+from repro.schedulers import PinnedBaseline
 from repro.memory import (
     ABO,
     SABO,
@@ -180,9 +192,19 @@ __all__ = [
     "BudgetedReplication",
     "OverlappingWindows",
     "NonClairvoyantLS",
+    "PinnedBaseline",
+    "AdaptiveRefinement",
     "make_strategy",
     "strategy_names",
     "full_sweep",
+    # registry
+    "Capabilities",
+    "CapabilityError",
+    "describe_strategy",
+    "canonical_spec",
+    "capabilities_of",
+    "select_strategies",
+    "strategy_entries",
     # bounds
     "lb_no_replication",
     "lb_no_replication_limit",

@@ -1,5 +1,15 @@
 """Adaptive estimates: refine p̃ from observed durations across iterations."""
 
-from repro.adaptive.refinement import EstimateRefiner, IterationResult, IterativeSession
+from repro.adaptive.refinement import (
+    AdaptiveRefinement,
+    EstimateRefiner,
+    IterationResult,
+    IterativeSession,
+)
 
-__all__ = ["EstimateRefiner", "IterativeSession", "IterationResult"]
+__all__ = [
+    "EstimateRefiner",
+    "IterativeSession",
+    "IterationResult",
+    "AdaptiveRefinement",
+]

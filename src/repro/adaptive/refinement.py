@@ -34,12 +34,19 @@ import numpy as np
 
 from repro._validation import check_fraction, check_positive_int
 from repro.core.model import Instance, make_instance
-from repro.core.strategy import TwoPhaseStrategy
+from repro.core.placement import Placement
+from repro.core.strategy import OnlinePolicy, TwoPhaseStrategy
 from repro.analysis.ratios import run_strategy
+from repro.registry import Float, StrategyRef, register_strategy
 from repro.schedulers.lower_bounds import combined_lower_bound
 from repro.uncertainty.realization import Realization, factors_realization
 
-__all__ = ["EstimateRefiner", "IterationResult", "IterativeSession"]
+__all__ = [
+    "EstimateRefiner",
+    "IterationResult",
+    "IterativeSession",
+    "AdaptiveRefinement",
+]
 
 
 class EstimateRefiner:
@@ -97,6 +104,95 @@ class EstimateRefiner:
             sizes=self._sizes,
             name=self._name + "+refined",
         )
+
+
+def _refined_capabilities(strategy: "AdaptiveRefinement"):
+    """The wrapper is exactly as capable as the strategy it wraps."""
+    from repro.registry import capabilities_of
+
+    return capabilities_of(strategy.base)
+
+
+@register_strategy(
+    "refined",
+    params=(
+        StrategyRef("base", doc="the wrapped strategy, as a nested spec"),
+        Float(
+            "eta",
+            ge=0.0,
+            le=1.0,
+            default=0.5,
+            omit_default=False,
+            doc="log-space smoothing rate fed to the refiner",
+        ),
+    ),
+    family="adaptive",
+    theorem="§8 iterative extension (bench E10)",
+    instance_capabilities=_refined_capabilities,
+)
+class AdaptiveRefinement(TwoPhaseStrategy):
+    """A strategy wrapper that re-places on refinement-corrected estimates.
+
+    Wraps any base strategy; between iterations the caller feeds observed
+    realizations through :meth:`observe`, and the next :meth:`place` runs
+    the base strategy on the refined estimates (the returned placement is
+    re-expressed over the *original* instance, so the engine's identity
+    checks still hold).  Before any observation the wrapper is exactly the
+    base strategy.
+
+    Parameters
+    ----------
+    base:
+        The wrapped :class:`~repro.core.strategy.TwoPhaseStrategy`.
+    eta:
+        Smoothing rate handed to :class:`EstimateRefiner`.
+    """
+
+    def __init__(self, base: TwoPhaseStrategy, eta: float = 0.5) -> None:
+        self.base = base
+        self.eta = check_fraction(eta, "eta")
+        self.name = f"refined[{base.name},eta={self.eta:g}]"
+        self._refiner: EstimateRefiner | None = None
+        self._refined_cache: dict[int, Instance] = {}
+
+    def observe(self, realization: Realization) -> None:
+        """Fold one iteration's observed durations into the estimates."""
+        if self._refiner is None:
+            self._refiner = EstimateRefiner(realization.instance, eta=self.eta)
+        self._refiner.observe(realization)
+        self._refined_cache.clear()
+
+    def _effective(self, instance: Instance) -> Instance:
+        if self._refiner is None:
+            return instance
+        key = id(instance)
+        if key not in self._refined_cache:
+            self._refined_cache[key] = self._refiner.refined_instance()
+        refined = self._refined_cache[key]
+        if refined.n != instance.n or refined.m != instance.m:
+            raise ValueError(
+                "AdaptiveRefinement observed realizations of a different "
+                f"instance shape ({refined.n}x{refined.m} vs "
+                f"{instance.n}x{instance.m})"
+            )
+        return refined
+
+    def place(self, instance: Instance) -> Placement:
+        refined = self._effective(instance)
+        inner = self.base.place(refined)
+        if refined is instance:
+            return inner
+        meta = dict(inner.meta)
+        meta["strategy"] = self.name
+        meta["refined_alpha"] = refined.alpha
+        return Placement(instance, inner.machine_sets, meta=meta)
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        refined = self._effective(instance)
+        if refined is instance:
+            return self.base.make_policy(instance, placement)
+        inner = Placement(refined, placement.machine_sets, meta=dict(placement.meta))
+        return self.base.make_policy(refined, inner)
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,12 @@ covering everything its outcome depends on:
 
 * ``schema`` — :data:`CACHE_SCHEMA_VERSION`, bumped whenever the
   measurement code changes semantics (bulk invalidation);
-* ``strategy`` — class qualname, display name, and public constructor
-  state (``vars()`` minus underscored keys);
+* ``strategy`` — the **canonical registry spec**
+  (:func:`repro.registry.describe_strategy`) when the strategy is
+  registered, so every spelling of the same strategy
+  (``selective[0.50]``, ``selective[0.5,count]``) shares one entry;
+  unregistered strategies fall back to class qualname, display name, and
+  public constructor state (``vars()`` minus underscored keys);
 * ``instance`` — full content hash: n, m, alpha, name, every estimate
   and size;
 * ``model`` / ``seed`` — the realization model name and seed;
@@ -49,15 +53,27 @@ from repro.obs.tracer import get_tracer
 __all__ = ["CellCache", "cell_fingerprint", "CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR"]
 
 #: Bump to invalidate every existing cache entry at once (schema or
-#: measurement-semantics changes).
-CACHE_SCHEMA_VERSION = 1
+#: measurement-semantics changes).  v2: strategy identity switched to the
+#: canonical registry spec.
+CACHE_SCHEMA_VERSION = 2
 
 #: Where caches land unless a caller says otherwise.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _strategy_key(strategy: Any) -> dict[str, Any]:
-    """Stable strategy identity: class, display name, public params."""
+    """Stable strategy identity: canonical spec, else class + public params.
+
+    Registered strategies key on their canonical registry spec, so every
+    spelling of the same strategy hits the same cache entry.  Strategies
+    the registry cannot represent (unregistered classes, instances built
+    with non-spec state) keep the legacy class/name/vars identity.
+    """
+    from repro.registry import try_describe_strategy
+
+    spec = try_describe_strategy(strategy)
+    if spec is not None:
+        return {"spec": spec}
     params: dict[str, Any] = {}
     state = getattr(strategy, "__dict__", None)
     if state:

@@ -71,9 +71,12 @@ class ExperimentGrid:
     Attributes
     ----------
     strategies:
-        The strategies to run (instantiated; group strategies must match
-        each instance's ``m`` — incompatible pairs are skipped and
-        recorded as :class:`SkippedCell` entries in :attr:`skipped`).
+        The strategies to run.  Entries may be instantiated strategies or
+        registry spec strings (``"ls_group[k=3]"``); strings are built
+        through :func:`repro.registry.make_strategy` on construction.
+        Group strategies must match each instance's ``m`` — incompatible
+        pairs are skipped and recorded as :class:`SkippedCell` entries in
+        :attr:`skipped`.
     instances:
         The instances to run on.
     realization_models:
@@ -108,7 +111,7 @@ class ExperimentGrid:
         ``quarantined`` cells.  Mirrored into the grid manifest.
     """
 
-    strategies: Sequence[TwoPhaseStrategy]
+    strategies: Sequence[TwoPhaseStrategy | str]
     instances: Sequence[Instance]
     realization_models: Sequence[str | RealizationFactory]
     seeds: Sequence[int] = (0,)
@@ -122,6 +125,15 @@ class ExperimentGrid:
     resilience: dict[str, int] = field(
         default_factory=lambda: {"retries": 0, "timeouts": 0, "quarantined": 0}
     )
+
+    def __post_init__(self) -> None:
+        if any(isinstance(s, str) for s in self.strategies):
+            from repro.registry import make_strategy
+
+            self.strategies = [
+                make_strategy(s) if isinstance(s, str) else s
+                for s in self.strategies
+            ]
 
     def total_cells(self) -> int:
         """Number of grid cells ``run()`` will attempt."""
@@ -268,8 +280,18 @@ class ExperimentGrid:
     def _emit_manifest(
         self, tracer, records: list[ExperimentRecord], total: int, duration: float
     ) -> None:
+        from repro.registry import capabilities_of, try_describe_strategy
+
+        specs: list[str] = []
+        capability_sets: list[list[str] | None] = []
+        for s in self.strategies:
+            caps = capabilities_of(s)
+            specs.append(try_describe_strategy(s) or s.name)
+            capability_sets.append(list(caps.flags()) if caps is not None else None)
         params: dict[str, object] = {
             "strategies": [s.name for s in self.strategies],
+            "strategy_specs": specs,
+            "strategy_capabilities": capability_sets,
             "instances": [i.name for i in self.instances],
             "models": [model_display_name(m) for m in self.realization_models],
             "seeds": list(self.seeds),
@@ -291,7 +313,7 @@ class ExperimentGrid:
 
 
 def run_grid(
-    strategies: Sequence[TwoPhaseStrategy],
+    strategies: Sequence[TwoPhaseStrategy | str],
     instances: Iterable[Instance],
     realization_models: Sequence[str | RealizationFactory],
     *,

@@ -17,6 +17,7 @@ module-level mutable state, no closures in the call signature.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.model import Instance
@@ -24,7 +25,9 @@ from repro.core.placement import Placement
 from repro.core.strategies.registry import build_placement
 from repro.core.strategy import TwoPhaseStrategy
 from repro.exact.optimal import OptimalValue, optimal_makespan
+from repro.faults.plan import FaultPlan
 from repro.obs.tracer import get_tracer
+from repro.registry.capabilities import Capabilities
 from repro.simulation.engine import simulate
 from repro.simulation.trace import ScheduleTrace
 from repro.uncertainty.realization import Realization
@@ -101,13 +104,33 @@ def run_strategy(
     realization: Realization,
     *,
     validate: bool = True,
+    release_times: Sequence[float] | None = None,
+    speeds: Sequence[float] | None = None,
+    failures: Mapping[int, float] | None = None,
+    faults: FaultPlan | None = None,
+    capabilities: Capabilities | None = None,
 ) -> StrategyOutcome:
     """Play Phase 1 and Phase 2 and return the outcome.
 
     ``validate`` (default on) re-checks the produced trace for full
     feasibility; disable only inside tight benchmark loops.
+
+    ``release_times`` / ``speeds`` / ``failures`` / ``faults`` pass
+    through to :func:`repro.simulation.engine.simulate` unchanged.  When
+    a fault plan or release times are present, the strategy's declared
+    capability envelope is enforced: ``capabilities`` defaults to the
+    registry's :func:`~repro.registry.capabilities_of` lookup, so e.g. a
+    ``supports_faults=False`` strategy under a plan raises
+    :class:`~repro.registry.CapabilityError` instead of silently running
+    outside its analysis.
     """
     tracer = get_tracer()
+    if capabilities is None and (
+        faults is not None or failures is not None or release_times is not None
+    ):
+        from repro.registry import capabilities_of
+
+        capabilities = capabilities_of(strategy)
     placement = build_placement(strategy, instance)
     policy = strategy.make_policy(instance, placement)
     with tracer.span(
@@ -117,6 +140,11 @@ def run_strategy(
             placement,
             realization,
             policy,
+            release_times=release_times,
+            speeds=speeds,
+            failures=failures,
+            faults=faults,
+            capabilities=capabilities,
             label=f"{strategy.name}/{realization.label}",
         )
     if validate:

@@ -98,8 +98,19 @@ def run_under_faults(
     feasibility-checked (durations exempt when the plan degrades speeds —
     remaining work is rescaled mid-run, see
     :meth:`~repro.simulation.trace.ScheduleTrace.validate`).
+
+    The strategy's registry capability envelope is forwarded to the
+    engine.  A ``supports_faults=False`` strategy therefore raises
+    :class:`~repro.registry.CapabilityError` (a ``TypeError``) out of
+    this function rather than being recorded as "did not survive" —
+    measured non-survival is reserved for strategies whose *analysis*
+    covers faults (e.g. data loss on a pinned placement), not for runs
+    outside a policy's declared envelope.
     """
+    from repro.registry import capabilities_of
+
     tracer = get_tracer()
+    capabilities = capabilities_of(strategy)
     placement = strategy.place(instance)
     replication = placement.max_replication()
     if baseline_makespan is None:
@@ -116,6 +127,7 @@ def run_under_faults(
                 realization,
                 strategy.make_policy(instance, placement),
                 faults=plan,
+                capabilities=capabilities,
                 label=f"{strategy.name}/faults[{scenario}]",
             )
         except SimulationError as exc:

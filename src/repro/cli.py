@@ -14,6 +14,7 @@ subcommands so results can be regenerated without pytest:
 ``fig6``             Figure 6 — memory/makespan guarantee tradeoff
 ``run``              Run one strategy on a generated workload
 ``sweep``            Empirical ratio sweep over all strategies
+``strategies``       List/describe the registered strategy plugins
 ``obs``              Traced demo run + metrics summary (observability)
 ===================  ====================================================
 
@@ -144,6 +145,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell wall-clock budget; a timed-out attempt counts as a failure",
     )
     _add_obs_flags(sweep)
+
+    strategies = sub.add_parser(
+        "strategies",
+        help="list the registered strategy plugins, or describe one spec",
+    )
+    strategies.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="a strategy spec to describe (omit to list every plugin)",
+    )
+    strategies.add_argument(
+        "--m",
+        type=int,
+        default=None,
+        metavar="M",
+        help="also print the sweep specs enumerated for M machines",
+    )
+    strategies.add_argument(
+        "--capability",
+        action="append",
+        default=None,
+        metavar="FLAG",
+        help="filter the listing to plugins with FLAG set "
+        "(supports_faults, supports_releases, supports_hetero, memory_aware); "
+        "repeatable",
+    )
 
     obs = sub.add_parser(
         "obs",
@@ -334,6 +362,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_params(entry) -> None:
+    if entry.params:
+        print("parameters   :")
+        for p in entry.params:
+            default = "" if p.required else f" (default {p.default!r})"
+            print(f"  {p.key:10s} {p.describe():24s}{default}  {p.doc}")
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    """List the registered plugins, or describe one spec in detail."""
+    import repro.registry as registry
+
+    if args.spec is not None:
+        try:
+            entry = registry.get_entry(args.spec)
+        except KeyError:
+            entry = None
+        if entry is not None and any(p.required for p in entry.params):
+            # A bare family name whose spec needs parameters: show the
+            # entry's help instead of a parse error.
+            print(f"name         : {entry.name}")
+            print(f"spec         : {entry.template()}")
+            print(f"class        : {entry.cls.__module__}.{entry.cls.__qualname__}")
+            print(f"family       : {entry.family}")
+            print(f"paper        : {entry.theorem or '—'}")
+            print(f"summary      : {entry.summary}")
+            print(f"capabilities : {', '.join(entry.capabilities.flags()) or '—'}")
+            print(f"replication  : {entry.capabilities.replication_factor}")
+            _print_params(entry)
+            return 0
+        try:
+            strategy = registry.make_strategy(args.spec)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        entry = registry.entry_for(strategy)
+        caps = registry.capabilities_of(strategy)
+        print(f"spec         : {args.spec}")
+        print(f"canonical    : {registry.describe_strategy(strategy)}")
+        print(f"class        : {type(strategy).__module__}.{type(strategy).__qualname__}")
+        print(f"family       : {entry.family}")
+        print(f"paper        : {entry.theorem or '—'}")
+        print(f"summary      : {entry.summary}")
+        print(f"capabilities : {', '.join(caps.flags()) or '—'}")
+        print(f"replication  : {caps.replication_factor}")
+        _print_params(entry)
+        return 0
+
+    wanted = None
+    if args.capability:
+        valid = {"supports_faults", "supports_releases", "supports_hetero", "memory_aware"}
+        bad = [c for c in args.capability if c not in valid]
+        if bad:
+            print(
+                f"unknown capability flag(s): {', '.join(bad)} "
+                f"(valid: {', '.join(sorted(valid))})",
+                file=sys.stderr,
+            )
+            return 1
+        wanted = set(args.capability)
+    rows = []
+    for entry in registry.strategy_entries():
+        caps = entry.capabilities
+        if wanted and not wanted.issubset(caps.flags()):
+            continue
+        rows.append(
+            {
+                "name": entry.name,
+                "family": entry.family,
+                "spec": entry.template(),
+                "capabilities": ",".join(caps.flags()) or "—",
+                "replication": caps.replication_factor,
+                "paper": entry.theorem or "—",
+            }
+        )
+    print(format_table(rows, title=f"{len(rows)} registered strategy plugins"))
+    if args.m is not None:
+        print()
+        print(f"sweep specs for m={args.m}:")
+        for spec in registry.strategy_names(args.m, include_ablation=True):
+            print(f"  {spec}")
+    return 0
+
+
 def _cmd_proofs(args: argparse.Namespace) -> int:
     from repro.theory import verify_all
 
@@ -436,6 +548,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "sweep":
         with _observability(args.trace, args.metrics):
             return _cmd_sweep(args)
+    elif command == "strategies":
+        return _cmd_strategies(args)
     elif command == "obs":
         return _cmd_obs(args)
     elif command == "proofs":

@@ -17,11 +17,19 @@ from __future__ import annotations
 from repro.core.model import Instance
 from repro.core.placement import Placement, single_machine_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, SweepRule, register_strategy
 from repro.schedulers.lpt import lpt_assignment_by_task
 
 __all__ = ["LPTNoChoice"]
 
 
+@register_strategy(
+    "lpt_no_choice",
+    family="core",
+    theorem="Theorem 2",
+    capabilities=Capabilities(replication_factor="none"),
+    sweep=SweepRule(order=0, enumerate=lambda m: ["lpt_no_choice"]),
+)
 class LPTNoChoice(TwoPhaseStrategy):
     """LPT placement on estimates; no runtime flexibility.
 

@@ -16,10 +16,18 @@ from __future__ import annotations
 from repro.core.model import Instance
 from repro.core.placement import Placement, everywhere_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, SweepRule, register_strategy
 
 __all__ = ["LPTNoRestriction"]
 
 
+@register_strategy(
+    "lpt_no_restriction",
+    family="core",
+    theorem="Theorem 3",
+    capabilities=Capabilities(replication_factor="full"),
+    sweep=SweepRule(order=1, enumerate=lambda m: ["lpt_no_restriction"]),
+)
 class LPTNoRestriction(TwoPhaseStrategy):
     """Replicate everywhere; dispatch online in LPT order of the estimates.
 

@@ -24,9 +24,11 @@ bench E3 measures it empirically.
 from __future__ import annotations
 
 from repro._validation import check_group_count
+from repro.core.bounds import divisors
 from repro.core.model import Instance
 from repro.core.placement import Placement, group_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, Int, SweepRule, register_strategy
 from repro.schedulers.list_scheduling import greedy_assign_heap
 
 __all__ = ["LSGroup", "LPTGroup", "equal_groups"]
@@ -39,6 +41,16 @@ def equal_groups(m: int, k: int) -> list[list[int]]:
     return [list(range(g * size, (g + 1) * size)) for g in range(kk)]
 
 
+@register_strategy(
+    "ls_group",
+    params=(Int("k", ge=1, doc="number of machine groups; must divide m"),),
+    family="core",
+    theorem="Theorem 4",
+    capabilities=Capabilities(replication_factor="group"),
+    sweep=SweepRule(
+        order=2, enumerate=lambda m: [f"ls_group[k={k}]" for k in divisors(m)]
+    ),
+)
 class LSGroup(TwoPhaseStrategy):
     """List Scheduling over groups (Phase 1), online LS within groups (Phase 2).
 
@@ -100,6 +112,18 @@ class LSGroup(TwoPhaseStrategy):
         return ub_ls_group(instance.alpha, instance.m, self.k)
 
 
+@register_strategy(
+    "lpt_group",
+    params=(Int("k", ge=1, doc="number of machine groups; must divide m"),),
+    family="core",
+    theorem="§5.3 ablation (no proven bound)",
+    capabilities=Capabilities(replication_factor="group"),
+    sweep=SweepRule(
+        order=3,
+        ablation=True,
+        enumerate=lambda m: [f"lpt_group[k={k}]" for k in divisors(m)],
+    ),
+)
 class LPTGroup(LSGroup):
     """Ablation: the group strategy with LPT order in both phases.
 

@@ -21,10 +21,25 @@ import numpy as np
 from repro.core.model import Instance
 from repro.core.placement import Placement, everywhere_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, Int, register_strategy
 
 __all__ = ["NonClairvoyantLS"]
 
 
+@register_strategy(
+    "nonclairvoyant_ls",
+    params=(
+        Int(
+            "shuffle",
+            attr="seed",
+            default=None,
+            doc="optional seed for a random dispatch order (default: task-id order)",
+        ),
+    ),
+    family="core",
+    theorem="Graham LS bound 2−1/m (α→∞ limit)",
+    capabilities=Capabilities(replication_factor="full"),
+)
 class NonClairvoyantLS(TwoPhaseStrategy):
     """Estimate-blind online List Scheduling over full replication.
 

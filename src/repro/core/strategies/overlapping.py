@@ -29,6 +29,7 @@ from repro._validation import check_group_count, check_positive_int
 from repro.core.model import Instance
 from repro.core.placement import Placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, Int, register_strategy
 from repro.schedulers.list_scheduling import greedy_assign_heap
 
 __all__ = ["OverlappingWindows", "window_machines"]
@@ -48,6 +49,23 @@ def window_machines(m: int, k: int, overlap: int) -> list[frozenset[int]]:
     ]
 
 
+@register_strategy(
+    "overlap_windows",
+    params=(
+        Int("k", ge=1, doc="number of windows; must divide m"),
+        Int(
+            "w",
+            attr="overlap",
+            ge=1,
+            default=2,
+            omit_default=False,
+            doc="strides per window: |M_j| = w·m/k",
+        ),
+    ),
+    family="core",
+    theorem="conclusion: 'more general replication policies' (bench E5)",
+    capabilities=Capabilities(replication_factor="group"),
+)
 class OverlappingWindows(TwoPhaseStrategy):
     """Group replication with overlapping machine windows.
 

@@ -1,26 +1,23 @@
-"""Strategy registry: build any paper strategy from a string spec.
+"""Back-compat shims over :mod:`repro.registry` (the old spec parser).
 
-The CLI, the experiment harness and several benches refer to strategies by
-name (``"lpt_no_choice"``, ``"ls_group[k=3]"``...).  This module parses
-those specs and also enumerates the full strategy sweep for a given ``m``
-(all divisors as group counts), which is what Figure 3 and bench E1 run.
+The CLI, the experiment harness and several benches historically imported
+:func:`make_strategy` / :func:`strategy_names` / :func:`full_sweep` from
+here.  The actual parsing and enumeration now live in the declarative
+plugin registry (:mod:`repro.registry`); this module forwards to it so
+every existing import keeps working and every documented spec string
+parses identically.
+
+:func:`build_placement` — the instrumented Phase-1 entry point — still
+lives here; it is an execution concern, not a registration one.
 """
 
 from __future__ import annotations
 
-import re
-
-from repro.core.bounds import divisors
 from repro.core.model import Instance
 from repro.core.placement import Placement
-from repro.core.strategies.lpt_no_choice import LPTNoChoice
-from repro.core.strategies.lpt_no_restriction import LPTNoRestriction
-from repro.core.strategies.ls_group import LPTGroup, LSGroup
-from repro.core.strategies.nonclairvoyant import NonClairvoyantLS
-from repro.core.strategies.overlapping import OverlappingWindows
-from repro.core.strategies.selective import BudgetedReplication, SelectiveReplication
 from repro.core.strategy import TwoPhaseStrategy
 from repro.obs.tracer import get_tracer
+from repro.registry import full_sweep, make_strategy, strategy_names
 
 __all__ = [
     "make_strategy",
@@ -30,65 +27,54 @@ __all__ = [
     "STRATEGY_FACTORIES",
 ]
 
-_GROUP_RE = re.compile(r"^(ls_group|lpt_group)\[k=(\d+)\]$")
-_SELECTIVE_RE = re.compile(r"^selective\[(\d*\.?\d+)(?:,(work|count))?\]$")
-_BUDGETED_RE = re.compile(r"^budgeted\[B=(\d+)\]$")
-_OVERLAP_RE = re.compile(r"^overlap_windows\[k=(\d+),w=(\d+)\]$")
 
-#: Parameter-free strategies constructible by bare name.
-STRATEGY_FACTORIES = {
-    "lpt_no_choice": LPTNoChoice,
-    "lpt_no_restriction": LPTNoRestriction,
-    "nonclairvoyant_ls": NonClairvoyantLS,
-}
+class _FactoryView(dict):
+    """Read-only live view of the registry's parameter-free strategies.
 
-
-def make_strategy(spec: str) -> TwoPhaseStrategy:
-    """Build a strategy from a spec string.
-
-    Accepted forms: ``"lpt_no_choice"``, ``"lpt_no_restriction"``,
-    ``"nonclairvoyant_ls"``, ``"ls_group[k=K]"``, ``"lpt_group[k=K]"``,
-    ``"selective[F]"`` / ``"selective[F,work]"``, ``"budgeted[B=N]"``,
-    ``"overlap_windows[k=K,w=W]"``.
+    Kept for back compatibility with code that consulted
+    ``STRATEGY_FACTORIES`` to check bare-name specs; populated lazily so
+    importing this module does not force every strategy family to load.
     """
-    if spec in STRATEGY_FACTORIES:
-        return STRATEGY_FACTORIES[spec]()
-    match = _GROUP_RE.match(spec)
-    if match:
-        cls = LSGroup if match.group(1) == "ls_group" else LPTGroup
-        return cls(int(match.group(2)))
-    match = _SELECTIVE_RE.match(spec)
-    if match:
-        return SelectiveReplication(float(match.group(1)), by_work=match.group(2) == "work")
-    match = _BUDGETED_RE.match(spec)
-    if match:
-        return BudgetedReplication(int(match.group(1)))
-    match = _OVERLAP_RE.match(spec)
-    if match:
-        return OverlappingWindows(int(match.group(1)), int(match.group(2)))
-    raise ValueError(
-        f"unknown strategy spec {spec!r}; expected one of "
-        f"{sorted(STRATEGY_FACTORIES)}, 'ls_group[k=K]', 'lpt_group[k=K]', "
-        f"'selective[F]', 'budgeted[B=N]' or 'overlap_windows[k=K,w=W]'"
-    )
+
+    def _ensure(self) -> None:
+        if not super().__len__():
+            from repro.registry import strategy_entries
+
+            for entry in strategy_entries():
+                if not any(p.required for p in entry.params):
+                    super().__setitem__(entry.name, entry.cls)
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __contains__(self, key) -> bool:
+        self._ensure()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        self._ensure()
+        return super().__len__()
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+    def values(self):
+        self._ensure()
+        return super().values()
 
 
-def strategy_names(m: int, *, include_ablation: bool = False) -> list[str]:
-    """All strategy specs applicable to ``m`` machines.
-
-    The group strategies appear once per divisor of ``m`` (the paper's
-    Figure-3 sweep).
-    """
-    names = ["lpt_no_choice", "lpt_no_restriction"]
-    names += [f"ls_group[k={k}]" for k in divisors(m)]
-    if include_ablation:
-        names += [f"lpt_group[k={k}]" for k in divisors(m)]
-    return names
-
-
-def full_sweep(m: int, *, include_ablation: bool = False) -> list[TwoPhaseStrategy]:
-    """Instantiate every strategy applicable to ``m`` machines."""
-    return [make_strategy(s) for s in strategy_names(m, include_ablation=include_ablation)]
+#: Strategies constructible by bare name (all parameters defaulted).
+STRATEGY_FACTORIES = _FactoryView()
 
 
 def build_placement(strategy: TwoPhaseStrategy, instance: Instance) -> Placement:

@@ -34,6 +34,7 @@ from repro._validation import check_fraction, check_positive_int
 from repro.core.model import Instance
 from repro.core.placement import Placement
 from repro.core.strategy import OnlinePolicy, SchedulerView, TwoPhaseStrategy
+from repro.registry import Capabilities, Choice, Float, Int, register_strategy
 from repro.schedulers.lpt import lpt_assignment_by_task
 
 __all__ = ["SelectiveReplication", "BudgetedReplication", "PinnedAwarePolicy"]
@@ -108,6 +109,35 @@ class PinnedAwarePolicy:
         return cand if self._rank[cand] < self._rank[own] else own
 
 
+@register_strategy(
+    "selective",
+    params=(
+        Float(
+            "fraction",
+            positional=True,
+            ge=0.0,
+            le=1.0,
+            doc="share of tasks (or work) replicated everywhere",
+        ),
+        Choice(
+            "basis",
+            values=("count", "work"),
+            default="count",
+            omit_default=False,
+            doc="what the fraction is measured against",
+        ),
+    ),
+    family="core",
+    theorem="conclusion: replication-cost model (bench E5)",
+    capabilities=Capabilities(supports_releases=False, replication_factor="selective"),
+    builder=lambda fraction, basis: SelectiveReplication(
+        fraction, by_work=basis == "work"
+    ),
+    extract=lambda s: {
+        "fraction": s.fraction,
+        "basis": "work" if s.by_work else "count",
+    },
+)
 class SelectiveReplication(TwoPhaseStrategy):
     """Replicate the top tasks everywhere, pin the rest with LPT.
 
@@ -190,6 +220,15 @@ def _lpt_with_offset(times: list[float], m: int, offset: float) -> list[int]:
     return assignment
 
 
+@register_strategy(
+    "budgeted",
+    params=(
+        Int("B", attr="budget", ge=1, doc="total replica budget; must be >= n"),
+    ),
+    family="core",
+    theorem="conclusion: replication-cost model (bench E5)",
+    capabilities=Capabilities(supports_releases=False, replication_factor="budgeted"),
+)
 class BudgetedReplication(TwoPhaseStrategy):
     """Exact global replica budget; extra copies go to the longest tasks.
 

@@ -20,36 +20,100 @@ from repro.core.placement import Placement
 from repro.core.strategies.selective import PinnedAwarePolicy
 from repro.core.strategy import OnlinePolicy, TwoPhaseStrategy
 from repro.hetero.uncertainty import HeteroUncertainty
+from repro.registry import (
+    Capabilities,
+    Float,
+    UnrepresentableStrategy,
+    register_strategy,
+)
 
 __all__ = ["RiskAwareReplication"]
 
 
+def _risk_aware_extract(strategy: RiskAwareReplication) -> dict[str, object]:
+    if strategy.hetero is not None:
+        raise UnrepresentableStrategy(
+            "risk_aware built with an explicit HeteroUncertainty profile has "
+            "no spec form; only the fraction-only constructor round-trips"
+        )
+    return {"fraction": strategy.fraction}
+
+
+@register_strategy(
+    "risk_aware",
+    params=(
+        Float(
+            "fraction",
+            positional=True,
+            ge=0.0,
+            le=1.0,
+            doc="share of the total risk to replicate everywhere",
+        ),
+    ),
+    family="hetero",
+    theorem="§7 heterogeneous extension (bench E14)",
+    capabilities=Capabilities(
+        supports_releases=False, supports_hetero=True, replication_factor="selective"
+    ),
+    builder=lambda fraction: RiskAwareReplication(fraction),
+    extract=_risk_aware_extract,
+)
 class RiskAwareReplication(TwoPhaseStrategy):
     """Replicate the riskiest tasks everywhere, pin the rest with LPT.
 
     Parameters
     ----------
     hetero:
-        The per-task uncertainty profile (carries the instance).
+        The per-task uncertainty profile (carries the instance).  May be
+        omitted (spec form ``risk_aware[f]``): a uniform profile at the
+        instance's α is derived at placement time, so the strategy stays
+        instance-independent like the rest of the registry.
     fraction:
         Share of the *total risk* to replicate: riskiest tasks are
         replicated until they cover ``fraction`` of
         :math:`\\sum_j p̃_j(α_j − 1/α_j)`.
     """
 
-    def __init__(self, hetero: HeteroUncertainty, fraction: float) -> None:
-        self.hetero = hetero
+    def __init__(
+        self,
+        hetero: HeteroUncertainty | float,
+        fraction: float | None = None,
+    ) -> None:
+        if isinstance(hetero, HeteroUncertainty):
+            if fraction is None:
+                raise TypeError(
+                    "RiskAwareReplication(hetero, fraction): fraction is required"
+                )
+            self.hetero: HeteroUncertainty | None = hetero
+        else:
+            if fraction is not None:
+                raise TypeError(
+                    "RiskAwareReplication(fraction) takes no second argument "
+                    "without an uncertainty profile"
+                )
+            hetero, fraction = None, hetero
+            self.hetero = None
         self.fraction = check_fraction(fraction, "fraction")
         self.name = f"risk_aware[{self.fraction:g}]"
 
-    def _critical_set(self) -> set[int]:
-        target = self.fraction * self.hetero.total_risk()
+    def _profile_for(self, instance: Instance) -> HeteroUncertainty:
+        if self.hetero is None:
+            return HeteroUncertainty(instance, (instance.alpha,) * instance.n)
+        if instance != self.hetero.instance:
+            raise ValueError(
+                "RiskAwareReplication must be given the instance its "
+                "uncertainty profile was built for"
+            )
+        return self.hetero
+
+    def _critical_set(self, hetero: HeteroUncertainty) -> set[int]:
+        target = self.fraction * hetero.total_risk()
         covered = 0.0
         chosen: set[int] = set()
-        for j in self.hetero.risk_order():
+        for j in hetero.risk_order():
             if covered >= target:
                 break
-            risk = self.hetero.risk(j)
+            risk = hetero.risk(j)
             if risk <= 0.0:
                 break  # remaining tasks are certain; nothing to insure
             chosen.add(j)
@@ -57,12 +121,7 @@ class RiskAwareReplication(TwoPhaseStrategy):
         return chosen
 
     def place(self, instance: Instance) -> Placement:
-        if instance != self.hetero.instance:
-            raise ValueError(
-                "RiskAwareReplication must be given the instance its "
-                "uncertainty profile was built for"
-            )
-        critical = self._critical_set()
+        critical = self._critical_set(self._profile_for(instance))
         pinned = [j for j in range(instance.n) if j not in critical]
         all_machines = frozenset(range(instance.m))
         sets: list[frozenset[int]] = [all_machines] * instance.n

@@ -33,6 +33,7 @@ from repro.core.model import Instance
 from repro.core.placement import Placement
 from repro.core.strategy import OnlinePolicy, SchedulerView, TwoPhaseStrategy
 from repro.memory.sbo import sbo_split
+from repro.registry import Capabilities, Choice, Flag, Float, register_strategy
 
 __all__ = ["ABO", "ABOPolicy"]
 
@@ -76,6 +77,26 @@ class ABOPolicy:
         return None
 
 
+@register_strategy(
+    "abo",
+    params=(
+        Float("delta", gt=0.0, doc="threshold Δ trading makespan vs memory"),
+        Flag("barrier", doc="strict global-barrier Phase 2 (ablation)"),
+        Choice(
+            "pi1",
+            values=("lpt", "multifit", "dual_approx"),
+            attr="pi1_method",
+            default="lpt",
+            bare=False,
+            doc="which ρ₁-approximate scheduler builds π₁",
+        ),
+    ),
+    family="memory",
+    theorem="Theorems 7–8",
+    capabilities=Capabilities(
+        supports_releases=False, memory_aware=True, replication_factor="selective"
+    ),
+)
 class ABO(TwoPhaseStrategy):
     """Asymmetric bi-objective strategy with replication of time-intensive tasks.
 

@@ -31,6 +31,7 @@ from repro.core.placement import Placement
 from repro.core.strategies.selective import PinnedAwarePolicy
 from repro.core.strategy import OnlinePolicy, TwoPhaseStrategy
 from repro.memory.model import memory_lower_bound, memory_reference
+from repro.registry import Capabilities, Choice, Float, register_strategy
 from repro.schedulers.lpt import lpt_assignment_by_task
 
 __all__ = ["CappedReplication", "min_feasible_capacity"]
@@ -46,6 +47,25 @@ def min_feasible_capacity(instance: Instance) -> float:
     return memory_reference(instance).objective
 
 
+@register_strategy(
+    "capped",
+    params=(
+        Float("C", attr="capacity", gt=0.0, doc="per-machine memory capacity"),
+        Choice(
+            "pin",
+            values=("time", "memory", "auto"),
+            attr="pin_by",
+            default="auto",
+            omit_default=False,
+            doc="what the base pinning balances",
+        ),
+    ),
+    family="memory",
+    theorem="§3 bounded-memory alternative (bench E9)",
+    capabilities=Capabilities(
+        supports_releases=False, memory_aware=True, replication_factor="budgeted"
+    ),
+)
 class CappedReplication(TwoPhaseStrategy):
     """Replicate as much as a hard per-machine memory capacity allows.
 

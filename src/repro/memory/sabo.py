@@ -21,10 +21,28 @@ from repro.core.model import Instance
 from repro.core.placement import Placement, single_machine_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
 from repro.memory.sbo import sbo_split
+from repro.registry import Capabilities, Choice, Float, register_strategy
 
 __all__ = ["SABO"]
 
 
+@register_strategy(
+    "sabo",
+    params=(
+        Float("delta", gt=0.0, doc="threshold Δ trading makespan vs memory"),
+        Choice(
+            "pi1",
+            values=("lpt", "multifit", "dual_approx"),
+            attr="pi1_method",
+            default="lpt",
+            bare=False,
+            doc="which ρ₁-approximate scheduler builds π₁",
+        ),
+    ),
+    family="memory",
+    theorem="Theorems 5–6",
+    capabilities=Capabilities(memory_aware=True, replication_factor="none"),
+)
 class SABO(TwoPhaseStrategy):
     """Static asymmetric bi-objective strategy.
 

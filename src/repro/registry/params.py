@@ -1,0 +1,271 @@
+"""Typed parameter schemas for strategy spec strings.
+
+Every registered strategy declares its spec parameters as a tuple of
+:class:`ParamSpec` objects; the registry derives the parser, the canonical
+renderer, the generated help text, and the docs catalog from that one
+declaration, so the grammar can never drift from the constructors again.
+
+Spec grammar (shared by every family)::
+
+    name                      # all parameters at their defaults
+    name[k=3]                 # keyed value
+    name[0.4]                 # positional value (Float/Int/StrategyRef)
+    name[0.4,work]            # bare Choice token
+    name[delta=1,barrier]     # bare Flag token
+    refined[ls_group[k=3],eta=0.5]   # nested strategy spec (StrategyRef)
+
+Commas and ``=`` only separate at bracket depth 0, so nested specs pass
+through untouched.  Parsing errors raise :class:`ValueError` with a short
+reason; the registry wraps them in the canonical ``unknown strategy
+spec ...`` message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "REQUIRED",
+    "ParamSpec",
+    "Int",
+    "Float",
+    "Choice",
+    "Flag",
+    "StrategyRef",
+]
+
+
+class _Required:
+    """Sentinel: the parameter has no default and must appear in the spec."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<required>"
+
+
+#: Default-value sentinel for mandatory parameters.
+REQUIRED = _Required()
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared spec parameter.
+
+    Attributes
+    ----------
+    key:
+        Name used in the spec string (``k`` in ``ls_group[k=3]``).
+    attr:
+        Constructor keyword / instance attribute (defaults to ``key``).
+    default:
+        Value assumed when the spec omits the parameter;
+        :data:`REQUIRED` makes it mandatory.
+    positional:
+        Rendered and accepted as a bare value (``selective[0.4]``)
+        instead of ``key=value``.
+    omit_default:
+        Leave the parameter out of the canonical spec when its value
+        equals the default (keyed optional knobs); ``False`` keeps it
+        explicit (parameters the display names always carry).
+    doc:
+        One-line description for the catalog and help text.
+    """
+
+    key: str
+    attr: str = ""
+    default: Any = REQUIRED
+    positional: bool = False
+    omit_default: bool = True
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attr:
+            object.__setattr__(self, "attr", self.key)
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    # -- hooks subclasses implement ---------------------------------------
+    def parse(self, text: str) -> Any:
+        """Parse one spec token into a value (raises ``ValueError``)."""
+        raise NotImplementedError
+
+    def render(self, value: Any) -> str:
+        """Render ``value`` as it appears inside the canonical spec."""
+        text = self.format(value)
+        return text if self.positional else f"{self.key}={text}"
+
+    def format(self, value: Any) -> str:
+        """Canonical text of ``value`` alone (no key)."""
+        return str(value)
+
+    def describe(self) -> str:
+        """Human-readable type/range blurb for help text and the catalog."""
+        return "value"
+
+    def template(self) -> str:
+        """How this parameter appears in the generated accepted-forms help."""
+        body = f"<{self.describe()}>"
+        return body if self.positional else f"{self.key}={body}"
+
+    def accepts_token(self, token: str) -> bool:
+        """Whether a bare (un-keyed) token can bind to this parameter."""
+        return False
+
+
+@dataclass(frozen=True)
+class Int(ParamSpec):
+    """An integer parameter with optional bounds."""
+
+    ge: int | None = None
+    le: int | None = None
+
+    def parse(self, text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(f"{self.key}: expected an integer, got {text!r}") from None
+        return self.validate(value)
+
+    def validate(self, value: int) -> int:
+        if self.ge is not None and value < self.ge:
+            raise ValueError(f"{self.key}: must be >= {self.ge}, got {value}")
+        if self.le is not None and value > self.le:
+            raise ValueError(f"{self.key}: must be <= {self.le}, got {value}")
+        return value
+
+    def format(self, value: Any) -> str:
+        return str(int(value))
+
+    def describe(self) -> str:
+        if self.ge is not None and self.le is not None:
+            return f"int in [{self.ge},{self.le}]"
+        if self.ge is not None:
+            return f"int >= {self.ge}"
+        if self.le is not None:
+            return f"int <= {self.le}"
+        return "int"
+
+
+@dataclass(frozen=True)
+class Float(ParamSpec):
+    """A float parameter with optional open/closed bounds."""
+
+    gt: float | None = None
+    ge: float | None = None
+    le: float | None = None
+
+    def parse(self, text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise ValueError(f"{self.key}: expected a number, got {text!r}") from None
+        return self.validate(value)
+
+    def validate(self, value: float) -> float:
+        if self.gt is not None and not value > self.gt:
+            raise ValueError(f"{self.key}: must be > {self.gt}, got {value}")
+        if self.ge is not None and value < self.ge:
+            raise ValueError(f"{self.key}: must be >= {self.ge}, got {value}")
+        if self.le is not None and value > self.le:
+            raise ValueError(f"{self.key}: must be <= {self.le}, got {value}")
+        return value
+
+    def format(self, value: Any) -> str:
+        return f"{float(value):g}"
+
+    def describe(self) -> str:
+        if self.ge == 0 and self.le == 1:
+            return "fraction in [0,1]"
+        if self.gt is not None:
+            return f"float > {self.gt:g}"
+        return "float"
+
+
+@dataclass(frozen=True)
+class Choice(ParamSpec):
+    """One of a fixed set of string tokens.
+
+    ``bare=True`` (default) lets the value appear without its key
+    (``selective[0.4,work]``); keyed form (``basis=work``) always works.
+    """
+
+    values: tuple[str, ...] = ()
+    bare: bool = True
+
+    def parse(self, text: str) -> str:
+        if text not in self.values:
+            raise ValueError(
+                f"{self.key}: expected one of {'|'.join(self.values)}, got {text!r}"
+            )
+        return text
+
+    def render(self, value: Any) -> str:
+        return str(value) if self.bare else f"{self.key}={value}"
+
+    def describe(self) -> str:
+        return "|".join(self.values)
+
+    def template(self) -> str:
+        return self.describe() if self.bare else f"{self.key}={self.describe()}"
+
+    def accepts_token(self, token: str) -> bool:
+        return self.bare and token in self.values
+
+
+@dataclass(frozen=True)
+class Flag(ParamSpec):
+    """A boolean switched on by its bare token (``abo[delta=1,barrier]``)."""
+
+    default: Any = False
+
+    def parse(self, text: str) -> bool:
+        if text in ("true", "1"):
+            return True
+        if text in ("false", "0"):
+            return False
+        raise ValueError(f"{self.key}: expected true/false, got {text!r}")
+
+    def render(self, value: Any) -> str:
+        return self.key
+
+    def describe(self) -> str:
+        return "flag"
+
+    def template(self) -> str:
+        return self.key
+
+    def accepts_token(self, token: str) -> bool:
+        return token == self.key
+
+
+@dataclass(frozen=True)
+class StrategyRef(ParamSpec):
+    """A nested strategy spec (``refined[ls_group[k=3],eta=0.5]``).
+
+    Parses through the registry itself, so anything registered — including
+    another nested spec — is a valid value; renders via the referenced
+    strategy's canonical spec.
+    """
+
+    positional: bool = True
+
+    def parse(self, text: str) -> Any:
+        from repro.registry import entry as _entry
+
+        return _entry.build(text)
+
+    def format(self, value: Any) -> str:
+        from repro.registry import entry as _entry
+
+        return _entry.describe(value)
+
+    def describe(self) -> str:
+        return "strategy spec"
+
+    def accepts_token(self, token: str) -> bool:
+        # Any token that is not a bare Choice/Flag word can be a spec;
+        # the registry tries StrategyRef last, so a failed parse still
+        # produces that parameter's error.
+        return True

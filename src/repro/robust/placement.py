@@ -27,11 +27,36 @@ from repro._validation import check_positive_int
 from repro.core.model import Instance
 from repro.core.placement import Placement, single_machine_placement
 from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, Int, register_strategy
 from repro.schedulers.lpt import lpt_assignment_by_task
 
 __all__ = ["RobustPinnedPlacement"]
 
 
+@register_strategy(
+    "robust_pinned",
+    params=(
+        Int(
+            "s",
+            attr="scenarios",
+            ge=1,
+            default=12,
+            omit_default=False,
+            doc="number of extreme-corner scenarios optimized against",
+        ),
+        Int(
+            "iters",
+            attr="iterations",
+            ge=1,
+            default=40,
+            doc="local-search reassignment passes",
+        ),
+        Int("seed", default=0, doc="scenario sampling seed"),
+    ),
+    family="robust",
+    theorem="Theorem 1 comparison (bench E15)",
+    capabilities=Capabilities(replication_factor="none"),
+)
 class RobustPinnedPlacement(TwoPhaseStrategy):
     """Min-max pinned assignment over sampled extreme scenarios.
 

@@ -1,6 +1,7 @@
 """Classical scheduling substrate: LS, LPT, MULTIFIT, dual approximation."""
 
 from repro.schedulers.baselines import (
+    PinnedBaseline,
     random_schedule,
     round_robin_schedule,
     single_machine_pile,
@@ -42,4 +43,5 @@ __all__ = [
     "random_schedule",
     "spt_schedule",
     "single_machine_pile",
+    "PinnedBaseline",
 ]

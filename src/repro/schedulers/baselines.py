@@ -17,6 +17,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._validation import check_machine_count, check_times
+from repro.core.model import Instance
+from repro.core.placement import Placement, single_machine_placement
+from repro.core.strategy import FixedOrderPolicy, OnlinePolicy, TwoPhaseStrategy
+from repro.registry import Capabilities, Choice, Int, register_strategy
 from repro.schedulers.list_scheduling import AssignmentResult, greedy_assign_heap
 
 __all__ = [
@@ -24,6 +28,7 @@ __all__ = [
     "random_schedule",
     "spt_schedule",
     "single_machine_pile",
+    "PinnedBaseline",
 ]
 
 
@@ -65,6 +70,76 @@ def spt_schedule(times: Sequence[float], m: int) -> AssignmentResult:
     check_machine_count(m)
     order = sorted(range(len(ts)), key=lambda j: (ts[j], j))
     return greedy_assign_heap(ts, order, m)
+
+
+_BASELINE_KINDS = ("round_robin", "random", "spt", "single_pile")
+
+
+@register_strategy(
+    "baseline",
+    params=(
+        Choice(
+            "kind",
+            values=_BASELINE_KINDS,
+            doc="which naive scheduler pins the tasks",
+        ),
+        Int("seed", default=0, doc="seed for kind=random"),
+    ),
+    family="schedulers",
+    theorem="no bound — empirical anchors",
+    capabilities=Capabilities(replication_factor="none"),
+)
+class PinnedBaseline(TwoPhaseStrategy):
+    """Two-phase wrapper over the naive baseline schedulers.
+
+    Phase 1 pins every task to the machine the chosen baseline assigns it
+    (no replication); Phase 2 dispatches each machine's own queue in input
+    order.  This lets the anchors run through the same simulation harness
+    and capability queries as the real strategies.
+
+    Parameters
+    ----------
+    kind:
+        ``"round_robin"``, ``"random"``, ``"spt"`` or ``"single_pile"``.
+    seed:
+        Sampling seed, used only by ``kind="random"``.
+    """
+
+    def __init__(self, kind: str, seed: int = 0) -> None:
+        if kind not in _BASELINE_KINDS:
+            raise ValueError(
+                f"kind must be one of {', '.join(_BASELINE_KINDS)}, got {kind!r}"
+            )
+        self.kind = kind
+        self.seed = int(seed)
+        suffix = f",seed={self.seed}" if self.seed else ""
+        self.name = f"baseline[{kind}{suffix}]"
+
+    def _assignment(self, instance: Instance) -> tuple[int, ...]:
+        times = list(instance.estimates)
+        if self.kind == "round_robin":
+            result = round_robin_schedule(times, instance.m)
+        elif self.kind == "random":
+            result = random_schedule(times, instance.m, seed=self.seed)
+        elif self.kind == "spt":
+            result = spt_schedule(times, instance.m)
+        else:
+            result = single_machine_pile(times, instance.m)
+        # AssignmentResult.assignment is positional over result.order.
+        by_task = [0] * instance.n
+        for pos, j in enumerate(result.order):
+            by_task[j] = result.assignment[pos]
+        return tuple(by_task)
+
+    def place(self, instance: Instance) -> Placement:
+        return single_machine_placement(
+            instance,
+            self._assignment(instance),
+            meta={"strategy": self.name, "kind": self.kind},
+        )
+
+    def make_policy(self, instance: Instance, placement: Placement) -> OnlinePolicy:
+        return FixedOrderPolicy(instance.input_order())
 
 
 def single_machine_pile(times: Sequence[float], m: int) -> AssignmentResult:

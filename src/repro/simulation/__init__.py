@@ -3,6 +3,12 @@
 from repro.simulation.engine import SimulationError, simulate
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.gantt import render_gantt
+from repro.simulation.kernel import (
+    EventKernel,
+    FaultAwareKernel,
+    SimulationObserver,
+    TracerObserver,
+)
 from repro.simulation.metrics import (
     load_imbalance,
     machine_utilization,
@@ -17,6 +23,10 @@ from repro.simulation.trace import ScheduleTrace, TaskRun
 __all__ = [
     "simulate",
     "SimulationError",
+    "EventKernel",
+    "FaultAwareKernel",
+    "SimulationObserver",
+    "TracerObserver",
     "ScheduleTrace",
     "TaskRun",
     "EventQueue",

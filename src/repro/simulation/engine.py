@@ -18,6 +18,13 @@ mechanically:
 * a dispatched task must be unstarted and placed on the dispatching
   machine, else the engine raises — a buggy policy cannot silently cheat.
 
+This module is the *orchestrator*: input validation, capability
+enforcement, kernel selection, and observability.  The event loop itself
+lives in :mod:`repro.simulation.kernel` — a fault-free run takes the fast
+:class:`~repro.simulation.kernel.EventKernel` (no fault bookkeeping at
+all), a run with a :class:`~repro.faults.plan.FaultPlan` takes the
+:class:`~repro.simulation.kernel.FaultAwareKernel`.
+
 Optional ``release_times`` extend the model beyond the paper (all paper
 experiments use release 0); a machine that finds nothing to run re-polls
 at the next release instead of retiring, so the extension preserves the
@@ -30,27 +37,40 @@ straggle through degraded-speed intervals (a running task's *remaining
 work* is rescaled at each speed boundary — no lost progress, no free
 speedup).  The legacy ``failures={machine: time}`` mapping is kept as a
 crash-stop shim and produces identical traces.
+
+Pass ``capabilities=`` (a :class:`~repro.registry.Capabilities`, normally
+looked up via :func:`repro.registry.capabilities_of`) to enforce the
+strategy's declared envelope *structurally*: a fault plan given to a
+strategy whose policy cannot survive aborts, or release times given to a
+policy that never re-checks availability, raise
+:class:`~repro.registry.CapabilityError` before the simulation starts —
+instead of silently producing a schedule the strategy's analysis does not
+cover.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Mapping, Sequence
 
 from repro.core.placement import Placement
-from repro.core.strategy import OnlinePolicy, SchedulerView
+from repro.core.strategy import OnlinePolicy
 from repro.faults.plan import FaultPlan
 from repro.obs.provenance import run_manifest
 from repro.obs.tracer import get_tracer
-from repro.simulation.events import EventKind, EventQueue
-from repro.simulation.trace import ScheduleTrace, TaskRun
+from repro.registry.capabilities import Capabilities, CapabilityError
+from repro.simulation.kernel import (
+    EventKernel,
+    FaultAwareKernel,
+    SimulationError,
+    SimulationObserver,
+    TracerObserver,
+)
+from repro.simulation.trace import ScheduleTrace
 from repro.uncertainty.realization import Realization
 
 __all__ = ["simulate", "SimulationError"]
 
-
-class SimulationError(RuntimeError):
-    """Raised when a policy misbehaves or the run cannot complete."""
+_NO_OP_OBSERVER = SimulationObserver()
 
 
 def simulate(
@@ -62,6 +82,7 @@ def simulate(
     speeds: Sequence[float] | None = None,
     failures: Mapping[int, float] | None = None,
     faults: FaultPlan | None = None,
+    capabilities: Capabilities | None = None,
     label: str = "",
 ) -> ScheduleTrace:
     """Run Phase 2 and return the resulting trace.
@@ -98,6 +119,13 @@ def simulate(
         rescale the remaining work of whatever is running.  A task whose
         replicas are all on *permanently* failed machines makes the run
         raise — exactly the availability argument for replication.
+    capabilities:
+        The strategy's declared capability envelope (see
+        :func:`repro.registry.capabilities_of`).  When given, a fault
+        plan against ``supports_faults=False`` or release times against
+        ``supports_releases=False`` raise
+        :class:`~repro.registry.CapabilityError` up front.  ``None``
+        (default) skips the check — existing callers are unaffected.
     label:
         Annotation stored on the returned trace.
 
@@ -107,6 +135,9 @@ def simulate(
         If the policy dispatches an invalid task, the fault plan is
         malformed, or the run cannot complete (tasks stranded on failed
         machines, or machines retired while eligible work remains).
+    CapabilityError
+        If ``capabilities`` is given and the run requires a capability
+        the strategy does not declare.
     """
     instance = placement.instance
     if realization.instance is not instance and realization.instance != instance:
@@ -142,217 +173,56 @@ def simulate(
         plan = FaultPlan.from_failures(failures)
     elif faults:
         plan = faults
-
-    view = SchedulerView(instance, placement)
-    queue = EventQueue()
-    released: set[int] = set()
-    pending_releases = sorted(
-        (r, j) for j, r in enumerate(releases) if r > 0.0
-    )
-    for j, r in enumerate(releases):
-        if r == 0.0:
-            released.add(j)
-    if pending_releases:
-        view._enable_release_tracking(released)
-    for r, j in pending_releases:
-        queue.push(r, EventKind.TASK_RELEASE, j)
-
-    failed: set[int] = set()
     if plan:
         try:
             plan.validate(m)
         except ValueError as exc:
             raise SimulationError(str(exc)) from exc
-        for at, machine, downtime in plan.crashes():
-            queue.push(at, EventKind.MACHINE_FAILURE, (machine, downtime))
-        for slow in plan.slowdowns():
-            queue.push(slow.start, EventKind.MACHINE_SPEED, (slow.machine, slow.factor))
-            if math.isfinite(slow.end):
-                queue.push(slow.end, EventKind.MACHINE_SPEED, (slow.machine, 1.0))
 
-    for i in range(m):
-        queue.push(0.0, EventKind.MACHINE_IDLE, i)
-
-    runs: list[TaskRun | None] = [None] * n
-    aborted_runs: list[TaskRun] = []
-    busy: dict[int, int] = {}  # machine -> running tid
-    task_start: dict[int, float] = {}  # tid -> start time of current attempt
-    # Degraded-interval multiplier per machine (1.0 = healthy base speed).
-    degrade: list[float] = [1.0] * m
-    # Completion-event staleness: each scheduled completion carries the
-    # machine's attempt token; aborts and speed-rescheduling bump it so a
-    # superseded completion event is ignored when it surfaces.
-    attempt_token: dict[int, int] = {}
-    scheduled_end: dict[int, float] = {}  # machine -> current completion time
+    if capabilities is not None:
+        if plan is not None and not capabilities.supports_faults:
+            raise CapabilityError(
+                "this strategy's policy does not survive machine faults "
+                "(supports_faults=False); running it under a FaultPlan would "
+                "produce schedules its analysis does not cover"
+            )
+        if not capabilities.supports_releases and any(r > 0.0 for r in releases):
+            raise CapabilityError(
+                "this strategy's policy never re-checks task availability "
+                "(supports_releases=False); it cannot run with nonzero "
+                "release times"
+            )
 
     tracer = get_tracer()
     obs = tracer.enabled  # hoisted: the hot loop pays one bool check per event
+    observer = TracerObserver(tracer) if obs else _NO_OP_OBSERVER
+
+    if plan:
+        kernel: EventKernel = FaultAwareKernel(
+            placement,
+            realization,
+            policy,
+            releases=releases,
+            machine_speed=machine_speed,
+            observer=observer,
+            plan=plan,
+        )
+    else:
+        kernel = EventKernel(
+            placement,
+            realization,
+            policy,
+            releases=releases,
+            machine_speed=machine_speed,
+            observer=observer,
+        )
 
     with tracer.span("simulate", label=label, n=n, m=m) as sim_span:
-        while queue:
-            ev = queue.pop()
-            view._advance(ev.time)
-            if obs:
-                tracer.count("sim.events_processed")
-
-            if ev.kind == EventKind.TASK_RELEASE:
-                released.add(ev.payload)
-                view._mark_released(ev.payload)
-                if obs:
-                    tracer.count("sim.releases")
-                continue
-
-            if ev.kind == EventKind.TASK_COMPLETION:
-                tid, machine, token = ev.payload
-                if busy.get(machine) != tid or attempt_token.get(machine) != token:
-                    # Stale: the attempt was aborted by a failure, or a
-                    # speed change rescheduled its completion.
-                    continue
-                view._mark_completed(tid, realization.actual(tid))
-                runs[tid] = TaskRun(tid, machine, task_start.pop(tid), ev.time)
-                del busy[machine]
-                scheduled_end.pop(machine, None)
-                queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
-                if obs:
-                    tracer.count("sim.completions")
-                    tracer.event("completion", task=tid, machine=machine, t=ev.time)
-                continue
-
-            if ev.kind == EventKind.MACHINE_FAILURE:
-                machine, downtime = ev.payload
-                if machine in failed:
-                    continue  # absorbed: the machine is already down
-                failed.add(machine)
-                view._mark_machine_failed(machine)
-                if math.isfinite(downtime):
-                    queue.push(ev.time + downtime, EventKind.MACHINE_RECOVERY, machine)
-                if obs:
-                    tracer.count("sim.machine_failures")
-                    tracer.event("machine_failure", machine=machine, t=ev.time)
-                running = busy.pop(machine, None)
-                if running is not None:
-                    # Abort the attempt: the task reverts to unstarted and must
-                    # rerun from scratch elsewhere.
-                    aborted_runs.append(
-                        TaskRun(running, machine, task_start.pop(running), ev.time)
-                    )
-                    scheduled_end.pop(machine, None)
-                    view._mark_aborted(running)
-                    if obs:
-                        tracer.count("sim.restarts")
-                        tracer.event("restart", task=running, machine=machine, t=ev.time)
-                    # Wake every healthy idle machine: one of them must pick
-                    # the orphaned task up (they may have retired with None
-                    # before the abort existed).
-                    for i in range(m):
-                        if i not in failed and i not in busy:
-                            queue.push(ev.time, EventKind.MACHINE_IDLE, i)
-                continue
-
-            if ev.kind == EventKind.MACHINE_RECOVERY:
-                machine = ev.payload
-                if machine not in failed:
-                    continue
-                failed.discard(machine)
-                view._mark_machine_recovered(machine)
-                if obs:
-                    tracer.count("sim.machine_recoveries")
-                    tracer.event("machine_recovery", machine=machine, t=ev.time)
-                queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
-                continue
-
-            if ev.kind == EventKind.MACHINE_SPEED:
-                machine, factor = ev.payload
-                old_eff = machine_speed[machine] * degrade[machine]
-                degrade[machine] = factor
-                new_eff = machine_speed[machine] * factor
-                if obs:
-                    if factor != 1.0:
-                        tracer.count("sim.machine_degraded")
-                    tracer.event(
-                        "machine_degraded", machine=machine, factor=factor, t=ev.time
-                    )
-                running = busy.get(machine)
-                if running is not None and new_eff != old_eff:
-                    # Rescale the remaining work onto the new speed and
-                    # supersede the previously scheduled completion.
-                    remaining_work = (scheduled_end[machine] - ev.time) * old_eff
-                    new_end = ev.time + remaining_work / new_eff
-                    attempt_token[machine] += 1
-                    scheduled_end[machine] = new_end
-                    queue.push(
-                        new_end,
-                        EventKind.TASK_COMPLETION,
-                        (running, machine, attempt_token[machine]),
-                    )
-                continue
-
-            # MACHINE_IDLE
-            machine = ev.payload
-            if machine in busy or machine in failed:
-                # Stale poll (a dispatch or failure raced this event).
-                continue
-            choice = policy.select(machine, view)
-            if choice is None:
-                # Work-conserving re-poll: if unreleased tasks could later run
-                # here, wake the machine at the next release time.
-                future = [
-                    r
-                    for r, j in pending_releases
-                    if j not in released and placement.allows(j, machine) and r > ev.time
-                ]
-                if future:
-                    queue.push(min(future), EventKind.MACHINE_IDLE, machine)
-                continue
-
-            tid = choice
-            if not 0 <= tid < n:
-                raise SimulationError(f"policy selected invalid task id {tid}")
-            if view.is_started(tid):
-                raise SimulationError(f"policy selected already-started task {tid}")
-            if tid not in released:
-                raise SimulationError(
-                    f"policy selected task {tid} before its release time {releases[tid]}"
-                )
-            if not placement.allows(tid, machine):
-                raise SimulationError(
-                    f"policy sent task {tid} to machine {machine}, but its data is only on "
-                    f"{sorted(placement.machines_for(tid))}"
-                )
-            duration = realization.actual(tid) / (machine_speed[machine] * degrade[machine])
-            end = ev.time + duration
-            task_start[tid] = ev.time
-            view._mark_started(tid, machine)
-            busy[machine] = tid
-            attempt_token[machine] = attempt_token.get(machine, 0) + 1
-            scheduled_end[machine] = end
-            queue.push(end, EventKind.TASK_COMPLETION, (tid, machine, attempt_token[machine]))
-            if obs:
-                tracer.count("sim.dispatches")
-                tracer.event("dispatch", task=tid, machine=machine, t=ev.time)
-
-        missing = [j for j, r in enumerate(runs) if r is None]
-        if missing:
-            stranded = [
-                j
-                for j in missing
-                if all(i in failed for i in placement.machines_for(j))
-            ]
-            if stranded:
-                raise SimulationError(
-                    f"{len(stranded)} tasks lost to machine failures (first few: "
-                    f"{stranded[:5]}): every machine holding their data failed — "
-                    "replication would have kept them runnable"
-                )
-            raise SimulationError(
-                f"simulation ended with {len(missing)} unscheduled tasks "
-                f"(first few: {missing[:5]}); the policy retired machines "
-                "that still had eligible work"
-            )
+        result = kernel.run()
         trace = ScheduleTrace(
-            tuple(runs),  # type: ignore[arg-type]
+            tuple(result.runs),  # type: ignore[arg-type]
             label=label,
-            aborted=tuple(aborted_runs),
+            aborted=tuple(result.aborted),
         )
         if obs:
             sim_span.set(makespan=trace.makespan)

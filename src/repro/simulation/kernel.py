@@ -1,0 +1,467 @@
+"""The event kernel behind :func:`repro.simulation.engine.simulate`.
+
+:mod:`repro.simulation.engine` used to be one 380-line function; this
+module is its decomposition into orthogonal pieces:
+
+* :class:`EventKernel` — the **fast path**: releases, completions and
+  dispatch only.  No failure sets, no degrade multipliers, no attempt
+  tokens — a fault-free run pays for none of the fault machinery.  Since
+  the effective machine speed is constant, ``p / s`` here equals the
+  fault path's ``p / (s * 1.0)`` bit-for-bit (IEEE), so the two kernels
+  produce identical traces on fault-free input.
+* :class:`FaultAwareKernel` — the **full path**: crash-stop,
+  crash-recover, degraded-speed intervals, attempt-token staleness, and
+  the abort/restart cycle.  Selected only when a
+  :class:`~repro.faults.plan.FaultPlan` is present.
+* :class:`SimulationObserver` — the observation hook.  The kernel calls
+  ``count``/``event`` at the same points the monolith called the tracer;
+  the no-op base class keeps untraced runs cheap and
+  :class:`TracerObserver` forwards to :mod:`repro.obs` with byte-exact
+  parity (same counter names, same event fields, same order).
+
+Both kernels preserve the monolith's event-queue discipline exactly:
+seeding order (pending releases, then plan events, then the ``t = 0``
+idle polls) and the :class:`~repro.simulation.events.EventKind`
+priorities fix the ``seq`` tie-break, so traces are reproducible to the
+byte across the refactor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.placement import Placement
+from repro.core.strategy import OnlinePolicy, SchedulerView
+from repro.faults.plan import FaultPlan
+from repro.simulation.events import EventKind, EventQueue
+from repro.simulation.trace import TaskRun
+from repro.uncertainty.realization import Realization
+
+__all__ = [
+    "SimulationError",
+    "SimulationObserver",
+    "TracerObserver",
+    "KernelResult",
+    "EventKernel",
+    "FaultAwareKernel",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when a policy misbehaves or the run cannot complete."""
+
+
+class SimulationObserver:
+    """No-op observation hook; the kernel narrates its run through one.
+
+    ``enabled`` is hoisted into a class attribute so the hot loop pays a
+    single attribute check per event, exactly as the monolithic engine
+    hoisted ``tracer.enabled``.
+    """
+
+    enabled = False
+
+    def count(self, name: str) -> None:
+        """Increment counter ``name`` (no-op here)."""
+
+    def event(self, name: str, **fields: object) -> None:
+        """Record a structured event (no-op here)."""
+
+
+class TracerObserver(SimulationObserver):
+    """Forwards kernel observations to a :mod:`repro.obs` tracer."""
+
+    enabled = True
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+
+    def count(self, name: str) -> None:
+        self._tracer.count(name)
+
+    def event(self, name: str, **fields: object) -> None:
+        self._tracer.event(name, **fields)
+
+
+@dataclass
+class KernelResult:
+    """What a kernel run produces, before trace assembly."""
+
+    runs: list[TaskRun]
+    aborted: list[TaskRun]
+
+
+class EventKernel:
+    """Fault-free discrete-event kernel (the fast path).
+
+    Plays releases, completions and idle polls against the policy.  All
+    machine-health state is absent by construction: a run without a
+    :class:`~repro.faults.plan.FaultPlan` cannot produce failure,
+    recovery or speed events, so their handlers only exist as guards.
+
+    Parameters
+    ----------
+    placement, realization, policy:
+        The Phase-1 placement, the actual durations, and the Phase-2
+        dispatch policy.
+    releases:
+        Per-task release times (already validated by the engine).
+    machine_speed:
+        Per-machine speed factors (already validated by the engine).
+    observer:
+        Observation hook; :class:`SimulationObserver` for untraced runs.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        realization: Realization,
+        policy: OnlinePolicy,
+        *,
+        releases: list[float],
+        machine_speed: list[float],
+        observer: SimulationObserver,
+    ) -> None:
+        instance = placement.instance
+        self.placement = placement
+        self.realization = realization
+        self.policy = policy
+        self.releases = releases
+        self.machine_speed = machine_speed
+        self.observer = observer
+        self.n = instance.n
+        self.m = instance.m
+
+        self.view = SchedulerView(instance, placement)
+        self.queue = EventQueue()
+        self.released: set[int] = set()
+        self.busy: dict[int, int] = {}  # machine -> running tid
+        self.task_start: dict[int, float] = {}  # tid -> start of current attempt
+        self.runs: list[TaskRun | None] = [None] * self.n
+        self.aborted: list[TaskRun] = []
+
+        # Seeding order is part of the trace contract: pending releases,
+        # then the fault plan's events (subclass hook), then the t=0 idle
+        # polls — the queue's seq tie-break preserves this order forever.
+        self.pending_releases = sorted(
+            (r, j) for j, r in enumerate(releases) if r > 0.0
+        )
+        for j, r in enumerate(releases):
+            if r == 0.0:
+                self.released.add(j)
+        if self.pending_releases:
+            self.view._enable_release_tracking(self.released)
+        for r, j in self.pending_releases:
+            self.queue.push(r, EventKind.TASK_RELEASE, j)
+        self._seed_plan()
+        for i in range(self.m):
+            self.queue.push(0.0, EventKind.MACHINE_IDLE, i)
+
+    # -- hooks the fault-aware subclass overrides --------------------------
+    def _seed_plan(self) -> None:
+        """Push the fault plan's events (fast path: there is no plan)."""
+
+    def _machine_down(self, machine: int) -> bool:
+        """Whether ``machine`` is currently failed (fast path: never)."""
+        return False
+
+    def _effective_speed(self, machine: int) -> float:
+        """Current effective speed of ``machine`` (fast path: constant)."""
+        return self.machine_speed[machine]
+
+    def _begin_attempt(self, tid: int, machine: int, end: float) -> tuple:
+        """Book-keep a new attempt; returns the completion payload."""
+        return (tid, machine)
+
+    def _completion_is_stale(self, payload: tuple) -> bool:
+        """Whether a surfacing completion was superseded (fast path: no
+        aborts or speed changes exist to supersede one)."""
+        tid, machine = payload[0], payload[1]
+        return self.busy.get(machine) != tid
+
+    def _end_attempt(self, machine: int) -> None:
+        """Clear per-attempt state beyond ``busy`` (fast path: none)."""
+
+    # -- the event loop ----------------------------------------------------
+    def run(self) -> KernelResult:
+        """Drain the queue; returns the completed and aborted runs."""
+        obs = self.observer.enabled
+        observer = self.observer
+        queue = self.queue
+        view = self.view
+        while queue:
+            ev = queue.pop()
+            view._advance(ev.time)
+            if obs:
+                observer.count("sim.events_processed")
+
+            if ev.kind == EventKind.TASK_RELEASE:
+                self._on_release(ev)
+            elif ev.kind == EventKind.TASK_COMPLETION:
+                self._on_completion(ev)
+            elif ev.kind == EventKind.MACHINE_FAILURE:
+                self._on_failure(ev)
+            elif ev.kind == EventKind.MACHINE_RECOVERY:
+                self._on_recovery(ev)
+            elif ev.kind == EventKind.MACHINE_SPEED:
+                self._on_speed(ev)
+            else:  # MACHINE_IDLE
+                self._on_idle(ev)
+        self._check_complete()
+        return KernelResult(self.runs, self.aborted)  # type: ignore[arg-type]
+
+    # -- handlers ----------------------------------------------------------
+    def _on_release(self, ev) -> None:
+        self.released.add(ev.payload)
+        self.view._mark_released(ev.payload)
+        if self.observer.enabled:
+            self.observer.count("sim.releases")
+
+    def _on_completion(self, ev) -> None:
+        if self._completion_is_stale(ev.payload):
+            # Stale: the attempt was aborted by a failure, or a speed
+            # change rescheduled its completion.
+            return
+        tid, machine = ev.payload[0], ev.payload[1]
+        self.view._mark_completed(tid, self.realization.actual(tid))
+        self.runs[tid] = TaskRun(tid, machine, self.task_start.pop(tid), ev.time)
+        del self.busy[machine]
+        self._end_attempt(machine)
+        self.queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+        if self.observer.enabled:
+            self.observer.count("sim.completions")
+            self.observer.event("completion", task=tid, machine=machine, t=ev.time)
+
+    def _on_failure(self, ev) -> None:
+        raise SimulationError(
+            "machine-failure event in a fault-free run (kernel selection bug)"
+        )
+
+    def _on_recovery(self, ev) -> None:
+        raise SimulationError(
+            "machine-recovery event in a fault-free run (kernel selection bug)"
+        )
+
+    def _on_speed(self, ev) -> None:
+        raise SimulationError(
+            "machine-speed event in a fault-free run (kernel selection bug)"
+        )
+
+    def _on_idle(self, ev) -> None:
+        machine = ev.payload
+        if machine in self.busy or self._machine_down(machine):
+            # Stale poll (a dispatch or failure raced this event).
+            return
+        choice = self.policy.select(machine, self.view)
+        if choice is None:
+            # Work-conserving re-poll: if unreleased tasks could later run
+            # here, wake the machine at the next release time.
+            future = [
+                r
+                for r, j in self.pending_releases
+                if j not in self.released
+                and self.placement.allows(j, machine)
+                and r > ev.time
+            ]
+            if future:
+                self.queue.push(min(future), EventKind.MACHINE_IDLE, machine)
+            return
+        self._dispatch(choice, machine, ev.time)
+
+    def _dispatch(self, tid: int, machine: int, now: float) -> None:
+        if not 0 <= tid < self.n:
+            raise SimulationError(f"policy selected invalid task id {tid}")
+        if self.view.is_started(tid):
+            raise SimulationError(f"policy selected already-started task {tid}")
+        if tid not in self.released:
+            raise SimulationError(
+                f"policy selected task {tid} before its release time "
+                f"{self.releases[tid]}"
+            )
+        if not self.placement.allows(tid, machine):
+            raise SimulationError(
+                f"policy sent task {tid} to machine {machine}, but its data is only on "
+                f"{sorted(self.placement.machines_for(tid))}"
+            )
+        duration = self.realization.actual(tid) / self._effective_speed(machine)
+        end = now + duration
+        self.task_start[tid] = now
+        self.view._mark_started(tid, machine)
+        self.busy[machine] = tid
+        payload = self._begin_attempt(tid, machine, end)
+        self.queue.push(end, EventKind.TASK_COMPLETION, payload)
+        if self.observer.enabled:
+            self.observer.count("sim.dispatches")
+            self.observer.event("dispatch", task=tid, machine=machine, t=now)
+
+    # -- post-loop invariants ----------------------------------------------
+    def _check_complete(self) -> None:
+        missing = [j for j, r in enumerate(self.runs) if r is None]
+        if missing:
+            self._raise_incomplete(missing)
+
+    def _raise_incomplete(self, missing: list[int]) -> None:
+        raise SimulationError(
+            f"simulation ended with {len(missing)} unscheduled tasks "
+            f"(first few: {missing[:5]}); the policy retired machines "
+            "that still had eligible work"
+        )
+
+
+class FaultAwareKernel(EventKernel):
+    """The full kernel: crash-stop, crash-recover and degraded intervals.
+
+    Extends the fast path with the machinery faults need: the failed-set,
+    per-machine degrade multipliers, and completion-event staleness via
+    attempt tokens (aborts and speed changes bump a machine's token so a
+    superseded completion event is ignored when it surfaces).
+
+    Parameters
+    ----------
+    plan:
+        The validated :class:`~repro.faults.plan.FaultPlan` driving the
+        failure, recovery and speed events.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        realization: Realization,
+        policy: OnlinePolicy,
+        *,
+        releases: list[float],
+        machine_speed: list[float],
+        observer: SimulationObserver,
+        plan: FaultPlan,
+    ) -> None:
+        self.plan = plan
+        self.failed: set[int] = set()
+        # Degraded-interval multiplier per machine (1.0 = healthy base speed).
+        self.degrade: list[float] = [1.0] * placement.instance.m
+        self.attempt_token: dict[int, int] = {}
+        self.scheduled_end: dict[int, float] = {}  # machine -> completion time
+        super().__init__(
+            placement,
+            realization,
+            policy,
+            releases=releases,
+            machine_speed=machine_speed,
+            observer=observer,
+        )
+
+    # -- hook overrides ----------------------------------------------------
+    def _seed_plan(self) -> None:
+        for at, machine, downtime in self.plan.crashes():
+            self.queue.push(at, EventKind.MACHINE_FAILURE, (machine, downtime))
+        for slow in self.plan.slowdowns():
+            self.queue.push(
+                slow.start, EventKind.MACHINE_SPEED, (slow.machine, slow.factor)
+            )
+            if math.isfinite(slow.end):
+                self.queue.push(slow.end, EventKind.MACHINE_SPEED, (slow.machine, 1.0))
+
+    def _machine_down(self, machine: int) -> bool:
+        return machine in self.failed
+
+    def _effective_speed(self, machine: int) -> float:
+        return self.machine_speed[machine] * self.degrade[machine]
+
+    def _begin_attempt(self, tid: int, machine: int, end: float) -> tuple:
+        self.attempt_token[machine] = self.attempt_token.get(machine, 0) + 1
+        self.scheduled_end[machine] = end
+        return (tid, machine, self.attempt_token[machine])
+
+    def _completion_is_stale(self, payload: tuple) -> bool:
+        tid, machine, token = payload
+        return (
+            self.busy.get(machine) != tid
+            or self.attempt_token.get(machine) != token
+        )
+
+    def _end_attempt(self, machine: int) -> None:
+        self.scheduled_end.pop(machine, None)
+
+    # -- fault handlers ----------------------------------------------------
+    def _on_failure(self, ev) -> None:
+        machine, downtime = ev.payload
+        if machine in self.failed:
+            return  # absorbed: the machine is already down
+        self.failed.add(machine)
+        self.view._mark_machine_failed(machine)
+        if math.isfinite(downtime):
+            self.queue.push(ev.time + downtime, EventKind.MACHINE_RECOVERY, machine)
+        if self.observer.enabled:
+            self.observer.count("sim.machine_failures")
+            self.observer.event("machine_failure", machine=machine, t=ev.time)
+        running = self.busy.pop(machine, None)
+        if running is not None:
+            # Abort the attempt: the task reverts to unstarted and must
+            # rerun from scratch elsewhere.
+            self.aborted.append(
+                TaskRun(running, machine, self.task_start.pop(running), ev.time)
+            )
+            self.scheduled_end.pop(machine, None)
+            self.view._mark_aborted(running)
+            if self.observer.enabled:
+                self.observer.count("sim.restarts")
+                self.observer.event(
+                    "restart", task=running, machine=machine, t=ev.time
+                )
+            # Wake every healthy idle machine: one of them must pick the
+            # orphaned task up (they may have retired with None before
+            # the abort existed).
+            for i in range(self.m):
+                if i not in self.failed and i not in self.busy:
+                    self.queue.push(ev.time, EventKind.MACHINE_IDLE, i)
+
+    def _on_recovery(self, ev) -> None:
+        machine = ev.payload
+        if machine not in self.failed:
+            return
+        self.failed.discard(machine)
+        self.view._mark_machine_recovered(machine)
+        if self.observer.enabled:
+            self.observer.count("sim.machine_recoveries")
+            self.observer.event("machine_recovery", machine=machine, t=ev.time)
+        self.queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+
+    def _on_speed(self, ev) -> None:
+        machine, factor = ev.payload
+        old_eff = self.machine_speed[machine] * self.degrade[machine]
+        self.degrade[machine] = factor
+        new_eff = self.machine_speed[machine] * factor
+        if self.observer.enabled:
+            if factor != 1.0:
+                self.observer.count("sim.machine_degraded")
+            self.observer.event(
+                "machine_degraded", machine=machine, factor=factor, t=ev.time
+            )
+        running = self.busy.get(machine)
+        if running is not None and new_eff != old_eff:
+            # Rescale the remaining work onto the new speed and supersede
+            # the previously scheduled completion.
+            remaining_work = (self.scheduled_end[machine] - ev.time) * old_eff
+            new_end = ev.time + remaining_work / new_eff
+            self.attempt_token[machine] += 1
+            self.scheduled_end[machine] = new_end
+            self.queue.push(
+                new_end,
+                EventKind.TASK_COMPLETION,
+                (running, machine, self.attempt_token[machine]),
+            )
+
+    # -- post-loop invariants ----------------------------------------------
+    def _raise_incomplete(self, missing: list[int]) -> None:
+        stranded = [
+            j
+            for j in missing
+            if all(i in self.failed for i in self.placement.machines_for(j))
+        ]
+        if stranded:
+            raise SimulationError(
+                f"{len(stranded)} tasks lost to machine failures (first few: "
+                f"{stranded[:5]}): every machine holding their data failed — "
+                "replication would have kept them runnable"
+            )
+        super()._raise_incomplete(missing)

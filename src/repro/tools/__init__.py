@@ -5,4 +5,9 @@ commands CI runs to keep the codebase honest:
 
 * :mod:`repro.tools.check_docstrings` — fail when a public module or
   class is missing its docstring (``python -m repro.tools.check_docstrings``).
+* :mod:`repro.tools.check_registry` — fail when a shipped
+  ``TwoPhaseStrategy`` subclass has no strategy-registry entry
+  (``python -m repro.tools.check_registry``).
+* :mod:`repro.tools.strategy_docs` — generate ``docs/strategies.md``
+  from the registry; ``--check`` fails CI when the catalog is stale.
 """

@@ -1,0 +1,86 @@
+"""Registry completeness check: every shipped strategy must be registered.
+
+The strategy-plugin registry (:mod:`repro.registry`) is only useful if it
+is *complete* — a new :class:`~repro.core.strategy.TwoPhaseStrategy`
+subclass that skips its ``@register_strategy`` decorator is invisible to
+``make_strategy``, the ``repro strategies`` CLI, capability enforcement,
+and the generated ``docs/strategies.md`` catalog.  This check walks every
+module under the ``repro`` package, collects the concrete public
+``TwoPhaseStrategy`` subclasses defined there, and fails when any of them
+lacks a registry entry.
+
+Usage::
+
+    python -m repro.tools.check_registry
+
+Exit code 0 when every strategy is registered, 1 with one line per
+unregistered class.  CI runs it on every push; add a
+``@register_strategy`` declaration (see :func:`repro.registry.register_strategy`)
+to fix a failure.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from collections.abc import Sequence
+
+__all__ = ["unregistered_strategies", "main"]
+
+
+def _strategy_classes() -> list[type]:
+    """Every concrete public ``TwoPhaseStrategy`` subclass in ``repro``."""
+    import repro
+    from repro.core.strategy import TwoPhaseStrategy
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(info.name)
+
+    classes: list[type] = []
+    seen: set[type] = set()
+    stack: list[type] = list(TwoPhaseStrategy.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        stack.extend(cls.__subclasses__())
+        if (
+            cls.__module__.startswith("repro.")
+            and not cls.__name__.startswith("_")
+            and not inspect.isabstract(cls)
+        ):
+            classes.append(cls)
+    return sorted(classes, key=lambda c: (c.__module__, c.__qualname__))
+
+
+def unregistered_strategies() -> list[type]:
+    """Concrete shipped strategy classes with no registry entry."""
+    from repro.registry import entry_for, strategy_entries
+
+    strategy_entries()  # force the builtin families to load first
+    return [cls for cls in _strategy_classes() if entry_for(cls) is None]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: print one line per unregistered strategy class."""
+    missing = unregistered_strategies()
+    for cls in missing:
+        print(
+            f"{cls.__module__}.{cls.__qualname__}: TwoPhaseStrategy subclass "
+            "has no registry entry — add @register_strategy(...)",
+            file=sys.stderr,
+        )
+    if missing:
+        print(f"{len(missing)} unregistered strategies", file=sys.stderr)
+        return 1
+    from repro.registry import strategy_entries
+
+    print(f"registry completeness: OK ({len(strategy_entries())} entries)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -36,7 +36,12 @@ class TestMain:
         assert main([cmd]) == 0
         assert capsys.readouterr().out.strip()
 
-    def test_fig3_small(self, capsys):
+    def test_fig3_small(self, capsys, tmp_path, monkeypatch):
+        # Non-canonical m: redirect artifact writes so the run does not
+        # clobber the shipped m=210 results/fig3_ratio_replication.csv.
+        import repro.reporting as reporting
+
+        monkeypatch.setattr(reporting, "results_dir", lambda: tmp_path)
         assert main(["fig3", "--m", "12", "--alpha", "1.5"]) == 0
         assert "Figure 3" in capsys.readouterr().out
 

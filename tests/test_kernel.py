@@ -1,0 +1,179 @@
+"""Tests for the decomposed simulation kernel (repro.simulation.kernel).
+
+The engine refactor split the monolithic ``simulate()`` into a fast
+:class:`EventKernel` and a :class:`FaultAwareKernel`; these tests pin the
+decomposition's contract: identical traces across the two kernels on
+fault-free input, fast-path selection when no plan is present, byte-exact
+observability parity, and schema-valid traces end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.obs import JsonlSink, MemorySink, observed
+from repro.obs.validate import validate_trace
+from repro.simulation import (
+    EventKernel,
+    FaultAwareKernel,
+    SimulationObserver,
+    TracerObserver,
+)
+from repro.simulation import engine as engine_mod
+
+
+@pytest.fixture(scope="module")
+def setup():
+    inst = repro.uniform_instance(n=16, m=4, alpha=1.5, seed=11)
+    real = repro.sample_realization(inst, "log_uniform", seed=2)
+    strategy = repro.LSGroup(k=2)
+    placement = strategy.place(inst)
+    return inst, real, strategy, placement
+
+
+def _run_kernel(kernel_cls, setup, **extra):
+    inst, real, strategy, placement = setup
+    kernel = kernel_cls(
+        placement,
+        real,
+        strategy.make_policy(inst, placement),
+        releases=[0.0] * inst.n,
+        machine_speed=[1.0] * inst.m,
+        observer=SimulationObserver(),
+        **extra,
+    )
+    return kernel.run()
+
+
+class TestKernelEquivalence:
+    def test_fault_kernel_with_empty_plan_matches_fast_kernel(self, setup):
+        fast = _run_kernel(EventKernel, setup)
+        full = _run_kernel(FaultAwareKernel, setup, plan=repro.FaultPlan.of())
+        assert fast.runs == full.runs
+        assert fast.aborted == full.aborted == []
+
+    def test_fault_kernel_with_late_crash_matches_fast_kernel(self, setup):
+        # A crash scheduled after completion perturbs nothing.
+        fast = _run_kernel(EventKernel, setup)
+        plan = repro.FaultPlan.of(repro.CrashStop(machine=0, at=1e9))
+        full = _run_kernel(FaultAwareKernel, setup, plan=plan)
+        assert fast.runs == full.runs
+
+    def test_simulate_trace_identical_with_and_without_empty_faults(self, setup):
+        inst, real, strategy, placement = setup
+        a = repro.simulate(placement, real, strategy.make_policy(inst, placement))
+        # An empty plan is falsy, so the engine takes the fast path too.
+        b = repro.simulate(
+            placement,
+            real,
+            strategy.make_policy(inst, placement),
+            faults=repro.FaultPlan.of(),
+        )
+        assert a.runs == b.runs
+
+
+class TestKernelSelection:
+    def test_fast_path_without_plan(self, setup, monkeypatch):
+        chosen = []
+
+        class SpyFast(EventKernel):
+            def run(self):
+                chosen.append("fast")
+                return super().run()
+
+        class SpyFull(FaultAwareKernel):
+            def run(self):
+                chosen.append("full")
+                return super().run()
+
+        monkeypatch.setattr(engine_mod, "EventKernel", SpyFast)
+        monkeypatch.setattr(engine_mod, "FaultAwareKernel", SpyFull)
+        inst, real, strategy, placement = setup
+        repro.simulate(placement, real, strategy.make_policy(inst, placement))
+        assert chosen == ["fast"]
+        plan = repro.FaultPlan.of(repro.CrashRecover(machine=0, at=2.0, downtime=1.0))
+        repro.simulate(
+            placement, real, strategy.make_policy(inst, placement), faults=plan
+        )
+        assert chosen == ["fast", "full"]
+
+    def test_fast_kernel_rejects_fault_events(self, setup):
+        # The fast kernel has no fault handlers by construction: reaching
+        # one is a kernel-selection bug, not a silent misbehavior.
+        inst, real, strategy, placement = setup
+        kernel = EventKernel(
+            placement,
+            real,
+            strategy.make_policy(inst, placement),
+            releases=[0.0] * inst.n,
+            machine_speed=[1.0] * inst.m,
+            observer=SimulationObserver(),
+        )
+        with pytest.raises(repro.SimulationError, match="kernel selection bug"):
+            kernel._on_failure(None)
+
+
+class TestObservabilityParity:
+    def _events(self, setup, **simulate_kwargs):
+        inst, real, strategy, placement = setup
+        with observed(MemorySink()) as tracer:
+            repro.simulate(
+                placement,
+                real,
+                strategy.make_policy(inst, placement),
+                **simulate_kwargs,
+            )
+            sink = tracer.sinks[0]
+            counters = {
+                name: counter.value
+                for name, counter in tracer.registry.counters.items()
+            }
+        events = [(e.name, e.kind) for e in sink.events]
+        return events, counters
+
+    def test_event_stream_identical_across_kernel_paths(self, setup):
+        fast_events, fast_counters = self._events(setup)
+        full_events, full_counters = self._events(
+            setup, faults=repro.FaultPlan.of(repro.CrashStop(machine=0, at=1e9))
+        )
+        # The late crash adds exactly its own machine_down processing.
+        assert fast_counters["sim.events_processed"] + 1 == (
+            full_counters["sim.events_processed"]
+        )
+        assert fast_counters["sim.completions"] == full_counters["sim.completions"]
+        assert fast_counters["sim.dispatches"] == full_counters["sim.dispatches"]
+        names = {name for name, _ in fast_events}
+        assert "simulate" in names
+
+    def test_observer_hierarchy(self):
+        assert SimulationObserver.enabled is False
+        assert TracerObserver.enabled is True
+        SimulationObserver().count("anything")  # no-op, must not raise
+        SimulationObserver().event("anything", field=1)
+
+
+class TestTracedRunValidates:
+    def test_fault_free_traced_run_passes_schema_validation(self, setup, tmp_path):
+        inst, real, strategy, _ = setup
+        path = tmp_path / "trace.jsonl"
+        with observed(JsonlSink(path)):
+            repro.run_strategy(strategy, inst, real)
+        stats, errors = validate_trace(path)
+        assert errors == []
+        assert stats["spans"] > 0
+
+    def test_faulted_traced_run_passes_schema_validation(self, setup, tmp_path):
+        inst, real, strategy, placement = setup
+        path = tmp_path / "trace.jsonl"
+        plan = repro.FaultPlan.of(repro.CrashRecover(machine=1, at=2.0, downtime=1.0))
+        with observed(JsonlSink(path)):
+            repro.simulate(
+                placement,
+                real,
+                strategy.make_policy(inst, placement),
+                faults=plan,
+                capabilities=repro.capabilities_of(strategy),
+            )
+        stats, errors = validate_trace(path)
+        assert errors == []

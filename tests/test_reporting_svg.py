@@ -35,10 +35,15 @@ def test_gantt_reports_write_valid_svg(report_fn, svg_names):
         assert root.tag.endswith("svg")
 
 
-def test_fig3_writes_one_svg_per_alpha():
+def test_fig3_writes_one_svg_per_alpha(tmp_path, monkeypatch):
+    # Non-canonical parameters: redirect the writes so the run does not
+    # clobber the shipped m=210 results/fig3_ratio_replication.csv.
+    import repro.reporting as reporting
+
+    monkeypatch.setattr(reporting, "results_dir", lambda: tmp_path)
     fig3_report(m=30, alphas=(1.2, 1.9))
     for alpha in (1.2, 1.9):
-        path = results_dir() / f"fig3_alpha_{alpha:g}.svg"
+        path = tmp_path / f"fig3_alpha_{alpha:g}.svg"
         assert path.exists()
         ET.parse(path)
 
