@@ -14,7 +14,7 @@ import os
 import time
 
 from benchmarks.conftest import emit
-from repro.analysis.experiment import run_grid
+from repro.analysis.experiment import ExperimentGrid, run_grid
 from repro.analysis.ratios import run_strategy
 from repro.core.strategies import LPTNoRestriction, LSGroup, full_sweep
 from repro.exact.bnb import branch_and_bound
@@ -85,13 +85,21 @@ def _speedup_grid_args():
 
 
 def _run_speedup_comparison():
+    # batch=False on both sides: this bench measures the process pool, so
+    # every cell must actually cross it instead of short-circuiting
+    # through the parent-side vectorized backend.
     strategies, instances, models = _speedup_grid_args()
     t0 = time.perf_counter()
-    serial = run_grid(strategies, instances, models, seeds=(0, 1))
+    serial = run_grid(strategies, instances, models, seeds=(0, 1), batch=False)
     serial_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     parallel = run_grid(
-        strategies, instances, models, seeds=(0, 1), workers=_SPEEDUP_WORKERS
+        strategies,
+        instances,
+        models,
+        seeds=(0, 1),
+        workers=_SPEEDUP_WORKERS,
+        batch=False,
     )
     parallel_s = time.perf_counter() - t0
     return serial, parallel, serial_s, parallel_s
@@ -129,3 +137,61 @@ def bench_grid_parallel_speedup(benchmark):
             f"expected >1.5x speedup with {_SPEEDUP_WORKERS} workers on "
             f"{cores} cores, measured {speedup:.2f}x"
         )
+
+
+def _batch_grid_args():
+    """Every supports_batch family on a kernel-dominated sweep."""
+    strategies = [
+        "lpt_no_choice",
+        "lpt_no_restriction",
+        "ls_group[k=4]",
+        "lpt_group[k=2]",
+    ]
+    instances = [uniform_instance(400, 8, alpha=2.0, seed=s) for s in range(3)]
+    return strategies, instances, ["log_uniform"]
+
+
+def _run_batch_comparison():
+    strategies, instances, models = _batch_grid_args()
+    t0 = time.perf_counter()
+    kernel = run_grid(strategies, instances, models, seeds=(0, 1, 2, 3), batch=False)
+    kernel_s = time.perf_counter() - t0
+    grid = ExperimentGrid(
+        strategies=strategies,
+        instances=instances,
+        realization_models=models,
+        seeds=(0, 1, 2, 3),
+    )
+    t0 = time.perf_counter()
+    batched = grid.run()
+    batch_s = time.perf_counter() - t0
+    return kernel, batched, grid.batched_cells, kernel_s, batch_s
+
+
+def bench_batch_backend_speedup(benchmark):
+    """Event kernel vs the vectorized batch backend on the same sweep.
+
+    Asserts the batch backend's bit-exactness contract (identical record
+    lists), that every cell of this all-batchable sweep actually took the
+    vectorized path, and a >2x speedup — the committed BENCH_perf.json
+    gates the finer-grained trajectory; this bench keeps the claim alive
+    in the artifact log.
+    """
+    kernel, batched, batched_cells, kernel_s, batch_s = benchmark.pedantic(
+        _run_batch_comparison, rounds=1, iterations=1
+    )
+    assert kernel == batched, "batch backend must reproduce the kernel records"
+    assert batched_cells == len(batched), "all-batchable sweep must fully batch"
+    speedup = kernel_s / batch_s if batch_s > 0 else float("inf")
+    emit(
+        "perf_batch_backend_speedup",
+        "\n".join(
+            [
+                f"grid cells: {len(kernel)}  batched: {batched_cells}",
+                f"event kernel: {kernel_s:8.3f} s",
+                f"batch sweep:  {batch_s:8.3f} s",
+                f"speedup:      {speedup:8.2f}x",
+            ]
+        ),
+    )
+    assert speedup > 2.0, f"expected >2x batch speedup, measured {speedup:.2f}x"

@@ -1,0 +1,178 @@
+"""Batch fast path for the experiment grid (cell-level executor).
+
+:mod:`repro.simulation.batch` turns one (strategy, instance) pair into a
+vectorized completion sweep; this module lifts that to grid granularity:
+:func:`batch_eligible` routes cells, and :func:`execute_pack` runs one
+pack of same-(strategy, instance) cells — every realization model and
+seed in a single ``(B, n)`` NumPy pass — and assembles the exact
+:class:`~repro.analysis.records.ExperimentRecord` the per-cell path
+produces:
+
+* the makespan comes from the sweep (bit-identical to the event kernel —
+  see the exactness contract in :mod:`repro.simulation.batch`);
+* the optimum is :func:`repro.exact.optimal.optimal_makespan` on the same
+  realization, memoized per (instance, model, seed) *group* so one value
+  serves every strategy in the grid instead of being recomputed per cell;
+* ratio / guarantee / ``within_guarantee`` replicate the
+  :class:`~repro.analysis.ratios.RatioRecord` arithmetic field-for-field.
+
+Observability: each pack opens a ``grid.batch`` span and emits one
+``grid.batch_pack`` event; every cell served by the sweep bumps
+``grid.cells_done`` (keeping the grid's aggregate counters identical in
+meaning to the serial path) plus the batch-specific
+``grid.cells_batched`` counter.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.parallel import CellOutcome, CellSpec
+from repro.analysis.records import ExperimentRecord
+from repro.exact.optimal import OptimalValue, optimal_makespan
+from repro.simulation.batch import (
+    BatchPlan,
+    BatchUnsupported,
+    build_plan,
+    sweep_makespans,
+)
+from repro.simulation.batch import supports_batch as _supports_batch
+from repro.uncertainty.realization import Realization
+
+__all__ = ["batch_eligible", "execute_pack", "group_packs", "try_plan"]
+
+
+def batch_eligible(spec: CellSpec) -> bool:
+    """Whether this cell may take the batch fast path (capability gate).
+
+    The structural preconditions are still verified per pack by
+    :func:`repro.simulation.batch.build_plan`; a cell that passes here
+    but fails there falls back to the event kernel.
+    """
+    return _supports_batch(spec.strategy)
+
+
+def group_packs(cells: Sequence[CellSpec]) -> list[list[CellSpec]]:
+    """Group eligible cells into (strategy, instance) packs, stable order.
+
+    Identity (not equality) keys: the grid enumerates shared strategy and
+    instance objects, so identity grouping is exact and cheap.
+    """
+    packs: dict[tuple[int, int], list[CellSpec]] = {}
+    for spec in cells:
+        packs.setdefault((id(spec.strategy), id(spec.instance)), []).append(spec)
+    return list(packs.values())
+
+
+def try_plan(spec: CellSpec) -> BatchPlan | None:
+    """Compile this cell's (strategy, instance) pair, or ``None``.
+
+    ``None`` means "use the per-cell path": either the structure is
+    unsupported (:class:`BatchUnsupported`) or Phase 1 itself refuses the
+    instance (``ValueError``, e.g. a ``k`` that does not divide ``m``) —
+    the per-cell path turns the latter into the canonical
+    :class:`~repro.analysis.records.SkippedCell`, so the fallback must
+    not duplicate that logic.
+    """
+    try:
+        return build_plan(spec.strategy, spec.instance)
+    except (BatchUnsupported, ValueError):
+        return None
+
+
+def execute_pack(
+    pack: Sequence[CellSpec],
+    realizations: dict[int, Realization],
+    optima: dict[int, OptimalValue],
+    tracer,
+    *,
+    plan: BatchPlan | None = None,
+) -> list[CellOutcome] | None:
+    """Run one same-(strategy, instance) pack through the vectorized sweep.
+
+    ``realizations`` and ``optima`` are grid-level memos keyed by
+    ``spec.group`` — shared with the per-cell path and across packs, so a
+    realization is sampled (and its optimum computed) once per (instance,
+    model, seed) no matter how many strategies sweep it.  Pass a prebuilt
+    ``plan`` (from :func:`try_plan`) to skip recompiling Phase 1.
+
+    Returns ``None`` when the pack cannot be compiled — the caller then
+    routes these cells through the per-cell path, which produces the
+    identical records or skip entries it always has.
+    """
+    spec0 = pack[0]
+    start = time.perf_counter()
+    if plan is None:
+        plan = try_plan(spec0)
+        if plan is None:
+            return None
+
+    for spec in pack:
+        if spec.group not in realizations:
+            realizations[spec.group] = spec.realization()
+    reals = [realizations[spec.group] for spec in pack]
+    matrix = np.asarray([r.actuals for r in reals], dtype=np.float64)
+
+    with tracer.span(
+        "grid.batch",
+        strategy=plan.strategy_name,
+        instance=spec0.instance.name,
+        cells=len(pack),
+    ):
+        makespans = [float(v) for v in sweep_makespans(plan, matrix)]
+    tracer.count("grid.batch_packs")
+    tracer.event(
+        "grid.batch_pack",
+        strategy=plan.strategy_name,
+        instance=spec0.instance.name,
+        cells=len(pack),
+    )
+
+    replication = plan.placement.max_replication()
+    instance = spec0.instance
+    outcomes: list[CellOutcome] = []
+    duration_each = (time.perf_counter() - start) / len(pack)
+    for spec, realization, makespan in zip(pack, reals, makespans):
+        optimum = optima.get(spec.group)
+        if optimum is None:
+            optimum = optima[spec.group] = optimal_makespan(
+                realization.actuals, instance.m, exact_limit=spec.exact_limit
+            )
+        ratio = makespan / optimum.value
+        record = ExperimentRecord(
+            strategy=plan.strategy_name,
+            instance_name=instance.name,
+            n=instance.n,
+            m=instance.m,
+            alpha=instance.alpha,
+            # The serial path labels the trace "strategy/realization" and
+            # keeps the last path component; replicate that exactly.
+            realization=f"{plan.strategy_name}/{realization.label}".split("/")[-1],
+            seed=spec.seed,
+            replication=replication,
+            makespan=makespan,
+            optimum=optimum.value,
+            optimum_exact=optimum.optimal,
+            ratio=ratio,
+            guarantee=plan.guarantee,
+            within_guarantee=_within_guarantee(ratio, plan.guarantee, optimum.optimal),
+        )
+        tracer.count("grid.cells_done")
+        tracer.count("grid.cells_batched")
+        outcomes.append(CellOutcome(spec.index, record, None, duration_each))
+    return outcomes
+
+
+def _within_guarantee(
+    ratio: float, guarantee: float | None, optimum_exact: bool
+) -> bool | None:
+    """Field-for-field replica of :attr:`RatioRecord.within_guarantee`."""
+    if guarantee is None:
+        return None
+    tol = 1e-9 * max(1.0, guarantee)
+    if ratio <= guarantee + tol:
+        return True
+    return False if optimum_exact else None

@@ -8,7 +8,7 @@ empirical paper artifact (benches E1–E16 and the figure sweeps).
 Keeping the sweep in one driver means every bench agrees on provenance
 fields and determinism.
 
-The driver has three execution modes, freely combined:
+The driver has four execution modes, freely combined:
 
 * **serial** (``workers=1``, the default) — the historical in-process
   loop, one ``grid.cell`` span per cell;
@@ -19,6 +19,11 @@ The driver has three execution modes, freely combined:
 * **cached** (``cache=CellCache(...)``) — cell outcomes are fingerprinted
   and persisted by :mod:`repro.analysis.cache`; warm cells skip
   :func:`~repro.analysis.ratios.measured_ratio` entirely.
+* **batched** (``batch=True``, the default) — cells whose strategy
+  declares the ``supports_batch`` capability are grouped into
+  (strategy, instance) packs and replayed by the vectorized NumPy sweep
+  (:mod:`repro.analysis.batch`) instead of the per-event kernel; records
+  are bit-identical, and ineligible cells transparently fall back.
 
 See ``docs/performance.md`` for the worker model, determinism guarantee,
 and cache invalidation rules.
@@ -105,6 +110,13 @@ class ExperimentGrid:
         cells are retried with backoff; cells that exhaust their attempts
         land in :attr:`skipped` as ``kind="quarantined"`` entries rather
         than aborting the sweep.
+    batch:
+        Route ``supports_batch`` strategies through the vectorized batch
+        backend (default on).  Records are bit-identical to the per-cell
+        path — disable only to benchmark the event kernel itself.
+    batched_cells:
+        How many cells of the last ``run()`` the batch backend served
+        (cache hits excluded).  Mirrored into the grid manifest.
     resilience:
         Accumulated fault accounting for the last ``run()``: total
         ``retries`` (attempts beyond the first), ``timeouts``, and
@@ -122,6 +134,8 @@ class ExperimentGrid:
     cache: CellCache | None = None
     chunk_size: int | None = None
     retry: RetryPolicy = DEFAULT_RETRY
+    batch: bool = True
+    batched_cells: int = field(default=0, init=False)
     resilience: dict[str, int] = field(
         default_factory=lambda: {"retries": 0, "timeouts": 0, "quarantined": 0}
     )
@@ -147,6 +161,7 @@ class ExperimentGrid:
     def run(self) -> list[ExperimentRecord]:
         tracer = get_tracer()
         total = self.total_cells()
+        self.batched_cells = 0
         with tracer.span(
             "run_grid",
             strategies=len(self.strategies),
@@ -183,9 +198,12 @@ class ExperimentGrid:
         """
         records: list[ExperimentRecord] = []
         realizations: dict[int, Realization] = {}
+        batched = self._run_batch(cells, realizations, tracer)
         done = 0
         for spec in cells:
-            outcome = self._lookup(spec, tracer)
+            outcome = batched.pop(spec.index, None)
+            if outcome is None:
+                outcome = self._lookup(spec, tracer)
             if outcome is None:
                 realization = realizations.get(spec.group)
                 if realization is None:
@@ -206,9 +224,12 @@ class ExperimentGrid:
         and the order of ``progress`` callbacks — matches the serial run
         regardless of worker completion order.
         """
-        hits: list[CellOutcome] = []
+        batched = self._run_batch(cells, {}, tracer)
+        hits: list[CellOutcome] = list(batched.values())
         pending: list[CellSpec] = []
         for spec in cells:
+            if spec.index in batched:
+                continue
             outcome = self._lookup(spec, tracer)
             if outcome is None:
                 pending.append(spec)
@@ -236,6 +257,59 @@ class ExperimentGrid:
             done += 1
             self._fold(outcome, done, total, records)
         return records
+
+    def _run_batch(
+        self, cells: list[CellSpec], realizations: dict[int, Realization], tracer
+    ) -> dict[int, CellOutcome]:
+        """Serve ``supports_batch`` cells via the vectorized sweep.
+
+        Returns outcomes keyed by cell index.  Cache probes happen here
+        (exactly once per eligible cell — the main loops skip indices this
+        dict covers), and computed outcomes are stored back, so caching
+        semantics match the per-cell path.  Packs whose structure the
+        batch compiler rejects simply stay out of the dict and take the
+        event-kernel path unchanged.
+        """
+        if not self.batch:
+            return {}
+        from repro.faults import inject
+
+        if inject.active_spec() is not None:
+            # The cell-fault injection harness validates the per-cell
+            # resilient executor; batching would mask the injected faults.
+            return {}
+        from repro.analysis.batch import (
+            batch_eligible,
+            execute_pack,
+            group_packs,
+            try_plan,
+        )
+
+        outcomes: dict[int, CellOutcome] = {}
+        eligible = [spec for spec in cells if batch_eligible(spec)]
+        optima: dict[int, object] = {}
+        for pack in group_packs(eligible):
+            plan = try_plan(pack[0])
+            if plan is None:
+                continue
+            cold: list[CellSpec] = []
+            for spec in pack:
+                hit = self._lookup(spec, tracer)
+                if hit is not None:
+                    outcomes[spec.index] = hit
+                else:
+                    cold.append(spec)
+            if not cold:
+                continue
+            pack_outcomes = execute_pack(cold, realizations, optima, tracer, plan=plan)
+            if pack_outcomes is None:
+                continue
+            for spec, outcome in zip(cold, pack_outcomes):
+                outcomes[spec.index] = outcome
+                if self.cache is not None:
+                    self.cache.put(spec, outcome)
+                self.batched_cells += 1
+        return outcomes
 
     def _lookup(self, spec: CellSpec, tracer) -> CellOutcome | None:
         """Cache probe for one cell, with warm-cell counters and event."""
@@ -298,6 +372,8 @@ class ExperimentGrid:
             "exact_limit": self.exact_limit,
             "skipped": len(self.skipped),
             "workers": self.workers,
+            "batch": self.batch,
+            "batched_cells": self.batched_cells,
             "resilience": dict(self.resilience),
         }
         if self.cache is not None:
@@ -324,6 +400,7 @@ def run_grid(
     cache: CellCache | None = None,
     chunk_size: int | None = None,
     retry: RetryPolicy = DEFAULT_RETRY,
+    batch: bool = True,
 ) -> list[ExperimentRecord]:
     """One-call wrapper around :class:`ExperimentGrid`."""
     grid = ExperimentGrid(
@@ -337,5 +414,6 @@ def run_grid(
         cache=cache,
         chunk_size=chunk_size,
         retry=retry,
+        batch=batch,
     )
     return grid.run()

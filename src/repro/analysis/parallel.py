@@ -18,10 +18,16 @@ Design points:
   ``~4`` chunks per worker) to amortize pickling/IPC, and a chunk memoizes
   realizations per (instance, model, seed) group exactly like the serial
   loop does.
+* **Spec-string transport** — registry-representable strategies cross the
+  process boundary as canonical spec strings (``"ls_group[k=3]"``), not
+  pickled objects: workers rebuild them through
+  :func:`repro.registry.make_strategy` (memoized per chunk), so payloads
+  stay small and a strategy whose *object* happens to be unpicklable
+  still parallelizes as long as it is registered.
 * **Serial fallback** — ``workers <= 1``, an unpicklable chunk (custom
-  realization factories built from closures), or an unavailable pool
-  (restricted environments) all degrade to running in-process; callers
-  never have to care.
+  realization factories built from closures, unregistered closure-built
+  strategies), or an unavailable pool (restricted environments) all
+  degrade to running in-process; callers never have to care.
 * **Resilience** — every cell runs under a :class:`RetryPolicy`: a cell
   that raises (or exceeds a per-cell wall-clock timeout) is retried with
   exponential backoff, and a cell that keeps failing is *quarantined* as
@@ -41,7 +47,7 @@ import pickle
 import threading
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.analysis import ratios
@@ -409,6 +415,7 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tupl
     instead) and replaced by a private memory sink when tracing is on.
     """
     chunk, traced, retry = payload
+    chunk = _decode_chunk(chunk)
     tracer = get_tracer()
     tracer.enabled = False
     tracer.sinks = []
@@ -450,6 +457,62 @@ def _chunks(cells: Sequence[CellSpec], size: int) -> list[list[CellSpec]]:
     return [list(cells[i : i + size]) for i in range(0, len(cells), size)]
 
 
+@dataclass(frozen=True)
+class _StrategyRef:
+    """Canonical registry spec standing in for a strategy over IPC.
+
+    Occupies ``CellSpec.strategy`` between :func:`_encode_chunk` in the
+    parent and :func:`_decode_chunk` in the worker; never escapes the
+    pool path.
+    """
+
+    spec: str
+
+
+def _encode_chunk(chunk: list[CellSpec]) -> list[CellSpec]:
+    """Swap registry-representable strategies for their canonical specs.
+
+    Strategies the registry cannot round-trip (unregistered classes,
+    out-of-band mutations) stay as objects and rely on pickling, exactly
+    as before.
+    """
+    from repro.registry import try_describe_strategy
+
+    specs: dict[int, str | None] = {}
+    encoded: list[CellSpec] = []
+    for cell in chunk:
+        key = id(cell.strategy)
+        if key not in specs:
+            specs[key] = try_describe_strategy(cell.strategy)
+        spec = specs[key]
+        encoded.append(
+            replace(cell, strategy=_StrategyRef(spec)) if spec is not None else cell
+        )
+    return encoded
+
+
+def _decode_chunk(chunk: Sequence[CellSpec]) -> list[CellSpec]:
+    """Rebuild strategies from spec strings, one instance per distinct spec.
+
+    The per-chunk memo keeps strategy identity stable within the chunk,
+    so grouping and per-strategy timers behave as if the original object
+    had been shipped.
+    """
+    from repro.registry import make_strategy
+
+    built: dict[str, TwoPhaseStrategy] = {}
+    decoded: list[CellSpec] = []
+    for cell in chunk:
+        ref = cell.strategy
+        if isinstance(ref, _StrategyRef):
+            strategy = built.get(ref.spec)
+            if strategy is None:
+                strategy = built[ref.spec] = make_strategy(ref.spec)
+            cell = replace(cell, strategy=strategy)
+        decoded.append(cell)
+    return decoded
+
+
 def _picklable(chunk: list[CellSpec]) -> bool:
     try:
         pickle.dumps(chunk)
@@ -484,10 +547,16 @@ def execute_cells(
     size = chunk_size if chunk_size and chunk_size > 0 else default_chunk_size(
         len(cells), workers
     )
-    remote: list[list[CellSpec]] = []
+    remote: list[list[CellSpec]] = []  # original chunks (failover recovery)
+    shipped: list[list[CellSpec]] = []  # spec-encoded twins submitted to the pool
     inline: list[list[CellSpec]] = []
     for chunk in _chunks(cells, size):
-        (remote if _picklable(chunk) else inline).append(chunk)
+        encoded = _encode_chunk(chunk)
+        if _picklable(encoded):
+            remote.append(chunk)
+            shipped.append(encoded)
+        else:
+            inline.append(chunk)
 
     outcomes: list[CellOutcome] = []
     traces: list[WorkerTrace] = []
@@ -504,7 +573,7 @@ def execute_cells(
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
                     pool.submit(_worker_chunk, (chunk, traced, retry))
-                    for chunk in remote
+                    for chunk in shipped
                 ]
                 for chunk, future in zip(remote, futures):
                     try:

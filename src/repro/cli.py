@@ -16,6 +16,7 @@ subcommands so results can be regenerated without pytest:
 ``sweep``            Empirical ratio sweep over all strategies
 ``strategies``       List/describe the registered strategy plugins
 ``obs``              Traced demo run + metrics summary (observability)
+``bench``            Perf scenarios → ``BENCH_perf.json`` (``--check`` gates)
 ===================  ====================================================
 
 ``run`` and ``sweep`` accept ``--trace PATH`` (write a JSONL event trace,
@@ -25,7 +26,9 @@ table); ``repro obs`` is the same machinery with tracing always on.
 ``--workers N`` fans cells over a process pool (identical results to
 serial), and cell outcomes are cached under ``.repro-cache/`` between
 invocations (``--no-cache`` / ``--cache-dir`` override; see
-``docs/performance.md``).
+``docs/performance.md``).  Strategies with the ``supports_batch``
+capability take the vectorized batch backend (bit-identical records);
+``--no-batch`` forces every cell through the event kernel.
 
 The figure/table commands delegate to the same code paths the benchmark
 suite uses (`benchmarks/` merely wraps them with pytest-benchmark), so CLI
@@ -125,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk cell cache for this sweep",
     )
     sweep.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the vectorized batch backend (records are identical "
+        "either way; this forces every cell through the event kernel)",
+    )
+    sweep.add_argument(
         "--cache-dir",
         default=None,
         metavar="PATH",
@@ -212,6 +221,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "report", help="assemble results/REPORT.md from the bench artifacts"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the perf scenarios and write/check BENCH_perf.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="small grid, 3 repeats (the CI mode)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per scenario"
+    )
+    bench.add_argument(
+        "--out", default=None, metavar="PATH", help="artifact path override"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and gate batch_speedup_x against --baseline",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH", help="baseline for --check"
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative batch_speedup_x band for --check (default 0.30)",
+    )
+    bench.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help="absolute batch_speedup_x floor for --check (default 2.0)",
     )
     return parser
 
@@ -311,6 +354,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         retry=RetryPolicy(max_attempts=max(1, args.retries), timeout_s=args.cell_timeout),
+        batch=not args.no_batch,
     )
     records = grid.run()
     by_strategy: dict[str, list] = {s.name: [] for s in strategies}
@@ -350,6 +394,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"\ncell cache: {stats['hits']} hits / {stats['misses']} misses "
             f"(hit rate {stats['hit_rate']:.0%}) in {stats['dir']}{quarantined}"
         )
+    if grid.batched_cells:
+        print(f"batch backend: {grid.batched_cells} cells via the vectorized sweep")
     res = grid.resilience
     if res["retries"] or res["timeouts"] or res["quarantined"]:
         print(
@@ -561,6 +607,25 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         path = generate_report()
         print(f"report written to {path}")
+    elif command == "bench":
+        from repro.tools.perfbench import main as perfbench_main
+
+        forwarded: list[str] = []
+        if args.quick:
+            forwarded.append("--quick")
+        if args.repeats is not None:
+            forwarded.extend(["--repeats", str(args.repeats)])
+        if args.out:
+            forwarded.extend(["--out", args.out])
+        if args.check:
+            forwarded.append("--check")
+        if args.baseline:
+            forwarded.extend(["--baseline", args.baseline])
+        if args.tolerance is not None:
+            forwarded.extend(["--tolerance", str(args.tolerance)])
+        if args.floor is not None:
+            forwarded.extend(["--floor", str(args.floor)])
+        return perfbench_main(forwarded)
     else:  # pragma: no cover — argparse enforces the choices
         raise AssertionError(f"unhandled command {command}")
     return 0

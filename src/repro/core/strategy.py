@@ -226,6 +226,15 @@ class FixedOrderPolicy:
         self._first_unstarted = 0  # low-water mark into _order
         self._seen_abort_epoch = 0
 
+    @property
+    def order(self) -> tuple[int, ...]:
+        """The fixed dispatch order (read-only view).
+
+        The batch backend (:mod:`repro.simulation.batch`) replays this
+        order as a vectorized completion sweep instead of event-by-event.
+        """
+        return tuple(self._order)
+
     def select(self, machine: int, view: SchedulerView) -> int | None:
         order = self._order
         if view.abort_epoch != self._seen_abort_epoch:

@@ -54,6 +54,7 @@ EVENT_PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
     "machine_degraded": ("machine", "factor", "t"),
     "grid.cell_retry": ("strategy", "instance", "attempt", "error"),
     "grid.cell_quarantined": ("strategy", "instance", "attempts", "error"),
+    "grid.batch_pack": ("strategy", "instance", "cells"),
 }
 
 

@@ -58,6 +58,14 @@ class Capabilities:
     memory_aware:
         Phase 1 reads task *sizes* (the Section-6 memory model), not just
         time estimates.
+    supports_batch:
+        The fault-free run of this strategy is expressible as a closed-form
+        completion sweep: Phase 2 is a fixed-order list-scheduling policy
+        over a partition-structured placement, so the vectorized batch
+        backend (:mod:`repro.simulation.batch`) can replay many cells in
+        one NumPy pass with bit-identical makespans.  Strategies without
+        this flag transparently fall back to the per-event
+        :class:`~repro.simulation.kernel.EventKernel`.
     replication_factor:
         Descriptive placement shape tag for catalogs and queries.
     """
@@ -66,6 +74,7 @@ class Capabilities:
     supports_releases: bool = True
     supports_hetero: bool = False
     memory_aware: bool = False
+    supports_batch: bool = False
     replication_factor: str = "none"
 
     def as_dict(self) -> dict[str, object]:

@@ -1,0 +1,231 @@
+"""Vectorized batch backend: many fault-free simulations in one NumPy pass.
+
+The per-event :class:`~repro.simulation.kernel.EventKernel` is the honest
+executor — it enforces the information model, validates every dispatch,
+and supports faults, releases, and heterogeneous speeds.  But the grid
+sweeps behind the paper's empirical artifacts (Figure 3, benches E1–E16)
+run the *same* strategy on the *same* instance under dozens of seeds and
+realization models, and for the closed-form strategy families the
+fault-free run is fully determined by a fixed dispatch order and a
+partition-structured placement.  This module exploits that: it packs the
+realizations of one (strategy, instance) pair into a ``(B, n)`` actuals
+matrix and replays the whole pack with a heap-free completion sweep —
+``n`` vectorized steps instead of ``B × n`` Python event cycles.
+
+**Exactness contract.**  The sweep performs, per machine, the *same* IEEE
+additions in the *same* order as the event kernel (each task's end time
+is ``min-load + p_j``, accumulated left to right), and the makespan is the
+same ``max`` over the same multiset of floats — so batch makespans are
+bit-identical to :class:`EventKernel` output, not merely close.  The
+property tests in ``tests/test_batch.py`` assert this equality across
+random instances for every ``supports_batch`` strategy.
+
+**Eligibility.**  A strategy opts in via the ``supports_batch``
+capability flag (:class:`repro.registry.Capabilities`), and
+:func:`build_plan` then *verifies* the structural preconditions instead
+of trusting the flag:
+
+* Phase 2 is a :class:`~repro.core.strategy.FixedOrderPolicy` covering
+  every task exactly once;
+* every task's machine set is a contiguous index range; and
+* any two ranges are either identical or disjoint (a partition of
+  machines into groups — pinned, grouped, and everywhere placements all
+  qualify).
+
+Under that structure the event-driven run decomposes into independent
+per-group list schedules, where the ``j``-th task of a group starts at
+the current minimum load of the group's machines — exactly what the
+sweep computes.  Anything else (overlapping replica sets, adaptive
+policies, fault plans, release times) raises :class:`BatchUnsupported`
+and the caller falls back to the event kernel, so the flag can never
+produce silently-wrong records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Instance
+from repro.core.placement import Placement
+from repro.core.strategy import FixedOrderPolicy, TwoPhaseStrategy
+
+__all__ = [
+    "BatchUnsupported",
+    "BatchPlan",
+    "supports_batch",
+    "build_plan",
+    "sweep_makespans",
+    "batch_makespans",
+]
+
+
+class BatchUnsupported(RuntimeError):
+    """The strategy/instance pair cannot be replayed by the batch sweep.
+
+    Raised by :func:`build_plan` when a structural precondition fails.
+    Callers treat this as "use the :class:`EventKernel` instead" — it is
+    a routing signal, never an error surfaced to users.
+    """
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One (strategy, instance) pair compiled for the vectorized sweep.
+
+    Attributes
+    ----------
+    strategy_name:
+        Display name of the compiled strategy (for records and spans).
+    placement:
+        The Phase-1 placement (computed once, shared by every realization
+        in the pack; carries the replication metrics records need).
+    order:
+        Phase-2 dispatch order — task ids in the order the fixed-order
+        policy would issue them.
+    lo, hi:
+        Per-task allowed machine range ``[lo[j], hi[j])`` derived from the
+        placement; verified contiguous and partition-structured.
+    guarantee:
+        ``strategy.guarantee(instance)`` if defined, else ``None``.
+    """
+
+    strategy_name: str
+    placement: Placement
+    order: tuple[int, ...]
+    lo: np.ndarray
+    hi: np.ndarray
+    guarantee: float | None
+
+    @property
+    def instance(self) -> Instance:
+        return self.placement.instance
+
+
+def supports_batch(strategy: TwoPhaseStrategy) -> bool:
+    """Whether the registry declares ``strategy`` batch-sweepable.
+
+    Purely the capability lookup — :func:`build_plan` still verifies the
+    structure before any batch run.  Unregistered strategies return
+    ``False`` (they always take the event kernel).
+    """
+    from repro.registry import capabilities_of
+
+    caps = capabilities_of(strategy)
+    return caps is not None and caps.supports_batch
+
+
+def build_plan(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    *,
+    placement: Placement | None = None,
+) -> BatchPlan:
+    """Compile one (strategy, instance) pair into a :class:`BatchPlan`.
+
+    Runs Phase 1 once (unless a prebuilt ``placement`` is supplied) and
+    checks every structural precondition of the sweep.  Raises
+    :class:`BatchUnsupported` when the pair must use the event kernel,
+    and propagates ``ValueError`` from Phase 1 unchanged (e.g. a group
+    strategy whose ``k`` does not divide ``m`` — the same error the
+    serial path turns into a skipped cell).
+    """
+    if placement is None:
+        from repro.core.strategies.registry import build_placement
+
+        placement = build_placement(strategy, instance)
+    policy = strategy.make_policy(instance, placement)
+    if type(policy) is not FixedOrderPolicy:
+        raise BatchUnsupported(
+            f"{strategy.name}: Phase-2 policy {type(policy).__name__} is not a "
+            "FixedOrderPolicy — its dispatch decisions may depend on revealed "
+            "durations, which the sweep cannot replay"
+        )
+    order = policy.order
+    n, m = instance.n, instance.m
+    if sorted(order) != list(range(n)):
+        raise BatchUnsupported(
+            f"{strategy.name}: dispatch order is not a permutation of all "
+            f"{n} tasks"
+        )
+
+    lo = np.empty(n, dtype=np.intp)
+    hi = np.empty(n, dtype=np.intp)
+    ranges: set[tuple[int, int]] = set()
+    for j, machines in enumerate(placement.machine_sets):
+        a, b = min(machines), max(machines) + 1
+        if b - a != len(machines):
+            raise BatchUnsupported(
+                f"{strategy.name}: task {j}'s machine set is not a contiguous "
+                "range — the sweep's argmin-over-slice cannot express it"
+            )
+        lo[j], hi[j] = a, b
+        ranges.add((a, b))
+    # Partition check: distinct ranges must not overlap, otherwise tasks
+    # can start out of order (a machine may skip a task it does not hold
+    # and run a later one first), which the in-order sweep cannot replay.
+    bounds = sorted(ranges)
+    for (_, b_prev), (a_next, _) in zip(bounds, bounds[1:]):
+        if a_next < b_prev:
+            raise BatchUnsupported(
+                f"{strategy.name}: placement ranges overlap without being "
+                "equal — not a machine partition"
+            )
+
+    guarantee_fn = getattr(strategy, "guarantee", None)
+    guarantee = guarantee_fn(instance) if callable(guarantee_fn) else None
+    return BatchPlan(
+        strategy_name=strategy.name,
+        placement=placement,
+        order=tuple(order),
+        lo=lo,
+        hi=hi,
+        guarantee=guarantee,
+    )
+
+
+def sweep_makespans(plan: BatchPlan, actuals: np.ndarray) -> np.ndarray:
+    """Replay the plan against a ``(B, n)`` actuals matrix; return ``(B,)``.
+
+    The heap-free completion sweep: machine loads start at zero; each task
+    (in dispatch order) lands on the least-loaded machine of its allowed
+    range, ties to the lowest index — the event kernel's tie-break.  Each
+    step is one vectorized argmin + add across the whole batch, and the
+    additions are elementwise (never reduced), so every machine's final
+    load is the same left-to-right IEEE sum the event kernel produces.
+    """
+    if actuals.ndim != 2 or actuals.shape[1] != plan.instance.n:
+        raise ValueError(
+            f"actuals must be (B, {plan.instance.n}), got {actuals.shape}"
+        )
+    B = actuals.shape[0]
+    loads = np.zeros((B, plan.instance.m), dtype=np.float64)
+    rows = np.arange(B)
+    lo, hi = plan.lo, plan.hi
+    for j in plan.order:
+        a, b = lo[j], hi[j]
+        if b - a == 1:
+            # Pinned task: plain elementwise accumulate on one column.
+            loads[:, a] += actuals[:, j]
+        else:
+            chosen = a + np.argmin(loads[:, a:b], axis=1)
+            loads[rows, chosen] += actuals[:, j]
+    return loads.max(axis=1)
+
+
+def batch_makespans(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    actuals_rows: list[tuple[float, ...]] | np.ndarray,
+) -> list[float]:
+    """Convenience wrapper: compile + sweep, returning Python floats.
+
+    ``actuals_rows`` is one row of actual durations per realization.
+    Raises :class:`BatchUnsupported` exactly when :func:`build_plan` does.
+    """
+    plan = build_plan(strategy, instance)
+    matrix = np.asarray(actuals_rows, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    return [float(v) for v in sweep_makespans(plan, matrix)]

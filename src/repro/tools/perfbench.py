@@ -1,0 +1,367 @@
+"""Performance-trajectory harness (``repro bench`` / ``python -m repro.tools.perfbench``).
+
+Times a fixed set of named scenarios through the public substrate and
+emits a schema-versioned JSON artifact (``BENCH_perf.json`` at the repo
+root) so the repository carries its own performance trajectory:
+
+* ``single_cell`` — one :func:`~repro.analysis.ratios.measured_ratio`
+  call (the per-cell event-kernel path end to end);
+* ``eventkernel_sweep`` — the quick grid with ``batch=False`` (every
+  cell through :class:`~repro.simulation.kernel.EventKernel`);
+* ``batch_sweep`` — the same grid with the vectorized batch backend
+  (:mod:`repro.simulation.batch`);
+* ``cached_resweep`` — the same grid served warm from a
+  :class:`~repro.analysis.cache.CellCache`;
+* ``parallel_grid`` — the same grid fanned over a 2-process pool with
+  the batch backend off (isolates pool overhead + per-cell kernel).
+
+Before any timing, the harness asserts that the batch, serial, and
+parallel runs produce **identical record lists** — the bench doubles as
+an end-to-end equality gate.
+
+**CI regression gate** (``--check``): re-measures and compares the
+*derived, scale-free* metric ``batch_speedup_x`` (event-kernel median /
+batch median, both measured in the same process on the same machine)
+against the committed baseline with a two-sided tolerance, plus a hard
+floor.  Absolute times are recorded for trajectory plots but never
+gated — they vary with runner hardware; the speedup ratio does not.
+
+Schema (``repro.perfbench/1``)::
+
+    {
+      "schema": "repro.perfbench/1",
+      "quick": bool,
+      "repeats": int,
+      "host": {... environment_info ..., "cpu_count": int},
+      "grid": {family, n, m, alpha, strategies, model, seeds, cells},
+      "scenarios": {name: {"median_s", "stdev_s", "min_s", "runs"}},
+      "derived": {"batch_speedup_x", "cache_speedup_x", "records_equal"}
+    }
+
+A ``*.manifest.json`` provenance sidecar (with the wall-clock timestamp
+and git describe) is written next to the JSON; the artifact itself stays
+timestamp-free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from collections.abc import Callable, Sequence
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro.perfbench/1"
+DEFAULT_OUT = "BENCH_perf.json"
+#: Two-sided relative tolerance on ``batch_speedup_x`` vs the baseline.
+DEFAULT_TOLERANCE = 0.30
+#: Hard floor: the batch backend must stay at least this many times
+#: faster than the per-cell event kernel, regardless of the baseline.
+DEFAULT_FLOOR = 2.0
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_FLOOR",
+    "run_bench",
+    "check_regression",
+    "main",
+]
+
+
+def _grid_config(quick: bool) -> dict[str, Any]:
+    if quick:
+        return {
+            "family": "uniform",
+            "n": 60,
+            "m": 8,
+            "alpha": 2.0,
+            "instance_seed": 0,
+            "strategies": [
+                "lpt_no_choice",
+                "lpt_no_restriction",
+                "ls_group[k=4]",
+                "lpt_group[k=2]",
+            ],
+            "model": "log_uniform",
+            "seeds": [1000 + s for s in range(6)],
+        }
+    return {
+        "family": "uniform",
+        "n": 120,
+        "m": 12,
+        "alpha": 2.0,
+        "instance_seed": 0,
+        "strategies": [
+            "lpt_no_choice",
+            "lpt_no_restriction",
+            "ls_group[k=4]",
+            "ls_group[k=6]",
+            "lpt_group[k=3]",
+        ],
+        "model": "log_uniform",
+        "seeds": [1000 + s for s in range(10)],
+    }
+
+
+def _time_scenario(fn: Callable[[], Any], repeats: int) -> dict[str, Any]:
+    fn()  # untimed warmup: first calls pay import/allocator costs
+    runs: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(runs),
+        "stdev_s": statistics.stdev(runs) if len(runs) > 1 else 0.0,
+        "min_s": min(runs),
+        "runs": runs,
+    }
+
+
+def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, Any]:
+    """Measure every scenario and return the schema-versioned payload.
+
+    Raises ``AssertionError`` if the batch / serial / parallel record
+    lists diverge — a perf artifact must never be produced from runs
+    that disagree on the records.
+    """
+    import tempfile
+
+    from repro.analysis.cache import CellCache
+    from repro.analysis.experiment import ExperimentGrid
+    from repro.analysis.ratios import measured_ratio
+    from repro.obs.provenance import environment_info
+    from repro.registry import make_strategy
+    from repro.uncertainty import sample_realization
+    from repro.workloads import generate
+
+    cfg = _grid_config(quick)
+    if repeats is None:
+        repeats = 3 if quick else 5
+    instance = generate(
+        cfg["family"], cfg["n"], cfg["m"], cfg["alpha"], cfg["instance_seed"]
+    )
+
+    def grid(**overrides: Any) -> ExperimentGrid:
+        kwargs: dict[str, Any] = dict(
+            strategies=list(cfg["strategies"]),
+            instances=[instance],
+            realization_models=[cfg["model"]],
+            seeds=list(cfg["seeds"]),
+        )
+        kwargs.update(overrides)
+        return ExperimentGrid(**kwargs)
+
+    # Equality gate first: producing a perf artifact from divergent
+    # backends would be worse than producing none.
+    serial_records = grid(batch=False).run()
+    batch_records = grid(batch=True).run()
+    parallel_records = grid(batch=False, workers=2).run()
+    records_equal = serial_records == batch_records == parallel_records
+    assert records_equal, "batch/serial/parallel record lists diverged"
+
+    strategy = make_strategy("lpt_no_restriction")
+    realization = sample_realization(instance, cfg["model"], cfg["seeds"][0])
+
+    scenarios: dict[str, dict[str, Any]] = {}
+    scenarios["single_cell"] = _time_scenario(
+        lambda: measured_ratio(strategy, instance, realization), repeats
+    )
+    scenarios["eventkernel_sweep"] = _time_scenario(
+        lambda: grid(batch=False).run(), repeats
+    )
+    scenarios["batch_sweep"] = _time_scenario(lambda: grid(batch=True).run(), repeats)
+
+    with tempfile.TemporaryDirectory(prefix="perfbench-cache-") as cache_dir:
+        grid(cache=CellCache(cache_dir)).run()  # cold run populates
+        scenarios["cached_resweep"] = _time_scenario(
+            lambda: grid(cache=CellCache(cache_dir)).run(), repeats
+        )
+
+    scenarios["parallel_grid"] = _time_scenario(
+        lambda: grid(batch=False, workers=2).run(), repeats
+    )
+
+    # Speedups gate CI, so derive them from min_s: timing noise is purely
+    # additive, making the minimum the most reproducible point estimate.
+    ek = scenarios["eventkernel_sweep"]["min_s"]
+    derived = {
+        "batch_speedup_x": ek / scenarios["batch_sweep"]["min_s"],
+        "cache_speedup_x": ek / scenarios["cached_resweep"]["min_s"],
+        "records_equal": records_equal,
+    }
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "host": {**environment_info(), "cpu_count": os.cpu_count()},
+        "grid": {
+            "family": cfg["family"],
+            "n": cfg["n"],
+            "m": cfg["m"],
+            "alpha": cfg["alpha"],
+            "strategies": cfg["strategies"],
+            "model": cfg["model"],
+            "seeds": len(cfg["seeds"]),
+            "cells": len(cfg["strategies"]) * len(cfg["seeds"]),
+        },
+        "scenarios": scenarios,
+        "derived": derived,
+    }
+
+
+def write_payload(payload: dict[str, Any], out: str | Path) -> Path:
+    """Write the artifact plus its provenance manifest sidecar."""
+    from repro.obs.provenance import bench_manifest
+
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    bench_manifest(
+        path.stem, schema=payload["schema"], quick=payload["quick"]
+    ).write(path.with_suffix(".manifest.json"))
+    return path
+
+
+def check_regression(
+    fresh: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor: float = DEFAULT_FLOOR,
+) -> list[str]:
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  Only the
+    scale-free ``batch_speedup_x`` is gated — absolute scenario times are
+    informational because CI runners vary in speed; the speedup ratio is
+    measured within one process on one machine and cancels that out.
+    """
+    problems: list[str] = []
+    for payload, label in ((fresh, "fresh"), (baseline, "baseline")):
+        if payload.get("schema") != SCHEMA:
+            problems.append(
+                f"{label} artifact has schema {payload.get('schema')!r}, "
+                f"expected {SCHEMA!r}"
+            )
+    if problems:
+        return problems
+    if not fresh["derived"]["records_equal"]:
+        problems.append("fresh run: batch/serial/parallel records diverged")
+    speedup = fresh["derived"]["batch_speedup_x"]
+    base = baseline["derived"]["batch_speedup_x"]
+    if speedup < floor:
+        problems.append(
+            f"batch_speedup_x {speedup:.2f} is below the hard floor {floor:.2f}"
+        )
+    lo, hi = base * (1 - tolerance), base * (1 + tolerance)
+    if not lo <= speedup <= hi:
+        direction = "regressed" if speedup < lo else "improved"
+        problems.append(
+            f"batch_speedup_x {speedup:.2f} {direction} outside "
+            f"[{lo:.2f}, {hi:.2f}] (baseline {base:.2f} ± {tolerance:.0%}); "
+            "if intentional, re-baseline by committing the fresh "
+            f"{DEFAULT_OUT}"
+        )
+    return problems
+
+
+def _summarize(payload: dict[str, Any]) -> str:
+    lines = [
+        f"perfbench ({'quick' if payload['quick'] else 'full'}, "
+        f"{payload['repeats']} repeats, grid of {payload['grid']['cells']} cells):"
+    ]
+    for name, s in payload["scenarios"].items():
+        lines.append(
+            f"  {name:18s} median {s['median_s'] * 1e3:9.2f} ms "
+            f"(± {s['stdev_s'] * 1e3:.2f} ms)"
+        )
+    d = payload["derived"]
+    lines.append(
+        f"  batch speedup {d['batch_speedup_x']:.2f}x, "
+        f"cache speedup {d['cache_speedup_x']:.2f}x, "
+        f"records equal: {d['records_equal']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.perfbench",
+        description="measure the perf scenarios and write/check BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small grid, 3 repeats (the CI mode)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per scenario"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help=f"write the artifact here (default: {DEFAULT_OUT}; with --check, "
+        "fresh measurements are only written when PATH is given)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="re-measure and gate batch_speedup_x against --baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_OUT,
+        metavar="PATH",
+        help=f"committed baseline for --check (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"two-sided relative drift allowed (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        help=f"hard minimum batch speedup (default: {DEFAULT_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick, repeats=args.repeats)
+    print(_summarize(payload))
+
+    if args.check:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"perfbench: no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        problems = check_regression(
+            payload, baseline, tolerance=args.tolerance, floor=args.floor
+        )
+        if args.out:
+            print(f"fresh artifact written to {write_payload(payload, args.out)}")
+        if problems:
+            for p in problems:
+                print(f"perfbench: FAIL: {p}", file=sys.stderr)
+            return 1
+        print(
+            f"perfbench: OK — batch_speedup_x {payload['derived']['batch_speedup_x']:.2f} "
+            f"within {args.tolerance:.0%} of baseline "
+            f"{baseline['derived']['batch_speedup_x']:.2f}"
+        )
+        return 0
+
+    out = args.out or DEFAULT_OUT
+    print(f"artifact written to {write_payload(payload, out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

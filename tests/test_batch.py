@@ -1,0 +1,267 @@
+"""Tests for the vectorized batch backend and its grid fast path.
+
+The load-bearing property: for every ``supports_batch`` strategy, the
+batch sweep's makespans — and the grid records built from them — are
+**bit-identical** to the per-event :class:`EventKernel` path, across
+random instances, realization models, and seeds.  Everything the flag
+does not cover must fall back transparently.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiment import ExperimentGrid
+from repro.analysis.ratios import run_strategy
+from repro.core.model import Instance, make_instance
+from repro.core.placement import Placement
+from repro.core.strategy import FixedOrderPolicy, TwoPhaseStrategy
+from repro.registry import capabilities_of, full_sweep, make_strategy
+from repro.simulation.batch import (
+    BatchUnsupported,
+    batch_makespans,
+    build_plan,
+    supports_batch,
+    sweep_makespans,
+)
+from repro.uncertainty.stochastic import sample_realization
+
+
+def _rand_instance(n: int, m: int, alpha: float, seed: int) -> Instance:
+    rng = random.Random(seed)
+    return make_instance(
+        [rng.uniform(0.2, 10.0) for _ in range(n)], m, alpha, name=f"rand{seed}"
+    )
+
+
+def _batchable(m: int) -> list[TwoPhaseStrategy]:
+    """Every sweep strategy for ``m`` that declares supports_batch."""
+    found = [s for s in full_sweep(m, include_ablation=True) if supports_batch(s)]
+    assert found, "the sweep should always contain batchable strategies"
+    return found
+
+
+class TestCapabilityFlag:
+    def test_core_families_declare_it(self):
+        for spec in ("lpt_no_choice", "lpt_no_restriction", "ls_group[k=2]",
+                     "lpt_group[k=2]"):
+            caps = capabilities_of(make_strategy(spec))
+            assert caps is not None and caps.supports_batch, spec
+            assert "supports_batch" in caps.flags()
+
+    def test_fault_and_memory_strategies_do_not(self):
+        for spec in ("capped[C=5.0]", "abo[delta=0.5]",
+                     "sabo[delta=0.5]", "nonclairvoyant_ls"):
+            strategy = make_strategy(spec)
+            caps = capabilities_of(strategy)
+            assert caps is None or not caps.supports_batch, spec
+            assert not supports_batch(strategy)
+
+    def test_unregistered_strategy_is_not_batchable(self):
+        class Anon(TwoPhaseStrategy):
+            name = "anon"
+
+            def place(self, instance):  # pragma: no cover - never called
+                raise NotImplementedError
+
+            def make_policy(self, instance, placement):  # pragma: no cover
+                raise NotImplementedError
+
+        assert not supports_batch(Anon())
+
+
+class TestBuildPlan:
+    def test_everywhere_placement_ranges(self):
+        inst = _rand_instance(10, 4, 1.5, 0)
+        plan = build_plan(make_strategy("lpt_no_restriction"), inst)
+        assert list(plan.lo) == [0] * inst.n
+        assert list(plan.hi) == [inst.m] * inst.n
+        assert sorted(plan.order) == list(range(inst.n))
+        assert plan.guarantee is not None
+
+    def test_group_placement_partitions(self):
+        inst = _rand_instance(12, 6, 2.0, 1)
+        plan = build_plan(make_strategy("ls_group[k=3]"), inst)
+        spans = {(int(a), int(b)) for a, b in zip(plan.lo, plan.hi)}
+        assert spans <= {(0, 2), (2, 4), (4, 6)}
+
+    def test_incompatible_k_propagates_value_error(self):
+        inst = _rand_instance(8, 6, 1.5, 2)
+        with pytest.raises(ValueError):
+            build_plan(make_strategy("ls_group[k=4]"), inst)
+
+    def test_non_fixed_order_policy_rejected(self):
+        class AdaptiveToy(TwoPhaseStrategy):
+            name = "adaptive_toy"
+
+            def place(self, instance):
+                return Placement(
+                    instance,
+                    tuple(frozenset(range(instance.m)) for _ in range(instance.n)),
+                )
+
+            def make_policy(self, instance, placement):
+                class P:
+                    def select(self, machine, view):  # pragma: no cover
+                        return None
+
+                return P()
+
+        inst = _rand_instance(6, 3, 1.5, 3)
+        with pytest.raises(BatchUnsupported, match="FixedOrderPolicy"):
+            build_plan(AdaptiveToy(), inst)
+
+    def test_overlapping_ranges_rejected(self):
+        class OverlapToy(TwoPhaseStrategy):
+            name = "overlap_toy"
+
+            def place(self, instance):
+                sets = [frozenset({0, 1}), frozenset({1, 2})]
+                sets += [frozenset({0, 1})] * (instance.n - 2)
+                return Placement(instance, tuple(sets))
+
+            def make_policy(self, instance, placement):
+                return FixedOrderPolicy(range(instance.n))
+
+        inst = _rand_instance(5, 3, 1.5, 4)
+        with pytest.raises(BatchUnsupported, match="overlap"):
+            build_plan(OverlapToy(), inst)
+
+    def test_non_contiguous_set_rejected(self):
+        class GappyToy(TwoPhaseStrategy):
+            name = "gappy_toy"
+
+            def place(self, instance):
+                return Placement(
+                    instance, tuple(frozenset({0, 2}) for _ in range(instance.n))
+                )
+
+            def make_policy(self, instance, placement):
+                return FixedOrderPolicy(range(instance.n))
+
+        inst = _rand_instance(5, 3, 1.5, 5)
+        with pytest.raises(BatchUnsupported, match="contiguous"):
+            build_plan(GappyToy(), inst)
+
+
+class TestSweepShape:
+    def test_wrong_width_rejected(self):
+        inst = _rand_instance(7, 3, 1.5, 6)
+        plan = build_plan(make_strategy("lpt_no_choice"), inst)
+        import numpy as np
+
+        with pytest.raises(ValueError, match="actuals"):
+            sweep_makespans(plan, np.zeros((2, inst.n + 1)))
+
+    def test_single_row_convenience(self):
+        inst = _rand_instance(7, 3, 1.5, 7)
+        realization = sample_realization(inst, "uniform", 0)
+        one = batch_makespans(
+            make_strategy("lpt_no_choice"), inst, list(realization.actuals)
+        )
+        assert len(one) == 1
+
+
+class TestBitExactEquality:
+    """The exactness contract, per strategy and at grid granularity."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=32),
+        m=st.sampled_from([2, 3, 4, 6, 8]),
+        alpha=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+        model=st.sampled_from(["uniform", "log_uniform", "bimodal_extreme"]),
+    )
+    def test_every_batchable_strategy_matches_event_kernel(
+        self, n, m, alpha, seed, model
+    ):
+        inst = _rand_instance(n, m, alpha, seed)
+        realization = sample_realization(inst, model, seed + 1)
+        for strategy in _batchable(m):
+            outcome = run_strategy(strategy, inst, realization)
+            (swept,) = batch_makespans(strategy, inst, [realization.actuals])
+            assert swept == outcome.makespan, (
+                f"{strategy.name}: batch {swept!r} != kernel {outcome.makespan!r}"
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=24),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_grid_records_identical(self, n, seed):
+        inst = _rand_instance(n, 6, 2.0, seed)
+        kwargs = dict(
+            strategies=["lpt_no_choice", "lpt_no_restriction", "ls_group[k=3]",
+                        "lpt_group[k=2]"],
+            instances=[inst],
+            realization_models=["uniform"],
+            seeds=[0, 1],
+        )
+        batched = ExperimentGrid(**kwargs)
+        serial = ExperimentGrid(batch=False, **kwargs)
+        assert batched.run() == serial.run()
+        assert batched.batched_cells == batched.total_cells()
+        assert serial.batched_cells == 0
+
+
+class TestTransparentFallback:
+    @pytest.fixture
+    def inst(self):
+        rng = random.Random(11)
+        return make_instance(
+            [rng.uniform(0.5, 8.0) for _ in range(18)],
+            6,
+            2.0,
+            sizes=[rng.uniform(0.1, 1.0) for _ in range(18)],
+            name="fallback",
+        )
+
+    def test_mixed_grid_matches_serial(self, inst):
+        """Non-batchable (fault-aware, memory-aware, adaptive) specs fall
+        back to the event kernel inside a batch-enabled grid."""
+        kwargs = dict(
+            strategies=["lpt_no_choice", "capped[C=5.0]",
+                        "abo[delta=0.5]", "nonclairvoyant_ls", "ls_group[k=2]"],
+            instances=[inst],
+            realization_models=["uniform"],
+            seeds=[0, 1],
+        )
+        batched = ExperimentGrid(**kwargs)
+        serial = ExperimentGrid(batch=False, **kwargs)
+        assert batched.run() == serial.run()
+        # Exactly the two batchable strategies' cells took the sweep.
+        assert batched.batched_cells == 2 * 2
+
+    def test_incompatible_k_still_skips(self, inst):
+        """A batchable strategy whose Phase 1 rejects the instance produces
+        the same SkippedCell entries through the fallback."""
+        kwargs = dict(
+            strategies=["ls_group[k=4]", "lpt_no_choice"],  # 4 does not divide 6
+            instances=[inst],
+            realization_models=["uniform"],
+            seeds=[0, 1],
+        )
+        batched = ExperimentGrid(**kwargs)
+        serial = ExperimentGrid(batch=False, **kwargs)
+        assert batched.run() == serial.run()
+        assert [s.strategy for s in batched.skipped] == [
+            s.strategy for s in serial.skipped
+        ]
+        assert len(batched.skipped) == 2
+
+    def test_parallel_batch_grid_identical(self, inst):
+        kwargs = dict(
+            strategies=["lpt_no_choice", "ls_group[k=3]", "abo[delta=0.5]"],
+            instances=[inst],
+            realization_models=["uniform"],
+            seeds=[0, 1, 2],
+        )
+        pooled = ExperimentGrid(workers=2, **kwargs)
+        serial = ExperimentGrid(batch=False, **kwargs)
+        assert pooled.run() == serial.run()

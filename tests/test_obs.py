@@ -363,6 +363,9 @@ class TestMetricsSummaryIntegration:
 
 class TestGridObservability:
     def test_grid_spans_progress_and_manifest(self):
+        # batch=False: this test pins the per-cell observability contract
+        # (grid.cell spans, grid.strategy.* timers); the batch backend
+        # reports pack-level grid.batch spans instead (see test_batch.py).
         inst = repro.uniform_instance(n=6, m=2, alpha=1.5, seed=0)
         sink = MemorySink()
         seen: list[tuple[int, int]] = []
@@ -372,6 +375,7 @@ class TestGridObservability:
                 [inst],
                 ["log_uniform"],
                 seeds=(0, 1),
+                batch=False,
                 progress=lambda done, total, rec: seen.append((done, total)),
             )
             counters = tracer.registry.counters

@@ -132,10 +132,17 @@ class TestExecuteCells:
 
 class TestParallelObservability:
     def test_worker_events_and_metrics_merge(self, instances):
+        # batch=False: this test is about per-cell worker spans crossing
+        # the IPC boundary, so force every cell through the pool.
         sink = MemorySink()
         with observed(sink) as tracer:
             records = run_grid(
-                _strategies(), instances, ["log_uniform"], seeds=(0, 1), workers=2
+                _strategies(),
+                instances,
+                ["log_uniform"],
+                seeds=(0, 1),
+                workers=2,
+                batch=False,
             )
             assert tracer.registry.counters["grid.cells_done"].value == len(records) == 8
             timers = tracer.registry.timers
@@ -177,3 +184,45 @@ class TestCellSpec:
         )
         with pytest.raises(AttributeError):
             spec.index = 4
+
+
+class TestSpecTransport:
+    """Strategies cross the pool boundary as canonical spec strings."""
+
+    def test_registered_strategies_encode_to_refs(self, instances):
+        from repro.analysis.parallel import _decode_chunk, _encode_chunk, _StrategyRef
+
+        cells = enumerate_cells(
+            [LPTNoChoice(), LSGroup(2)], instances, ["uniform"], (0,), 22
+        )
+        encoded = _encode_chunk(cells)
+        assert all(isinstance(c.strategy, _StrategyRef) for c in encoded)
+        assert encoded[1].strategy.spec == "ls_group[k=2]"
+        decoded = _decode_chunk(encoded)
+        assert [c.strategy.name for c in decoded] == [
+            c.strategy.name for c in cells
+        ]
+        # One rebuilt instance per distinct spec within the chunk.
+        assert decoded[0].strategy is decoded[2].strategy
+
+    def test_unregistered_strategy_passes_through(self, instances):
+        from repro.analysis.parallel import _decode_chunk, _encode_chunk
+
+        class Local(LPTNoChoice):
+            name = "local_variant"
+
+        cells = enumerate_cells([Local()], instances, ["uniform"], (0,), 22)
+        encoded = _encode_chunk(cells)
+        assert encoded[0].strategy is cells[0].strategy  # object shipped as-is
+        assert _decode_chunk(encoded)[0].strategy is cells[0].strategy
+
+    def test_pooled_results_match_serial_for_param_strategies(self, instances):
+        records_serial = run_grid(
+            ["ls_group[k=2]", "lpt_group[k=2]"], instances, ["uniform"],
+            seeds=(0, 1), batch=False,
+        )
+        records_pooled = run_grid(
+            ["ls_group[k=2]", "lpt_group[k=2]"], instances, ["uniform"],
+            seeds=(0, 1), workers=2, batch=False,
+        )
+        assert records_pooled == records_serial

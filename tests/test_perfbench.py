@@ -1,0 +1,147 @@
+"""Tests for the perf-trajectory harness (``repro.tools.perfbench``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.tools import perfbench
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One real quick measurement, shared by the whole module (seconds)."""
+    return perfbench.run_bench(quick=True, repeats=1)
+
+
+class TestRunBench:
+    def test_schema_and_scenarios(self, payload):
+        assert payload["schema"] == perfbench.SCHEMA
+        assert payload["quick"] is True
+        for name in ("single_cell", "eventkernel_sweep", "batch_sweep",
+                     "cached_resweep", "parallel_grid"):
+            scenario = payload["scenarios"][name]
+            assert scenario["median_s"] > 0
+            assert scenario["min_s"] > 0
+            assert len(scenario["runs"]) == 1
+
+    def test_host_fingerprint(self, payload):
+        host = payload["host"]
+        assert host["python"] and host["platform"]
+        assert host["cpu_count"] >= 1
+
+    def test_derived_metrics(self, payload):
+        derived = payload["derived"]
+        assert derived["records_equal"] is True
+        assert derived["batch_speedup_x"] > 1.0
+        assert derived["cache_speedup_x"] > 0.0
+
+    def test_grid_block_describes_the_workload(self, payload):
+        grid = payload["grid"]
+        assert grid["cells"] == len(grid["strategies"]) * grid["seeds"]
+
+
+class TestWritePayload:
+    def test_artifact_and_manifest_sidecar(self, payload, tmp_path):
+        out = perfbench.write_payload(payload, tmp_path / "BENCH_perf.json")
+        data = json.loads(out.read_text())
+        assert data["schema"] == perfbench.SCHEMA
+        sidecar = json.loads((tmp_path / "BENCH_perf.manifest.json").read_text())
+        assert sidecar["kind"] == "bench"
+        # The artifact itself is timestamp-free; the sidecar carries it.
+        assert "created_unix" not in data
+        assert "created_unix" in sidecar
+
+
+class TestCheckRegression:
+    def test_identical_payloads_pass(self, payload):
+        assert perfbench.check_regression(payload, copy.deepcopy(payload)) == []
+
+    def test_regression_fails(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["batch_speedup_x"] = (
+            payload["derived"]["batch_speedup_x"] * 0.5
+        )
+        problems = perfbench.check_regression(fresh, payload)
+        assert any("regressed" in p for p in problems)
+
+    def test_large_improvement_requests_rebaseline(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["batch_speedup_x"] = (
+            payload["derived"]["batch_speedup_x"] * 2.0
+        )
+        problems = perfbench.check_regression(fresh, payload)
+        assert any("improved" in p and "re-baseline" in p for p in problems)
+
+    def test_floor_is_absolute(self, payload):
+        fresh = copy.deepcopy(payload)
+        base = copy.deepcopy(payload)
+        fresh["derived"]["batch_speedup_x"] = 1.1
+        base["derived"]["batch_speedup_x"] = 1.1  # drifted baseline too
+        problems = perfbench.check_regression(fresh, base)
+        assert any("floor" in p for p in problems)
+
+    def test_records_divergence_fails(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["records_equal"] = False
+        problems = perfbench.check_regression(fresh, payload)
+        assert any("diverged" in p for p in problems)
+
+    def test_schema_mismatch_detected(self, payload):
+        alien = {"schema": "something/else", "derived": {}}
+        problems = perfbench.check_regression(alien, payload)
+        assert problems and "schema" in problems[0]
+
+
+class TestMain:
+    def test_measure_writes_artifact(self, payload, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        out = tmp_path / "bench.json"
+        assert perfbench.main(["--quick", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["schema"] == perfbench.SCHEMA
+
+    def test_check_passes_against_own_baseline(
+        self, payload, tmp_path, monkeypatch
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        rc = perfbench.main(["--quick", "--check", "--baseline", str(baseline)])
+        assert rc == 0
+
+    def test_check_fails_on_injected_regression(
+        self, payload, tmp_path, monkeypatch, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        slow = copy.deepcopy(payload)
+        slow["derived"]["batch_speedup_x"] = (
+            payload["derived"]["batch_speedup_x"] * 0.5
+        )
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: slow)
+        rc = perfbench.main(["--quick", "--check", "--baseline", str(baseline)])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_check_missing_baseline(self, payload, tmp_path, monkeypatch):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        rc = perfbench.main(
+            ["--quick", "--check", "--baseline", str(tmp_path / "absent.json")]
+        )
+        assert rc == 2
+
+
+class TestCommittedBaseline:
+    """The repo ships its own perf trajectory; keep it honest."""
+
+    def test_bench_perf_json_is_committed_and_valid(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        data = json.loads((root / "BENCH_perf.json").read_text())
+        assert data["schema"] == perfbench.SCHEMA
+        assert len(data["scenarios"]) >= 4
+        assert data["derived"]["batch_speedup_x"] >= 3.0
+        assert data["derived"]["records_equal"] is True
