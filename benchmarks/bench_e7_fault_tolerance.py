@@ -15,6 +15,13 @@ placements die with their machine (surviving little beyond the control
 arm), group placements survive failures that leave each group partly
 alive, full replication survives everything short of losing all machines
 — and survivors' inflation stays moderate.
+
+The full-replication arm additionally carries declarative SLOs
+(:func:`repro.analysis.robustness.slo_report`): ``survival_rate >= 95%``,
+bounded survivor inflation, and a ``p99(fault_run)`` latency ceiling
+resolved from span timers collected while the grid runs under a scoped
+tracer.  The structured pass/fail verdict is emitted as the
+``e7_slo_report`` artifact and the bench asserts it passes.
 """
 
 from __future__ import annotations
@@ -27,11 +34,13 @@ from repro.analysis.robustness import (
     inflation_summary,
     restart_total,
     run_fault_grid,
+    slo_report,
     survival_rate,
 )
 from repro.analysis.tables import format_table
 from repro.core.strategies import LPTNoChoice, LPTNoRestriction, LSGroup
 from repro.faults import RandomCrashes
+from repro.obs import observed
 from repro.uncertainty.stochastic import sample_realization
 from repro.workloads.generators import uniform_instance
 
@@ -50,7 +59,20 @@ def _run_e7():
         for i, inst in enumerate(instances)
     ]
 
-    records = run_fault_grid(strategies, instances, realizations, plans)
+    with observed() as tracer:
+        records = run_fault_grid(strategies, instances, realizations, plans)
+        registry = tracer.registry  # observed() restores the old one on exit
+    replicated = [r for r in records if r.strategy == "lpt_no_restriction"]
+    slo = slo_report(
+        replicated,
+        [
+            "survival_rate >= 95%",
+            "mean_inflation < 2.5",
+            f"count(fault_run) >= {len(records)}",
+            "p99(fault_run) < 2s",
+        ],
+        registry=registry,
+    )
     raw = [r.as_dict() for r in records]
     rows = []
     for strategy in strategies:
@@ -69,11 +91,11 @@ def _run_e7():
             }
         )
     control_arm = sum(1 for p in plans if not p) / RUNS
-    return rows, raw, control_arm
+    return rows, raw, control_arm, slo
 
 
 def bench_e7_fault_tolerance(benchmark):
-    rows, raw, control_arm = benchmark.pedantic(_run_e7, rounds=1, iterations=1)
+    rows, raw, control_arm, slo = benchmark.pedantic(_run_e7, rounds=1, iterations=1)
 
     by_name = {r["strategy"]: r for r in rows}
     # The control arm exists: RandomCrashes(count=(0, 2)) draws some
@@ -97,6 +119,10 @@ def bench_e7_fault_tolerance(benchmark):
     # Survivors pay a bounded price.
     assert by_name["lpt_no_restriction"]["mean makespan inflation (survivors)"] < 2.5
 
+    # The replicated arm's declarative SLOs hold (fail-closed evaluation:
+    # a missing statistic FAILs rather than passing vacuously).
+    assert slo.passed, f"E7 SLO failures: {[r.objective.text for r in slo.failures]}"
+
     write_csv(results_dir() / "e7_fault_tolerance.csv", raw)
     emit(
         "e7_fault_tolerance",
@@ -104,5 +130,13 @@ def bench_e7_fault_tolerance(benchmark):
             rows,
             title=f"E7 — survival and makespan inflation under 0-2 machine "
             f"crashes (m={M}, {RUNS} scenarios, control arm {control_arm:.0%})",
+        ),
+    )
+    emit(
+        "e7_slo_report",
+        format_table(
+            slo.rows(),
+            title="E7 — SLO report for the full-replication arm "
+            "(lpt_no_restriction)",
         ),
     )

@@ -378,6 +378,34 @@ class ExperimentGrid:
         }
         if self.cache is not None:
             params["cache"] = self.cache.stats()
+        timers = {
+            name: {
+                "count": t.count,
+                "mean_s": round(t.mean, 6),
+                "p50_s": round(t.p50, 6),
+                "p90_s": round(t.p90, 6),
+                "p99_s": round(t.p99, 6),
+                "max_s": round(t.max, 6),
+            }
+            for name, t in sorted(tracer.registry.timers.items())
+            if t.count and not name.startswith("profile.")
+        }
+        if timers:
+            params["timers"] = timers
+        profile = [
+            {
+                "func": name[len("profile."):],
+                "cells": t.count,
+                "cum_s": round(t.total, 6),
+            }
+            for name, t in sorted(
+                tracer.registry.timers.items(),
+                key=lambda item: -item[1].total,
+            )
+            if name.startswith("profile.") and t.count
+        ][:10]
+        if profile:
+            params["profile"] = profile
         tracer.manifest(
             run_manifest(
                 "grid",

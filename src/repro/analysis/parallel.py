@@ -55,6 +55,7 @@ from repro.analysis.records import ExperimentRecord, SkippedCell
 from repro.core.model import Instance
 from repro.core.strategy import TwoPhaseStrategy
 from repro.faults import inject
+from repro.obs import profiling
 from repro.obs.sink import MemorySink
 from repro.obs.tracer import get_tracer
 from repro.uncertainty.realization import Realization
@@ -234,11 +235,16 @@ def run_cell(spec: CellSpec, realization: Realization | None = None) -> CellOutc
     Emits the same instrumentation regardless of which process it runs
     in: a ``grid.cell`` span, ``grid.cells_done``/``grid.cells_skipped``
     counters, a structured ``grid.cell_skipped`` event on incompatible
-    pairs, and a per-strategy timer observation.
+    pairs, and a per-strategy timer observation.  When a profiling spec
+    is armed (``--profile`` / ``REPRO_PROFILE_CELLS``) and the tracer is
+    enabled, the measurement runs under cProfile and the top-N rows land
+    in the span's ``profile`` attribute plus ``profile.*`` registry
+    timers (:mod:`repro.obs.profiling`).
     """
     tracer = get_tracer()
     if realization is None:
         realization = spec.realization()
+    profile_spec = profiling.active_spec() if tracer.enabled else None
     start = time.perf_counter()
     record: ExperimentRecord | None = None
     skipped: SkippedCell | None = None
@@ -250,12 +256,23 @@ def run_cell(spec: CellSpec, realization: Realization | None = None) -> CellOutc
         seed=spec.seed,
     ) as cell_span:
         try:
-            rec = ratios.measured_ratio(
-                spec.strategy,
-                spec.instance,
-                realization,
-                exact_limit=spec.exact_limit,
-            )
+            if profile_spec is not None:
+                rec, profile_rows = profiling.profile_call(
+                    ratios.measured_ratio,
+                    spec.strategy,
+                    spec.instance,
+                    realization,
+                    top=profile_spec.top,
+                    exact_limit=spec.exact_limit,
+                )
+            else:
+                profile_rows = []
+                rec = ratios.measured_ratio(
+                    spec.strategy,
+                    spec.instance,
+                    realization,
+                    exact_limit=spec.exact_limit,
+                )
         except ValueError as exc:
             # Group strategies reject m not divisible by k; record the
             # structured skip and move on.
@@ -272,6 +289,9 @@ def run_cell(spec: CellSpec, realization: Realization | None = None) -> CellOutc
             record = ExperimentRecord.from_ratio(rec, spec.seed)
             tracer.count("grid.cells_done")
             cell_span.set(ratio=record.ratio)
+            if profile_rows:
+                cell_span.set(profile=profile_rows)
+                profiling.fold_rows(tracer.registry, profile_rows)
     duration = time.perf_counter() - start
     if tracer.enabled:
         tracer.registry.timer(f"grid.strategy.{spec.strategy.name}").observe(duration)

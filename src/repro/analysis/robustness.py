@@ -11,7 +11,11 @@ replication level actually buys —
   fault-free baseline on the same realization;
 * **restart counts** — aborted attempts that had to rerun from scratch;
 * **availability curves** — survival/inflation aggregated per
-  replication factor, the empirical replication-vs-availability tradeoff.
+  replication factor, the empirical replication-vs-availability tradeoff;
+* **SLO reports** — :func:`slo_report` evaluates declarative objectives
+  (``survival_rate >= 95%``, ``p99(fault_run) < 2s``) against a fault
+  run, so chaos experiments emit structured pass/fail verdicts
+  (:mod:`repro.obs.slo`).
 
 :func:`run_fault_grid` crosses strategies × seeded scenarios exactly like
 :func:`repro.analysis.run_grid` crosses strategies × realizations, and the
@@ -42,6 +46,7 @@ __all__ = [
     "inflation_summary",
     "restart_total",
     "availability_curve",
+    "slo_report",
 ]
 
 
@@ -211,6 +216,41 @@ def inflation_summary(records: Iterable[FaultRunRecord]) -> Summary | None:
 def restart_total(records: Iterable[FaultRunRecord]) -> int:
     """Total restarted (aborted-and-rerun) attempts across survivors."""
     return sum(r.restarts for r in records if r.survived)
+
+
+def slo_report(
+    records: Iterable[FaultRunRecord],
+    objectives: Sequence[str],
+    *,
+    registry=None,
+):
+    """Evaluate SLO objectives against a fault run's records.
+
+    Bridges chaos experiments to :mod:`repro.obs.slo`: fault-run
+    statistics are exposed as bare scalars — ``survival_rate``,
+    ``mean_inflation``, ``max_inflation``, ``restarts``, ``runs`` — and
+    latency objectives like ``p99(fault_run) < 2s`` resolve against
+    ``registry`` (default: the live tracer's, so traced runs get span
+    timers for free).  Returns a :class:`repro.obs.slo.SLOReport`;
+    evaluation is fail-closed, so an objective over a statistic the run
+    never produced (e.g. ``mean_inflation`` with zero survivors) FAILs
+    rather than passing vacuously.
+    """
+    from repro.obs.slo import evaluate
+
+    records = list(records)
+    extras: dict[str, float] = {
+        "survival_rate": survival_rate(records),
+        "runs": float(len(records)),
+        "restarts": float(restart_total(records)),
+    }
+    inflation = inflation_summary(records)
+    if inflation is not None:
+        extras["mean_inflation"] = inflation.mean
+        extras["max_inflation"] = inflation.maximum
+    if registry is None:
+        registry = get_tracer().registry
+    return evaluate(objectives, registry=registry, extras=extras)
 
 
 def availability_curve(records: Iterable[FaultRunRecord]) -> list[dict[str, object]]:

@@ -16,6 +16,8 @@ subcommands so results can be regenerated without pytest:
 ``sweep``            Empirical ratio sweep over all strategies
 ``strategies``       List/describe the registered strategy plugins
 ``obs``              Traced demo run + metrics summary (observability)
+``obs analyze``      Span aggregates + critical path of a JSONL trace
+``obs export``       OpenMetrics text exposition of a JSONL trace
 ``bench``            Perf scenarios → ``BENCH_perf.json`` (``--check`` gates)
 ===================  ====================================================
 
@@ -28,7 +30,12 @@ serial), and cell outcomes are cached under ``.repro-cache/`` between
 invocations (``--no-cache`` / ``--cache-dir`` override; see
 ``docs/performance.md``).  Strategies with the ``supports_batch``
 capability take the vectorized batch backend (bit-identical records);
-``--no-batch`` forces every cell through the event kernel.
+``--no-batch`` forces every cell through the event kernel.  ``sweep``
+also exports telemetry (``--metrics-out [PATH]`` writes an OpenMetrics
+artifact, default ``results/telemetry.prom``) and profiles grid cells
+opt-in (``--profile`` → cProfile top-N per cell, folded into span
+attributes and the grid manifest).  Long traces rotate with
+``--trace-max-bytes`` (every segment stays validate-clean).
 
 The figure/table commands delegate to the same code paths the benchmark
 suite uses (`benchmarks/` merely wraps them with pytest-benchmark), so CLI
@@ -153,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-cell wall-clock budget; a timed-out attempt counts as a failure",
     )
+    sweep.add_argument(
+        "--metrics-out",
+        nargs="?",
+        const="results/telemetry.prom",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry as OpenMetrics text "
+        "(default path when the flag is bare: results/telemetry.prom)",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each grid cell under cProfile; top rows land in the "
+        "cell's span attributes and the grid manifest (implies metrics "
+        "collection; costs real overhead)",
+    )
+    sweep.add_argument(
+        "--profile-top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="profile rows kept per cell (default: 5)",
+    )
     _add_obs_flags(sweep)
 
     strategies = sub.add_parser(
@@ -200,6 +230,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the counter/gauge/timer summary table",
+    )
+    obs.add_argument(
+        "--inject",
+        default=None,
+        metavar="SPEC",
+        help="also run a small resilient grid with injected cell faults "
+        "(e.g. 'every=2,fails=1') and print its SLO report; the exit code "
+        "reflects the SLO verdict",
+    )
+
+    obs_sub = obs.add_subparsers(dest="obs_command", required=False)
+    analyze = obs_sub.add_parser(
+        "analyze",
+        help="span aggregates, self-time, and the critical path of a trace",
+    )
+    analyze.add_argument("trace", help="path to the trace .jsonl file")
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the full analysis as JSON"
+    )
+    analyze.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="critical-path rows to show before folding the tail (default: 15)",
+    )
+    export = obs_sub.add_parser(
+        "export",
+        help="rebuild metrics from a trace and print/write OpenMetrics text",
+    )
+    export.add_argument("trace", help="path to the trace .jsonl file")
+    export.add_argument(
+        "--format",
+        choices=["openmetrics"],
+        default="openmetrics",
+        help="exposition format (only openmetrics today)",
+    )
+    export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the exposition here instead of stdout",
     )
 
     proofs = sub.add_parser(
@@ -256,6 +328,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="absolute batch_speedup_x floor for --check (default 2.0)",
     )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="perf-trajectory JSONL (default: results/BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending the perf-trajectory row",
+    )
     return parser
 
 
@@ -271,6 +354,14 @@ def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the observability counter/timer table after the run",
     )
+    sub_parser.add_argument(
+        "--trace-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="rotate the trace file past BYTES (trace.jsonl → trace.1.jsonl; "
+        "every segment stays schema-valid on its own)",
+    )
 
 
 def _print_metrics() -> None:
@@ -281,27 +372,50 @@ def _print_metrics() -> None:
 
 
 @contextmanager
-def _observability(trace_path: str | None, want_metrics: bool) -> Iterator[None]:
+def _observability(
+    trace_path: str | None,
+    want_metrics: bool,
+    *,
+    metrics_out: str | None = None,
+    max_bytes: int | None = None,
+    force: bool = False,
+) -> Iterator[None]:
     """Enable the global tracer for one CLI command if asked to.
 
-    ``--trace PATH`` attaches a JSONL sink; ``--metrics`` alone uses a
-    memory sink just to light the counters up.  Restores the disabled
-    default afterwards.
+    ``--trace PATH`` attaches a JSONL sink (rotating past ``max_bytes``
+    when set); ``--metrics`` / ``--metrics-out`` / ``force`` alone use a
+    memory sink just to light the counters up.  The teardown is
+    exception-safe: even when the command (or the counter snapshot)
+    raises, the sinks are flushed and closed, so a crashed traced run
+    still leaves a valid, ``obs.validate``-clean trace on disk.
     """
-    if not trace_path and not want_metrics:
+    if not trace_path and not want_metrics and not metrics_out and not force:
         yield
         return
-    sinks = [JsonlSink(trace_path)] if trace_path else [MemorySink()]
+    sinks = (
+        [JsonlSink(trace_path, max_bytes=max_bytes)]
+        if trace_path
+        else [MemorySink()]
+    )
     obs_enable(*sinks)
     try:
         yield
     finally:
-        get_tracer().snapshot_counters()
-        if want_metrics:
-            _print_metrics()
-        obs_disable()
-        if trace_path:
-            print(f"\ntrace written to {trace_path}")
+        try:
+            get_tracer().snapshot_counters()
+            if metrics_out:
+                from repro.obs.export import write_exposition
+
+                path = write_exposition(
+                    get_tracer().registry.summary(), metrics_out
+                )
+                print(f"\ntelemetry written to {path}")
+            if want_metrics:
+                _print_metrics()
+        finally:
+            obs_disable()
+            if trace_path:
+                print(f"\ntrace written to {trace_path}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -508,7 +622,24 @@ def _cmd_proofs(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    """Demo the observability layer on one end-to-end strategy run."""
+    """Demo the observability layer on one end-to-end strategy run.
+
+    With ``--inject SPEC`` the demo additionally runs a small resilient
+    grid under injected cell faults — exercising the retry/recovery spans
+    — and prints an SLO report over the run; the exit code then reflects
+    the SLO verdict, making this a one-command end-to-end check of the
+    faults + obs + SLO stack.
+    """
+    from repro.faults import inject
+
+    try:
+        injected = (
+            inject.CellFaultSpec.parse(args.inject) if args.inject else None
+        )
+    except ValueError as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
+    slo_failed = False
     sinks = [JsonlSink(args.trace_out)] if args.trace_out else [MemorySink()]
     tracer = obs_enable(*sinks)
     memory = sinks[0] if isinstance(sinks[0], MemorySink) else None
@@ -531,14 +662,128 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 print(f"{name:13s}: {t.count} × mean {t.mean * 1e3:.3f} ms")
         if memory is not None:
             print(f"buffered     : {len(memory.events)} trace events (in memory)")
+        if injected is not None:
+            slo_failed = not _obs_inject_demo(args, instance, strategy, injected)
         if args.metrics:
             _print_metrics()
     finally:
+        inject.reset()
         tracer.snapshot_counters()
         obs_disable()
     if args.trace_out:
         print(f"\ntrace written to {args.trace_out}")
         print(f"validate with: python -m repro.obs.validate {args.trace_out}")
+    return 1 if slo_failed else 0
+
+
+def _obs_inject_demo(args, instance, strategy, spec) -> bool:
+    """Fault-injected grid + SLO report for ``repro obs --inject``.
+
+    Returns the SLO verdict.  The grid runs the demo strategy over a few
+    seeds with the resilient executor, so injected faults surface as
+    ``grid.cell_retry`` events and retry counters rather than failures;
+    the SLO report then asserts the recovery actually happened.
+    """
+    from repro.analysis import ExperimentGrid, RetryPolicy
+    from repro.faults import inject
+    from repro.obs.slo import evaluate
+
+    inject.configure(spec)
+    seeds = (args.seed, args.seed + 1, args.seed + 2)
+    grid = ExperimentGrid(
+        strategies=[strategy],
+        instances=[instance],
+        realization_models=[args.model],
+        seeds=seeds,
+        retry=RetryPolicy(max_attempts=max(2, spec.fails + 1), backoff_s=0.0),
+    )
+    grid.run()
+    inject.reset()
+    print(
+        f"\ninjected     : {args.inject} over {len(seeds)} cells "
+        f"({grid.resilience['retries']} retries, "
+        f"{grid.resilience['quarantined']} quarantined)"
+    )
+    report = evaluate(
+        [
+            f"count(grid.cells_done) >= {len(seeds)}",
+            "count(grid.cell_retries) >= 1",
+            "quarantined == 0",
+            "p99(grid.cell) < 5s",
+        ],
+        registry=get_tracer().registry,
+        extras={"quarantined": float(grid.resilience["quarantined"])},
+    )
+    print()
+    print(
+        format_table(
+            report.rows(),
+            title=f"SLO report: {'PASS' if report.passed else 'FAIL'}",
+        )
+    )
+    return report.passed
+
+
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    """``repro obs analyze trace.jsonl`` — tables or ``--json``."""
+    import json as json_mod
+
+    from repro.obs.analyze import analyze_file
+
+    try:
+        analysis = analyze_file(args.trace, top=args.top)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot analyze {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(analysis.as_dict(), indent=2, default=str))
+        return 0
+    print(
+        f"trace        : {args.trace} ({analysis.events} events"
+        + (f", {analysis.workers} workers" if analysis.workers else "")
+        + ")"
+    )
+    print(f"root span    : {analysis.root_name} ({analysis.root_duration_s:.6f} s)")
+    if analysis.spans:
+        print()
+        print(format_table(analysis.spans, title="span aggregates"))
+    if analysis.attribution:
+        print()
+        print(
+            format_table(
+                analysis.attribution,
+                title=(
+                    f"critical path (self-time attribution; total "
+                    f"{analysis.total_attributed_s:.6f} s = "
+                    f"{1 - analysis.attribution_error:.2%} of root)"
+                ),
+            )
+        )
+    if analysis.chain:
+        print()
+        print(format_table(analysis.chain, title="dominant chain (root → heaviest leaf)"))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """``repro obs export trace.jsonl`` — OpenMetrics text exposition."""
+    from repro.obs.export import registry_from_trace, render_openmetrics
+
+    try:
+        registry = registry_from_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot export {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    text = render_openmetrics(registry.summary())
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"exposition written to {out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -589,14 +834,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "fig6":
         print(fig6_report(m=args.m))
     elif command == "run":
-        with _observability(args.trace, args.metrics):
+        with _observability(args.trace, args.metrics, max_bytes=args.trace_max_bytes):
             return _cmd_run(args)
     elif command == "sweep":
-        with _observability(args.trace, args.metrics):
-            return _cmd_sweep(args)
+        import os
+
+        from repro.obs import profiling
+
+        profile_env_set = False
+        if args.profile:
+            os.environ[profiling.ENV_VAR] = f"top={max(1, args.profile_top)}"
+            profile_env_set = True
+        try:
+            with _observability(
+                args.trace,
+                args.metrics,
+                metrics_out=args.metrics_out,
+                max_bytes=args.trace_max_bytes,
+                force=args.profile,
+            ):
+                return _cmd_sweep(args)
+        finally:
+            if profile_env_set:
+                os.environ.pop(profiling.ENV_VAR, None)
+                profiling.reset()
     elif command == "strategies":
         return _cmd_strategies(args)
     elif command == "obs":
+        obs_command = getattr(args, "obs_command", None)
+        if obs_command == "analyze":
+            return _cmd_obs_analyze(args)
+        if obs_command == "export":
+            return _cmd_obs_export(args)
         return _cmd_obs(args)
     elif command == "proofs":
         return _cmd_proofs(args)
@@ -625,6 +894,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             forwarded.extend(["--tolerance", str(args.tolerance)])
         if args.floor is not None:
             forwarded.extend(["--floor", str(args.floor)])
+        if args.history:
+            forwarded.extend(["--history", args.history])
+        if args.no_history:
+            forwarded.append("--no-history")
         return perfbench_main(forwarded)
     else:  # pragma: no cover — argparse enforces the choices
         raise AssertionError(f"unhandled command {command}")

@@ -1,0 +1,329 @@
+"""Trace analytics: span forests, self-time, and critical-path attribution.
+
+The tracer (PR 1) records *what happened*; this module answers *where the
+time went*.  From a stream of trace events (a ``trace.jsonl`` file, a
+:class:`~repro.obs.sink.MemorySink` buffer) it reconstructs the span
+forest and computes:
+
+* **per-span-name aggregates** — count, total, self-time (duration minus
+  children), and exact ``p50/p90/p99/max`` latency order statistics;
+* **critical-path attribution** — the root span's wall clock decomposed
+  into self-time contributions per span label (``grid.cell`` spans are
+  labelled by their strategy × instance attributes, so a grid run's table
+  answers "which cells dominate wall clock").  Self-times telescope, so
+  the attribution column always sums to the root duration exactly — the
+  invariant ``repro obs analyze`` is gated on in CI;
+* **the dominant chain** — root → heaviest child → … → leaf, the single
+  path a latency optimisation should walk first.
+
+Traces merged from parallel workers (:mod:`repro.obs.merge`) analyse
+unchanged: replayed worker spans carry real worker durations, so a parent
+span's self-time can go *negative* where worker wall clock overlaps — the
+tables surface that as overlap rather than hiding it, and the telescoping
+sum still matches the root duration.
+
+CLI: ``repro obs analyze trace.jsonl [--json] [--top N]``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SpanNode",
+    "TraceAnalysis",
+    "build_forest",
+    "span_label",
+    "analyze_events",
+    "analyze_file",
+    "exact_percentile",
+]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: timing, attributes, and children.
+
+    ``duration`` comes from the ``span_end`` payload's ``duration_s`` —
+    for replayed worker spans that is the *worker's* measured wall time,
+    not the parent replay time, so analysis stays truthful across the
+    parallel merge.
+    """
+
+    name: str
+    depth: int
+    start_ts: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    worker: int | str | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def child_time(self) -> float:
+        return sum(child.duration for child in self.children)
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus children — negative when workers overlap."""
+        return self.duration - self.child_time
+
+
+def _as_record(event: Any) -> dict[str, Any]:
+    return event if isinstance(event, dict) else event.as_dict()
+
+
+def build_forest(events: Iterable[Any]) -> list[SpanNode]:
+    """Reconstruct top-level spans (with nested children) from events.
+
+    ``events`` are :class:`~repro.obs.events.TraceEvent` objects or their
+    ``as_dict()`` records, in emission order.  Unbalanced tails (a trace
+    cut off mid-span) close open spans with the duration observed so far,
+    so partially-written traces still analyse.
+    """
+    forest: list[SpanNode] = []
+    stack: list[SpanNode] = []
+    last_ts = 0.0
+    for event in events:
+        record = _as_record(event)
+        kind = record.get("kind")
+        last_ts = record.get("ts", last_ts)
+        if kind == "span_start":
+            payload = dict(record.get("payload", {}))
+            node = SpanNode(
+                name=record.get("name", ""),
+                depth=record.get("depth", len(stack)),
+                start_ts=payload.get("worker_ts", record.get("ts", 0.0)),
+                attrs=payload,
+                worker=payload.get("worker"),
+            )
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                forest.append(node)
+            stack.append(node)
+        elif kind == "span_end":
+            if not stack:
+                continue
+            node = stack.pop()
+            payload = record.get("payload", {})
+            duration = payload.get("duration_s")
+            node.duration = (
+                float(duration)
+                if isinstance(duration, (int, float))
+                else max(0.0, record.get("ts", node.start_ts) - node.start_ts)
+            )
+            node.attrs.update(
+                {k: v for k, v in payload.items() if k not in node.attrs}
+            )
+    while stack:  # truncated trace: close with what we saw
+        node = stack.pop()
+        node.duration = max(0.0, last_ts - node.start_ts)
+        node.attrs.setdefault("truncated", True)
+    return forest
+
+
+def span_label(node: SpanNode) -> str:
+    """Human label grouping attribution rows (strategy × instance aware)."""
+    strategy = node.attrs.get("strategy")
+    instance = node.attrs.get("instance")
+    if strategy and instance:
+        return f"{node.name}[{strategy}×{instance}]"
+    if strategy:
+        return f"{node.name}[{strategy}]"
+    return node.name
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over the full sample (offline = exact)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _walk(forest: Sequence[SpanNode]) -> Iterable[SpanNode]:
+    stack = list(reversed(forest))
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+@dataclass
+class TraceAnalysis:
+    """The full analysis of one trace; renders as tables or JSON.
+
+    ``attribution`` decomposes ``root_duration_s`` into per-label
+    self-time contributions (``total_attributed_s`` equals the root
+    duration by construction); ``spans`` carries per-name aggregates and
+    ``chain`` the dominant root→leaf path.
+    """
+
+    root_name: str
+    root_duration_s: float
+    spans: list[dict[str, Any]]
+    attribution: list[dict[str, Any]]
+    chain: list[dict[str, Any]]
+    total_attributed_s: float
+    events: int = 0
+    workers: int = 0
+
+    @property
+    def attribution_error(self) -> float:
+        """Relative gap between attributed time and the root duration."""
+        if self.root_duration_s <= 0:
+            return 0.0
+        return abs(self.total_attributed_s - self.root_duration_s) / self.root_duration_s
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "root": {
+                "name": self.root_name,
+                "duration_s": self.root_duration_s,
+            },
+            "events": self.events,
+            "workers": self.workers,
+            "spans": self.spans,
+            "critical_path": {
+                "total_attributed_s": self.total_attributed_s,
+                "attribution_error": self.attribution_error,
+                "entries": self.attribution,
+                "chain": self.chain,
+            },
+        }
+
+
+def _aggregate_spans(forest: Sequence[SpanNode]) -> list[dict[str, Any]]:
+    by_name: dict[str, dict[str, Any]] = {}
+    durations: dict[str, list[float]] = {}
+    for node in _walk(forest):
+        agg = by_name.setdefault(
+            node.name,
+            {"span": node.name, "count": 0, "total s": 0.0, "self s": 0.0},
+        )
+        agg["count"] += 1
+        agg["total s"] += node.duration
+        agg["self s"] += node.self_time
+        durations.setdefault(node.name, []).append(node.duration)
+    rows = []
+    for name in sorted(by_name, key=lambda n: -by_name[n]["total s"]):
+        agg = by_name[name]
+        values = durations[name]
+        agg["mean s"] = agg["total s"] / agg["count"]
+        agg["p50 s"] = exact_percentile(values, 0.50)
+        agg["p90 s"] = exact_percentile(values, 0.90)
+        agg["p99 s"] = exact_percentile(values, 0.99)
+        agg["max s"] = max(values)
+        rows.append(agg)
+    return rows
+
+
+def _attribution(
+    root: SpanNode, *, top: int | None = None
+) -> tuple[list[dict[str, Any]], float]:
+    """Self-time decomposition of the root's subtree, grouped by label.
+
+    Self-times telescope — every node's duration is its self-time plus
+    its children's durations — so the group totals sum *exactly* to the
+    root duration, parallel overlap included (overlap shows up as a
+    negative parent self-time row, not as a silently dropped remainder).
+    """
+    groups: dict[str, dict[str, Any]] = {}
+    total = 0.0
+    for node in _walk([root]):
+        label = span_label(node)
+        row = groups.setdefault(
+            label, {"span": label, "count": 0, "self s": 0.0}
+        )
+        row["count"] += 1
+        row["self s"] += node.self_time
+        total += node.self_time
+    rows = sorted(groups.values(), key=lambda r: -r["self s"])
+    for row in rows:
+        row["share"] = row["self s"] / root.duration if root.duration else 0.0
+    if top is not None and len(rows) > top:
+        head, tail = rows[:top], rows[top:]
+        rest = {
+            "span": f"(… {len(tail)} more)",
+            "count": sum(r["count"] for r in tail),
+            "self s": sum(r["self s"] for r in tail),
+            "share": sum(r["share"] for r in tail),
+        }
+        rows = head + [rest]
+    return rows, total
+
+
+def _dominant_chain(root: SpanNode) -> list[dict[str, Any]]:
+    chain: list[dict[str, Any]] = []
+    node: SpanNode | None = root
+    while node is not None:
+        chain.append(
+            {
+                "depth": node.depth,
+                "span": span_label(node),
+                "duration s": node.duration,
+                "self s": node.self_time,
+                "share": node.duration / root.duration if root.duration else 0.0,
+            }
+        )
+        node = max(node.children, key=lambda c: c.duration, default=None)
+    return chain
+
+
+def analyze_events(
+    events: Iterable[Any], *, top: int | None = None
+) -> TraceAnalysis:
+    """Analyze a stream of trace events (see module doc for the output).
+
+    Multiple top-level spans (e.g. a ``repro run`` trace with ``phase1``
+    and ``phase2`` side by side) are folded under a synthetic ``(trace)``
+    root whose duration is their sum, so attribution always has a single
+    100% reference.
+    """
+    materialized = [_as_record(e) for e in events]
+    forest = build_forest(materialized)
+    if not forest:
+        return TraceAnalysis(
+            root_name="(empty)",
+            root_duration_s=0.0,
+            spans=[],
+            attribution=[],
+            chain=[],
+            total_attributed_s=0.0,
+            events=len(materialized),
+        )
+    if len(forest) == 1:
+        root = forest[0]
+    else:
+        root = SpanNode(name="(trace)", depth=0, start_ts=forest[0].start_ts)
+        root.children = list(forest)
+        root.duration = root.child_time
+    workers = {
+        record.get("payload", {}).get("worker")
+        for record in materialized
+        if isinstance(record.get("payload"), dict)
+        and record["payload"].get("worker") is not None
+    }
+    attribution, total = _attribution(root, top=top)
+    return TraceAnalysis(
+        root_name=root.name,
+        root_duration_s=root.duration,
+        spans=_aggregate_spans([root] if root.name == "(trace)" else forest),
+        attribution=attribution,
+        chain=_dominant_chain(root),
+        total_attributed_s=total,
+        events=len(materialized),
+        workers=len(workers),
+    )
+
+
+def analyze_file(path: str | Path, *, top: int | None = None) -> TraceAnalysis:
+    """Analyze a JSONL trace file (the ``repro obs analyze`` entry point)."""
+    from repro.obs.sink import read_jsonl
+
+    return analyze_events(read_jsonl(path), top=top)

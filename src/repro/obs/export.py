@@ -1,0 +1,209 @@
+"""OpenMetrics / Prometheus text exposition of the metrics registry.
+
+One export format for every producer: ``repro sweep --metrics-out``
+writes ``results/telemetry.prom`` from the live registry, ``repro obs
+export trace.jsonl`` rebuilds a registry from a recorded trace and
+exposes that, and the future service daemon (ROADMAP item 1) can serve
+the same text over HTTP unchanged.
+
+The output follows the OpenMetrics text format:
+
+* counters as ``<name>_total``;
+* gauges as plain samples;
+* timers as **summary** families (``quantile`` labels carrying the
+  histogram-estimated p50/p90/p99, plus ``_sum``/``_count``) — this is
+  what puts the percentiles in the artifact — with an optional companion
+  **histogram** family (``_bucket{le="..."}`` rows, cumulative, from the
+  shared log-spaced :data:`~repro.obs.metrics.BUCKET_BOUNDS`);
+* a final ``# EOF`` marker.
+
+:func:`validate_exposition` is a small structural parser used by tests
+and the CI observability job to assert the artifact stays machine-
+readable without needing a Prometheus binary in the container.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+
+__all__ = [
+    "sanitize",
+    "render_openmetrics",
+    "registry_from_trace",
+    "write_exposition",
+    "validate_exposition",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def sanitize(name: str) -> str:
+    """Map a dotted repro metric name onto the OpenMetrics charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (OpenMetrics wants plain decimal floats)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(
+    summary: dict[str, Any],
+    *,
+    prefix: str = "repro",
+    histograms: bool = True,
+) -> str:
+    """Render a :meth:`MetricsRegistry.summary` dict as exposition text.
+
+    Timers become summary families named ``<prefix>_<name>_seconds``;
+    with ``histograms=True`` each also gets a distinct
+    ``<prefix>_<name>_seconds_hist`` histogram family (OpenMetrics
+    forbids one family carrying both quantiles and buckets).  Bucket rows
+    cover the non-empty bounds plus the mandatory ``+Inf``, cumulative.
+    """
+    lines: list[str] = []
+    for name, value in summary.get("counters", {}).items():
+        metric = f"{prefix}_{sanitize(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(float(value))}")
+    for name, value in summary.get("gauges", {}).items():
+        metric = f"{prefix}_{sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(float(value))}")
+    for name, stats in summary.get("timers", {}).items():
+        metric = f"{prefix}_{sanitize(name)}_seconds"
+        count = int(stats.get("count", 0))
+        total = float(stats.get("total_s", 0.0))
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in (("0.5", "p50_s"), ("0.9", "p90_s"), ("0.99", "p99_s")):
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_fmt(float(stats.get(key, 0.0)))}'
+            )
+        lines.append(f"{metric}_sum {_fmt(total)}")
+        lines.append(f"{metric}_count {count}")
+        buckets = stats.get("buckets")
+        if histograms and buckets:
+            hist = f"{metric}_hist"
+            lines.append(f"# TYPE {hist} histogram")
+            cumulative = 0
+            for index in sorted(buckets, key=int):
+                cumulative += int(buckets[index])
+                bound = (
+                    f"{BUCKET_BOUNDS[int(index)]:.9g}"
+                    if int(index) < len(BUCKET_BOUNDS)
+                    else "+Inf"
+                )
+                lines.append(f'{hist}_bucket{{le="{bound}"}} {cumulative}')
+            if int(max(buckets, key=int)) < len(BUCKET_BOUNDS):
+                lines.append(f'{hist}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{hist}_sum {_fmt(total)}")
+            lines.append(f"{hist}_count {count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def registry_from_trace(path: str | Path) -> MetricsRegistry:
+    """Rebuild a registry from a recorded JSONL trace.
+
+    Counters come from the ``counter`` snapshot records the tracer emits
+    at shutdown; timers are re-observed from every ``span_end``'s
+    ``duration_s`` (named ``span.<name>``, matching the live registry's
+    convention).  Gauges are not recorded in traces and stay empty.
+    """
+    from repro.obs.sink import read_jsonl
+
+    registry = MetricsRegistry()
+    for event in read_jsonl(path):
+        if event.kind == "counter":
+            value = event.payload.get("value", 0)
+            if isinstance(value, (int, float)):
+                counter = registry.counter(event.name)
+                counter.value = max(counter.value, int(value))
+        elif event.kind == "span_end":
+            duration = event.payload.get("duration_s")
+            if isinstance(duration, (int, float)):
+                registry.timer(f"span.{event.name}").observe(float(duration))
+    return registry
+
+
+def write_exposition(
+    summary: dict[str, Any],
+    path: str | Path,
+    *,
+    prefix: str = "repro",
+    histograms: bool = True,
+) -> Path:
+    """Render and write exposition text; returns the written path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    text = render_openmetrics(summary, prefix=prefix, histograms=histograms)
+    out.write_text(text, encoding="utf-8")
+    return out
+
+
+def validate_exposition(text: str) -> tuple[dict[str, str], list[str]]:
+    """Structurally check exposition text; returns ``(families, errors)``.
+
+    ``families`` maps family name to declared type.  Checks: every sample
+    parses, belongs to a declared family (counters via ``_total``,
+    summaries/histograms via their suffixed samples), sample values are
+    finite decimals, no family is declared twice, and the text ends with
+    ``# EOF``.  Empty ``errors`` means the artifact is consumable.
+    """
+    families: dict[str, str] = {}
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("missing terminating '# EOF' line")
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "EOF":
+                if lineno != len(lines):
+                    errors.append(f"line {lineno}: '# EOF' before end of text")
+                continue
+            if len(parts) == 4 and parts[1] == "TYPE":
+                family, kind = parts[2], parts[3]
+                if not _NAME_RE.match(family):
+                    errors.append(f"line {lineno}: invalid family name {family!r}")
+                if kind not in ("counter", "gauge", "summary", "histogram"):
+                    errors.append(f"line {lineno}: unknown type {kind!r}")
+                if family in families:
+                    errors.append(f"line {lineno}: family {family!r} declared twice")
+                families[family] = kind
+                continue
+            continue  # other comments (HELP, UNIT) pass through
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {match.group('value')!r}")
+        base = name
+        for suffix in ("_total", "_sum", "_count", "_bucket"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        if base not in families and name not in families:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+    return families, errors

@@ -15,7 +15,9 @@ This module folds those per-worker observations back into the parent:
   offline analysis can reconstruct per-worker timelines.
 * :func:`merge_registry_summary` folds a worker registry's
   ``summary()`` dict into the parent registry: counters add, gauges
-  last-write-wins, timers merge their count/total/min/max.
+  last-write-wins, timers merge their count/total/min/max *and* their
+  histogram buckets, so the parent's ``p50``/``p90``/``p99`` estimates
+  cover every worker observation count-exactly.
 
 Both are no-ops against a disabled tracer, like all obs entry points.
 """
@@ -79,4 +81,5 @@ def merge_registry_summary(registry: MetricsRegistry, summary: dict[str, Any]) -
             total=float(stats.get("total_s", 0.0)),
             minimum=float(stats.get("min_s", 0.0)),
             maximum=float(stats.get("max_s", 0.0)),
+            buckets=stats.get("buckets"),
         )

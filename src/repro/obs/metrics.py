@@ -7,18 +7,34 @@ plain objects the hot path mutates directly, so an increment is one
 attribute add and the whole layer stays safe to leave compiled into the
 simulator.
 
+:class:`Timer` is a fixed-bucket duration histogram: every observation
+lands in one of the log-spaced :data:`BUCKET_BOUNDS` buckets (four per
+decade from 1 µs to 1000 s, plus overflow), so ``p50``/``p90``/``p99``
+latency percentiles are available at any time and two timers merge by
+adding bucket counts — the property the parallel grid backend relies on
+to fold worker histograms into the parent *count-exactly*
+(:mod:`repro.obs.merge`).
+
 Naming convention (dots as namespaces, mirroring the span names):
-``sim.dispatches``, ``sim.restarts``, ``grid.cell`` … — see
-``docs/observability.md`` for the full inventory.
+``sim.dispatches``, ``sim.restarts``, ``grid.cell`` … — see the
+auto-generated metrics reference in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+__all__ = ["BUCKET_BOUNDS", "Counter", "Gauge", "Timer", "MetricsRegistry"]
+
+#: Upper bucket bounds in seconds, log-spaced four per decade over
+#: [1 µs, 1000 s].  Fixed for every :class:`Timer` so any two histograms
+#: are mergeable bucket-by-bucket; observations above the last bound land
+#: in a final overflow bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** (k / 4.0) for k in range(-24, 13))
 
 
 class Counter:
@@ -63,9 +79,16 @@ class _TimerContext:
 
 
 class Timer:
-    """A duration histogram: count / total / min / max of observations."""
+    """A fixed-bucket duration histogram.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Tracks count / total / min / max plus per-bucket observation counts
+    over the shared log-spaced :data:`BUCKET_BOUNDS`, from which
+    :meth:`percentile` (and the ``p50``/``p90``/``p99`` properties)
+    estimates order statistics by linear interpolation inside the
+    containing bucket, clamped to the observed ``[min, max]`` range.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -73,6 +96,8 @@ class Timer:
         self.total = 0.0
         self.min = math.inf
         self.max = 0.0
+        # len(BUCKET_BOUNDS) le-buckets plus one overflow bucket.
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def observe(self, seconds: float) -> None:
         self.count += 1
@@ -81,13 +106,30 @@ class Timer:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        self.buckets[bisect_left(BUCKET_BOUNDS, seconds)] += 1
 
     def time(self) -> _TimerContext:
         """``with timer.time(): ...`` observes the block's wall time."""
         return _TimerContext(self)
 
-    def merge(self, *, count: int, total: float, minimum: float, maximum: float) -> None:
-        """Fold another timer's aggregate in (cross-process registry merge)."""
+    def merge(
+        self,
+        *,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        buckets: Sequence[int] | Mapping[str, int] | None = None,
+    ) -> None:
+        """Fold another timer's aggregate in (cross-process registry merge).
+
+        ``buckets`` may be a dense sequence aligned to
+        :data:`BUCKET_BOUNDS` (+1 overflow slot) or the sparse
+        ``{str(index): count}`` mapping :meth:`MetricsRegistry.summary`
+        emits.  Omitting it keeps the merge count-correct but leaves the
+        merged observations out of the percentile estimate (pre-histogram
+        worker summaries).
+        """
         if count <= 0:
             return
         self.count += count
@@ -96,10 +138,67 @@ class Timer:
             self.min = minimum
         if maximum > self.max:
             self.max = maximum
+        if buckets is None:
+            return
+        if isinstance(buckets, Mapping):
+            for index, value in buckets.items():
+                self.buckets[int(index)] += int(value)
+        else:
+            for index, value in enumerate(buckets):
+                self.buckets[index] += int(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Nearest-rank over the bucket population with linear interpolation
+        inside the containing bucket; the estimate is clamped to the
+        observed ``[min, max]``, so single-observation timers report that
+        observation for every quantile.  Returns :meth:`mean` when no
+        bucketed observations exist (empty timer, or one built purely
+        from legacy bucket-less merges).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        population = sum(self.buckets)
+        if population == 0:
+            return self.mean
+        rank = max(1, math.ceil(q * population))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                hi = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else max(self.max, lo)
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover — rank <= population always hits
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Sparse ``{str(index): count}`` form of the non-empty buckets."""
+        return {str(i): c for i, c in enumerate(self.buckets) if c}
 
 
 class MetricsRegistry:
@@ -150,18 +249,35 @@ class MetricsRegistry:
                     "mean_s": t.mean,
                     "min_s": t.min if t.count else 0.0,
                     "max_s": t.max,
+                    "p50_s": t.p50,
+                    "p90_s": t.p90,
+                    "p99_s": t.p99,
+                    "buckets": t.bucket_counts(),
                 }
                 for n, t in sorted(self.timers.items())
             },
         }
 
     def rows(self) -> list[dict[str, object]]:
-        """Flat rows for :func:`repro.analysis.tables.format_table`."""
+        """Flat rows for :func:`repro.analysis.tables.format_table`.
+
+        Every row carries the full column set (timers' latency columns
+        are blank for counters and gauges) so table formatters that key
+        off the first row render the percentiles.
+        """
+        blank = {
+            "total s": "",
+            "mean s": "",
+            "p50 s": "",
+            "p90 s": "",
+            "p99 s": "",
+            "max s": "",
+        }
         out: list[dict[str, object]] = []
         for name, c in sorted(self.counters.items()):
-            out.append({"metric": name, "type": "counter", "value": c.value})
+            out.append({"metric": name, "type": "counter", "value": c.value, **blank})
         for name, g in sorted(self.gauges.items()):
-            out.append({"metric": name, "type": "gauge", "value": g.value})
+            out.append({"metric": name, "type": "gauge", "value": g.value, **blank})
         for name, t in sorted(self.timers.items()):
             out.append(
                 {
@@ -170,6 +286,9 @@ class MetricsRegistry:
                     "value": t.count,
                     "total s": t.total,
                     "mean s": t.mean,
+                    "p50 s": t.p50,
+                    "p90 s": t.p90,
+                    "p99 s": t.p99,
                     "max s": t.max,
                 }
             )

@@ -1,0 +1,173 @@
+"""Opt-in per-cell cProfile hooks for the experiment grid.
+
+Tracing says *which* grid cell is slow; profiling says *why*.  Because
+cProfile costs real overhead, it is strictly opt-in and mirrors the
+fault-injection activation pattern (:mod:`repro.faults.inject`): a
+:class:`ProfileSpec` is armed either programmatically
+(:func:`configure`) or through the ``REPRO_PROFILE_CELLS`` environment
+variable — which propagates into pool worker processes, so
+``repro sweep --workers 2 --profile`` profiles cells inside the workers
+with zero plumbing.  When nothing is armed, :func:`active_spec` is one
+dict/env lookup and the grid runs unprofiled.
+
+:func:`profile_call` wraps one callable, returning its result plus the
+top-N rows by cumulative time (``{"func": "file.py:123:name", "calls",
+"cum_s", "self_s"}``).  The substrate folds those rows into the cell's
+span attributes (visible in ``repro obs analyze`` output) and into the
+registry as ``profile.<func>`` timers so hot functions aggregate across
+cells and surface in the grid manifest.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ENV_VAR",
+    "ProfileSpec",
+    "configure",
+    "active_spec",
+    "reset",
+    "profile_call",
+    "fold_rows",
+]
+
+#: Environment variable carrying a :meth:`ProfileSpec.parse` string.
+ENV_VAR = "REPRO_PROFILE_CELLS"
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """How to profile grid cells.
+
+    Attributes
+    ----------
+    top:
+        Rows kept per profiled call, ranked by cumulative time.
+    """
+
+    top: int = 5
+
+    @staticmethod
+    def parse(text: str) -> "ProfileSpec":
+        """Parse ``"top=8"`` form (``"1"``/``"on"`` arm the defaults)."""
+        text = text.strip()
+        if text.lower() in ("1", "on", "true", "yes"):
+            return ProfileSpec()
+        fields: dict[str, int] = {"top": 5}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in fields:
+                raise ValueError(
+                    f"unknown profiling key {key!r} in {text!r} "
+                    f"(expected {sorted(fields)})"
+                )
+            fields[key] = int(value)
+        spec = ProfileSpec(**fields)
+        if spec.top <= 0:
+            raise ValueError(f"top must be >= 1, got {spec.top}")
+        return spec
+
+
+#: Programmatic override; ``None`` falls back to the environment.
+_CONFIGURED: ProfileSpec | None = None
+
+
+def configure(spec: ProfileSpec | None) -> None:
+    """Set (or with ``None``, clear) the in-process profiling spec."""
+    global _CONFIGURED
+    _CONFIGURED = spec
+
+
+def active_spec() -> ProfileSpec | None:
+    """The spec in effect: the configured one, else the environment's."""
+    if _CONFIGURED is not None:
+        return _CONFIGURED
+    text = os.environ.get(ENV_VAR, "").strip()
+    return ProfileSpec.parse(text) if text else None
+
+
+def reset() -> None:
+    """Clear configuration (test teardown)."""
+    configure(None)
+
+
+def _func_label(func: tuple[str, int, str]) -> str:
+    """``(file, line, name)`` → compact ``"file.py:123:name"`` label."""
+    filename, line, name = func
+    if filename.startswith("~"):  # builtins have no file
+        return name.strip("<>")
+    return f"{Path(filename).name}:{line}:{name}"
+
+
+def profile_call(
+    func: Callable[..., _T],
+    *args: Any,
+    top: int = 5,
+    **kwargs: Any,
+) -> tuple[_T, list[dict[str, Any]]]:
+    """Run ``func`` under cProfile; return ``(result, top-N rows)``.
+
+    Rows are ranked by cumulative time and JSON-serializable:
+    ``{"func": "file.py:123:name", "calls": int, "cum_s": float,
+    "self_s": float}`` — compact enough to travel in span attributes and
+    the grid manifest without bloating either.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = func(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows: list[dict[str, Any]] = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    for func_key, (cc, nc, tt, ct, _callers) in entries:
+        label = _func_label(func_key)
+        if label.startswith(("profile_call", "profiling.py")):
+            continue  # the wrapper itself is not interesting
+        rows.append(
+            {
+                "func": label,
+                "calls": int(nc),
+                "cum_s": round(float(ct), 6),
+                "self_s": round(float(tt), 6),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return result, rows
+
+
+def fold_rows(
+    registry: MetricsRegistry, rows: list[dict[str, Any]]
+) -> None:
+    """Aggregate profile rows into ``profile.<func>`` registry timers.
+
+    Each row merges as one observation of its cumulative time, so across
+    a grid the timer's ``count`` is "cells where this function appeared
+    in the top-N" and ``total`` its summed cumulative seconds — enough to
+    rank hot functions in the manifest without shipping raw pstats.
+    """
+    for row in rows:
+        cum = float(row.get("cum_s", 0.0))
+        registry.timer(f"profile.{row['func']}").merge(
+            count=1, total=cum, minimum=cum, maximum=cum
+        )

@@ -1,0 +1,196 @@
+"""Metrics-reference check: the docs table must match the code's emissions.
+
+``docs/observability.md`` carries a generated reference table of every
+metric name the library emits (between ``<!-- metrics-reference:begin -->``
+and ``<!-- metrics-reference:end -->`` markers).  Hand-maintained metric
+tables rot the moment someone renames a counter; this check makes the
+table *derived*: an AST walk over ``src/repro`` collects every
+``tracer.count("...")`` / ``registry.gauge("...")`` /
+``registry.timer("...")`` / ``tracer.span("...")`` call site, and the
+doc block must match the regenerated table byte for byte.
+
+Name extraction rules:
+
+* string literals are taken verbatim (``tracer.count("grid.cells_done")``
+  → counter ``grid.cells_done``);
+* ``tracer.span("phase1")`` registers the timer the span observes on
+  exit, ``span.phase1``;
+* f-strings become wildcard rows with each interpolation collapsed to
+  ``*`` (``f"grid.strategy.{name}"`` → timer ``grid.strategy.*``) —
+  dynamic families are documented as families;
+* non-literal arguments (plain variables, as in the merge layer's
+  re-emission loops) are skipped: they forward names collected
+  elsewhere, they don't mint them.
+
+``repro/tools`` itself is excluded — bench harnesses emit synthetic
+no-op names that are never recorded.
+
+Usage::
+
+    python -m repro.tools.check_metrics           # verify, exit 1 on drift
+    python -m repro.tools.check_metrics --write   # regenerate the block
+
+CI runs the verify mode on every push; run ``--write`` after adding or
+renaming a metric and commit the doc change alongside the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from argparse import ArgumentParser
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["scan_metrics", "render_table", "extract_block", "main"]
+
+BEGIN_MARKER = "<!-- metrics-reference:begin -->"
+END_MARKER = "<!-- metrics-reference:end -->"
+DEFAULT_DOC = "docs/observability.md"
+
+#: AST call-attribute → metric kind.  ``span`` call sites register the
+#: ``span.{name}`` timer their ``__exit__`` observes.
+_METHODS = {"count": "counter", "gauge": "gauge", "timer": "timer", "span": "span"}
+
+
+def _literal_name(node: ast.expr) -> str | None:
+    """The metric name a call argument mints, or None if it forwards one.
+
+    Plain string constants come back verbatim; f-strings come back with
+    every interpolated field collapsed to ``*``; anything else (a
+    variable, an attribute) is a forwarded name and yields None.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            else:
+                parts.append("*")
+        return "".join(parts)
+    return None
+
+
+def scan_metrics(root: Path) -> dict[str, dict[str, object]]:
+    """Walk ``root`` and collect every minted metric name.
+
+    Returns ``{name: {"kind": str, "modules": set[str]}}`` keyed by
+    metric name, with ``modules`` holding repo-relative source paths.
+    Raises ``ValueError`` when one name is minted with two different
+    kinds — that is a bug at the emission site, not a doc problem.
+    """
+    metrics: dict[str, dict[str, object]] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("tools/"):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METHODS
+                and node.args
+            ):
+                continue
+            name = _literal_name(node.args[0])
+            if name is None:
+                continue
+            kind = _METHODS[node.func.attr]
+            if kind == "span":
+                kind, name = "timer", f"span.{name}"
+            entry = metrics.setdefault(name, {"kind": kind, "modules": set()})
+            if entry["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} minted as both {entry['kind']} and "
+                    f"{kind} (latest: {rel})"
+                )
+            entry["modules"].add(rel)  # type: ignore[union-attr]
+    return metrics
+
+
+def render_table(metrics: dict[str, dict[str, object]]) -> str:
+    """The markdown reference block, markers included, sorted by name."""
+    lines = [
+        BEGIN_MARKER,
+        "| metric | kind | emitted by |",
+        "|--------|------|------------|",
+    ]
+    for name in sorted(metrics):
+        kind = metrics[name]["kind"]
+        modules = ", ".join(f"`{m}`" for m in sorted(metrics[name]["modules"]))
+        lines.append(f"| `{name}` | {kind} | {modules} |")
+    lines.append(END_MARKER)
+    return "\n".join(lines)
+
+
+def extract_block(text: str) -> str | None:
+    """The current marker-delimited block in ``text``, or None if absent."""
+    begin = text.find(BEGIN_MARKER)
+    end = text.find(END_MARKER)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    return text[begin : end + len(END_MARKER)]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: verify (default) or ``--write`` the doc block."""
+    parser = ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default="src/repro", help="package root to scan (default: src/repro)"
+    )
+    parser.add_argument(
+        "--doc", default=DEFAULT_DOC, help=f"doc to check (default: {DEFAULT_DOC})"
+    )
+    parser.add_argument(
+        "--write", action="store_true", help="regenerate the block in place"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    doc = Path(args.doc)
+    try:
+        metrics = scan_metrics(root)
+    except ValueError as exc:
+        print(f"check_metrics: {exc}", file=sys.stderr)
+        return 1
+    expected = render_table(metrics)
+
+    text = doc.read_text(encoding="utf-8") if doc.exists() else ""
+    current = extract_block(text)
+    if current is None:
+        print(
+            f"check_metrics: {doc} has no {BEGIN_MARKER} … {END_MARKER} block",
+            file=sys.stderr,
+        )
+        if not args.write:
+            return 1
+        print("add the markers where the table belongs, then rerun --write")
+        return 1
+
+    if current == expected:
+        print(f"check_metrics: OK — {len(metrics)} metrics documented in {doc}")
+        return 0
+    if args.write:
+        doc.write_text(text.replace(current, expected), encoding="utf-8")
+        print(f"check_metrics: rewrote {doc} ({len(metrics)} metrics)")
+        return 0
+    import difflib
+
+    diff = difflib.unified_diff(
+        current.splitlines(), expected.splitlines(), "docs", "code", lineterm=""
+    )
+    for line in diff:
+        print(line, file=sys.stderr)
+    print(
+        f"check_metrics: {doc} metrics table is stale — run "
+        "python -m repro.tools.check_metrics --write",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,17 @@ root) so the repository carries its own performance trajectory:
 * ``cached_resweep`` — the same grid served warm from a
   :class:`~repro.analysis.cache.CellCache`;
 * ``parallel_grid`` — the same grid fanned over a 2-process pool with
-  the batch backend off (isolates pool overhead + per-cell kernel).
+  the batch backend off (isolates pool overhead + per-cell kernel);
+* ``tracer_overhead`` — the cost of the *disabled* tracer path: one
+  untraced reference run counts how many span/event/count calls actually
+  reach the disabled tracer (the kernel's hot loop routes per-event
+  counters through a null observer, so only un-hoisted call sites —
+  grid orchestration spans and analysis counters — hit it), then the
+  scenario times that many disabled-path calls back-to-back.  The
+  derived ``tracer_overhead_pct`` (relative to the event-kernel sweep)
+  is gated at <:data:`DEFAULT_OVERHEAD_LIMIT_PCT`% in ``--check`` — a
+  regression guard against unguarded per-event instrumentation landing
+  in a hot loop, which multiplies the call count a few hundredfold.
 
 Before any timing, the harness asserts that the batch, serial, and
 parallel runs produce **identical record lists** — the bench doubles as
@@ -23,8 +33,9 @@ an end-to-end equality gate.
 *derived, scale-free* metric ``batch_speedup_x`` (event-kernel median /
 batch median, both measured in the same process on the same machine)
 against the committed baseline with a two-sided tolerance, plus a hard
-floor.  Absolute times are recorded for trajectory plots but never
-gated — they vary with runner hardware; the speedup ratio does not.
+floor, plus the fresh-run-only ``tracer_overhead_pct`` ceiling.
+Absolute times are recorded for trajectory plots but never gated — they
+vary with runner hardware; the ratios do not.
 
 Schema (``repro.perfbench/1``)::
 
@@ -35,12 +46,20 @@ Schema (``repro.perfbench/1``)::
       "host": {... environment_info ..., "cpu_count": int},
       "grid": {family, n, m, alpha, strategies, model, seeds, cells},
       "scenarios": {name: {"median_s", "stdev_s", "min_s", "runs"}},
-      "derived": {"batch_speedup_x", "cache_speedup_x", "records_equal"}
+      "derived": {"batch_speedup_x", "cache_speedup_x", "records_equal",
+                  "tracer_overhead_pct", "tracer_calls"}
     }
 
 A ``*.manifest.json`` provenance sidecar (with the wall-clock timestamp
 and git describe) is written next to the JSON; the artifact itself stays
 timestamp-free.
+
+**Perf trajectory**: whenever an artifact is written, a timestamped row
+(schema ``repro.perfbench-history/1``) is appended to
+``results/BENCH_history.jsonl`` (next to ``--out`` when that is given),
+with a manifest sidecar — so the performance curve accumulates across
+PRs instead of only storing the latest snapshot.  ``--no-history`` opts
+out; ``--check`` without ``--out`` writes neither artifact nor history.
 """
 
 from __future__ import annotations
@@ -56,19 +75,27 @@ from pathlib import Path
 from typing import Any
 
 SCHEMA = "repro.perfbench/1"
+HISTORY_SCHEMA = "repro.perfbench-history/1"
 DEFAULT_OUT = "BENCH_perf.json"
+DEFAULT_HISTORY = "results/BENCH_history.jsonl"
 #: Two-sided relative tolerance on ``batch_speedup_x`` vs the baseline.
 DEFAULT_TOLERANCE = 0.30
 #: Hard floor: the batch backend must stay at least this many times
 #: faster than the per-cell event kernel, regardless of the baseline.
 DEFAULT_FLOOR = 2.0
+#: Ceiling on the disabled-tracer overhead estimate, percent of the
+#: untraced event-kernel sweep.  Fresh-run-only (no baseline involved).
+DEFAULT_OVERHEAD_LIMIT_PCT = 2.0
 
 __all__ = [
     "SCHEMA",
+    "HISTORY_SCHEMA",
     "DEFAULT_TOLERANCE",
     "DEFAULT_FLOOR",
+    "DEFAULT_OVERHEAD_LIMIT_PCT",
     "run_bench",
     "check_regression",
+    "append_history",
     "main",
 ]
 
@@ -106,6 +133,63 @@ def _grid_config(quick: bool) -> dict[str, Any]:
         "model": "log_uniform",
         "seeds": [1000 + s for s in range(10)],
     }
+
+
+def _count_tracer_calls(reference_run: Callable[[], Any]) -> dict[str, int]:
+    """Count the disabled-path instrumentation calls one untraced sweep makes.
+
+    Wraps the disabled singleton's span/event/count entry points with
+    tallying shims and runs ``reference_run`` once.  Only the call sites
+    that do *not* hoist ``tracer.enabled`` reach the tracer with tracing
+    off (the kernel's per-event counters go through a null observer), so
+    this is exactly the instrumentation work an untraced sweep pays —
+    the work the ``tracer_overhead`` scenario then times.
+    """
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    assert not tracer.enabled, "reference run must be untraced"
+    tally = {"spans": 0, "events": 0, "counts": 0}
+    orig_span, orig_event, orig_count = tracer.span, tracer.event, tracer.count
+
+    def span(name, **attrs):
+        tally["spans"] += 1
+        return orig_span(name, **attrs)
+
+    def event(name, **payload):
+        tally["events"] += 1
+        orig_event(name, **payload)
+
+    def count(name, delta=1):
+        tally["counts"] += 1
+        orig_count(name, delta)
+
+    tracer.span, tracer.event, tracer.count = span, event, count
+    try:
+        reference_run()
+    finally:
+        del tracer.span, tracer.event, tracer.count
+    return tally
+
+
+def _disabled_tracer_calls(calls: dict[str, int]) -> None:
+    """Issue ``calls``-many disabled-path tracer invocations back to back.
+
+    Timing this is what instrumentation costs an untraced sweep at the
+    tracer boundary (hot loops additionally pay only a hoisted
+    ``enabled`` branch, which never reaches these entry points).
+    """
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    assert not tracer.enabled, "tracer must be disabled for the overhead scenario"
+    for _ in range(calls["spans"]):
+        with tracer.span("perf.noop"):
+            pass
+    for _ in range(calls["events"]):
+        tracer.event("perf.noop")
+    for _ in range(calls["counts"]):
+        tracer.count("perf.noop")
 
 
 def _time_scenario(fn: Callable[[], Any], repeats: int) -> dict[str, Any]:
@@ -187,6 +271,11 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         lambda: grid(batch=False, workers=2).run(), repeats
     )
 
+    tracer_calls = _count_tracer_calls(lambda: grid(batch=False).run())
+    scenarios["tracer_overhead"] = _time_scenario(
+        lambda: _disabled_tracer_calls(tracer_calls), repeats
+    )
+
     # Speedups gate CI, so derive them from min_s: timing noise is purely
     # additive, making the minimum the most reproducible point estimate.
     ek = scenarios["eventkernel_sweep"]["min_s"]
@@ -194,6 +283,8 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         "batch_speedup_x": ek / scenarios["batch_sweep"]["min_s"],
         "cache_speedup_x": ek / scenarios["cached_resweep"]["min_s"],
         "records_equal": records_equal,
+        "tracer_calls": tracer_calls,
+        "tracer_overhead_pct": 100.0 * scenarios["tracer_overhead"]["min_s"] / ek,
     }
     return {
         "schema": SCHEMA,
@@ -228,6 +319,45 @@ def write_payload(payload: dict[str, Any], out: str | Path) -> Path:
     return path
 
 
+def append_history(payload: dict[str, Any], history: str | Path) -> Path:
+    """Append one timestamped trajectory row; returns the history path.
+
+    Rows are schema-versioned (``repro.perfbench-history/1``) and compact
+    — scenario medians plus the derived ratios — so the file stays small
+    while accumulating across PRs.  A ``*.manifest.json`` sidecar is
+    (re)written next to it with the row count and git describe.
+    """
+    import datetime
+
+    from repro.obs.provenance import bench_manifest
+
+    path = Path(history)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    row = {
+        "schema": HISTORY_SCHEMA,
+        "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": payload["quick"],
+        "repeats": payload["repeats"],
+        "cells": payload["grid"]["cells"],
+        "git_describe": payload["host"].get("git_describe"),
+        "scenarios": {
+            name: s["median_s"] for name, s in payload["scenarios"].items()
+        },
+        "derived": {
+            k: v for k, v in payload["derived"].items() if not isinstance(v, dict)
+        },
+    }
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    rows = sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line)
+    bench_manifest(path.stem, schema=HISTORY_SCHEMA, rows=rows).write(
+        path.with_suffix(".manifest.json")
+    )
+    return path
+
+
 def check_regression(
     fresh: dict[str, Any],
     baseline: dict[str, Any],
@@ -253,6 +383,13 @@ def check_regression(
         return problems
     if not fresh["derived"]["records_equal"]:
         problems.append("fresh run: batch/serial/parallel records diverged")
+    overhead = fresh["derived"].get("tracer_overhead_pct")
+    if overhead is not None and overhead >= DEFAULT_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"tracer_overhead_pct {overhead:.3f}% is at or above the "
+            f"{DEFAULT_OVERHEAD_LIMIT_PCT}% ceiling — the disabled tracer "
+            "path must stay near-free"
+        )
     speedup = fresh["derived"]["batch_speedup_x"]
     base = baseline["derived"]["batch_speedup_x"]
     if speedup < floor:
@@ -287,6 +424,13 @@ def _summarize(payload: dict[str, Any]) -> str:
         f"cache speedup {d['cache_speedup_x']:.2f}x, "
         f"records equal: {d['records_equal']}"
     )
+    if "tracer_overhead_pct" in d:
+        calls = d.get("tracer_calls", {})
+        total = sum(calls.values()) if isinstance(calls, dict) else 0
+        lines.append(
+            f"  disabled-tracer overhead {d['tracer_overhead_pct']:.3f}% "
+            f"of the event-kernel sweep ({total} instrumentation calls)"
+        )
     return "\n".join(lines)
 
 
@@ -331,10 +475,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=DEFAULT_FLOOR,
         help=f"hard minimum batch speedup (default: {DEFAULT_FLOOR})",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="perf-trajectory JSONL to append to (default: "
+        f"{DEFAULT_HISTORY}, or BENCH_history.jsonl next to --out); "
+        "only written when the artifact is written",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending the perf-trajectory row",
+    )
     args = parser.parse_args(argv)
 
     payload = run_bench(quick=args.quick, repeats=args.repeats)
     print(_summarize(payload))
+
+    def _history(out_path: str) -> None:
+        # History rides along with the artifact: a pure --check run (no
+        # --out) measures without writing, so it must not dirty the tree.
+        if args.no_history:
+            return
+        history = args.history or str(
+            Path(out_path).parent / Path(DEFAULT_HISTORY).name
+            if args.out
+            else DEFAULT_HISTORY
+        )
+        print(f"history row appended to {append_history(payload, history)}")
 
     if args.check:
         baseline_path = Path(args.baseline)
@@ -347,6 +516,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         if args.out:
             print(f"fresh artifact written to {write_payload(payload, args.out)}")
+            _history(args.out)
         if problems:
             for p in problems:
                 print(f"perfbench: FAIL: {p}", file=sys.stderr)
@@ -360,6 +530,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     out = args.out or DEFAULT_OUT
     print(f"artifact written to {write_payload(payload, out)}")
+    _history(out)
     return 0
 
 

@@ -1,0 +1,166 @@
+"""Tests for the metrics-reference doc gate (repro.tools.check_metrics).
+
+The tool derives the ``docs/observability.md`` metrics table from an AST
+scan of the package; these tests pin the extraction rules (literals
+verbatim, f-strings as ``*`` families, variables skipped) and the
+verify/--write contract — plus the real-repo invariant CI relies on: the
+committed table matches the committed code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.check_metrics import (
+    BEGIN_MARKER,
+    END_MARKER,
+    extract_block,
+    main,
+    render_table,
+    scan_metrics,
+)
+
+
+def write_pkg(root, source, name="mod.py"):
+    root.mkdir(parents=True, exist_ok=True)
+    (root / name).write_text(source, encoding="utf-8")
+    return root
+
+
+class TestScanMetrics:
+    def test_literals_and_spans(self, tmp_path):
+        root = write_pkg(
+            tmp_path / "pkg",
+            "def f(tracer, registry):\n"
+            "    tracer.count('grid.cells_done')\n"
+            "    registry.gauge('sim.makespan').set(1.0)\n"
+            "    registry.timer('phase1.solve').observe(0.1)\n"
+            "    with tracer.span('simulate'):\n"
+            "        pass\n",
+        )
+        metrics = scan_metrics(root)
+        assert metrics["grid.cells_done"]["kind"] == "counter"
+        assert metrics["sim.makespan"]["kind"] == "gauge"
+        assert metrics["phase1.solve"]["kind"] == "timer"
+        # Spans register the timer their exit observes.
+        assert metrics["span.simulate"]["kind"] == "timer"
+        assert metrics["grid.cells_done"]["modules"] == {"mod.py"}
+
+    def test_fstrings_become_wildcard_families(self, tmp_path):
+        root = write_pkg(
+            tmp_path / "pkg",
+            "def f(tracer, name):\n"
+            "    tracer.count(f'grid.strategy.{name}')\n",
+        )
+        assert "grid.strategy.*" in scan_metrics(root)
+
+    def test_plain_variables_are_forwarded_not_minted(self, tmp_path):
+        root = write_pkg(
+            tmp_path / "pkg",
+            "def f(registry, name):\n"
+            "    registry.timer(name).observe(0.1)\n",
+        )
+        assert scan_metrics(root) == {}
+
+    def test_kind_conflict_raises(self, tmp_path):
+        root = write_pkg(
+            tmp_path / "pkg",
+            "def f(tracer, registry):\n"
+            "    tracer.count('x')\n"
+            "    registry.gauge('x').set(1.0)\n",
+        )
+        with pytest.raises(ValueError, match="minted as both"):
+            scan_metrics(root)
+
+    def test_tools_subtree_excluded(self, tmp_path):
+        root = tmp_path / "pkg"
+        write_pkg(root, "def f(tracer):\n    tracer.count('real')\n")
+        write_pkg(root / "tools", "def f(tracer):\n    tracer.count('fake')\n")
+        metrics = scan_metrics(root)
+        assert "real" in metrics and "fake" not in metrics
+
+    def test_multiple_modules_recorded(self, tmp_path):
+        root = tmp_path / "pkg"
+        write_pkg(root, "def f(t):\n    t.count('c')\n", name="a.py")
+        write_pkg(root, "def g(t):\n    t.count('c')\n", name="b.py")
+        assert scan_metrics(root)["c"]["modules"] == {"a.py", "b.py"}
+
+
+class TestRenderAndExtract:
+    def test_table_sorted_with_markers(self):
+        table = render_table(
+            {
+                "b": {"kind": "counter", "modules": {"m.py"}},
+                "a": {"kind": "gauge", "modules": {"m.py"}},
+            }
+        )
+        lines = table.splitlines()
+        assert lines[0] == BEGIN_MARKER and lines[-1] == END_MARKER
+        assert lines.index("| `a` | gauge | `m.py` |") < lines.index(
+            "| `b` | counter | `m.py` |"
+        )
+
+    def test_extract_round_trips(self):
+        table = render_table({"a": {"kind": "counter", "modules": {"m.py"}}})
+        assert extract_block(f"intro\n\n{table}\n\noutro\n") == table
+
+    def test_extract_missing_markers(self):
+        assert extract_block("no markers here") is None
+
+
+class TestMainCli:
+    def doc_with_block(self, tmp_path, block):
+        doc = tmp_path / "doc.md"
+        doc.write_text(f"# Metrics\n\n{block}\n", encoding="utf-8")
+        return doc
+
+    def pkg(self, tmp_path, source="def f(t):\n    t.count('c')\n"):
+        return write_pkg(tmp_path / "pkg", source)
+
+    def test_fresh_table_passes(self, tmp_path, capsys):
+        root = self.pkg(tmp_path)
+        doc = self.doc_with_block(tmp_path, render_table(scan_metrics(root)))
+        assert main(["--root", str(root), "--doc", str(doc)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_stale_table_fails_with_diff(self, tmp_path, capsys):
+        root = self.pkg(tmp_path)
+        doc = self.doc_with_block(
+            tmp_path, f"{BEGIN_MARKER}\nold junk\n{END_MARKER}"
+        )
+        assert main(["--root", str(root), "--doc", str(doc)]) == 1
+        err = capsys.readouterr().err
+        assert "stale" in err and "-old junk" in err
+
+    def test_write_regenerates_then_verifies_clean(self, tmp_path):
+        root = self.pkg(tmp_path)
+        doc = self.doc_with_block(
+            tmp_path, f"{BEGIN_MARKER}\nold junk\n{END_MARKER}"
+        )
+        assert main(["--root", str(root), "--doc", str(doc), "--write"]) == 0
+        assert "`c`" in doc.read_text()
+        assert main(["--root", str(root), "--doc", str(doc)]) == 0
+
+    def test_missing_markers_fail_even_with_write(self, tmp_path, capsys):
+        root = self.pkg(tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text("no markers\n", encoding="utf-8")
+        assert main(["--root", str(root), "--doc", str(doc)]) == 1
+        assert main(["--root", str(root), "--doc", str(doc), "--write"]) == 1
+        assert "has no" in capsys.readouterr().err
+
+    def test_kind_conflict_reported_as_emission_bug(self, tmp_path, capsys):
+        root = self.pkg(
+            tmp_path,
+            "def f(t, r):\n    t.count('x')\n    r.gauge('x').set(1)\n",
+        )
+        doc = self.doc_with_block(tmp_path, f"{BEGIN_MARKER}\n{END_MARKER}")
+        assert main(["--root", str(root), "--doc", str(doc)]) == 1
+        assert "minted as both" in capsys.readouterr().err
+
+
+class TestCommittedDocs:
+    def test_repo_table_matches_repo_code(self, capsys):
+        # The same invariant the CI lint job enforces.
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,261 @@
+"""Tests for trace analytics (repro.obs.analyze): span forests,
+self-time attribution, critical paths, and the CLI surface.
+
+The load-bearing invariant throughout: attribution rows *telescope* —
+their self-times sum exactly to the root span's duration (negative
+self-time included), so "where did the time go" tables always account
+for 100% of the run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MemorySink, observed
+from repro.obs.analyze import (
+    SpanNode,
+    analyze_events,
+    analyze_file,
+    build_forest,
+    exact_percentile,
+    span_label,
+)
+
+
+def rec(kind, name, depth, ts, **payload):
+    """A minimal trace record dict (what ``TraceEvent.as_dict`` yields)."""
+    return {"v": 1, "kind": kind, "name": name, "depth": depth, "ts": ts,
+            "payload": payload}
+
+
+def nested_trace():
+    """root(10s) > child_a(4s, leaf), child_b(3s > grandchild(1s))."""
+    return [
+        rec("span_start", "root", 0, 0.0),
+        rec("span_start", "child_a", 1, 1.0),
+        rec("span_end", "child_a", 1, 5.0, duration_s=4.0),
+        rec("span_start", "child_b", 1, 5.0),
+        rec("span_start", "grandchild", 2, 6.0),
+        rec("span_end", "grandchild", 2, 7.0, duration_s=1.0),
+        rec("span_end", "child_b", 1, 8.0, duration_s=3.0),
+        rec("span_end", "root", 0, 10.0, duration_s=10.0),
+    ]
+
+
+class TestBuildForest:
+    def test_nesting_and_durations(self):
+        forest = build_forest(nested_trace())
+        assert len(forest) == 1
+        root = forest[0]
+        assert root.name == "root" and root.duration == 10.0
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        (grandchild,) = root.children[1].children
+        assert grandchild.duration == 1.0
+
+    def test_self_time_is_duration_minus_direct_children(self):
+        root = build_forest(nested_trace())[0]
+        assert root.self_time == pytest.approx(10.0 - 4.0 - 3.0)
+        child_b = root.children[1]
+        assert child_b.self_time == pytest.approx(3.0 - 1.0)
+        assert root.children[0].self_time == pytest.approx(4.0)
+
+    def test_truncated_trace_closes_open_spans(self):
+        events = nested_trace()[:5]  # cut off inside grandchild
+        forest = build_forest(events)
+        root = forest[0]
+        assert root.attrs.get("truncated") is True
+        # Closed with the duration observed so far (last ts - start).
+        assert root.duration == pytest.approx(6.0)
+        grandchild = root.children[1].children[0]
+        assert grandchild.attrs.get("truncated") is True
+
+    def test_missing_duration_falls_back_to_ts_delta(self):
+        events = [
+            rec("span_start", "a", 0, 1.0),
+            rec("span_end", "a", 0, 3.5),
+        ]
+        assert build_forest(events)[0].duration == pytest.approx(2.5)
+
+    def test_stray_span_end_ignored(self):
+        events = [rec("span_end", "ghost", 0, 1.0, duration_s=1.0)]
+        assert build_forest(events) == []
+
+    def test_worker_events_keep_worker_identity(self):
+        events = [
+            rec("span_start", "cell", 0, 0.0, worker=7, worker_ts=0.25),
+            rec("span_end", "cell", 0, 1.0, duration_s=0.5, worker=7),
+        ]
+        node = build_forest(events)[0]
+        assert node.worker == 7
+        # Worker-local timestamps are authoritative for the start.
+        assert node.start_ts == 0.25
+        assert node.duration == 0.5  # payload duration, not parent ts delta
+
+
+class TestSpanLabel:
+    def test_strategy_and_instance(self):
+        node = SpanNode(name="grid.cell", depth=0, start_ts=0.0,
+                        attrs={"strategy": "lpt", "instance": "u20x4[s0]"})
+        assert span_label(node) == "grid.cell[lpt×u20x4[s0]]"
+
+    def test_strategy_only_and_bare(self):
+        assert span_label(
+            SpanNode(name="x", depth=0, start_ts=0.0, attrs={"strategy": "lpt"})
+        ) == "x[lpt]"
+        assert span_label(SpanNode(name="x", depth=0, start_ts=0.0)) == "x"
+
+
+class TestExactPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert exact_percentile(values, 0.5) == 5.0
+        assert exact_percentile(values, 0.9) == 9.0
+        assert exact_percentile(values, 0.99) == 10.0
+
+    def test_empty_and_single(self):
+        assert exact_percentile([], 0.5) == 0.0
+        assert exact_percentile([3.0], 0.99) == 3.0
+
+
+class TestAnalyzeEvents:
+    def test_attribution_telescopes_exactly(self):
+        analysis = analyze_events(nested_trace())
+        assert analysis.root_name == "root"
+        assert analysis.root_duration_s == 10.0
+        assert analysis.total_attributed_s == pytest.approx(10.0)
+        assert analysis.attribution_error == pytest.approx(0.0)
+        by_label = {row["span"]: row["self s"] for row in analysis.attribution}
+        assert by_label["child_a"] == pytest.approx(4.0)
+        assert by_label["root"] == pytest.approx(3.0)
+
+    def test_multiple_roots_fold_under_synthetic_trace_root(self):
+        events = [
+            rec("span_start", "phase1", 0, 0.0),
+            rec("span_end", "phase1", 0, 1.0, duration_s=1.0),
+            rec("span_start", "phase2", 0, 1.0),
+            rec("span_end", "phase2", 0, 4.0, duration_s=3.0),
+        ]
+        analysis = analyze_events(events)
+        assert analysis.root_name == "(trace)"
+        assert analysis.root_duration_s == pytest.approx(4.0)
+        assert analysis.attribution_error == pytest.approx(0.0)
+
+    def test_top_folds_tail_but_preserves_total(self):
+        analysis = analyze_events(nested_trace(), top=1)
+        assert len(analysis.attribution) == 2  # top row + "(… N more)" fold
+        assert analysis.attribution[-1]["span"].startswith("(")
+        assert analysis.total_attributed_s == pytest.approx(10.0)
+
+    def test_negative_self_time_from_overlapping_children_still_telescopes(self):
+        # Parallel workers: children's summed duration exceeds the parent's
+        # wall time.  Self time goes negative; the total still telescopes.
+        events = [
+            rec("span_start", "run_grid", 0, 0.0),
+            rec("span_start", "cell", 1, 0.0, worker=1),
+            rec("span_end", "cell", 1, 0.1, duration_s=3.0, worker=1),
+            rec("span_start", "cell", 1, 0.1, worker=2),
+            rec("span_end", "cell", 1, 0.2, duration_s=3.0, worker=2),
+            rec("span_end", "run_grid", 0, 4.0, duration_s=4.0),
+        ]
+        analysis = analyze_events(events)
+        by_label = {row["span"]: row["self s"] for row in analysis.attribution}
+        assert by_label["run_grid"] == pytest.approx(-2.0)
+        assert analysis.total_attributed_s == pytest.approx(4.0)
+        assert analysis.workers == 2
+
+    def test_dominant_chain_walks_heaviest_child(self):
+        analysis = analyze_events(nested_trace())
+        assert [hop["span"] for hop in analysis.chain] == [
+            "root", "child_a",
+        ]
+
+    def test_span_aggregates_percentiles(self):
+        events = []
+        ts = 0.0
+        durations = [1.0, 2.0, 3.0, 10.0]
+        events.append(rec("span_start", "outer", 0, 0.0))
+        for d in durations:
+            events.append(rec("span_start", "cell", 1, ts))
+            ts += d
+            events.append(rec("span_end", "cell", 1, ts, duration_s=d))
+        events.append(rec("span_end", "outer", 0, 16.0, duration_s=16.0))
+        analysis = analyze_events(events)
+        cell = next(r for r in analysis.spans if r["span"] == "cell")
+        assert cell["count"] == 4
+        assert cell["total s"] == pytest.approx(16.0)
+        assert cell["p50 s"] == 2.0
+        assert cell["p99 s"] == 10.0
+        assert cell["max s"] == 10.0
+
+    def test_empty_trace(self):
+        analysis = analyze_events([])
+        assert analysis.root_name == "(empty)"
+        assert analysis.as_dict()["critical_path"]["entries"] == []
+
+
+class TestAnalyzeRealTrace:
+    """Acceptance: a real traced grid run attributes within 1%."""
+
+    def test_traced_sweep_attribution_error_under_one_percent(self, tmp_path):
+        import repro
+        from repro.analysis.experiment import ExperimentGrid
+        from repro.obs import JsonlSink
+
+        instances = [repro.uniform_instance(8, 2, alpha=1.5, seed=s)
+                     for s in range(2)]
+        path = tmp_path / "trace.jsonl"
+        with observed(JsonlSink(path)):
+            ExperimentGrid(
+                strategies=[repro.LPTNoChoice()],
+                instances=instances,
+                realization_models=["log_uniform"],
+                seeds=(0,),
+                batch=False,  # per-cell spans, not one grid.batch pack
+            ).run()
+        analysis = analyze_file(path)
+        assert analysis.root_duration_s > 0
+        assert analysis.attribution_error <= 0.01
+        assert any(r["span"] == "grid.cell" for r in analysis.spans)
+
+    def test_as_dict_round_trips_through_json(self):
+        analysis = analyze_events(nested_trace())
+        payload = json.loads(json.dumps(analysis.as_dict()))
+        assert payload["root"]["duration_s"] == 10.0
+        assert payload["critical_path"]["attribution_error"] == 0.0
+
+
+class TestCliAnalyze:
+    def run_cli(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def trace_file(self, tmp_path):
+        from repro.obs import JsonlSink
+        from repro.obs.tracer import get_tracer
+
+        path = tmp_path / "t.jsonl"
+        with observed(JsonlSink(path)) as tracer:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        return path
+
+    def test_tables_output(self, tmp_path, capsys):
+        path = self.trace_file(tmp_path)
+        assert self.run_cli("obs", "analyze", str(path)) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "outer" in out and "inner" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self.trace_file(tmp_path)
+        assert self.run_cli("obs", "analyze", str(path), "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"]["name"] == "outer"
+        assert payload["critical_path"]["attribution_error"] <= 0.01
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert self.run_cli("obs", "analyze", str(tmp_path / "nope.jsonl")) == 1

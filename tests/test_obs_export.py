@@ -1,0 +1,168 @@
+"""Tests for the OpenMetrics exposition writer (repro.obs.export)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import JsonlSink, observed
+from repro.obs.export import (
+    registry_from_trace,
+    render_openmetrics,
+    sanitize,
+    validate_exposition,
+    write_exposition,
+)
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("sim.dispatches").inc(20)
+    registry.counter("grid.cells_done").inc(4)
+    registry.gauge("sim.makespan").set(28.47)
+    timer = registry.timer("span.grid.cell")
+    for value in (0.01, 0.02, 0.04, 0.5):
+        timer.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize("span.grid.cell") == "span_grid_cell"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize("9lives") == "_9lives"
+
+    def test_exotic_chars(self):
+        assert sanitize("grid.strategy.ls_group[k=3]") == "grid_strategy_ls_group_k_3_"
+
+
+class TestRenderOpenmetrics:
+    def test_counters_gauges_timers(self):
+        text = render_openmetrics(sample_registry().summary())
+        assert "# TYPE repro_sim_dispatches counter" in text
+        assert "repro_sim_dispatches_total 20" in text
+        assert "# TYPE repro_sim_makespan gauge" in text
+        assert "repro_sim_makespan 28.47" in text
+        assert "# TYPE repro_span_grid_cell_seconds summary" in text
+        assert 'repro_span_grid_cell_seconds{quantile="0.99"}' in text
+        assert "repro_span_grid_cell_seconds_count 4" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_family_is_distinct_and_cumulative(self):
+        text = render_openmetrics(sample_registry().summary())
+        assert "# TYPE repro_span_grid_cell_seconds_hist histogram" in text
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_span_grid_cell_seconds_hist_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 4
+        assert 'le="+Inf"' in bucket_lines[-1]
+
+    def test_histograms_can_be_disabled(self):
+        text = render_openmetrics(sample_registry().summary(), histograms=False)
+        assert "_hist" not in text
+
+    def test_custom_prefix(self):
+        text = render_openmetrics(sample_registry().summary(), prefix="acme")
+        assert "acme_sim_dispatches_total" in text
+        assert "repro_" not in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry().summary()) == "# EOF\n"
+
+
+class TestValidateExposition:
+    def test_sample_registry_round_trips(self):
+        text = render_openmetrics(sample_registry().summary())
+        families, errors = validate_exposition(text)
+        assert errors == []
+        assert families["repro_sim_dispatches"] == "counter"
+        assert families["repro_span_grid_cell_seconds"] == "summary"
+        assert families["repro_span_grid_cell_seconds_hist"] == "histogram"
+
+    def test_missing_eof_flagged(self):
+        text = render_openmetrics(sample_registry().summary())
+        _, errors = validate_exposition(text.replace("# EOF\n", ""))
+        assert any("EOF" in e for e in errors)
+
+    def test_garbage_line_flagged(self):
+        _, errors = validate_exposition("!!not a metric!!\n# EOF\n")
+        assert errors
+
+    def test_text_after_eof_flagged(self):
+        _, errors = validate_exposition("# EOF\nrepro_x_total 1\n")
+        assert errors
+
+
+class TestRegistryFromTrace:
+    def trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with observed(JsonlSink(path)) as tracer:
+            with tracer.span("phase1"):
+                tracer.count("phase1.placements")
+            with tracer.span("phase2"):
+                pass
+            # Counters travel as shutdown snapshots (the CLI does this
+            # before closing a trace).
+            tracer.snapshot_counters()
+        return path
+
+    def test_counters_and_span_timers_rebuilt(self, tmp_path):
+        registry = registry_from_trace(self.trace(tmp_path))
+        assert registry.counters["phase1.placements"].value == 1
+        assert registry.timers["span.phase1"].count == 1
+        assert registry.timers["span.phase2"].count == 1
+        assert registry.timers["span.phase1"].total > 0
+
+    def test_rebuilt_registry_exports_cleanly(self, tmp_path):
+        registry = registry_from_trace(self.trace(tmp_path))
+        families, errors = validate_exposition(
+            render_openmetrics(registry.summary())
+        )
+        assert errors == []
+        assert "repro_span_phase1_seconds" in families
+
+
+class TestWriteExposition:
+    def test_writes_and_creates_parents(self, tmp_path):
+        out = write_exposition(
+            sample_registry().summary(), tmp_path / "deep" / "telemetry.prom"
+        )
+        assert out.read_text().endswith("# EOF\n")
+
+
+class TestBucketBounds:
+    def test_log_spacing_four_per_decade(self):
+        assert len(BUCKET_BOUNDS) == 37
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e3)
+        ratio = BUCKET_BOUNDS[1] / BUCKET_BOUNDS[0]
+        assert ratio == pytest.approx(10 ** 0.25)
+
+
+class TestCliExport:
+    def test_export_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.jsonl"
+        with observed(JsonlSink(trace)) as tracer:
+            with tracer.span("simulate"):
+                tracer.count("sim.dispatches", 8)
+        out = tmp_path / "telemetry.prom"
+        assert main(
+            ["obs", "export", str(trace), "--format", "openmetrics",
+             "--out", str(out)]
+        ) == 0
+        families, errors = validate_exposition(out.read_text())
+        assert errors == [] and families
+
+    def test_export_missing_trace_fails(self, tmp_path):
+        from repro.cli import main
+
+        assert main(
+            ["obs", "export", str(tmp_path / "no.jsonl"),
+             "--format", "openmetrics"]
+        ) == 1

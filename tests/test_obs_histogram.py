@@ -1,0 +1,257 @@
+"""Histogram Timer and cross-worker merge tests (repro.obs.metrics/merge).
+
+Two properties carry the parallel-sweep telemetry story:
+
+* **count-exactness** — merging per-worker histograms yields bucket
+  counts identical to one timer observing every value serially, so the
+  parent's percentiles cover every worker observation;
+* **depth re-basing** — replaying worker events under an open parent
+  span stack produces a trace that still nests and schema-validates,
+  even when grids nest inside grids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import JsonlSink, MemorySink, observed
+from repro.obs.merge import merge_registry_summary, replay_events
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry, Timer
+from repro.obs.validate import validate_trace
+
+durations = st.floats(
+    min_value=1e-7, max_value=5e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestTimerHistogram:
+    def test_single_observation_reports_itself_everywhere(self):
+        timer = Timer("t")
+        timer.observe(0.123)
+        assert timer.p50 == pytest.approx(0.123)
+        assert timer.p90 == pytest.approx(0.123)
+        assert timer.p99 == pytest.approx(0.123)
+        assert timer.percentile(1.0) == pytest.approx(0.123)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        timer = Timer("t")
+        for value in (0.010, 0.011, 0.012):
+            timer.observe(value)
+        assert 0.010 <= timer.p50 <= 0.012
+        assert 0.010 <= timer.p99 <= 0.012
+
+    def test_percentiles_order_and_accuracy(self):
+        timer = Timer("t")
+        for exponent in range(-3, 2):  # 1ms .. 10s, one per decade
+            timer.observe(10.0 ** exponent)
+        assert timer.p50 <= timer.p90 <= timer.p99
+        # p99 lands in the top bucket; log-bucket resolution is ~1.78x.
+        assert timer.p99 == pytest.approx(10.0, rel=0.8)
+
+    def test_overflow_bucket_beyond_bounds(self):
+        timer = Timer("t")
+        timer.observe(5000.0)  # above the 1000s top bound
+        assert timer.buckets[len(BUCKET_BOUNDS)] == 1
+        assert timer.p99 == pytest.approx(5000.0)  # clamped to max
+
+    def test_empty_timer_quantile_is_mean_zero(self):
+        timer = Timer("t")
+        assert timer.p50 == 0.0
+
+    def test_invalid_quantile_rejected(self):
+        timer = Timer("t")
+        with pytest.raises(ValueError):
+            timer.percentile(0.0)
+        with pytest.raises(ValueError):
+            timer.percentile(1.5)
+
+    def test_bucket_counts_sparse_round_trip(self):
+        timer = Timer("t")
+        for value in (0.001, 0.002, 1.0):
+            timer.observe(value)
+        sparse = timer.bucket_counts()
+        assert sum(sparse.values()) == 3
+        other = Timer("u")
+        other.merge(
+            count=timer.count, total=timer.total, minimum=timer.min,
+            maximum=timer.max, buckets=sparse,
+        )
+        assert other.buckets == timer.buckets
+
+    def test_merge_without_buckets_keeps_count_but_not_quantiles(self):
+        timer = Timer("t")
+        timer.merge(count=3, total=3.0, minimum=0.5, maximum=2.0)
+        assert timer.count == 3
+        assert sum(timer.buckets) == 0
+        assert timer.p50 == pytest.approx(1.0)  # falls back to the mean
+
+    def test_merge_empty_is_noop(self):
+        timer = Timer("t")
+        timer.merge(count=0, total=0.0, minimum=math.inf, maximum=0.0)
+        assert timer.count == 0 and timer.min == math.inf
+
+    @given(st.lists(durations, min_size=1, max_size=60), st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_histogram_is_count_exact(self, values, workers):
+        serial = Timer("serial")
+        for value in values:
+            serial.observe(value)
+
+        registry = MetricsRegistry()
+        for w in range(workers):
+            chunk = values[w::workers]
+            if not chunk:
+                continue
+            worker_registry = MetricsRegistry()
+            worker_timer = worker_registry.timer("t")
+            for value in chunk:
+                worker_timer.observe(value)
+            merge_registry_summary(registry, worker_registry.summary())
+
+        merged = registry.timer("t")
+        assert merged.count == serial.count
+        assert merged.buckets == serial.buckets
+        assert merged.total == pytest.approx(serial.total)
+        assert merged.min == serial.min and merged.max == serial.max
+        for q in (0.5, 0.9, 0.99):
+            assert merged.percentile(q) == pytest.approx(
+                serial.percentile(q), rel=1e-9, abs=1e-12
+            )
+
+
+class TestMergeRegistrySummary:
+    def test_counters_add_and_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        worker = MetricsRegistry()
+        worker.counter("c").inc(2)
+        worker.gauge("g").set(7.0)
+        merge_registry_summary(registry, worker.summary())
+        assert registry.counters["c"].value == 3
+        assert registry.gauges["g"].value == 7.0
+
+
+def worker_chunk(spans):
+    """Serialize a balanced worker chunk: each span holds its children."""
+    events = []
+    seq = 0
+
+    def emit(kind, name, depth, **payload):
+        nonlocal seq
+        events.append(
+            {"v": 1, "seq": seq, "ts": 0.001 * seq, "kind": kind,
+             "name": name, "depth": depth, "payload": payload}
+        )
+        seq += 1
+
+    def walk(node, depth):
+        name, children = node
+        emit("span_start", name, depth)
+        for child in children:
+            walk(child, depth + 1)
+        emit("span_end", name, depth, duration_s=0.001)
+
+    for span in spans:
+        walk(span, 0)
+    return events
+
+
+span_trees = st.recursive(
+    st.tuples(st.sampled_from(["cell", "phase1", "phase2"]), st.just([])),
+    lambda children: st.tuples(
+        st.sampled_from(["grid", "chunk"]), st.lists(children, max_size=3)
+    ),
+    max_leaves=8,
+)
+
+
+class TestReplayDepthRebasing:
+    def replay_under_parent(self, tmp_path, chunk_events, parent_depth):
+        path = tmp_path / "trace.jsonl"
+        with observed(JsonlSink(path)) as tracer:
+            # Open parent_depth nested spans, replay inside the innermost
+            # (a worker chunk arriving mid-grid), then unwind.
+            import contextlib
+
+            with contextlib.ExitStack() as stack:
+                for level in range(parent_depth):
+                    stack.enter_context(tracer.span(f"outer{level}"))
+                replay_events(tracer, chunk_events, worker=1)
+        return path
+
+    def test_replay_at_depth_passes_validation(self, tmp_path):
+        chunk = worker_chunk([("grid", [("cell", []), ("cell", [])])])
+        path = self.replay_under_parent(tmp_path, chunk, parent_depth=2)
+        stats, errors = validate_trace(path)
+        assert errors == []
+        assert stats["span_start"] == 2 + 3  # outers + replayed
+
+    def test_replayed_depths_are_rebased(self):
+        chunk = worker_chunk([("cell", [])])
+        sink = MemorySink()
+        with observed(sink) as tracer:
+            with tracer.span("run_grid"):
+                replay_events(tracer, chunk, worker=3)
+        replayed = [e for e in sink.events if e.name == "cell"]
+        assert [e.depth for e in replayed] == [1, 1]  # 0 + base depth 1
+        assert all(e.payload["worker"] == 3 for e in replayed)
+        # Worker-local provenance survives in the payload.
+        assert replayed[0].payload["worker_seq"] == 0
+
+    def test_counter_and_manifest_records_not_replayed(self):
+        chunk = [
+            {"kind": "counter", "name": "c", "depth": 0, "payload": {"value": 1}},
+            {"kind": "manifest", "name": "m", "depth": 0, "payload": {}},
+        ]
+        sink = MemorySink()
+        with observed(sink) as tracer:
+            assert replay_events(tracer, chunk) == 0
+
+    def test_disabled_tracer_is_noop(self):
+        from repro.obs.tracer import get_tracer
+
+        assert replay_events(get_tracer(), worker_chunk([("cell", [])])) == 0
+
+    @given(
+        spans=st.lists(span_trees, min_size=1, max_size=3),
+        parent_depth=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_balanced_chunk_rebases_to_a_valid_trace(
+        self, spans, parent_depth, tmp_path_factory
+    ):
+        # Nested parallel grids: a chunk replayed at arbitrary parent depth
+        # (grid inside grid) must still nest and validate.
+        import contextlib
+
+        chunk = worker_chunk(spans)
+        path = tmp_path_factory.mktemp("replay") / "trace.jsonl"
+        with observed(JsonlSink(path)) as tracer:
+            with contextlib.ExitStack() as stack:
+                for level in range(parent_depth):
+                    stack.enter_context(tracer.span(f"outer{level}"))
+                replayed = replay_events(tracer, chunk, worker=0)
+        assert replayed == len(chunk)
+        stats, errors = validate_trace(path)
+        assert errors == []
+        assert stats["span_start"] == parent_depth + sum(
+            1 for e in chunk if e["kind"] == "span_start"
+        )
+
+
+class TestSummaryCarriesBuckets:
+    def test_summary_includes_percentiles_and_sparse_buckets(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        for value in (0.01, 0.02, 0.4):
+            timer.observe(value)
+        stats = registry.summary()["timers"]["t"]
+        assert stats["count"] == 3
+        assert set(stats["buckets"]) == set(timer.bucket_counts())
+        assert stats["p50_s"] == pytest.approx(timer.p50)
+        assert stats["p90_s"] == pytest.approx(timer.p90)
+        assert stats["p99_s"] == pytest.approx(timer.p99)

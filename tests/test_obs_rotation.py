@@ -1,0 +1,196 @@
+"""Tests for size-capped JsonlSink rotation (satellite of the telemetry
+pipeline): every rotated segment must stay ``repro.obs.validate``-clean on
+its own, and sinks must flush/close even when the traced command raises.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, observed
+from repro.obs.events import TraceEvent
+from repro.obs.sink import read_jsonl
+from repro.obs.validate import validate_trace
+
+
+def ev(seq, ts, kind, name, depth=0, **payload):
+    return TraceEvent(seq=seq, ts=ts, kind=kind, name=name, depth=depth,
+                      payload=payload)
+
+
+def long_span_events(ticks):
+    """One long-lived span wrapping ``ticks`` point events."""
+    events = [ev(0, 0.0, "span_start", "run")]
+    for i in range(ticks):
+        events.append(ev(i + 1, 0.01 * (i + 1), "event", "tick", depth=1, i=i))
+    events.append(
+        ev(ticks + 1, 0.01 * (ticks + 1), "span_end", "run",
+           duration_s=0.01 * (ticks + 1))
+    )
+    return events
+
+
+def segments(path):
+    """The live file plus backups, oldest first."""
+    backups = sorted(
+        path.parent.glob(f"{path.stem}.*{path.suffix}"),
+        key=lambda p: int(p.suffixes[0][1:]),
+        reverse=True,
+    )
+    return backups + [path]
+
+
+class TestConstruction:
+    def test_rejects_non_positive_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+
+    def test_rejects_zero_backups(self, tmp_path):
+        with pytest.raises(ValueError, match="backups"):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=100, backups=0)
+
+
+class TestUncappedWireFormat:
+    def test_default_sink_does_not_rotate_or_renumber(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            for event in long_span_events(50):
+                sink.emit(event)
+        assert sink.rotations == 0
+        assert not list(tmp_path.glob("t.*.jsonl"))
+        # Tracer-assigned seq survives verbatim (wire format unchanged).
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["seq"] for r in records] == list(range(52))
+        _, errors = validate_trace(path)
+        assert errors == []
+
+
+class TestRotation:
+    def rotated(self, tmp_path, ticks=200, max_bytes=1500, backups=20):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, max_bytes=max_bytes, backups=backups) as sink:
+            for event in long_span_events(ticks):
+                sink.emit(event)
+        return path, sink
+
+    def test_rotation_produces_backup_segments(self, tmp_path):
+        path, sink = self.rotated(tmp_path)
+        assert sink.rotations >= 2
+        assert len(segments(path)) == sink.rotations + 1
+
+    def test_every_segment_validates_independently(self, tmp_path):
+        path, sink = self.rotated(tmp_path)
+        for segment in segments(path):
+            stats, errors = validate_trace(segment)
+            assert errors == [], f"{segment.name}: {errors}"
+            assert stats["records"] > 0
+
+    def test_segment_seq_restarts_at_zero(self, tmp_path):
+        path, _ = self.rotated(tmp_path)
+        for segment in segments(path):
+            first = json.loads(segment.read_text().splitlines()[0])
+            assert first["seq"] == 0
+
+    def test_boundary_spans_are_balanced_and_tagged(self, tmp_path):
+        path, sink = self.rotated(tmp_path)
+        all_segments = segments(path)
+        # Sealed segments end by closing the straddling "run" span ...
+        for sealed in all_segments[:-1]:
+            last = json.loads(sealed.read_text().splitlines()[-1])
+            assert last["kind"] == "span_end" and last["name"] == "run"
+            assert last["payload"]["rotated"] is True
+        # ... and every later segment reopens it, tagged as synthetic.
+        for reopened in all_segments[1:]:
+            first = json.loads(reopened.read_text().splitlines()[0])
+            assert first["kind"] == "span_start" and first["name"] == "run"
+            assert first["payload"]["rotated"] is True
+        # One synthesized pair per rotation: the original span is whole.
+        reopen_count = sum(
+            1
+            for segment in all_segments
+            for line in segment.read_text().splitlines()
+            if json.loads(line)["payload"].get("rotated")
+        )
+        assert reopen_count == 2 * sink.rotations
+
+    def test_no_tick_lost_across_rotation(self, tmp_path):
+        ticks = 200
+        path, _ = self.rotated(tmp_path, ticks=ticks, backups=50)
+        seen = [
+            event.payload["i"]
+            for segment in segments(path)
+            for event in read_jsonl(segment)
+            if event.kind == "event"
+        ]
+        assert seen == list(range(ticks))
+
+    def test_oldest_backup_falls_off_past_the_cap(self, tmp_path):
+        path, sink = self.rotated(tmp_path, ticks=400, backups=2)
+        assert sink.rotations > 2
+        names = [s.name for s in segments(path)]
+        assert names == ["trace.2.jsonl", "trace.1.jsonl", "trace.jsonl"]
+
+    def test_nested_spans_reopen_in_stack_order(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path, max_bytes=600, backups=10) as sink:
+            sink.emit(ev(0, 0.0, "span_start", "outer"))
+            sink.emit(ev(1, 0.1, "span_start", "inner", depth=1))
+            for i in range(40):
+                sink.emit(ev(2 + i, 0.2 + 0.01 * i, "event", "tick", depth=2))
+            sink.emit(ev(42, 1.0, "span_end", "inner", depth=1, duration_s=0.9))
+            sink.emit(ev(43, 1.1, "span_end", "outer", duration_s=1.1))
+        assert sink.rotations >= 1
+        for segment in segments(path):
+            _, errors = validate_trace(segment)
+            assert errors == [], f"{segment.name}: {errors}"
+
+
+class TestExceptionSafety:
+    def test_sink_context_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(RuntimeError, match="boom"):
+            with sink:
+                sink.emit(ev(0, 0.0, "event", "x"))
+                raise RuntimeError("boom")
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(ev(1, 0.1, "event", "y"))
+        # The buffered line reached disk despite the crash.
+        assert json.loads(path.read_text())["name"] == "x"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_crashed_traced_run_still_yields_valid_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with observed(JsonlSink(path)) as tracer:
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        raise RuntimeError("mid-span crash")
+        # Span context managers unwound, sink flushed and closed: the
+        # partial trace is complete and parseable.
+        stats, errors = validate_trace(path)
+        assert errors == []
+        assert stats["span_start"] == 2 and stats["span_end"] == 2
+
+
+class TestCliRotation:
+    def test_run_with_trace_max_bytes_rotates_validly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "lpt_no_choice", "--n", "30", "--m", "4",
+             "--trace", str(path), "--trace-max-bytes", "2000"]
+        ) == 0
+        capsys.readouterr()
+        found = segments(path)
+        assert len(found) >= 2, "expected at least one rotation"
+        for segment in found:
+            _, errors = validate_trace(segment)
+            assert errors == [], f"{segment.name}: {errors}"

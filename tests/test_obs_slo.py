@@ -1,0 +1,211 @@
+"""Tests for the SLO evaluator (repro.obs.slo) and its robustness bridge.
+
+The design rule under test everywhere: evaluation is fail-closed — an
+objective over a metric the run never recorded FAILs rather than passing
+vacuously.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import Objective, evaluate, parse_objectives
+
+
+def registry_with(timer_values=(), counters=(), gauges=()):
+    registry = MetricsRegistry()
+    for name, values in timer_values:
+        timer = registry.timer(name)
+        for value in values:
+            timer.observe(value)
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    return registry
+
+
+class TestObjectiveParse:
+    def test_timer_stat_form(self):
+        objective = Objective.parse("p99(grid.cell) < 2s")
+        assert objective.stat == "p99"
+        assert objective.target == "grid.cell"
+        assert objective.op == "<"
+        assert objective.threshold == 2.0
+
+    def test_bare_scalar_form(self):
+        objective = Objective.parse("survival_rate >= 0.95")
+        assert objective.stat is None
+        assert objective.target == "survival_rate"
+        assert objective.threshold == 0.95
+
+    @pytest.mark.parametrize(
+        "text,threshold",
+        [
+            ("p50(x) < 250ms", 0.25),
+            ("p50(x) < 1500us", 0.0015),
+            ("survival_rate >= 95%", 0.95),
+            ("mean(x) <= 1.5s", 1.5),
+            ("count(x) == 4", 4.0),
+        ],
+    )
+    def test_units_scale(self, text, threshold):
+        assert Objective.parse(text).threshold == pytest.approx(threshold)
+
+    def test_unknown_stat_rejected(self):
+        with pytest.raises(ValueError, match="unknown statistic"):
+            Objective.parse("p42(x) < 1")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            Objective.parse("what even is this")
+
+    def test_parse_objectives_skips_blanks_and_comments(self):
+        objectives = parse_objectives(
+            ["", "# a comment", "p99(x) < 1s", "   ", "y >= 2"]
+        )
+        assert [o.text for o in objectives] == ["p99(x) < 1s", "y >= 2"]
+
+
+class TestEvaluate:
+    def test_timer_stats_resolve_with_span_prefix(self):
+        registry = registry_with(
+            timer_values=[("span.grid.cell", [0.1, 0.2, 0.3])]
+        )
+        report = evaluate(
+            ["p99(grid.cell) < 2s", "count(grid.cell) == 3",
+             "max(grid.cell) >= 300ms"],
+            registry=registry,
+        )
+        assert report.passed
+        assert all(r.detail == "timer span.grid.cell" for r in report.results)
+
+    def test_missing_metric_fails_closed(self):
+        report = evaluate(["p99(ghost) < 10s"], registry=MetricsRegistry())
+        assert not report.passed
+        (result,) = report.results
+        assert result.observed is None
+        assert result.detail == "metric not recorded"
+
+    def test_bare_names_resolve_extras_then_gauges_then_counters(self):
+        registry = registry_with(
+            counters=[("sim.restarts", 3)], gauges=[("sim.makespan", 28.0)]
+        )
+        report = evaluate(
+            ["sim.restarts <= 3", "sim.makespan < 30", "survival_rate >= 0.9"],
+            registry=registry,
+            extras={"survival_rate": 1.0},
+        )
+        assert report.passed
+        details = [r.detail for r in report.results]
+        assert details == ["counter", "gauge", "extras"]
+
+    def test_extras_shadow_registry(self):
+        registry = registry_with(gauges=[("x", 100.0)])
+        report = evaluate(["x < 1"], registry=registry, extras={"x": 0.5})
+        assert report.passed  # extras win
+
+    def test_count_falls_back_to_counters(self):
+        registry = registry_with(counters=[("grid.cells_done", 6)])
+        report = evaluate(["count(grid.cells_done) >= 6"], registry=registry)
+        assert report.passed
+
+    def test_failing_threshold(self):
+        registry = registry_with(timer_values=[("span.x", [5.0])])
+        report = evaluate(["p99(x) < 2s"], registry=registry)
+        assert not report.passed
+        assert report.failures[0].observed == pytest.approx(5.0)
+
+    def test_report_rows_render_status_and_missing_observed(self):
+        report = evaluate(["ghost >= 1"], registry=MetricsRegistry())
+        (row,) = report.rows()
+        assert row["status"] == "FAIL"
+        assert row["observed"] == "-"
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        registry = registry_with(counters=[("c", 1)])
+        payload = json.loads(
+            json.dumps(evaluate(["c == 1"], registry=registry).as_dict())
+        )
+        assert payload["passed"] is True
+        assert payload["objectives"][0]["objective"] == "c == 1"
+
+    def test_accepts_pre_parsed_objectives(self):
+        registry = registry_with(counters=[("c", 1)])
+        report = evaluate([Objective.parse("c == 1")], registry=registry)
+        assert report.passed
+
+
+class TestRobustnessBridge:
+    def run_records(self):
+        import repro
+        from repro.analysis.robustness import run_fault_grid
+        from repro.faults import RandomCrashes
+        from repro.uncertainty.stochastic import sample_realization
+        from repro.workloads.generators import uniform_instance
+
+        import numpy as np
+
+        strategies = [repro.LPTNoRestriction()]
+        model = RandomCrashes(2, count=(0, 1), window=(0.0, 5.0))
+        rng = np.random.default_rng(7)
+        plans = [model.sample(rng) for _ in range(4)]
+        instances = [uniform_instance(6, 2, alpha=1.5, seed=i) for i in range(4)]
+        realizations = [
+            sample_realization(inst, "log_uniform", i)
+            for i, inst in enumerate(instances)
+        ]
+        return run_fault_grid(strategies, instances, realizations, plans)
+
+    def test_slo_report_exposes_fault_statistics(self):
+        from repro.analysis.robustness import slo_report
+        from repro.obs import MemorySink, observed
+
+        with observed(MemorySink()) as tracer:
+            records = self.run_records()
+            registry = tracer.registry
+        report = slo_report(
+            records,
+            ["survival_rate >= 0.95", "runs == 4", "p99(fault_run) < 5s"],
+            registry=registry,
+        )
+        assert report.passed
+
+    def test_no_survivors_fails_inflation_objective_closed(self):
+        from repro.analysis.robustness import FaultRunRecord, slo_report
+
+        dead = [
+            FaultRunRecord(
+                strategy="s", replication=1, scenario=0, n_faults=1,
+                survived=False, makespan=math.nan, baseline_makespan=1.0,
+                inflation=math.nan, restarts=0, error="boom",
+            )
+        ]
+        report = slo_report(
+            dead, ["mean_inflation < 2.0"], registry=MetricsRegistry()
+        )
+        assert not report.passed
+        assert report.failures[0].detail == "metric not recorded"
+
+
+class TestCliDemo:
+    def test_inject_demo_passes_slo_and_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["obs", "--n", "12", "--m", "4", "--inject", "every=2,fails=1",
+             "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "FAIL" not in out
+
+    def test_bad_inject_spec_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "--inject", "nonsense=1"]) == 2

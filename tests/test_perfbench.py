@@ -133,6 +133,113 @@ class TestMain:
         assert rc == 2
 
 
+class TestTracerOverhead:
+    def test_scenario_and_derived(self, payload):
+        assert payload["scenarios"]["tracer_overhead"]["min_s"] > 0
+        calls = payload["derived"]["tracer_calls"]
+        assert calls["spans"] > 0 and calls["counts"] > 0
+        pct = payload["derived"]["tracer_overhead_pct"]
+        assert 0 < pct < perfbench.DEFAULT_OVERHEAD_LIMIT_PCT
+
+    def test_count_tracer_calls_tallies_disabled_path(self):
+        from repro.obs.tracer import get_tracer
+
+        def reference():
+            tr = get_tracer()
+            with tr.span("x"):
+                tr.count("y")
+                tr.count("y", 5)  # one call, whatever the delta
+            tr.event("z")
+
+        calls = perfbench._count_tracer_calls(reference)
+        assert calls == {"spans": 1, "events": 1, "counts": 2}
+        # The tallying shims are removed afterwards.
+        assert "span" not in vars(get_tracer())
+
+    def test_count_requires_untraced_run(self):
+        from repro.obs import MemorySink, observed
+
+        with observed(MemorySink()):
+            with pytest.raises(AssertionError):
+                perfbench._count_tracer_calls(lambda: None)
+
+    def test_overhead_gate_is_fresh_only(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["tracer_overhead_pct"] = 5.0
+        problems = perfbench.check_regression(fresh, payload)
+        assert any("overhead" in p for p in problems)
+
+    def test_old_baselines_without_overhead_field_pass(self, payload):
+        old = copy.deepcopy(payload)
+        old["derived"].pop("tracer_overhead_pct")
+        old["derived"].pop("tracer_calls")
+        assert perfbench.check_regression(payload, old) == []
+
+
+class TestHistory:
+    def test_history_rides_along_with_the_artifact(
+        self, payload, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        out = tmp_path / "bench.json"
+        assert perfbench.main(["--quick", "--out", str(out)]) == 0
+        history = tmp_path / "BENCH_history.jsonl"
+        rows = [json.loads(line) for line in history.read_text().splitlines()]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["schema"] == perfbench.HISTORY_SCHEMA
+        assert row["ts"]
+        assert row["scenarios"]["batch_sweep"] > 0
+        assert row["derived"]["batch_speedup_x"] > 1.0
+        # Nested derived values (tracer_calls) stay out of the compact row.
+        assert "tracer_calls" not in row["derived"]
+        sidecar = json.loads(history.with_suffix(".manifest.json").read_text())
+        # bench_manifest may also snapshot tracer metrics; pin only ours.
+        assert sidecar["params"]["rows"] == 1
+        assert sidecar["params"]["schema"] == perfbench.HISTORY_SCHEMA
+
+    def test_history_appends_and_sidecar_tracks_rows(
+        self, payload, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        out = tmp_path / "bench.json"
+        for _ in range(2):
+            assert perfbench.main(["--quick", "--out", str(out)]) == 0
+        history = tmp_path / "BENCH_history.jsonl"
+        assert len(history.read_text().splitlines()) == 2
+        sidecar = json.loads(history.with_suffix(".manifest.json").read_text())
+        assert sidecar["params"]["rows"] == 2
+
+    def test_no_history_opts_out(self, payload, tmp_path, monkeypatch):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        out = tmp_path / "bench.json"
+        assert perfbench.main(["--quick", "--out", str(out), "--no-history"]) == 0
+        assert out.exists()
+        assert not (tmp_path / "BENCH_history.jsonl").exists()
+
+    def test_check_without_out_writes_nothing(
+        self, payload, tmp_path, monkeypatch
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        monkeypatch.chdir(tmp_path)
+        rc = perfbench.main(["--quick", "--check", "--baseline", str(baseline)])
+        assert rc == 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["baseline.json"]
+
+    def test_explicit_history_path_wins(self, payload, tmp_path, monkeypatch):
+        monkeypatch.setattr(perfbench, "run_bench", lambda **kw: payload)
+        out = tmp_path / "bench.json"
+        history = tmp_path / "elsewhere" / "hist.jsonl"
+        rc = perfbench.main(
+            ["--quick", "--out", str(out), "--history", str(history)]
+        )
+        assert rc == 0
+        assert history.exists()
+        assert not (tmp_path / "BENCH_history.jsonl").exists()
+
+
 class TestCommittedBaseline:
     """The repo ships its own perf trajectory; keep it honest."""
 
@@ -145,3 +252,30 @@ class TestCommittedBaseline:
         assert len(data["scenarios"]) >= 4
         assert data["derived"]["batch_speedup_x"] >= 3.0
         assert data["derived"]["records_equal"] is True
+
+    def test_committed_baseline_carries_the_overhead_scenario(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        data = json.loads((root / "BENCH_perf.json").read_text())
+        assert data["scenarios"]["tracer_overhead"]["min_s"] > 0
+        assert (
+            0
+            < data["derived"]["tracer_overhead_pct"]
+            < perfbench.DEFAULT_OVERHEAD_LIMIT_PCT
+        )
+
+    def test_committed_history_has_rows(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        history = root / "results" / "BENCH_history.jsonl"
+        rows = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+            if line
+        ]
+        assert rows
+        assert all(r["schema"] == perfbench.HISTORY_SCHEMA for r in rows)
+        sidecar = json.loads(history.with_suffix(".manifest.json").read_text())
+        assert sidecar["params"]["rows"] == len(rows)
