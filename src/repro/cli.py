@@ -19,6 +19,8 @@ subcommands so results can be regenerated without pytest:
 ``obs analyze``      Span aggregates + critical path of a JSONL trace
 ``obs export``       OpenMetrics text exposition of a JSONL trace
 ``bench``            Perf scenarios → ``BENCH_perf.json`` (``--check`` gates)
+``serve``            Placement-as-a-service daemon (``docs/service.md``)
+``loadgen``          Synthetic-tenant load generator against ``serve``
 ===================  ====================================================
 
 ``run`` and ``sweep`` accept ``--trace PATH`` (write a JSONL event trace,
@@ -338,6 +340,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-history",
         action="store_true",
         help="skip appending the perf-trajectory row",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the placement-as-a-service daemon (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--strategy", default="ls_group[k=2]", help="placement family spec"
+    )
+    serve.add_argument("--m", type=int, default=8, help="simulated machine count")
+    serve.add_argument("--alpha", type=float, default=1.5)
+    serve.add_argument(
+        "--model",
+        default="log_uniform",
+        help="actual-duration model (truthful, log_uniform, bimodal_extreme)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="duration-draw seed")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="TCP port (0 = pick free; default 8765, or TCP off when --socket set)",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="also/instead listen on a unix domain socket at PATH",
+    )
+    serve.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        help="virtual seconds per real second (0 = run the cluster eagerly)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="keep an OpenMetrics exposition refreshed at PATH (scrapable file)",
+    )
+    _add_obs_flags(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive seeded synthetic tenants against a running daemon",
+    )
+    loadgen.add_argument("--tenants", type=int, default=100)
+    loadgen.add_argument(
+        "--tasks", type=int, default=5, help="tasks submitted per tenant"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed")
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=64,
+        help="max simultaneous tenant connections (fd cap)",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None, help="daemon TCP port")
+    loadgen.add_argument(
+        "--socket", default=None, metavar="PATH", help="daemon unix socket path"
+    )
+    loadgen.add_argument(
+        "--drain",
+        action="store_true",
+        help="finish by draining the daemon's queue (keeps it running)",
+    )
+    loadgen.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="finish by draining and stopping the daemon",
+    )
+    loadgen.add_argument(
+        "--json", default=None, metavar="PATH", help="write the full report as JSON"
     )
     return parser
 
@@ -813,6 +892,104 @@ def _cmd_regimes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.daemon import ServiceDaemon
+    from repro.service.scheduler import ServiceScheduler
+
+    port = args.port
+    if port is None:
+        port = None if args.socket else 8765
+    scheduler = ServiceScheduler(
+        args.strategy, m=args.m, alpha=args.alpha, model=args.model, seed=args.seed
+    )
+    daemon = ServiceDaemon(
+        scheduler,
+        host=args.host,
+        port=port,
+        socket_path=args.socket,
+        metrics_out=args.metrics_out,
+        pace=args.pace,
+    )
+
+    async def _run() -> None:
+        server = asyncio.ensure_future(daemon.serve())
+        await daemon.started.wait()
+        listening = []
+        if daemon.port is not None:
+            listening.append(f"http://{args.host}:{daemon.port}")
+        if args.socket:
+            listening.append(f"unix:{args.socket}")
+        print(
+            f"repro service listening on {' and '.join(listening)} "
+            f"({scheduler.placer.canonical_spec}, m={scheduler.m}, "
+            f"alpha={scheduler.alpha}, model={scheduler.model})",
+            flush=True,
+        )
+        await server
+
+    with _observability(
+        args.trace, args.metrics, max_bytes=args.trace_max_bytes, force=True
+    ):
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+    print("service stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.service.loadgen import make_workload, run_loadgen
+
+    if (args.port is None) == (args.socket is None):
+        print("loadgen: pass exactly one of --port or --socket", file=sys.stderr)
+        return 2
+    workload = make_workload(args.tenants, args.tasks, seed=args.seed)
+    report = asyncio.run(
+        run_loadgen(
+            workload,
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            concurrency=args.concurrency,
+            drain=args.drain and not args.shutdown,
+            shutdown=args.shutdown,
+        )
+    )
+    payload = report.as_dict()
+    if args.json:
+        from pathlib import Path
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {out}")
+    print(f"tenants      : {report.tenants} ({report.tasks} unique tasks)")
+    print(f"requests     : {report.requests} ({report.deduplicated} deduplicated)")
+    print(f"errors       : {report.errors}")
+    print(f"wall         : {report.wall_s:.3f}s ({report.throughput_rps:.0f} req/s)")
+    print(
+        f"latency      : p50 {report.latency_p50_ms:.2f}ms, "
+        f"p99 {report.latency_p99_ms:.2f}ms"
+    )
+    print(f"digest       : {report.decision_digest[:16]}…")
+    status = report.final_status
+    if status:
+        dropped = status.get("admitted", 0) - status.get("done", 0)
+        if args.drain or args.shutdown:
+            print(f"dropped      : {dropped} of {status.get('admitted', 0)} admitted")
+    if report.errors:
+        return 1
+    if (args.drain or args.shutdown) and status.get("admitted") != status.get("done"):
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -899,6 +1076,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.no_history:
             forwarded.append("--no-history")
         return perfbench_main(forwarded)
+    elif command == "serve":
+        return _cmd_serve(args)
+    elif command == "loadgen":
+        return _cmd_loadgen(args)
     else:  # pragma: no cover — argparse enforces the choices
         raise AssertionError(f"unhandled command {command}")
     return 0

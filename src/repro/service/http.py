@@ -1,0 +1,183 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The daemon deliberately does not depend on an HTTP framework — the repo's
+no-new-dependencies rule is a feature here, because the protocol surface
+the service needs is tiny: JSON request/response bodies, a handful of
+routes, keep-alive, and both TCP and ``AF_UNIX`` transports.  This
+module is that surface and nothing more: request parsing
+(:func:`read_request`), response writing (:func:`write_response`), and
+the small value types the daemon's route handlers exchange.
+
+It is intentionally not a general server: no chunked encoding, no
+pipelining guarantees beyond serial keep-alive, bounded header and body
+sizes (oversized requests are a 413, not a memory hazard).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.protocol import AdmissionError
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "read_request",
+    "write_response",
+    "json_response",
+    "error_response",
+    "MAX_BODY_BYTES",
+]
+
+#: Request bodies above this are rejected with 413 (a task admission is
+#: a few hundred bytes; anything larger is a client bug).
+MAX_BODY_BYTES = 1 << 20
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_HEADERS = 64
+
+
+class HttpError(Exception):
+    """A protocol-level failure mapped straight to a status code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed request: method, split path, query, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool = True
+
+    def json(self) -> dict[str, Any]:
+        """Decode the body as a JSON object (strictly: top level must be
+        an object).  Raises :class:`AdmissionError` on malformed input so
+        handlers surface a uniform 400."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise AdmissionError("bad_json", f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise AdmissionError("bad_json", "request body must be a JSON object")
+        return payload
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """Last value of query parameter ``name`` (or ``default``)."""
+        values = self.query.get(name)
+        return values[-1] if values else default
+
+
+@dataclass
+class Response:
+    """One response: status, headers, body bytes (already encoded)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def json_response(payload: dict[str, Any], status: int = 200) -> Response:
+    """A JSON response (compact separators, trailing newline for curl)."""
+    body = (json.dumps(payload, separators=(",", ":"), sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def error_response(status: int, code: str, message: str) -> Response:
+    """The uniform error envelope: ``{"error": {"code", "message"}}``."""
+    return json_response({"error": {"code": code, "message": message}}, status=status)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed or oversized requests — the
+    caller answers with the error and closes the connection.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_HEADER_LINE:
+        raise HttpError(400, "bad_request", "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request", f"malformed request line {line!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(raw) > _MAX_HEADER_LINE or len(headers) >= _MAX_HEADERS:
+            raise HttpError(400, "bad_request", "headers too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "bad_request", f"malformed header {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, "bad_request", f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, "too_large", f"body of {length} bytes refused")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, *, keep_alive: bool
+) -> None:
+    """Serialize ``response`` and flush it to the peer."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()

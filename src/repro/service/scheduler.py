@@ -1,0 +1,348 @@
+"""The deterministic core of the placement service.
+
+Everything stateful about the daemon lives here, synchronously, with no
+I/O — the asyncio shell (:mod:`repro.service.daemon`) only translates
+HTTP into these calls.  That split keeps the online scheduler testable
+the same way the kernels are: feed admissions, pump events, assert the
+trace.
+
+The core replays the event kernel's discipline in **virtual time**:
+
+* Admissions run Phase 1 immediately (:class:`~repro.service.placement.
+  OnlinePlacer`), stamp the task with the current virtual clock, and
+  dispatch it at once if a machine of its replica set is idle.
+* Machine completions live in a :class:`~repro.simulation.events.
+  EventQueue` keyed ``(time, kind, seq)``.  A completion at time *t*
+  enqueues the machine's idle poll at the same *t*; because
+  ``TASK_COMPLETION`` outranks ``MACHINE_IDLE``, *every* completion at an
+  instant is revealed before *any* dispatch decision at that instant —
+  the same same-instant contract :class:`~repro.simulation.kernel.
+  EventKernel` enforces, and the semi-clairvoyant model's "durations are
+  known once tasks complete".
+* Phase-2 dispatch is List Scheduling in admission order: an idle
+  machine takes the earliest admitted still-queued task whose replica
+  set contains it (:class:`~repro.core.strategy.FixedOrderPolicy`
+  semantics, including the low-water-mark scan).
+
+Consequence, asserted by ``tests/test_service.py``: admitting a batch of
+tasks and draining reproduces the offline
+:func:`~repro.simulation.engine.simulate` run of the same strategy task
+for task — machines, start times, completion times, makespan.
+
+Actual durations are drawn per task from a seeded model inside the
+α-band (hidden until completion, like the kernel's realization), keyed
+by ``(seed, tid)`` so results do not depend on draw order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.obs import get_tracer
+from repro.service.placement import OnlinePlacer
+from repro.service.protocol import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+    AdmissionError,
+    TaskRecord,
+    TaskState,
+    encode_page_token,
+)
+from repro.simulation.events import EventKind, EventQueue
+
+__all__ = ["ServiceScheduler", "DURATION_MODELS"]
+
+#: Actual-duration models the service can draw from, all confined to the
+#: α-band by construction.  ``truthful`` makes actuals equal estimates
+#: (α plays no role), ``log_uniform`` matches the stochastic suite's
+#: default shape, ``bimodal_extreme`` stresses the band's endpoints.
+DURATION_MODELS = ("truthful", "log_uniform", "bimodal_extreme")
+
+
+class ServiceScheduler:
+    """Online admission + placement + dispatch over a simulated cluster.
+
+    Parameters
+    ----------
+    strategy:
+        Registry spec selecting the placement family (must be
+        partition-structured; see :class:`~repro.service.placement.
+        OnlinePlacer`).
+    m:
+        Machine count of the simulated cluster.
+    alpha:
+        Uncertainty factor; actual durations are drawn within
+        :math:`[\\tilde p/\\alpha, \\alpha\\tilde p]`.
+    model:
+        One of :data:`DURATION_MODELS`.
+    seed:
+        Seed for the duration draws; ``(seed, tid)`` keys each task's
+        draw, so identical admission sequences give identical runs.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "ls_group[k=2]",
+        *,
+        m: int = 8,
+        alpha: float = 1.5,
+        model: str = "log_uniform",
+        seed: int = 0,
+    ) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        if model not in DURATION_MODELS:
+            raise ValueError(
+                f"unknown duration model {model!r}; known: {DURATION_MODELS}"
+            )
+        self.placer = OnlinePlacer(strategy, m)
+        self.m = m
+        self.alpha = float(alpha)
+        self.model = model
+        self.seed = int(seed)
+        self.clock = 0.0
+        self.records: list[TaskRecord] = []
+        self.busy: dict[int, int] = {}  # machine -> running tid
+        self.queue = EventQueue()
+        self.completed = 0
+        self.deduplicated = 0
+        self._by_key: dict[str, int] = {}
+        self._actuals: dict[int, float] = {}  # hidden until completion
+        self._first_queued = 0  # low-water mark into self.records
+        self._draining = False
+
+    # -- admission (Phase 1) ----------------------------------------------
+    def admit(
+        self,
+        tenant: str,
+        estimate: float,
+        *,
+        size: float = 0.0,
+        key: str | None = None,
+    ) -> tuple[TaskRecord, bool]:
+        """Admit one task; returns ``(record, created)``.
+
+        ``created`` is ``False`` when ``key`` replays an earlier
+        admission — the original record is returned unchanged and no new
+        task exists (at-most-once admission for retrying clients).
+        Raises :class:`AdmissionError` on invalid input or after
+        :meth:`begin_drain`.
+        """
+        tracer = get_tracer()
+        if key is not None:
+            prior = self._by_key.get(key)
+            if prior is not None:
+                self.deduplicated += 1
+                if tracer.enabled:
+                    tracer.count("service.admissions_deduped")
+                return self.records[prior], False
+        if self._draining:
+            raise AdmissionError(
+                "draining", "the service is draining and admits no new tasks"
+            )
+        if not isinstance(estimate, (int, float)) or isinstance(estimate, bool):
+            raise AdmissionError("bad_estimate", f"estimate must be a number, got {estimate!r}")
+        estimate = float(estimate)
+        if not math.isfinite(estimate) or estimate <= 0.0:
+            raise AdmissionError(
+                "bad_estimate", f"estimate must be finite and > 0, got {estimate}"
+            )
+        size = float(size)
+        if not math.isfinite(size) or size < 0.0:
+            raise AdmissionError("bad_size", f"size must be finite and >= 0, got {size}")
+
+        tid = len(self.records)
+        group, machines = self.placer.assign(estimate)
+        record = TaskRecord(
+            tid=tid,
+            tenant=str(tenant),
+            key=key,
+            estimate=estimate,
+            size=size,
+            group=group,
+            machines=machines,
+            admitted_at=self.clock,
+        )
+        self.records.append(record)
+        if key is not None:
+            self._by_key[key] = tid
+        self._actuals[tid] = self._draw_actual(tid, estimate)
+        if tracer.enabled:
+            tracer.count("service.admissions")
+            tracer.event(
+                "service.admit",
+                task=tid,
+                tenant=record.tenant,
+                group=group,
+                replication=len(machines),
+                t=self.clock,
+            )
+            tracer.registry.gauge("service.queue_depth").set(float(self.queued))
+        # Work-conserving: an idle replica holder takes the task now.
+        for machine in machines:
+            if machine not in self.busy:
+                self._dispatch(tid, machine, self.clock)
+                break
+        return record, True
+
+    def _draw_actual(self, tid: int, estimate: float) -> float:
+        """Seeded duration inside the α-band, independent of draw order."""
+        if self.model == "truthful" or self.alpha == 1.0:
+            return estimate
+        rng = np.random.default_rng([self.seed, tid])
+        if self.model == "bimodal_extreme":
+            factor = self.alpha if rng.random() < 0.5 else 1.0 / self.alpha
+        else:  # log_uniform
+            factor = float(self.alpha ** rng.uniform(-1.0, 1.0))
+        return estimate * factor
+
+    # -- Phase-2 dispatch --------------------------------------------------
+    def _select(self, machine: int) -> int | None:
+        """Earliest admitted queued task with a replica on ``machine``.
+
+        The same scan as :class:`~repro.core.strategy.FixedOrderPolicy`
+        over admission order, low-water mark included — Phase 2 is List
+        Scheduling within the placement.
+        """
+        records = self.records
+        while (
+            self._first_queued < len(records)
+            and records[self._first_queued].state is not TaskState.QUEUED
+        ):
+            self._first_queued += 1
+        for pos in range(self._first_queued, len(records)):
+            record = records[pos]
+            if record.state is TaskState.QUEUED and machine in record.machines:
+                return record.tid
+        return None
+
+    def _dispatch(self, tid: int, machine: int, now: float) -> None:
+        record = self.records[tid]
+        record.state = TaskState.RUNNING
+        record.machine = machine
+        record.started_at = now
+        self.busy[machine] = tid
+        # Unit-speed cluster: duration == actual, the kernel's p/1.0.
+        self.queue.push(now + self._actuals[tid], EventKind.TASK_COMPLETION, (tid, machine))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("service.dispatches")
+            tracer.event("service.dispatch", task=tid, machine=machine, t=now)
+            tracer.registry.timer("service.task_wait").observe(now - record.admitted_at)
+
+    # -- the event pump ----------------------------------------------------
+    def step(self) -> dict[str, Any] | None:
+        """Process one virtual-time event; ``None`` when nothing is queued.
+
+        Returns a small description of what happened (for the daemon's
+        pacing loop and for tests); the same-instant ordering guarantees
+        are inherited from :class:`~repro.simulation.events.EventKind`.
+        """
+        if not self.queue:
+            return None
+        ev = self.queue.pop()
+        self.clock = ev.time
+        tracer = get_tracer()
+        if ev.kind == EventKind.TASK_COMPLETION:
+            tid, machine = ev.payload
+            record = self.records[tid]
+            record.state = TaskState.DONE
+            record.finished_at = ev.time
+            record.actual = self._actuals.pop(tid)
+            del self.busy[machine]
+            self.completed += 1
+            self.queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+            if tracer.enabled:
+                tracer.count("service.completions")
+                tracer.event("service.complete", task=tid, machine=machine, t=ev.time)
+                tracer.registry.timer("service.task_response").observe(
+                    ev.time - record.admitted_at
+                )
+            return {"kind": "completion", "task": tid, "machine": machine, "t": ev.time}
+        if ev.kind == EventKind.MACHINE_IDLE:
+            machine = ev.payload
+            if machine in self.busy:
+                return {"kind": "idle", "machine": machine, "t": ev.time, "stale": True}
+            tid = self._select(machine)
+            if tid is not None:
+                self._dispatch(tid, machine, ev.time)
+            if tracer.enabled:
+                tracer.registry.gauge("service.queue_depth").set(float(self.queued))
+            return {"kind": "idle", "machine": machine, "t": ev.time, "dispatched": tid}
+        raise AssertionError(f"unexpected service event kind {ev.kind!r}")
+
+    def drain(self) -> int:
+        """Pump events until the cluster is quiet; returns events processed.
+
+        Graceful-shutdown semantics: every admitted task completes (there
+        is no drop path), so after ``drain`` the queue depth and the busy
+        set are both empty.
+        """
+        steps = 0
+        while self.step() is not None:
+            steps += 1
+        return steps
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted tasks still run to completion."""
+        self._draining = True
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` was called."""
+        return self._draining
+
+    @property
+    def queued(self) -> int:
+        """Tasks admitted but not yet dispatched."""
+        return len(self.records) - self.completed - len(self.busy)
+
+    def get(self, tid: int) -> TaskRecord | None:
+        """The record for ``tid``, or ``None``."""
+        if 0 <= tid < len(self.records):
+            return self.records[tid]
+        return None
+
+    def page(
+        self, cursor: int = 0, limit: int | None = None
+    ) -> tuple[list[TaskRecord], str | None]:
+        """A stable listing page: records from ``cursor``, plus next token.
+
+        Cursors are task ids, so concurrent admissions only ever append
+        *after* an open cursor — a client walking pages sees each task
+        exactly once.
+        """
+        if limit is None:
+            limit = DEFAULT_PAGE_LIMIT
+        limit = max(1, min(int(limit), MAX_PAGE_LIMIT))
+        cursor = max(0, int(cursor))
+        chunk = self.records[cursor : cursor + limit]
+        next_token = (
+            encode_page_token(cursor + limit)
+            if cursor + limit < len(self.records)
+            else None
+        )
+        return list(chunk), next_token
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters for the status/queue endpoints."""
+        return {
+            "clock": self.clock,
+            "strategy": self.placer.canonical_spec,
+            "replication": self.placer.replication,
+            "groups": self.placer.k,
+            "machines": self.m,
+            "alpha": self.alpha,
+            "model": self.model,
+            "seed": self.seed,
+            "admitted": len(self.records),
+            "deduplicated": self.deduplicated,
+            "queued": self.queued,
+            "running": len(self.busy),
+            "done": self.completed,
+            "draining": self._draining,
+        }

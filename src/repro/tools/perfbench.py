@@ -23,7 +23,16 @@ root) so the repository carries its own performance trajectory:
   derived ``tracer_overhead_pct`` (relative to the event-kernel sweep)
   is gated at <:data:`DEFAULT_OVERHEAD_LIMIT_PCT`% in ``--check`` — a
   regression guard against unguarded per-event instrumentation landing
-  in a hot loop, which multiplies the call count a few hundredfold.
+  in a hot loop, which multiplies the call count a few hundredfold;
+* ``service_loadgen`` — one end-to-end
+  :func:`~repro.service.loadgen.run_burst`: the placement daemon comes
+  up on loopback TCP, seeded synthetic tenants stream admissions (with
+  scripted idempotency retries) through Phase-1 placement, the queue
+  drains through Phase-2 dispatch, and the daemon shuts down.  The
+  derived ``service_zero_drop`` flag (every admitted task completed,
+  zero request errors) is gated fresh-run-only in ``--check``;
+  ``service_throughput_rps`` is recorded for the trajectory but never
+  gated (absolute, hardware-dependent).
 
 Before any timing, the harness asserts that the batch, serial, and
 parallel runs produce **identical record lists** — the bench doubles as
@@ -47,7 +56,8 @@ Schema (``repro.perfbench/1``)::
       "grid": {family, n, m, alpha, strategies, model, seeds, cells},
       "scenarios": {name: {"median_s", "stdev_s", "min_s", "runs"}},
       "derived": {"batch_speedup_x", "cache_speedup_x", "records_equal",
-                  "tracer_overhead_pct", "tracer_calls"}
+                  "tracer_overhead_pct", "tracer_calls",
+                  "service_zero_drop", "service_throughput_rps"}
     }
 
 A ``*.manifest.json`` provenance sidecar (with the wall-clock timestamp
@@ -276,6 +286,33 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         lambda: _disabled_tracer_calls(tracer_calls), repeats
     )
 
+    # One whole daemon lifecycle per run: admissions in, queue drained,
+    # daemon down.  tasks_per_tenant covers one RETRY_EVERY period so the
+    # dedup path is always on the timed path; the tracer stays disabled
+    # (run_burst never enables it), so the overhead tally above is
+    # untouched by this scenario.
+    from repro.service.loadgen import RETRY_EVERY, run_burst
+
+    svc_tenants = 30 if quick else 80
+    last_burst: list[Any] = []
+
+    def _service_burst() -> None:
+        last_burst[:] = [
+            run_burst(
+                svc_tenants,
+                RETRY_EVERY,
+                seed=cfg["instance_seed"],
+                concurrency=16,
+            )
+        ]
+
+    scenarios["service_loadgen"] = _time_scenario(_service_burst, repeats)
+    burst = last_burst[0]
+    service_zero_drop = (
+        burst.errors == 0
+        and burst.final_status.get("admitted") == burst.final_status.get("done")
+    )
+
     # Speedups gate CI, so derive them from min_s: timing noise is purely
     # additive, making the minimum the most reproducible point estimate.
     ek = scenarios["eventkernel_sweep"]["min_s"]
@@ -285,6 +322,8 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         "records_equal": records_equal,
         "tracer_calls": tracer_calls,
         "tracer_overhead_pct": 100.0 * scenarios["tracer_overhead"]["min_s"] / ek,
+        "service_zero_drop": service_zero_drop,
+        "service_throughput_rps": burst.throughput_rps,
     }
     return {
         "schema": SCHEMA,
@@ -383,6 +422,11 @@ def check_regression(
         return problems
     if not fresh["derived"]["records_equal"]:
         problems.append("fresh run: batch/serial/parallel records diverged")
+    if fresh["derived"].get("service_zero_drop") is False:
+        problems.append(
+            "fresh run: service_loadgen burst dropped tasks or saw request "
+            "errors — the daemon must complete every admitted task"
+        )
     overhead = fresh["derived"].get("tracer_overhead_pct")
     if overhead is not None and overhead >= DEFAULT_OVERHEAD_LIMIT_PCT:
         problems.append(
@@ -430,6 +474,11 @@ def _summarize(payload: dict[str, Any]) -> str:
         lines.append(
             f"  disabled-tracer overhead {d['tracer_overhead_pct']:.3f}% "
             f"of the event-kernel sweep ({total} instrumentation calls)"
+        )
+    if "service_throughput_rps" in d:
+        lines.append(
+            f"  service loadgen {d['service_throughput_rps']:.0f} req/s, "
+            f"zero drop: {d['service_zero_drop']}"
         )
     return "\n".join(lines)
 
