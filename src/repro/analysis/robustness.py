@@ -40,6 +40,7 @@ from repro.uncertainty.realization import Realization
 
 __all__ = [
     "FaultRunRecord",
+    "MissingBaselineError",
     "run_under_faults",
     "run_fault_grid",
     "survival_rate",
@@ -48,6 +49,17 @@ __all__ = [
     "availability_curve",
     "slo_report",
 ]
+
+
+class MissingBaselineError(ValueError):
+    """A statistic needed the 0-failure control arm and it was not usable.
+
+    Raised instead of silently dividing by a zero/NaN baseline: inflation
+    is *relative to the fault-free run of the same realization*, so a
+    missing or degenerate baseline makes the ratio meaningless — the
+    typed error tells the caller to supply (or recompute) the control arm
+    rather than shipping ``inf``/``nan`` into downstream tables.
+    """
 
 
 @dataclass(frozen=True)
@@ -123,6 +135,11 @@ def run_under_faults(
             placement, realization, strategy.make_policy(instance, placement)
         )
         baseline_makespan = baseline.makespan
+    if not math.isfinite(baseline_makespan) or baseline_makespan <= 0:
+        raise MissingBaselineError(
+            f"baseline makespan must be finite and > 0 to measure inflation, "
+            f"got {baseline_makespan!r} (supply the 0-failure control arm)"
+        )
     with tracer.span(
         "fault_run", strategy=strategy.name, scenario=scenario, faults=len(plan.faults)
     ) as span:
@@ -206,10 +223,24 @@ def survival_rate(records: Iterable[FaultRunRecord]) -> float:
 
 
 def inflation_summary(records: Iterable[FaultRunRecord]) -> Summary | None:
-    """Summary statistics of survivors' makespan inflation (None if no survivors)."""
-    inflations = [r.inflation for r in records if r.survived]
-    if not inflations:
+    """Summary statistics of survivors' makespan inflation.
+
+    ``None`` when nothing survived (there is no inflation to summarize —
+    callers render it as a dead cell).  Raises
+    :class:`MissingBaselineError` when survivors exist but none carries a
+    finite inflation: that means the records were built without the
+    0-failure control arm, and averaging NaNs would silently poison the
+    summary instead of flagging the missing baseline.
+    """
+    survivors = [r for r in records if r.survived]
+    if not survivors:
         return None
+    inflations = [r.inflation for r in survivors if math.isfinite(r.inflation)]
+    if not inflations:
+        raise MissingBaselineError(
+            f"{len(survivors)} survivor(s) but no finite inflation values — "
+            "the records lack the 0-failure control arm"
+        )
     return summarize(inflations)
 
 

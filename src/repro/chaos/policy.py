@@ -1,0 +1,415 @@
+"""Health policies, circuit breakers, and bulkheads for the service.
+
+The declarative state machine follows DIRAC's ResourceStatusSystem
+idiom: an entity (a machine, a rack) moves through **healthy → suspect →
+quarantined → recovered → healthy**, transitions are decided by a frozen
+:class:`HealthPolicy` (thresholds, cooldowns), and *actions* — arbitrary
+callables — fire on state entry, so operational reactions (stop
+dispatching to a flapper, page someone, lift a quarantine) are plugged
+in declaratively instead of scattered through the scheduler.  All time
+is the caller's: every observation carries an explicit ``at`` timestamp,
+so the tracker runs identically in virtual soak time and wall time.
+
+The admission-path guards are the two classic resilience patterns:
+
+* :class:`CircuitBreaker` — closed → open after a failure burst, then
+  half-open probes after a cooldown; while open, admissions shed
+  immediately instead of piling onto a struggling scheduler;
+* :class:`Bulkhead` — a hard cap on in-flight work, so one tenant's
+  flood cannot exhaust the whole daemon (load shedding with a 503, not
+  an OOM).
+
+Both are clock-explicit and allocation-free on the hot path; the daemon
+wires them in front of :meth:`~repro.service.scheduler.ServiceScheduler.
+admit` (see ``docs/chaos.md`` for the grammar and wiring).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.obs import get_tracer
+
+__all__ = [
+    "HealthState",
+    "HealthPolicy",
+    "HealthTracker",
+    "Transition",
+    "BreakerState",
+    "CircuitBreaker",
+    "Bulkhead",
+]
+
+
+class HealthState(str, enum.Enum):
+    """The four health states an entity moves through.
+
+    ``RECOVERED`` is probation: the entity came back from quarantine but
+    must string together successes before it counts as ``HEALTHY`` again
+    — one failure sends it straight back to ``QUARANTINED``.
+    """
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    RECOVERED = "recovered"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state change: who, from, to, when, and why."""
+
+    entity: Hashable
+    old: HealthState
+    new: HealthState
+    at: float
+    reason: str
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form for reports and traces."""
+        return {
+            "entity": str(self.entity),
+            "old": self.old.value,
+            "new": self.new.value,
+            "at": self.at,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """The declarative thresholds driving :class:`HealthTracker`.
+
+    Parameters
+    ----------
+    suspect_after:
+        Consecutive failures that turn ``HEALTHY`` into ``SUSPECT``.
+    quarantine_after:
+        Consecutive failures *while suspect* that escalate to
+        ``QUARANTINED`` (state entry resets the counters, so the total
+        run of failures to quarantine is ``suspect_after +
+        quarantine_after``).
+    probation_after:
+        Seconds an entity sits in ``QUARANTINED`` before
+        :meth:`HealthTracker.tick` paroles it to ``RECOVERED``.
+    recover_after:
+        Consecutive successes that promote ``SUSPECT`` or ``RECOVERED``
+        back to ``HEALTHY``.
+    """
+
+    suspect_after: int = 1
+    quarantine_after: int = 3
+    probation_after: float = 10.0
+    recover_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1 or self.recover_after < 1 or self.quarantine_after < 1:
+            raise ValueError(
+                "suspect_after, quarantine_after and recover_after must all be >= 1"
+            )
+        if not self.probation_after > 0:
+            raise ValueError("probation_after must be > 0")
+
+
+class _EntityHealth:
+    """Mutable per-entity counters (internal to the tracker)."""
+
+    __slots__ = ("state", "failures", "successes", "since")
+
+    def __init__(self) -> None:
+        self.state = HealthState.HEALTHY
+        self.failures = 0
+        self.successes = 0
+        self.since = 0.0
+
+
+Action = Callable[[Transition], None]
+
+
+class HealthTracker:
+    """Drives the state machine over observations; fires actions on entry.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`HealthPolicy` thresholds.
+    actions:
+        Optional ``{HealthState: [callable, ...]}`` mapping; each
+        callable receives the :class:`Transition` when an entity *enters*
+        that state.  Exceptions from actions propagate — a broken action
+        is a bug, not a health event.
+
+    The tracker never invents time: :meth:`observe_success`,
+    :meth:`observe_failure` and :meth:`tick` all take ``at`` explicitly,
+    which is what keeps soak runs deterministic.
+    """
+
+    def __init__(
+        self,
+        policy: HealthPolicy | None = None,
+        *,
+        actions: Mapping[HealthState, list[Action]] | None = None,
+    ) -> None:
+        self.policy = policy or HealthPolicy()
+        self.actions: dict[HealthState, list[Action]] = {
+            state: list((actions or {}).get(state, ())) for state in HealthState
+        }
+        self.transitions: list[Transition] = []
+        self._entities: dict[Hashable, _EntityHealth] = {}
+
+    def on_enter(self, state: HealthState, action: Action) -> None:
+        """Register ``action`` to fire whenever an entity enters ``state``."""
+        self.actions[state].append(action)
+
+    # -- observations ------------------------------------------------------
+    def observe_failure(self, entity: Hashable, at: float, *, reason: str = "failure") -> HealthState:
+        """Record one failure for ``entity`` at time ``at``; returns its state."""
+        health = self._entities.setdefault(entity, _EntityHealth())
+        health.failures += 1
+        health.successes = 0
+        policy = self.policy
+        if health.state is HealthState.HEALTHY and health.failures >= policy.suspect_after:
+            self._move(entity, health, HealthState.SUSPECT, at, reason)
+        if (
+            health.state is HealthState.SUSPECT
+            and health.failures >= policy.quarantine_after
+        ):
+            self._move(entity, health, HealthState.QUARANTINED, at, reason)
+        elif health.state is HealthState.RECOVERED:
+            self._move(entity, health, HealthState.QUARANTINED, at, f"{reason} during probation")
+        elif health.state is HealthState.QUARANTINED:
+            health.since = at  # extend the quarantine window
+        return health.state
+
+    def observe_success(self, entity: Hashable, at: float) -> HealthState:
+        """Record one success for ``entity`` at time ``at``; returns its state."""
+        health = self._entities.setdefault(entity, _EntityHealth())
+        health.successes += 1
+        health.failures = 0
+        if (
+            health.state in (HealthState.SUSPECT, HealthState.RECOVERED)
+            and health.successes >= self.policy.recover_after
+        ):
+            self._move(entity, health, HealthState.HEALTHY, at, "recovered")
+        return health.state
+
+    def observe_completion(self, entity: Hashable, at: float) -> HealthState:
+        """Workload progress on ``entity`` — a success only during probation.
+
+        Completions by a ``SUSPECT`` machine do not erase crash history
+        (finishing a task is not evidence a machine stopped crashing —
+        that is what lets a flapper accumulate to quarantine), but a
+        ``RECOVERED`` machine's completions are exactly the probation
+        evidence the policy wants.
+        """
+        health = self._entities.get(entity)
+        if health is not None and health.state is HealthState.RECOVERED:
+            return self.observe_success(entity, at)
+        return health.state if health else HealthState.HEALTHY
+
+    def tick(self, at: float) -> list[Transition]:
+        """Advance time-based transitions (quarantine → probation) up to ``at``."""
+        paroled: list[Transition] = []
+        for entity, health in self._entities.items():
+            if (
+                health.state is HealthState.QUARANTINED
+                and at - health.since >= self.policy.probation_after
+            ):
+                self._move(entity, health, HealthState.RECOVERED, at, "probation")
+                paroled.append(self.transitions[-1])
+        return paroled
+
+    def _move(
+        self,
+        entity: Hashable,
+        health: _EntityHealth,
+        new: HealthState,
+        at: float,
+        reason: str,
+    ) -> None:
+        transition = Transition(entity, health.state, new, at, reason)
+        health.state = new
+        health.since = at
+        health.failures = 0
+        health.successes = 0
+        self.transitions.append(transition)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("policy.transitions")
+            tracer.event(
+                "policy.transition",
+                entity=str(entity),
+                old=transition.old.value,
+                new=new.value,
+                t=at,
+            )
+            tracer.registry.gauge("policy.quarantined").set(
+                float(sum(1 for h in self._entities.values() if h.state is HealthState.QUARANTINED))
+            )
+        for action in self.actions[new]:
+            action(transition)
+
+    # -- queries -----------------------------------------------------------
+    def state(self, entity: Hashable) -> HealthState:
+        """Current state of ``entity`` (unknown entities are healthy)."""
+        health = self._entities.get(entity)
+        return health.state if health else HealthState.HEALTHY
+
+    def states(self) -> dict[Hashable, HealthState]:
+        """Every tracked entity's current state."""
+        return {entity: h.state for entity, h in self._entities.items()}
+
+    def counts(self) -> dict[str, int]:
+        """Entity count per state (report material)."""
+        out = {state.value: 0 for state in HealthState}
+        for health in self._entities.values():
+            out[health.state.value] += 1
+        return out
+
+
+class BreakerState(str, enum.Enum):
+    """Circuit-breaker states: closed (normal), open (shedding), half-open."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with explicit clocks.
+
+    ``allow(now)`` gates the protected call: ``True`` in ``CLOSED``,
+    ``False`` in ``OPEN`` until ``cooldown`` has elapsed, then up to
+    ``half_open_probes`` trial calls in ``HALF_OPEN``.  A probe success
+    closes the breaker; any failure reopens it and restarts the
+    cooldown.  All methods take ``now`` explicitly so the breaker works
+    in virtual soak time and wall time alike.
+    """
+
+    failure_threshold: int = 5
+    cooldown: float = 5.0
+    half_open_probes: int = 1
+    state: BreakerState = BreakerState.CLOSED
+    opened: int = 0
+    rejected: int = 0
+    _failures: int = field(default=0, repr=False)
+    _opened_at: float = field(default=-math.inf, repr=False)
+    _probes: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1 or self.half_open_probes < 1:
+            raise ValueError("failure_threshold and half_open_probes must be >= 1")
+        if not self.cooldown > 0:
+            raise ValueError("cooldown must be > 0")
+
+    def allow(self, now: float) -> bool:
+        """Whether a call may proceed at time ``now`` (counts rejections)."""
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                self._probes = 0
+            else:
+                self.rejected += 1
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes >= self.half_open_probes:
+                self.rejected += 1
+                return False
+            self._probes += 1
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A protected call succeeded at ``now``."""
+        self._failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+        del now  # accepted for symmetry; closing needs no timestamp
+
+    def record_failure(self, now: float) -> None:
+        """A protected call failed at ``now``; may trip the breaker."""
+        self._failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self._failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self._opened_at = now
+            self._failures = 0
+            self.opened += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.count("policy.breaker_opened")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form for status endpoints and reports."""
+        return {
+            "state": self.state.value,
+            "opened": self.opened,
+            "rejected": self.rejected,
+            "failure_threshold": self.failure_threshold,
+            "cooldown": self.cooldown,
+        }
+
+
+@dataclass
+class Bulkhead:
+    """A hard in-flight capacity cap: acquire before work, release after.
+
+    The isolation pattern: the daemon sizes one bulkhead for its
+    admission queue, so a flood sheds with a 503 once ``capacity`` tasks
+    are in flight instead of growing the queue without bound.
+    """
+
+    capacity: int
+    in_flight: int = 0
+    rejected: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"bulkhead capacity must be >= 1, got {self.capacity}")
+
+    def try_acquire(self) -> bool:
+        """Take one slot if available; ``False`` (and a counter) if full."""
+        if self.in_flight >= self.capacity:
+            self._reject()
+            return False
+        self.in_flight += 1
+        return True
+
+    def check(self, in_flight: int) -> bool:
+        """Decision-only form for externally-tracked occupancy.
+
+        The daemon's queue depth already lives in the scheduler, so the
+        bulkhead only has to answer "is there room?" — ``False`` counts a
+        rejection exactly like :meth:`try_acquire`.
+        """
+        self.in_flight = int(in_flight)
+        if in_flight >= self.capacity:
+            self._reject()
+            return False
+        return True
+
+    def _reject(self) -> None:
+        self.rejected += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("policy.bulkhead_rejected")
+
+    def release(self) -> None:
+        """Return one slot (completion or failure of the admitted work)."""
+        if self.in_flight <= 0:
+            raise RuntimeError("bulkhead release without a matching acquire")
+        self.in_flight -= 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form for status endpoints and reports."""
+        return {
+            "capacity": self.capacity,
+            "in_flight": self.in_flight,
+            "rejected": self.rejected,
+        }

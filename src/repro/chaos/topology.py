@@ -1,0 +1,326 @@
+"""The fleet tree and the correlated faults that follow its edges.
+
+:class:`FleetTopology` arranges machine ids ``0..m-1`` into a three-level
+tree — machines → racks → zones with configurable fan-out — the smallest
+structure that distinguishes the failure modes the paper's independence
+assumption cannot express: a rack shares a top-of-rack switch and a power
+feed, a zone shares cooling and a supply substation, so real outages take
+*subtrees*, not uniform samples.
+
+Placement groups :math:`M_j` (contiguous machine ranges, see
+:class:`~repro.service.placement.OnlinePlacer`) are mapped onto the tree
+so replica diversity is measurable: :func:`diversity_score` reports how
+well a placement's replica sets spread over racks, which is exactly what
+decides survival under a rack-sized blast radius.
+
+The fault generators extend :mod:`repro.faults` with topology-aware
+shapes — all frozen, all seeded through the caller's generator, so
+scenario sets stay reproducible by construction:
+
+* :func:`rack_failure_plan` / :func:`zone_failure_plan` — deterministic
+  blast-radius plans for a named subtree;
+* :class:`ZoneOutage` — a sampled whole-zone loss;
+* :class:`CascadingRackFailure` — rack :math:`r` fails, then its
+  neighbours follow at a fixed lag (the correlated cascade a shared
+  cooling loop produces);
+* :class:`FlappingMachines` — machines that crash and rejoin on a cycle,
+  the pathological input for health policies (quarantine exists to stop
+  flappers from eating restarts).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.faults.models import FaultModel
+from repro.faults.plan import CorrelatedFailure, CrashRecover, Fault, FaultPlan
+
+__all__ = [
+    "FleetTopology",
+    "diversity_score",
+    "rack_failure_plan",
+    "zone_failure_plan",
+    "ZoneOutage",
+    "CascadingRackFailure",
+    "FlappingMachines",
+]
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A machines → racks → zones tree over machine ids ``0..m-1``.
+
+    Machine ids are assigned depth-first: rack ``r`` holds the contiguous
+    block ``[r*machines_per_rack, (r+1)*machines_per_rack)`` and zone
+    ``z`` holds ``racks_per_zone`` consecutive racks.  Contiguity matches
+    the service's placement groups (also contiguous ranges), so mapping a
+    group onto the tree is pure arithmetic.
+
+    Parameters
+    ----------
+    zones:
+        Number of zones (≥ 1).
+    racks_per_zone:
+        Racks per zone (≥ 1).
+    machines_per_rack:
+        Machines per rack (≥ 1).
+    """
+
+    zones: int = 1
+    racks_per_zone: int = 4
+    machines_per_rack: int = 2
+
+    def __post_init__(self) -> None:
+        if self.zones < 1 or self.racks_per_zone < 1 or self.machines_per_rack < 1:
+            raise ValueError(
+                "zones, racks_per_zone and machines_per_rack must all be >= 1, "
+                f"got {self.zones}/{self.racks_per_zone}/{self.machines_per_rack}"
+            )
+
+    # -- shape -------------------------------------------------------------
+    @property
+    def racks(self) -> int:
+        """Total rack count."""
+        return self.zones * self.racks_per_zone
+
+    @property
+    def m(self) -> int:
+        """Total machine count."""
+        return self.racks * self.machines_per_rack
+
+    # -- tree lookups ------------------------------------------------------
+    def rack_of(self, machine: int) -> int:
+        """The rack holding ``machine``."""
+        self._check_machine(machine)
+        return machine // self.machines_per_rack
+
+    def zone_of(self, machine: int) -> int:
+        """The zone holding ``machine``."""
+        return self.rack_of(machine) // self.racks_per_zone
+
+    def rack_members(self, rack: int) -> tuple[int, ...]:
+        """Machine ids in ``rack`` (contiguous, ascending)."""
+        if not 0 <= rack < self.racks:
+            raise ValueError(f"rack {rack} outside 0..{self.racks - 1}")
+        lo = rack * self.machines_per_rack
+        return tuple(range(lo, lo + self.machines_per_rack))
+
+    def zone_members(self, zone: int) -> tuple[int, ...]:
+        """Machine ids in ``zone`` (contiguous, ascending)."""
+        if not 0 <= zone < self.zones:
+            raise ValueError(f"zone {zone} outside 0..{self.zones - 1}")
+        lo = zone * self.racks_per_zone * self.machines_per_rack
+        return tuple(range(lo, lo + self.racks_per_zone * self.machines_per_rack))
+
+    def _check_machine(self, machine: int) -> None:
+        if not 0 <= machine < self.m:
+            raise ValueError(f"machine {machine} outside 0..{self.m - 1}")
+
+    # -- diversity ---------------------------------------------------------
+    def racks_spanned(self, machines: Iterable[int]) -> int:
+        """Distinct racks a replica set touches."""
+        return len({self.rack_of(i) for i in machines})
+
+    def zones_spanned(self, machines: Iterable[int]) -> int:
+        """Distinct zones a replica set touches."""
+        return len({self.zone_of(i) for i in machines})
+
+    def describe(self) -> str:
+        """One-line human summary for labels and manifests."""
+        return (
+            f"{self.zones} zone(s) x {self.racks_per_zone} rack(s) x "
+            f"{self.machines_per_rack} machine(s) = {self.m} machines"
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON form for manifests and reports."""
+        return {
+            "zones": self.zones,
+            "racks_per_zone": self.racks_per_zone,
+            "machines_per_rack": self.machines_per_rack,
+            "racks": self.racks,
+            "machines": self.m,
+        }
+
+
+def diversity_score(
+    topology: FleetTopology, groups: Iterable[tuple[int, ...]], *, level: str = "rack"
+) -> float:
+    """Mean replica diversity of placement groups over the tree, in [0, 1].
+
+    For one group :math:`M_j` the diversity at a level (``"rack"`` or
+    ``"zone"``) is ``(spanned - 1) / (ceiling - 1)`` where ``ceiling`` is
+    the most subtrees ``|M_j|`` replicas could possibly touch — 1.0 means
+    maximally spread, 0.0 means every replica shares one failure domain
+    (a single-replica group scores 0: it has nothing to spread).  The
+    mean over groups is the placement's score; it is the quantity a
+    rack-sized blast radius tests, and the soak report carries it beside
+    the availability curve.
+    """
+    if level not in ("rack", "zone"):
+        raise ValueError(f"level must be 'rack' or 'zone', got {level!r}")
+    spanned_of = topology.racks_spanned if level == "rack" else topology.zones_spanned
+    domains = topology.racks if level == "rack" else topology.zones
+    scores = []
+    for group in groups:
+        members = tuple(group)
+        if not members:
+            raise ValueError("placement group is empty")
+        ceiling = min(len(members), domains)
+        if ceiling <= 1:
+            scores.append(0.0)
+            continue
+        scores.append((spanned_of(members) - 1) / (ceiling - 1))
+    if not scores:
+        raise ValueError("no placement groups to score")
+    return float(sum(scores) / len(scores))
+
+
+def rack_failure_plan(
+    topology: FleetTopology,
+    rack: int,
+    *,
+    at: float = 0.0,
+    downtime: float = math.inf,
+) -> FaultPlan:
+    """Deterministic blast-radius plan: every machine in ``rack`` fails at ``at``."""
+    return FaultPlan.of(CorrelatedFailure(topology.rack_members(rack), float(at), float(downtime)))
+
+
+def zone_failure_plan(
+    topology: FleetTopology,
+    zone: int,
+    *,
+    at: float = 0.0,
+    downtime: float = math.inf,
+) -> FaultPlan:
+    """Deterministic blast-radius plan: every machine in ``zone`` fails at ``at``."""
+    return FaultPlan.of(CorrelatedFailure(topology.zone_members(zone), float(at), float(downtime)))
+
+
+class _TopologyFaultModel(FaultModel, abc.ABC):
+    """Shared base for seeded generators that sample over a fleet tree."""
+
+
+@dataclass(frozen=True)
+class ZoneOutage(_TopologyFaultModel):
+    """A whole zone fails together at a uniform random time.
+
+    The largest blast radius the tree expresses: every rack in the drawn
+    zone goes down at once, with a shared downtime (``None`` = permanent,
+    scalar = fixed, ``(lo, hi)`` = one uniform draw per sample).
+    """
+
+    topology: FleetTopology
+    window: tuple[float, float] = (0.0, 15.0)
+    downtime: float | tuple[float, float] | None = None
+
+    def sample(self, rng: np.random.Generator) -> FaultPlan:
+        """Draw one zone-loss scenario from ``rng``."""
+        zone = int(rng.integers(0, self.topology.zones))
+        at = float(rng.uniform(self.window[0], self.window[1]))
+        return zone_failure_plan(
+            self.topology, zone, at=at, downtime=_draw_downtime(self.downtime, rng)
+        )
+
+
+@dataclass(frozen=True)
+class CascadingRackFailure(_TopologyFaultModel):
+    """Racks fail in sequence: one seed rack, then neighbours at a lag.
+
+    Models a shared-infrastructure cascade (cooling loop, power bus): the
+    seed rack fails at a uniform time in ``window``, and each of the next
+    ``size - 1`` racks (wrapping around the rack ring) follows ``lag``
+    later.  One :class:`~repro.faults.plan.CorrelatedFailure` per rack
+    keeps the correlation visible in provenance output.
+    """
+
+    topology: FleetTopology
+    size: int = 2
+    lag: float = 2.0
+    window: tuple[float, float] = (0.0, 10.0)
+    downtime: float | tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.size <= self.topology.racks:
+            raise ValueError(
+                f"cascade size must be in 1..{self.topology.racks}, got {self.size}"
+            )
+        if self.lag < 0:
+            raise ValueError(f"cascade lag must be >= 0, got {self.lag}")
+
+    def sample(self, rng: np.random.Generator) -> FaultPlan:
+        """Draw one cascade scenario from ``rng``."""
+        first = int(rng.integers(0, self.topology.racks))
+        at = float(rng.uniform(self.window[0], self.window[1]))
+        downtime = _draw_downtime(self.downtime, rng)
+        faults: list[Fault] = []
+        for step in range(self.size):
+            rack = (first + step) % self.topology.racks
+            faults.append(
+                CorrelatedFailure(
+                    self.topology.rack_members(rack), at + step * self.lag, downtime
+                )
+            )
+        return FaultPlan(tuple(faults))
+
+
+@dataclass(frozen=True)
+class FlappingMachines(_TopologyFaultModel):
+    """Machines that crash and rejoin on a cycle — the health policy's nemesis.
+
+    ``count`` distinct machines are drawn; each one crashes at its phase
+    offset and repeats every ``period`` (staying down ``down_time`` per
+    cycle, ``cycles`` times).  Every restart it causes re-runs a task
+    from scratch, so unquarantined flappers waste work linearly in cycle
+    count.
+    """
+
+    topology: FleetTopology
+    count: int = 1
+    first: tuple[float, float] = (0.0, 5.0)
+    period: float = 4.0
+    down_time: float = 1.0
+    cycles: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.count <= self.topology.m:
+            raise ValueError(
+                f"count must be in 1..{self.topology.m}, got {self.count}"
+            )
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be >= 1, got {self.cycles}")
+        if not 0 < self.down_time < self.period:
+            raise ValueError(
+                f"need 0 < down_time < period, got {self.down_time}/{self.period}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> FaultPlan:
+        """Draw one flapping scenario from ``rng``."""
+        machines = rng.choice(self.topology.m, size=self.count, replace=False)
+        faults: list[Fault] = []
+        for machine in machines:
+            phase = float(rng.uniform(self.first[0], self.first[1]))
+            for cycle in range(self.cycles):
+                faults.append(
+                    CrashRecover(
+                        int(machine), phase + cycle * self.period, self.down_time
+                    )
+                )
+        return FaultPlan(tuple(faults))
+
+
+def _draw_downtime(
+    downtime: float | tuple[float, float] | None, rng: np.random.Generator
+) -> float:
+    """Resolve the shared downtime convention (None / scalar / range)."""
+    if downtime is None:
+        return math.inf
+    if isinstance(downtime, tuple):
+        return float(rng.uniform(downtime[0], downtime[1]))
+    return float(downtime)

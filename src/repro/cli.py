@@ -21,6 +21,7 @@ subcommands so results can be regenerated without pytest:
 ``bench``            Perf scenarios → ``BENCH_perf.json`` (``--check`` gates)
 ``serve``            Placement-as-a-service daemon (``docs/service.md``)
 ``loadgen``          Synthetic-tenant load generator against ``serve``
+``soak``             Chaos soak: load + scheduled faults (``docs/chaos.md``)
 ===================  ====================================================
 
 ``run`` and ``sweep`` accept ``--trace PATH`` (write a JSONL event trace,
@@ -418,6 +419,88 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", default=None, metavar="PATH", help="write the full report as JSON"
     )
+
+    soak = sub.add_parser(
+        "soak",
+        help="chaos soak: sustained load + scheduled faults (docs/chaos.md)",
+    )
+    soak.add_argument("--zones", type=int, default=1, help="fleet zones")
+    soak.add_argument("--racks-per-zone", type=int, default=4)
+    soak.add_argument("--machines-per-rack", type=int, default=2)
+    soak.add_argument(
+        "--strategy", default="ls_group[k=2]", help="placement family spec"
+    )
+    soak.add_argument("--alpha", type=float, default=1.5)
+    soak.add_argument(
+        "--model",
+        default="log_uniform",
+        help="actual-duration model (truthful, log_uniform, bimodal_extreme)",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="workload + duration seed")
+    soak.add_argument(
+        "--duration", type=float, default=30.0, help="arrival window (virtual s)"
+    )
+    soak.add_argument(
+        "--rate", type=float, default=4.0, help="mean arrivals per virtual second"
+    )
+    soak.add_argument("--est-low", type=float, default=0.5)
+    soak.add_argument("--est-high", type=float, default=4.0)
+    soak.add_argument(
+        "--sample-every", type=float, default=1.0, help="availability sample grid (s)"
+    )
+    soak.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="chaos schedule spec, repeatable (rack:at=8,downtime=10 | "
+        "zone:... | cascade:... | flap:... | none)",
+    )
+    soak.add_argument(
+        "--objective",
+        action="append",
+        default=None,
+        metavar="OBJ",
+        help="SLO objective line, repeatable (default: availability + no strandings)",
+    )
+    soak.add_argument(
+        "--out",
+        default=None,
+        metavar="PREFIX",
+        help="write <PREFIX>_curve.csv and <PREFIX>_report.json (+ manifests)",
+    )
+    soak.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when the SLO verdict fails",
+    )
+    soak.add_argument(
+        "--live",
+        action="store_true",
+        help="drive the real daemon over HTTP instead of pure virtual time",
+    )
+    soak.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix socket for --live"
+    )
+    soak.add_argument(
+        "--pace",
+        type=float,
+        default=1.0,
+        help="--live only: virtual seconds per wall second",
+    )
+    soak.add_argument(
+        "--bulkhead",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--live only: cap in-flight tasks at N (503 overloaded beyond)",
+    )
+    soak.add_argument(
+        "--breaker",
+        action="store_true",
+        help="--live only: put a circuit breaker on the admission path",
+    )
+    _add_obs_flags(soak)
     return parser
 
 
@@ -971,7 +1054,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"report written to {out}")
     print(f"tenants      : {report.tenants} ({report.tasks} unique tasks)")
     print(f"requests     : {report.requests} ({report.deduplicated} deduplicated)")
-    print(f"errors       : {report.errors}")
+    print(f"errors       : {report.errors} ({report.retries} transport retries)")
     print(f"wall         : {report.wall_s:.3f}s ({report.throughput_rps:.0f} req/s)")
     print(
         f"latency      : p50 {report.latency_p50_ms:.2f}ms, "
@@ -986,6 +1069,94 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if report.errors:
         return 1
     if (args.drain or args.shutdown) and status.get("admitted") != status.get("done"):
+        return 1
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosSchedule, FleetTopology, SoakConfig
+    from repro.chaos.soak import run_soak, run_soak_live
+
+    topology = FleetTopology(
+        zones=args.zones,
+        racks_per_zone=args.racks_per_zone,
+        machines_per_rack=args.machines_per_rack,
+    )
+    schedule = ChaosSchedule()
+    for spec in args.chaos or []:
+        try:
+            schedule = schedule.merge(ChaosSchedule.parse(spec, topology))
+        except ValueError as exc:
+            print(f"soak: {exc}", file=sys.stderr)
+            return 2
+    config_kw = dict(
+        topology=topology,
+        strategy=args.strategy,
+        alpha=args.alpha,
+        model=args.model,
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        est_low=args.est_low,
+        est_high=args.est_high,
+        sample_every=args.sample_every,
+        schedule=schedule,
+    )
+    if args.objective:
+        config_kw["objectives"] = tuple(args.objective)
+    try:
+        config = SoakConfig(**config_kw)
+    except ValueError as exc:
+        print(f"soak: {exc}", file=sys.stderr)
+        return 2
+    if args.live:
+        report = run_soak_live(
+            config,
+            socket_path=args.socket,
+            pace=args.pace,
+            bulkhead_capacity=args.bulkhead,
+            breaker=args.breaker,
+        )
+    else:
+        report = run_soak(config)
+    summary = report.summary
+    mode = "live" if report.live else "virtual"
+    print(
+        f"soak ({mode}): {topology.describe()}, "
+        f"{len(schedule.actions)} chaos action(s), seed {config.seed}"
+    )
+    print(
+        f"tasks        : {summary['tasks_admitted']} admitted, "
+        f"{summary['tasks_done']} done, {summary['shed']} shed, "
+        f"{summary['stranded']} stranded"
+    )
+    print(
+        f"failures     : {summary['machine_failures']} machine failures, "
+        f"{summary['replaced']} tasks re-placed, "
+        f"{summary['restarts']} restarts"
+    )
+    print(
+        f"availability : min {summary['min_availability']:.3f}, "
+        f"mean {summary['mean_availability']:.3f} "
+        f"(diversity rack {summary['diversity_rack']:.2f} / "
+        f"zone {summary['diversity_zone']:.2f})"
+    )
+    print(
+        f"makespan     : {summary['makespan']:.3f} vs control "
+        f"{summary['control_makespan']:.3f} "
+        f"(inflation {summary['inflation']:.3f}, "
+        f"capacity bound {summary['capacity_bound']:.3f})"
+    )
+    print(f"digest       : {report.digest[:16]}…")
+    for row in report.slo.rows():
+        print(
+            f"slo          : {row['status']}  {row['objective']} "
+            f"(observed {row['observed']}, need {row['threshold']})"
+        )
+    if args.out:
+        paths = report.write_artifacts(args.out)
+        print(f"artifacts    : {paths['curve']} and {paths['report']}")
+    if args.check and not report.passed:
         return 1
     return 0
 
@@ -1080,6 +1251,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     elif command == "loadgen":
         return _cmd_loadgen(args)
+    elif command == "soak":
+        with _observability(args.trace, args.metrics, max_bytes=args.trace_max_bytes):
+            return _cmd_soak(args)
     else:  # pragma: no cover — argparse enforces the choices
         raise AssertionError(f"unhandled command {command}")
     return 0

@@ -58,6 +58,12 @@ EVENT_PAYLOAD_FIELDS: dict[str, tuple[str, ...]] = {
     "service.admit": ("task", "tenant", "t"),
     "service.dispatch": ("task", "machine", "t"),
     "service.complete": ("task", "machine", "t"),
+    "service.machine_failure": ("machine", "t"),
+    "service.machine_recovery": ("machine", "t"),
+    "service.replaced": ("task", "machine", "t"),
+    "service.shed": ("tenant", "reason", "t"),
+    "policy.transition": ("entity", "old", "new", "t"),
+    "chaos.inject": ("machines", "downtime", "t"),
 }
 
 

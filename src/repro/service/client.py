@@ -203,6 +203,31 @@ class ServiceClient:
             query = "?" + "&".join(f"objective={quote(o)}" for o in objectives)
         return await self._checked("GET", f"/v1/slo{query}")
 
+    async def health(self) -> dict[str, Any]:
+        """``GET /v1/health`` — availability, down machines, policy state."""
+        return await self._checked("GET", "/v1/health")
+
+    async def chaos(
+        self,
+        *,
+        fail: list[int] | None = None,
+        recover: list[int] | None = None,
+        downtime: float | None = None,
+    ) -> dict[str, Any]:
+        """``POST /v1/chaos`` — inject failures and/or recoveries.
+
+        ``downtime=None`` makes the failure permanent until an explicit
+        ``recover`` (the daemon's convention).
+        """
+        payload: dict[str, Any] = {}
+        if fail is not None:
+            payload["fail"] = list(fail)
+        if recover is not None:
+            payload["recover"] = list(recover)
+        if downtime is not None:
+            payload["downtime"] = downtime
+        return await self._checked("POST", "/v1/chaos", payload)
+
     async def drain(self) -> dict[str, Any]:
         """Stop admissions and run the queue dry; returns final stats."""
         return await self._checked("POST", "/v1/drain")

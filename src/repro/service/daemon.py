@@ -18,9 +18,20 @@ GET     ``/v1/queue``       queue depth, per-group committed loads
 GET     ``/v1/status``      configuration + live counters
 GET     ``/metrics``        OpenMetrics exposition of the live registry
 GET     ``/v1/slo``         evaluate SLO objectives against the registry
+GET     ``/v1/health``      fleet health: availability, down machines,
+                            degraded groups, policy/breaker/bulkhead state
+POST    ``/v1/chaos``       inject machine failures/recoveries (chaos hooks)
 POST    ``/v1/drain``       stop admitting, run the queue to empty
 POST    ``/v1/shutdown``    drain, flush telemetry, stop the server
 ======  ==================  ===========================================
+
+Resilience hooks (``docs/chaos.md``): an optional admission
+:class:`~repro.chaos.policy.CircuitBreaker` fails fast once the service
+starts shedding (the scheduler raising ``degraded``/``overloaded``
+admission errors trips it), and an optional
+:class:`~repro.chaos.policy.Bulkhead` caps the number of in-flight
+(queued + running) tasks.  Both rejections map to HTTP 503 — the
+retryable class — while client mistakes stay 400.
 
 Transports: TCP (``--port``, ``0`` picks a free port) and/or a unix
 domain socket (``--socket``).  Telemetry rides the existing global
@@ -32,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import time
 from typing import Any
 
@@ -84,6 +96,17 @@ class ServiceDaemon:
         Virtual seconds advanced per real second by the pump; ``0``
         (default) runs the simulated cluster eagerly, i.e. completions
         land as soon as the loop is otherwise idle.
+    breaker:
+        Optional admission circuit breaker (duck-typed to
+        :class:`repro.chaos.policy.CircuitBreaker`).  Shedding admissions
+        (``degraded``/``overloaded``) count as failures; once open,
+        admissions fail fast with 503 ``breaker_open`` until the cooldown
+        elapses and a probe succeeds.
+    bulkhead:
+        Optional in-flight cap (duck-typed to
+        :class:`repro.chaos.policy.Bulkhead`): an admission that would
+        push queued + running past ``capacity`` is shed with 503
+        ``overloaded`` before it reaches the placer.
     """
 
     def __init__(
@@ -96,10 +119,14 @@ class ServiceDaemon:
         metrics_out: str | None = None,
         pace: float = 0.0,
         flush_interval: float = 0.5,
+        breaker: Any | None = None,
+        bulkhead: Any | None = None,
     ) -> None:
         if port is None and socket_path is None:
             raise ValueError("daemon needs at least one transport (port or socket_path)")
         self.scheduler = scheduler
+        self.breaker = breaker
+        self.bulkhead = bulkhead
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -235,7 +262,10 @@ class ServiceDaemon:
         try:
             return self._route_inner(request)
         except AdmissionError as exc:
-            status = 503 if exc.code == "draining" else 400
+            # Retryable service states are 503 (back off and retry);
+            # client mistakes stay 400.
+            retryable = {"draining", "degraded", "overloaded", "breaker_open"}
+            status = 503 if exc.code in retryable else 400
             return error_response(status, exc.code, str(exc))
         except Exception as exc:  # pragma: no cover - defensive surface
             return error_response(500, "internal", f"{type(exc).__name__}: {exc}")
@@ -262,6 +292,10 @@ class ServiceDaemon:
             return self._metrics()
         if path == "/v1/slo" and method == "GET":
             return self._slo(request)
+        if path == "/v1/health" and method == "GET":
+            return self._health()
+        if path == "/v1/chaos" and method == "POST":
+            return self._chaos(request)
         if path == "/v1/drain" and method == "POST":
             return self._drain()
         if path == "/v1/shutdown" and method == "POST":
@@ -281,6 +315,8 @@ class ServiceDaemon:
                     "GET /v1/status",
                     "GET /metrics",
                     "GET /v1/slo",
+                    "GET /v1/health",
+                    "POST /v1/chaos",
                     "POST /v1/drain",
                     "POST /v1/shutdown",
                 ],
@@ -300,12 +336,38 @@ class ServiceDaemon:
         key = request.headers.get("idempotency-key") or payload.get("idempotency_key")
         if key is not None and not isinstance(key, str):
             raise AdmissionError("bad_key", f"idempotency key must be a string, got {key!r}")
-        record, created = self.scheduler.admit(
-            payload.get("tenant", "default"),
-            payload["estimate"],
-            size=payload.get("size", 0.0),
-            key=key,
-        )
+        now = time.monotonic()
+        if self.breaker is not None and not self.breaker.allow(now):
+            raise AdmissionError(
+                "breaker_open",
+                "admission circuit breaker is open; retry after the cooldown",
+            )
+        if self.bulkhead is not None:
+            in_flight = len(self.scheduler.records) - self.scheduler.completed
+            if not self.bulkhead.check(in_flight):
+                if self.breaker is not None:
+                    self.breaker.record_failure(now)
+                raise AdmissionError(
+                    "overloaded",
+                    f"bulkhead full: {in_flight} tasks in flight "
+                    f"(capacity {self.bulkhead.capacity})",
+                )
+        try:
+            record, created = self.scheduler.admit(
+                payload.get("tenant", "default"),
+                payload["estimate"],
+                size=payload.get("size", 0.0),
+                key=key,
+            )
+        except AdmissionError as exc:
+            # Only service-health rejections trip the breaker; client
+            # mistakes (bad estimates, key conflicts) say nothing about
+            # the fleet.
+            if self.breaker is not None and exc.code in ("degraded", "overloaded"):
+                self.breaker.record_failure(now)
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success(now)
         body = record.as_dict()
         body["created"] = created
         return json_response(body, status=201 if created else 200)
@@ -365,6 +427,96 @@ class ServiceDaemon:
         except ValueError as exc:
             raise AdmissionError("bad_objective", str(exc)) from None
         return json_response(report.as_dict())
+
+    def _health(self) -> Response:
+        """Fleet-health snapshot: the chaos harness's sampling endpoint."""
+        sched = self.scheduler
+        body: dict[str, Any] = {
+            "clock": sched.clock,
+            "machines": sched.placer.m,
+            "groups": sched.placer.k,
+            "availability": sched.availability(),
+            "down": sorted(sched.down),
+            "degraded_groups": sched.degraded_groups(),
+            "admitted": len(sched.records),
+            "queued": sched.queued,
+            "running": len(sched.busy),
+            "done": sched.completed,
+            "shed": sched.shed,
+            "replaced": sched.replaced,
+            "machine_failures": sched.machine_failures,
+            "machine_recoveries": sched.machine_recoveries,
+        }
+        if sched.health is not None:
+            body["policy"] = {
+                "states": {str(k): v.value for k, v in sched.health.states().items()},
+                "counts": sched.health.counts(),
+            }
+        if self.breaker is not None:
+            body["breaker"] = self.breaker.as_dict()
+        if self.bulkhead is not None:
+            body["bulkhead"] = self.bulkhead.as_dict()
+        return json_response(body)
+
+    def _chaos(self, request: Request) -> Response:
+        """Inject failures/recoveries into the simulated fleet.
+
+        Body: ``{"fail": [machine, ...], "downtime": seconds | null,
+        "recover": [machine, ...]}`` — ``downtime`` of ``null`` (or
+        absent) means the failure is permanent until an explicit
+        recover.  Validation mistakes are 400 ``bad_chaos``.
+        """
+        payload = request.json()
+        unknown = set(payload) - {"fail", "recover", "downtime"}
+        if unknown:
+            raise AdmissionError("bad_chaos", f"unknown chaos fields: {sorted(unknown)}")
+        if not payload:
+            raise AdmissionError("bad_chaos", "chaos request needs 'fail' and/or 'recover'")
+        downtime = payload.get("downtime")
+        if downtime is not None and (
+            not isinstance(downtime, (int, float)) or isinstance(downtime, bool)
+        ):
+            raise AdmissionError("bad_chaos", f"downtime must be a number, got {downtime!r}")
+        body: dict[str, Any] = {}
+        try:
+            if "fail" in payload:
+                machines = self._chaos_machines(payload["fail"], "fail")
+                at = self.scheduler.inject_failure(
+                    machines,
+                    downtime=math.inf if downtime is None else float(downtime),
+                )
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "chaos.inject",
+                        machines=list(machines),
+                        downtime=downtime,
+                        t=at,
+                    )
+                body["failed"] = list(machines)
+                body["failed_at"] = at
+            if "recover" in payload:
+                machines = self._chaos_machines(payload["recover"], "recover")
+                at = self.scheduler.inject_recovery(machines)
+                body["recovered"] = list(machines)
+                body["recovered_at"] = at
+        except ValueError as exc:
+            if isinstance(exc, AdmissionError):
+                raise
+            raise AdmissionError("bad_chaos", str(exc)) from None
+        body["availability"] = self.scheduler.availability()
+        body["degraded_groups"] = self.scheduler.degraded_groups()
+        return json_response(body)
+
+    @staticmethod
+    def _chaos_machines(raw: Any, field: str) -> tuple[int, ...]:
+        if not isinstance(raw, list) or not raw or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in raw
+        ):
+            raise AdmissionError(
+                "bad_chaos", f"{field!r} must be a non-empty list of machine ids"
+            )
+        return tuple(raw)
 
     def _drain(self) -> Response:
         self.scheduler.begin_drain()

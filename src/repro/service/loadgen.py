@@ -43,6 +43,14 @@ __all__ = ["TenantSpec", "LoadgenReport", "make_workload", "run_loadgen", "run_b
 #: the same idempotency key (deliberate duplicate, must dedup).
 RETRY_EVERY = 7
 
+#: Transport-level retry budget per submission: a connection reset is
+#: replayed up to this many times (the idempotency key makes the replay
+#: safe — at worst the daemon dedups it).
+RETRY_ATTEMPTS = 3
+#: Capped exponential backoff between transport retries, in seconds.
+RETRY_BACKOFF_S = 0.05
+RETRY_BACKOFF_CAP_S = 0.5
+
 
 @dataclass(frozen=True)
 class TenantSpec:
@@ -63,6 +71,7 @@ class LoadgenReport:
     created: int = 0
     deduplicated: int = 0
     errors: int = 0
+    retries: int = 0
     wall_s: float = 0.0
     latency_p50_ms: float = 0.0
     latency_p99_ms: float = 0.0
@@ -79,6 +88,7 @@ class LoadgenReport:
             "created": self.created,
             "deduplicated": self.deduplicated,
             "errors": self.errors,
+            "retries": self.retries,
             "wall_s": self.wall_s,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p99_ms": self.latency_p99_ms,
@@ -126,17 +136,44 @@ async def _drive_tenant(
     semaphore: asyncio.Semaphore,
     **client_kw: Any,
 ) -> None:
-    """One tenant's scripted session on its own keep-alive connection."""
+    """One tenant's scripted session on its own keep-alive connection.
+
+    Transient transport failures (connection reset, broken pipe) are
+    retried with capped exponential backoff: the submission carries an
+    idempotency key, so a replay is at-most-once by construction — the
+    daemon either admits it fresh or dedups it.  Replays count in
+    ``report.retries``, *not* ``report.errors``; only protocol errors
+    and an exhausted retry budget are errors.
+    """
     async with semaphore:
         async with ServiceClient(**client_kw) as client:
             for j, (estimate, key) in enumerate(zip(spec.estimates, spec.keys)):
                 attempts = 2 if j % RETRY_EVERY == RETRY_EVERY - 1 else 1
                 for _ in range(attempts):
                     start = time.perf_counter()
-                    try:
-                        body = await client.submit(spec.tenant, estimate, key=key)
-                    except (ServiceError, ConnectionError, OSError):
-                        report.errors += 1
+                    body = None
+                    for backoff in range(RETRY_ATTEMPTS + 1):
+                        try:
+                            body = await client.submit(spec.tenant, estimate, key=key)
+                            break
+                        except ServiceError:
+                            report.errors += 1
+                            break
+                        except (ConnectionError, OSError):
+                            # Stale half-open connection: drop it so the
+                            # next attempt reconnects from scratch.
+                            await client.close()
+                            if backoff >= RETRY_ATTEMPTS:
+                                report.errors += 1
+                                break
+                            report.retries += 1
+                            await asyncio.sleep(
+                                min(
+                                    RETRY_BACKOFF_S * 2**backoff,
+                                    RETRY_BACKOFF_CAP_S,
+                                )
+                            )
+                    if body is None:
                         continue
                     latencies.append(time.perf_counter() - start)
                     report.requests += 1

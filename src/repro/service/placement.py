@@ -101,16 +101,41 @@ class OnlinePlacer:
         """Replica count per task, :math:`|M_j| = m/k`."""
         return self.m // self.k
 
-    def assign(self, estimate: float) -> tuple[int, tuple[int, ...]]:
+    def assign(
+        self, estimate: float, *, exclude: frozenset[int] = frozenset()
+    ) -> tuple[int, tuple[int, ...]]:
         """Place one arriving task; returns ``(group, machines)``.
 
         Greedy least-estimated-committed-load over groups — the paper's
         Phase 1 in arrival order.  Committed load counts every admitted
         task's estimate regardless of completion state, matching the
         offline algorithms (they, too, never subtract finished work).
+
+        ``exclude`` names groups the assignment must avoid (degraded
+        mode: a group whose machines are all down cannot serve new
+        data).  The least-loaded *surviving* group wins, with the same
+        tie-break; excluded groups keep their heap position untouched,
+        so once they recover the healthy arithmetic is bit-identical to
+        a never-degraded run with the same assignments.  Raises
+        ``ValueError`` when every group is excluded — the caller sheds.
         """
-        load, group = heapq.heappop(self._heap)
+        if not exclude:
+            load, group = heapq.heappop(self._heap)
+            heapq.heappush(self._heap, (load + estimate, group))
+            self._loads[group] = load + estimate
+            return group, self.groups[group]
+        if len(exclude) >= self.k:
+            raise ValueError("every placement group is excluded; nothing can serve")
+        skipped: list[tuple[float, int]] = []
+        while True:
+            load, group = heapq.heappop(self._heap)
+            if group in exclude:
+                skipped.append((load, group))
+                continue
+            break
         heapq.heappush(self._heap, (load + estimate, group))
+        for item in skipped:
+            heapq.heappush(self._heap, item)
         self._loads[group] = load + estimate
         return group, self.groups[group]
 

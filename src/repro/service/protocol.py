@@ -101,6 +101,10 @@ class TaskRecord:
     state, machine, admitted_at, started_at, finished_at, actual:
         Lifecycle fields; ``machine`` and timestamps fill in as the
         virtual clock advances, ``actual`` only at completion.
+    restarts:
+        Times the task was re-placed onto a surviving replica after the
+        machine running it failed (degraded-mode bookkeeping; 0 on a
+        healthy fleet).
     """
 
     tid: int
@@ -116,6 +120,7 @@ class TaskRecord:
     started_at: float | None = None
     finished_at: float | None = None
     actual: float | None = field(default=None, repr=False)
+    restarts: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """The public JSON form.
@@ -135,6 +140,7 @@ class TaskRecord:
             "machines": list(self.machines),
             "replication": len(self.machines),
             "admitted_at": self.admitted_at,
+            "restarts": self.restarts,
         }
         if self.key is not None:
             payload["idempotency_key"] = self.key

@@ -32,11 +32,24 @@ for task — machines, start times, completion times, makespan.
 Actual durations are drawn per task from a seeded model inside the
 α-band (hidden until completion, like the kernel's realization), keyed
 by ``(seed, tid)`` so results do not depend on draw order.
+
+The scheduler is also **failure-aware** (the chaos subsystem's
+substrate, see ``docs/chaos.md``): :meth:`~ServiceScheduler.
+inject_failure` schedules ``MACHINE_FAILURE``/``MACHINE_RECOVERY``
+events with the same same-instant discipline as
+:class:`~repro.simulation.kernel.FaultAwareKernel` — completions beat
+failures, overlapping outages union via ``down_until`` tracking, and
+attempt tokens invalidate completions of aborted attempts.  A task
+running on a failing machine goes back to ``QUEUED`` and is re-placed
+onto a surviving replica of its group (its data lives only on
+:math:`M_j`); admissions whose every candidate group is fully down are
+shed with a typed 503 instead of erroring.
 """
 
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from typing import Any
 
 import numpy as np
@@ -81,6 +94,12 @@ class ServiceScheduler:
     seed:
         Seed for the duration draws; ``(seed, tid)`` keys each task's
         draw, so identical admission sequences give identical runs.
+    health:
+        Optional health tracker (duck-typed to
+        :class:`repro.chaos.policy.HealthTracker`): machine failures feed
+        ``observe_failure``, completions feed ``observe_completion``, and
+        every step ticks its clock — the policy engine sees the cluster
+        without the scheduler importing it.
     """
 
     def __init__(
@@ -91,6 +110,7 @@ class ServiceScheduler:
         alpha: float = 1.5,
         model: str = "log_uniform",
         seed: int = 0,
+        health: Any | None = None,
     ) -> None:
         if alpha < 1.0:
             raise ValueError(f"alpha must be >= 1, got {alpha}")
@@ -109,6 +129,15 @@ class ServiceScheduler:
         self.queue = EventQueue()
         self.completed = 0
         self.deduplicated = 0
+        self.health = health
+        # Chaos bookkeeping: machine -> down_until (inf = permanent), the
+        # same union-of-outages discipline as FaultAwareKernel.
+        self.down: dict[int, float] = {}
+        self.shed = 0
+        self.replaced = 0
+        self.machine_failures = 0
+        self.machine_recoveries = 0
+        self._token: dict[int, int] = {}  # machine -> attempt token
         self._by_key: dict[str, int] = {}
         self._actuals: dict[int, float] = {}  # hidden until completion
         self._first_queued = 0  # low-water mark into self.records
@@ -155,7 +184,24 @@ class ServiceScheduler:
             raise AdmissionError("bad_size", f"size must be finite and >= 0, got {size}")
 
         tid = len(self.records)
-        group, machines = self.placer.assign(estimate)
+        exclude: frozenset[int] = frozenset()
+        if self.down:
+            exclude = frozenset(self.degraded_groups())
+            if len(exclude) >= self.placer.k:
+                self.shed += 1
+                if tracer.enabled:
+                    tracer.count("service.admissions_shed")
+                    tracer.event(
+                        "service.shed",
+                        tenant=str(tenant),
+                        reason="degraded",
+                        t=self.clock,
+                    )
+                raise AdmissionError(
+                    "degraded",
+                    "every placement group is fully down; admission shed",
+                )
+        group, machines = self.placer.assign(estimate, exclude=exclude)
         record = TaskRecord(
             tid=tid,
             tenant=str(tenant),
@@ -181,9 +227,9 @@ class ServiceScheduler:
                 t=self.clock,
             )
             tracer.registry.gauge("service.queue_depth").set(float(self.queued))
-        # Work-conserving: an idle replica holder takes the task now.
+        # Work-conserving: an idle *live* replica holder takes the task now.
         for machine in machines:
-            if machine not in self.busy:
+            if machine not in self.busy and machine not in self.down:
                 self._dispatch(tid, machine, self.clock)
                 break
         return record, True
@@ -225,8 +271,14 @@ class ServiceScheduler:
         record.machine = machine
         record.started_at = now
         self.busy[machine] = tid
+        # Attempt token: a failure-aborted attempt's completion event must
+        # not fire when it surfaces (FaultAwareKernel's staleness idiom).
+        token = self._token.get(machine, 0) + 1
+        self._token[machine] = token
         # Unit-speed cluster: duration == actual, the kernel's p/1.0.
-        self.queue.push(now + self._actuals[tid], EventKind.TASK_COMPLETION, (tid, machine))
+        self.queue.push(
+            now + self._actuals[tid], EventKind.TASK_COMPLETION, (tid, machine, token)
+        )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.count("service.dispatches")
@@ -246,14 +298,28 @@ class ServiceScheduler:
         ev = self.queue.pop()
         self.clock = ev.time
         tracer = get_tracer()
+        if self.health is not None:
+            self.health.tick(ev.time)
         if ev.kind == EventKind.TASK_COMPLETION:
-            tid, machine = ev.payload
+            tid, machine, token = ev.payload
+            if self.busy.get(machine) != tid or self._token.get(machine) != token:
+                # The attempt this event belongs to was aborted by a
+                # machine failure; the rerun carries a fresh token.
+                return {
+                    "kind": "completion",
+                    "task": tid,
+                    "machine": machine,
+                    "t": ev.time,
+                    "stale": True,
+                }
             record = self.records[tid]
             record.state = TaskState.DONE
             record.finished_at = ev.time
             record.actual = self._actuals.pop(tid)
             del self.busy[machine]
             self.completed += 1
+            if self.health is not None:
+                self.health.observe_completion(machine, ev.time)
             self.queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
             if tracer.enabled:
                 tracer.count("service.completions")
@@ -262,9 +328,13 @@ class ServiceScheduler:
                     ev.time - record.admitted_at
                 )
             return {"kind": "completion", "task": tid, "machine": machine, "t": ev.time}
+        if ev.kind == EventKind.MACHINE_FAILURE:
+            return self._on_failure(ev)
+        if ev.kind == EventKind.MACHINE_RECOVERY:
+            return self._on_recovery(ev)
         if ev.kind == EventKind.MACHINE_IDLE:
             machine = ev.payload
-            if machine in self.busy:
+            if machine in self.busy or machine in self.down:
                 return {"kind": "idle", "machine": machine, "t": ev.time, "stale": True}
             tid = self._select(machine)
             if tid is not None:
@@ -274,12 +344,146 @@ class ServiceScheduler:
             return {"kind": "idle", "machine": machine, "t": ev.time, "dispatched": tid}
         raise AssertionError(f"unexpected service event kind {ev.kind!r}")
 
+    def _on_failure(self, ev) -> dict[str, Any]:
+        """Process one ``MACHINE_FAILURE``: abort, re-place, schedule recovery."""
+        machine, downtime = ev.payload
+        until = ev.time + downtime if math.isfinite(downtime) else math.inf
+        tracer = get_tracer()
+        if machine in self.down:
+            # Overlapping outage: union the windows (never shorten).
+            if until > self.down[machine]:
+                self.down[machine] = until
+                if math.isfinite(until):
+                    self.queue.push(until, EventKind.MACHINE_RECOVERY, machine)
+            return {"kind": "failure", "machine": machine, "t": ev.time, "absorbed": True}
+        self.down[machine] = until
+        self.machine_failures += 1
+        if self.health is not None:
+            self.health.observe_failure(machine, ev.time)
+        if math.isfinite(until):
+            self.queue.push(until, EventKind.MACHINE_RECOVERY, machine)
+        requeued: int | None = None
+        tid = self.busy.pop(machine, None)
+        if tid is not None:
+            # Re-place onto a surviving replica: the task reverts to
+            # QUEUED and any idle live member of its group re-selects it
+            # (its data exists nowhere else).
+            record = self.records[tid]
+            record.state = TaskState.QUEUED
+            record.machine = None
+            record.started_at = None
+            record.restarts += 1
+            self.replaced += 1
+            self._first_queued = min(self._first_queued, tid)
+            requeued = tid
+            for member in record.machines:
+                if member not in self.busy and member not in self.down:
+                    self.queue.push(ev.time, EventKind.MACHINE_IDLE, member)
+            if tracer.enabled:
+                tracer.count("chaos.tasks_replaced")
+                tracer.event("service.replaced", task=tid, machine=machine, t=ev.time)
+        if tracer.enabled:
+            tracer.count("chaos.machine_failures")
+            tracer.event("service.machine_failure", machine=machine, t=ev.time)
+            tracer.registry.gauge("chaos.machines_down").set(float(len(self.down)))
+            tracer.registry.gauge("chaos.groups_degraded").set(
+                float(len(self.degraded_groups()))
+            )
+        return {"kind": "failure", "machine": machine, "t": ev.time, "requeued": requeued}
+
+    def _on_recovery(self, ev) -> dict[str, Any]:
+        """Process one ``MACHINE_RECOVERY``; superseded recoveries are stale."""
+        machine = ev.payload
+        until = self.down.get(machine)
+        if until is None or ev.time < until:
+            return {"kind": "recovery", "machine": machine, "t": ev.time, "stale": True}
+        del self.down[machine]
+        self.machine_recoveries += 1
+        self.queue.push(ev.time, EventKind.MACHINE_IDLE, machine)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("chaos.machine_recoveries")
+            tracer.event("service.machine_recovery", machine=machine, t=ev.time)
+            tracer.registry.gauge("chaos.machines_down").set(float(len(self.down)))
+            tracer.registry.gauge("chaos.groups_degraded").set(
+                float(len(self.degraded_groups()))
+            )
+        return {"kind": "recovery", "machine": machine, "t": ev.time}
+
+    # -- chaos injection ---------------------------------------------------
+    def inject_failure(
+        self,
+        machines: Iterable[int],
+        *,
+        at: float | None = None,
+        downtime: float = math.inf,
+    ) -> float:
+        """Schedule a correlated failure of ``machines``; returns its instant.
+
+        ``at`` defaults to the current virtual clock and may not lie in
+        the past (events must be causally injectable).  ``downtime`` is
+        shared by the group (``inf`` = permanent); the same-instant
+        contract applies — tasks completing exactly at ``at`` complete.
+        """
+        when = self.clock if at is None else float(at)
+        if when < self.clock:
+            raise ValueError(
+                f"cannot inject a failure at {when} before the clock ({self.clock})"
+            )
+        if not downtime > 0:
+            raise ValueError(f"downtime must be > 0, got {downtime}")
+        targets = [int(i) for i in machines]
+        for machine in targets:
+            if not 0 <= machine < self.m:
+                raise ValueError(f"machine {machine} outside 0..{self.m - 1}")
+        for machine in targets:
+            self.queue.push(when, EventKind.MACHINE_FAILURE, (machine, float(downtime)))
+        return when
+
+    def inject_recovery(self, machines: Iterable[int], *, at: float | None = None) -> float:
+        """Schedule an operator-forced recovery of ``machines``.
+
+        Lowers each machine's ``down_until`` to the recovery instant so
+        the pushed event is not treated as superseded — an explicit
+        recovery always wins over a longer scheduled outage.
+        """
+        when = self.clock if at is None else float(at)
+        if when < self.clock:
+            raise ValueError(
+                f"cannot inject a recovery at {when} before the clock ({self.clock})"
+            )
+        for machine in machines:
+            machine = int(machine)
+            if not 0 <= machine < self.m:
+                raise ValueError(f"machine {machine} outside 0..{self.m - 1}")
+            if machine in self.down:
+                self.down[machine] = min(self.down[machine], when)
+                self.queue.push(when, EventKind.MACHINE_RECOVERY, machine)
+        return when
+
+    def degraded_groups(self) -> list[int]:
+        """Groups with *no* live machine (cannot serve new admissions)."""
+        return [
+            g
+            for g, members in enumerate(self.placer.groups)
+            if all(machine in self.down for machine in members)
+        ]
+
+    def availability(self) -> float:
+        """Fraction of placement groups with at least one live machine."""
+        return 1.0 - len(self.degraded_groups()) / self.placer.k
+
     def drain(self) -> int:
         """Pump events until the cluster is quiet; returns events processed.
 
         Graceful-shutdown semantics: every admitted task completes (there
         is no drop path), so after ``drain`` the queue depth and the busy
-        set are both empty.
+        set are both empty.  The one exception is a *permanently* lost
+        replica set: a queued task whose every group member is down with
+        infinite downtime has no machine to run on, so ``drain`` returns
+        with it still queued and ``stats()`` shows the stranding — the
+        same data-loss regime :class:`~repro.simulation.kernel.
+        FaultAwareKernel` reports as "lost to machine failures".
         """
         steps = 0
         while self.step() is not None:
@@ -345,4 +549,11 @@ class ServiceScheduler:
             "running": len(self.busy),
             "done": self.completed,
             "draining": self._draining,
+            "down": len(self.down),
+            "degraded_groups": len(self.degraded_groups()),
+            "availability": self.availability(),
+            "shed": self.shed,
+            "replaced": self.replaced,
+            "machine_failures": self.machine_failures,
+            "machine_recoveries": self.machine_recoveries,
         }

@@ -29,8 +29,10 @@ class EventKind(IntEnum):
     ``MACHINE_FAILURE`` sits between completion and idle: a task finishing
     exactly at the failure instant still completes, but the failed machine
     never dispatches at (or after) that instant.  ``MACHINE_RECOVERY``
-    follows failure (a machine that fails and recovers at the same instant
-    ends up alive) and ``MACHINE_SPEED`` transitions apply before any
+    follows failure: a new outage landing at the exact instant an earlier
+    one ends is processed first, so the kernel can extend the downtime and
+    discard the superseded recovery — overlapping outages union instead of
+    racing.  ``MACHINE_SPEED`` transitions apply before any
     same-instant dispatch, so a task dispatched at a degraded interval's
     boundary runs at the interval's speed.
     """

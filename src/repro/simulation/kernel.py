@@ -337,6 +337,11 @@ class FaultAwareKernel(EventKernel):
     ) -> None:
         self.plan = plan
         self.failed: set[int] = set()
+        # When each failed machine comes back (inf = permanent).  Tracked
+        # so overlapping outages — e.g. merged plans hitting one machine —
+        # keep it down for the *union* of the windows instead of letting
+        # the first (possibly shorter) outage's recovery resurrect it.
+        self.down_until: dict[int, float] = {}
         # Degraded-interval multiplier per machine (1.0 = healthy base speed).
         self.degrade: list[float] = [1.0] * placement.instance.m
         self.attempt_token: dict[int, int] = {}
@@ -385,9 +390,19 @@ class FaultAwareKernel(EventKernel):
     # -- fault handlers ----------------------------------------------------
     def _on_failure(self, ev) -> None:
         machine, downtime = ev.payload
+        until = ev.time + downtime if math.isfinite(downtime) else math.inf
         if machine in self.failed:
-            return  # absorbed: the machine is already down
+            # Overlapping outage on an already-down machine (merged plans
+            # can produce these): extend the downtime to the union of the
+            # windows.  The superseded recovery event is ignored by
+            # :meth:`_on_recovery`'s ``down_until`` check.
+            if until > self.down_until.get(machine, math.inf):
+                self.down_until[machine] = until
+                if math.isfinite(until):
+                    self.queue.push(until, EventKind.MACHINE_RECOVERY, machine)
+            return
         self.failed.add(machine)
+        self.down_until[machine] = until
         self.view._mark_machine_failed(machine)
         if math.isfinite(downtime):
             self.queue.push(ev.time + downtime, EventKind.MACHINE_RECOVERY, machine)
@@ -419,7 +434,10 @@ class FaultAwareKernel(EventKernel):
         machine = ev.payload
         if machine not in self.failed:
             return
+        if ev.time < self.down_until.get(machine, 0.0):
+            return  # superseded by a longer overlapping outage
         self.failed.discard(machine)
+        self.down_until.pop(machine, None)
         self.view._mark_machine_recovered(machine)
         if self.observer.enabled:
             self.observer.count("sim.machine_recoveries")

@@ -32,7 +32,16 @@ root) so the repository carries its own performance trajectory:
   derived ``service_zero_drop`` flag (every admitted task completed,
   zero request errors) is gated fresh-run-only in ``--check``;
   ``service_throughput_rps`` is recorded for the trajectory but never
-  gated (absolute, hardware-dependent).
+  gated (absolute, hardware-dependent);
+* ``chaos_soak`` — one virtual-time :func:`~repro.chaos.soak.run_soak`
+  over a small fleet with a rack failure landing mid-run: the
+  failure-aware admission path, task re-placement, health tracking, and
+  the no-fault control arm, end to end.  Purely informational — its
+  derived scalars (``soak_min_availability``, ``soak_inflation``) ride
+  along in the trajectory but are **never** gated here; the survival
+  invariants are owned by ``tests/test_chaos_soak.py`` and the CI
+  ``chaos-soak-smoke`` job, and duplicating them in the perf gate would
+  double-report one failure.
 
 Before any timing, the harness asserts that the batch, serial, and
 parallel runs produce **identical record lists** — the bench doubles as
@@ -57,7 +66,8 @@ Schema (``repro.perfbench/1``)::
       "scenarios": {name: {"median_s", "stdev_s", "min_s", "runs"}},
       "derived": {"batch_speedup_x", "cache_speedup_x", "records_equal",
                   "tracer_overhead_pct", "tracer_calls",
-                  "service_zero_drop", "service_throughput_rps"}
+                  "service_zero_drop", "service_throughput_rps",
+                  "soak_min_availability", "soak_inflation"}
     }
 
 A ``*.manifest.json`` provenance sidecar (with the wall-clock timestamp
@@ -313,6 +323,32 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         and burst.final_status.get("admitted") == burst.final_status.get("done")
     )
 
+    # One virtual-time soak per run: sustained seeded arrivals against
+    # the failure-aware scheduler while a rack dies mid-run, plus the
+    # no-fault control arm.  Informational only — never gated here (the
+    # survival invariants live in tests/test_chaos_soak.py and the CI
+    # chaos-soak-smoke job).
+    from repro.chaos import ChaosSchedule, FleetTopology, SoakConfig, run_soak
+
+    topo = FleetTopology(
+        zones=1, racks_per_zone=4, machines_per_rack=2 if quick else 3
+    )
+    soak_config = SoakConfig(
+        topology=topo,
+        seed=cfg["instance_seed"],
+        duration=12.0 if quick else 30.0,
+        rate=4.0,
+        sample_every=1.0,
+        schedule=ChaosSchedule.rack(topo, 1, at=4.0, downtime=5.0),
+    )
+    last_soak: list[Any] = []
+
+    def _chaos_soak() -> None:
+        last_soak[:] = [run_soak(soak_config)]
+
+    scenarios["chaos_soak"] = _time_scenario(_chaos_soak, repeats)
+    soak_summary = last_soak[0].summary
+
     # Speedups gate CI, so derive them from min_s: timing noise is purely
     # additive, making the minimum the most reproducible point estimate.
     ek = scenarios["eventkernel_sweep"]["min_s"]
@@ -324,6 +360,8 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         "tracer_overhead_pct": 100.0 * scenarios["tracer_overhead"]["min_s"] / ek,
         "service_zero_drop": service_zero_drop,
         "service_throughput_rps": burst.throughput_rps,
+        "soak_min_availability": soak_summary["min_availability"],
+        "soak_inflation": soak_summary["inflation"],
     }
     return {
         "schema": SCHEMA,
@@ -479,6 +517,11 @@ def _summarize(payload: dict[str, Any]) -> str:
         lines.append(
             f"  service loadgen {d['service_throughput_rps']:.0f} req/s, "
             f"zero drop: {d['service_zero_drop']}"
+        )
+    if "soak_min_availability" in d:
+        lines.append(
+            f"  chaos soak min availability {d['soak_min_availability']:.3f}, "
+            f"inflation {d['soak_inflation']:.3f} (informational, not gated)"
         )
     return "\n".join(lines)
 

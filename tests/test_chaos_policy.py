@@ -1,0 +1,183 @@
+"""Health state machine, circuit breaker, and bulkhead behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.policy import (
+    BreakerState,
+    Bulkhead,
+    CircuitBreaker,
+    HealthPolicy,
+    HealthState,
+    HealthTracker,
+)
+
+
+@pytest.fixture
+def tracker() -> HealthTracker:
+    return HealthTracker(
+        HealthPolicy(
+            suspect_after=1, quarantine_after=2, probation_after=5.0, recover_after=2
+        )
+    )
+
+
+class TestHealthTracker:
+    def test_unknown_entities_are_healthy(self, tracker):
+        assert tracker.state("m0") is HealthState.HEALTHY
+        assert tracker.states() == {}
+
+    def test_escalation_to_quarantine(self, tracker):
+        # suspect_after=1: first failure suspects.  quarantine_after=2
+        # counts failures *while suspect* (entry reset the counter), so
+        # the total run to quarantine is 1 + 2 = 3.
+        assert tracker.observe_failure("m0", 1.0) is HealthState.SUSPECT
+        assert tracker.observe_failure("m0", 2.0) is HealthState.SUSPECT
+        assert tracker.observe_failure("m0", 3.0) is HealthState.QUARANTINED
+        assert [t.new for t in tracker.transitions] == [
+            HealthState.SUSPECT,
+            HealthState.QUARANTINED,
+        ]
+
+    def test_parole_then_full_recovery(self, tracker):
+        for t in (1.0, 2.0, 3.0):
+            tracker.observe_failure("m0", t)
+        # Probation window counts from quarantine entry (t=3).
+        assert tracker.tick(7.0) == []
+        paroled = tracker.tick(8.0)
+        assert [p.new for p in paroled] == [HealthState.RECOVERED]
+        # recover_after=2 successes promote back to healthy.
+        assert tracker.observe_success("m0", 9.0) is HealthState.RECOVERED
+        assert tracker.observe_success("m0", 10.0) is HealthState.HEALTHY
+
+    def test_failure_during_probation_requarantines(self, tracker):
+        for t in (1.0, 2.0, 3.0):
+            tracker.observe_failure("m0", t)
+        tracker.tick(8.0)
+        assert tracker.observe_failure("m0", 9.0) is HealthState.QUARANTINED
+        assert tracker.transitions[-1].reason == "failure during probation"
+
+    def test_failure_while_quarantined_extends_window(self, tracker):
+        for t in (1.0, 2.0, 3.0):
+            tracker.observe_failure("m0", t)
+        tracker.observe_failure("m0", 6.0)  # pushes `since` to 6.0
+        assert tracker.tick(8.5) == []
+        assert tracker.tick(11.0) != []
+
+    def test_completion_counts_only_during_probation(self, tracker):
+        # A suspect machine finishing tasks is not evidence it stopped
+        # crashing: completions must not erase crash history.
+        tracker.observe_failure("m0", 1.0)
+        for t in (2.0, 3.0, 4.0):
+            assert tracker.observe_completion("m0", t) is HealthState.SUSPECT
+        assert tracker.observe_failure("m0", 5.0) is HealthState.SUSPECT
+        assert tracker.observe_failure("m0", 6.0) is HealthState.QUARANTINED
+        tracker.tick(12.0)
+        assert tracker.observe_completion("m0", 13.0) is HealthState.RECOVERED
+        assert tracker.observe_completion("m0", 14.0) is HealthState.HEALTHY
+
+    def test_on_enter_actions_fire_with_transition(self, tracker):
+        seen = []
+        tracker.on_enter(HealthState.QUARANTINED, lambda tr: seen.append(tr))
+        for t in (1.0, 2.0, 3.0):
+            tracker.observe_failure("m0", t)
+        assert len(seen) == 1
+        assert seen[0].entity == "m0"
+        assert seen[0].old is HealthState.SUSPECT
+        assert seen[0].at == 3.0
+
+    def test_counts(self, tracker):
+        tracker.observe_failure("m0", 1.0)
+        tracker.observe_success("m1", 1.0)
+        counts = tracker.counts()
+        assert counts["suspect"] == 1
+        assert counts["healthy"] == 1
+        assert counts["quarantined"] == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(suspect_after=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(probation_after=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0)
+        for t in (1.0, 2.0):
+            breaker.record_failure(t)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 1
+        assert not breaker.allow(4.0)
+        assert breaker.rejected == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5.0)
+        breaker.record_failure(1.0)
+        breaker.record_success(1.5)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(4.9)
+        assert breaker.allow(5.0)  # first probe after cooldown
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(5.1)  # probe budget (1) exhausted
+        breaker.record_success(5.2)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(5.3)
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        breaker.record_failure(5.1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 2
+        # Cooldown restarts from the reopen time.
+        assert not breaker.allow(9.0)
+        assert breaker.allow(10.1)
+
+    def test_as_dict(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=3.0)
+        d = breaker.as_dict()
+        assert d["state"] == "closed"
+        assert d["failure_threshold"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestBulkhead:
+    def test_acquire_release_cycle(self):
+        bulkhead = Bulkhead(capacity=2)
+        assert bulkhead.try_acquire()
+        assert bulkhead.try_acquire()
+        assert not bulkhead.try_acquire()
+        assert bulkhead.rejected == 1
+        bulkhead.release()
+        assert bulkhead.try_acquire()
+
+    def test_check_tracks_external_occupancy(self):
+        bulkhead = Bulkhead(capacity=3)
+        assert bulkhead.check(2)
+        assert not bulkhead.check(3)
+        assert not bulkhead.check(7)
+        assert bulkhead.rejected == 2
+        assert bulkhead.in_flight == 7
+
+    def test_release_underflow_raises(self):
+        with pytest.raises(RuntimeError):
+            Bulkhead(capacity=1).release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bulkhead(capacity=0)

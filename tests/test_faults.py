@@ -304,6 +304,91 @@ class TestSameInstantEdgeCases:
         assert twice.aborted == once.aborted
 
 
+class TestMergedPlanOutages:
+    """Merged plans hitting one machine behave as the union of outages.
+
+    Regression suite for the ``merge_plans`` / ``CorrelatedFailure``
+    interaction audit: overlapping or same-instant outages on one machine
+    must extend its downtime (never shorten it), and the documented
+    same-instant ordering — completion beats failure, failure beats
+    recovery — must survive merging.
+    """
+
+    def test_merged_same_instant_takes_longest_downtime(self, inst):
+        merged = merge_plans(
+            [
+                FaultPlan.of(CrashRecover(0, 1.0, 0.5)),
+                FaultPlan.of(CrashRecover(0, 1.0, 3.0)),
+            ]
+        )
+        _, _, got = _run(inst, faults=merged)
+        _, _, want = _run(inst, faults=FaultPlan.of(CrashRecover(0, 1.0, 3.0)))
+        assert got.runs == want.runs
+        assert got.aborted == want.aborted
+
+    def test_crash_at_recovery_instant_extends_outage(self, inst):
+        """A crash landing exactly when an earlier outage ends is NOT
+        absorbed: MACHINE_FAILURE outranks MACHINE_RECOVERY at the tie, so
+        the downtime extends and the stale recovery is discarded."""
+        merged = merge_plans(
+            [
+                FaultPlan.of(CrashRecover(0, 1.0, 1.0)),
+                FaultPlan.of(CrashRecover(0, 2.0, 2.0)),
+            ]
+        )
+        _, _, got = _run(inst, faults=merged)
+        _, _, want = _run(inst, faults=FaultPlan.of(CrashRecover(0, 1.0, 3.0)))
+        assert got.runs == want.runs
+
+    def test_overlapping_outages_union(self, inst):
+        merged = merge_plans(
+            [
+                FaultPlan.of(CrashRecover(0, 1.0, 2.0)),
+                FaultPlan.of(CrashRecover(0, 2.0, 5.0)),
+            ]
+        )
+        _, _, got = _run(inst, faults=merged)
+        _, _, want = _run(inst, faults=FaultPlan.of(CrashRecover(0, 1.0, 6.0)))
+        assert got.runs == want.runs
+
+    def test_shorter_nested_outage_never_shortens(self, inst):
+        merged = merge_plans(
+            [
+                FaultPlan.of(CrashRecover(0, 1.0, 5.0)),
+                FaultPlan.of(CrashRecover(0, 2.0, 1.0)),
+            ]
+        )
+        _, _, got = _run(inst, faults=merged)
+        _, _, want = _run(inst, faults=FaultPlan.of(CrashRecover(0, 1.0, 5.0)))
+        assert got.runs == want.runs
+
+    def test_permanent_crash_during_outage_wins(self, inst):
+        merged = merge_plans(
+            [
+                FaultPlan.of(CrashRecover(0, 1.0, 2.0)),
+                FaultPlan.of(CrashStop(0, 2.0)),
+            ]
+        )
+        _, _, got = _run(inst, faults=merged)
+        _, _, want = _run(inst, faults=FaultPlan.of(CrashStop(0, 1.0)))
+        assert got.runs == want.runs
+
+    def test_completion_beats_failure_tie_after_merge(self, inst):
+        """Task 0 (work 4) completes at exactly t=4; two merged correlated
+        plans both killing machine 0 at t=4 must still lose the tie."""
+        merged = merge_plans(
+            [
+                FaultPlan.of(CorrelatedFailure((0,), 4.0, 2.0)),
+                FaultPlan.of(CorrelatedFailure((0,), 4.0)),
+            ]
+        )
+        p, real, trace = _run(inst, faults=merged)
+        trace.validate(p, real)
+        assert trace.runs[0].machine == 0
+        assert trace.runs[0].end == pytest.approx(4.0)
+        assert not any(a.tid == 0 for a in trace.aborted)
+
+
 class TestFaultModels:
     def test_random_crashes_reproducible(self):
         model = RandomCrashes(m=6, count=(0, 3), window=(0.0, 10.0))

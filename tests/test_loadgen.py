@@ -1,6 +1,12 @@
 """Loadgen determinism and the end-to-end burst invariants."""
 
-from repro.service.loadgen import RETRY_EVERY, make_workload, run_burst
+import repro.service.loadgen as lg
+from repro.service.loadgen import (
+    RETRY_ATTEMPTS,
+    RETRY_EVERY,
+    make_workload,
+    run_burst,
+)
 
 
 def test_workload_is_seeded_and_stable():
@@ -40,6 +46,48 @@ def test_burst_decisions_deterministic_at_concurrency_one():
     # A different seed changes the workload, hence the decisions.
     other = run_burst(tenants=6, tasks_per_tenant=4, seed=10, concurrency=1)
     assert other.decision_digest != first.decision_digest
+
+
+def test_transport_resets_replay_and_count_as_retries(monkeypatch):
+    # Every submission's first attempt dies with a connection reset; the
+    # replay (same idempotency key) must succeed, count in `retries`,
+    # and leave `errors` at zero with nothing dropped.
+    real_submit = lg.ServiceClient.submit
+    dropped: set[str] = set()
+
+    async def flaky_submit(self, tenant, estimate, *, size=0.0, key=None):
+        if key not in dropped:
+            dropped.add(key)
+            raise ConnectionResetError("peer reset")
+        return await real_submit(self, tenant, estimate, size=size, key=key)
+
+    monkeypatch.setattr(lg.ServiceClient, "submit", flaky_submit)
+    report = run_burst(tenants=4, tasks_per_tenant=3, seed=5, concurrency=4)
+    assert report.errors == 0
+    assert report.retries == 4 * 3
+    assert report.created == report.requests == 4 * 3
+    final = report.final_status
+    assert final["admitted"] == final["done"] == 4 * 3
+    assert report.as_dict()["retries"] == report.retries
+
+
+def test_exhausted_retry_budget_is_an_error(monkeypatch):
+    # One key's connection resets forever: its submission burns the whole
+    # retry budget and then lands in `errors`; everyone else is untouched.
+    real_submit = lg.ServiceClient.submit
+
+    async def flaky_submit(self, tenant, estimate, *, size=0.0, key=None):
+        if key == "t0-1":
+            raise ConnectionResetError("peer reset")
+        return await real_submit(self, tenant, estimate, size=size, key=key)
+
+    monkeypatch.setattr(lg.ServiceClient, "submit", flaky_submit)
+    report = run_burst(tenants=2, tasks_per_tenant=3, seed=5, concurrency=2)
+    assert report.errors == 1
+    assert report.retries == RETRY_ATTEMPTS
+    assert report.created == 2 * 3 - 1
+    final = report.final_status
+    assert final["admitted"] == final["done"] == 2 * 3 - 1
 
 
 def test_burst_writes_scrapable_exposition(tmp_path):

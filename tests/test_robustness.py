@@ -1,0 +1,141 @@
+"""Edge cases in the robustness statistics: empty cells, dead fleets,
+and the missing-control-arm guard (`MissingBaselineError`)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    FaultRunRecord,
+    MissingBaselineError,
+    availability_curve,
+    inflation_summary,
+    run_under_faults,
+    survival_rate,
+)
+from repro.core.strategies import LPTNoChoice
+from repro.faults import RandomCrashes
+from repro.uncertainty.stochastic import sample_realization
+from repro.workloads.generators import uniform_instance
+
+
+def _record(
+    *,
+    survived: bool,
+    replication: int = 2,
+    inflation: float = 1.2,
+    makespan: float = 12.0,
+    restarts: int = 0,
+) -> FaultRunRecord:
+    if not survived:
+        makespan, inflation = float("nan"), float("nan")
+    return FaultRunRecord(
+        strategy="ls_group[k=2]",
+        replication=replication,
+        scenario=0,
+        n_faults=1,
+        survived=survived,
+        makespan=makespan,
+        baseline_makespan=10.0,
+        inflation=inflation,
+        restarts=restarts,
+        error="" if survived else "data lost",
+    )
+
+
+class TestSurvivalRate:
+    def test_empty_is_vacuously_one(self):
+        assert survival_rate([]) == 1.0
+
+    def test_all_failed_is_zero(self):
+        assert survival_rate([_record(survived=False)] * 3) == 0.0
+
+    def test_mixed(self):
+        records = [_record(survived=True), _record(survived=False)]
+        assert survival_rate(records) == 0.5
+
+
+class TestInflationSummary:
+    def test_no_survivors_is_none(self):
+        assert inflation_summary([_record(survived=False)] * 2) is None
+
+    def test_survivors_without_baseline_raise(self):
+        # A survivor whose inflation is NaN means the records were built
+        # without the 0-failure control arm — refuse to average NaNs.
+        broken = FaultRunRecord(
+            strategy="s",
+            replication=2,
+            scenario=0,
+            n_faults=1,
+            survived=True,
+            makespan=12.0,
+            baseline_makespan=float("nan"),
+            inflation=float("nan"),
+            restarts=0,
+        )
+        with pytest.raises(MissingBaselineError):
+            inflation_summary([broken])
+
+    def test_finite_survivors_summarize(self):
+        records = [
+            _record(survived=True, inflation=1.0),
+            _record(survived=True, inflation=1.4),
+            _record(survived=False),
+        ]
+        summary = inflation_summary(records)
+        assert summary is not None
+        assert summary.mean == pytest.approx(1.2)
+
+
+class TestAvailabilityCurve:
+    def test_all_failed_fleet_yields_nan_rows_not_a_crash(self):
+        rows = availability_curve(
+            [_record(survived=False, replication=1)] * 4
+        )
+        assert len(rows) == 1
+        assert rows[0]["survival rate"] == 0.0
+        assert math.isnan(rows[0]["mean inflation"])
+        assert math.isnan(rows[0]["max inflation"])
+        assert rows[0]["restarts"] == 0
+
+    def test_rows_sorted_by_replication(self):
+        rows = availability_curve(
+            [
+                _record(survived=True, replication=3),
+                _record(survived=False, replication=1),
+                _record(survived=True, replication=2, restarts=2),
+            ]
+        )
+        assert [r["replication"] for r in rows] == [1, 2, 3]
+        assert rows[1]["restarts"] == 2
+
+
+class TestRunUnderFaultsBaselineGuard:
+    @pytest.mark.parametrize("baseline", [0.0, float("nan"), float("inf"), -1.0])
+    def test_degenerate_supplied_baseline_raises(self, baseline):
+        instance = uniform_instance(8, 4, alpha=1.5, seed=0)
+        realization = sample_realization(instance, "log_uniform", 1)
+        plan = RandomCrashes(4, count=(0, 1), window=(0.0, 5.0)).sample(
+            np.random.default_rng(0)
+        )
+        with pytest.raises(MissingBaselineError):
+            run_under_faults(
+                LPTNoChoice(),
+                instance,
+                realization,
+                plan,
+                baseline_makespan=baseline,
+            )
+
+    def test_computed_baseline_still_works(self):
+        instance = uniform_instance(8, 4, alpha=1.5, seed=0)
+        realization = sample_realization(instance, "log_uniform", 1)
+        plan = RandomCrashes(4, count=(0, 0), window=(0.0, 5.0)).sample(
+            np.random.default_rng(0)
+        )
+        record = run_under_faults(LPTNoChoice(), instance, realization, plan)
+        assert record.survived
+        assert record.inflation == pytest.approx(1.0)

@@ -189,3 +189,122 @@ def test_queue_endpoint_reports_group_loads():
         assert sorted(queue["group_loads"]) == [1.0, 4.0]
 
     run(_with_daemon(scenario))
+
+
+async def _await_down(client, machines, attempts=200):
+    """Poll /v1/health until ``machines`` are all down (eager pump races)."""
+    for _ in range(attempts):
+        health = await client.health()
+        if set(machines) <= set(health["down"]):
+            return health
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"machines {machines} never went down: {health['down']}")
+
+
+def test_health_endpoint_snapshot():
+    async def scenario(client, daemon):
+        health = await client.health()
+        assert health["machines"] == 4 and health["groups"] == 2
+        assert health["availability"] == 1.0
+        assert health["down"] == [] and health["degraded_groups"] == []
+        assert health["admitted"] == health["done"] == 0
+        # No tracker, breaker, or bulkhead configured -> keys absent.
+        assert "policy" not in health
+        assert "breaker" not in health
+        assert "bulkhead" not in health
+
+    run(_with_daemon(scenario))
+
+
+def test_chaos_endpoint_round_trip():
+    from repro.chaos.policy import HealthTracker
+
+    async def scenario(client, daemon):
+        body = await client.chaos(fail=[0, 1])  # kill group 0 permanently
+        assert body["failed"] == [0, 1]
+        health = await _await_down(client, [0, 1])
+        assert health["availability"] == 0.5
+        assert health["degraded_groups"] == [0]
+        assert health["machine_failures"] == 2
+        assert health["policy"]["counts"]["suspect"] == 2
+        # Admissions survive on the other group's replicas.
+        admitted = await client.submit("t", 1.0)
+        assert admitted["group"] == 1
+        assert set(admitted["machines"]) == {2, 3}
+        recovered = await client.chaos(recover=[0, 1])
+        assert recovered["recovered"] == [0, 1]
+        for _ in range(200):
+            health = await client.health()
+            if not health["down"]:
+                break
+            await asyncio.sleep(0.01)
+        assert health["availability"] == 1.0
+        assert health["machine_recoveries"] == 2
+
+    run(_with_daemon(scenario, health=HealthTracker()))
+
+
+def test_chaos_endpoint_validation():
+    async def scenario(client, daemon):
+        for payload in (
+            {},
+            {"fail": []},
+            {"fail": [0], "bogus": 1},
+            {"fail": [True]},
+            {"fail": [0], "downtime": "soon"},
+            {"fail": [99]},
+        ):
+            status, body = await client.request("POST", "/v1/chaos", payload)
+            assert status == 400, payload
+            assert body["error"]["code"] == "bad_chaos"
+
+    run(_with_daemon(scenario))
+
+
+def test_degraded_admission_returns_503():
+    async def scenario(client, daemon):
+        # m=2 with k=2: one machine per group, so failing both machines
+        # leaves no group to admit into.
+        await client.chaos(fail=[0, 1])
+        await _await_down(client, [0, 1])
+        with pytest.raises(ServiceError) as err:
+            await client.submit("t", 1.0)
+        assert err.value.status == 503 and err.value.code == "degraded"
+
+    run(_with_daemon(scenario, m=2))
+
+
+def test_bulkhead_and_breaker_shed_admissions():
+    from repro.chaos.policy import Bulkhead, CircuitBreaker
+
+    async def scenario():
+        # pace tiny -> virtual completions take ages of wall time, so
+        # admitted tasks stay in flight for the whole test.
+        scheduler = ServiceScheduler("ls_group[k=2]", m=4, seed=0)
+        daemon = ServiceDaemon(
+            scheduler,
+            port=0,
+            pace=1e-6,
+            bulkhead=Bulkhead(capacity=2),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=600.0),
+        )
+        server = asyncio.create_task(daemon.serve())
+        await daemon.started.wait()
+        try:
+            async with ServiceClient(port=daemon.port) as client:
+                await client.submit("t", 1.0)
+                await client.submit("t", 1.0)
+                for expected in ("overloaded", "overloaded", "breaker_open"):
+                    with pytest.raises(ServiceError) as err:
+                        await client.submit("t", 1.0)
+                    assert err.value.status == 503
+                    assert err.value.code == expected
+                health = await client.health()
+                assert health["bulkhead"]["rejected"] == 2
+                assert health["breaker"]["state"] == "open"
+                assert health["breaker"]["opened"] == 1
+        finally:
+            daemon.stop()
+            await server
+
+    run(scenario())
