@@ -17,9 +17,19 @@ from typing import Any
 from repro.analysis.cache import CellCache
 from repro.analysis.csvio import results_dir
 from repro.obs.provenance import bench_manifest
+from repro.store import ArtifactStore, code_ref, drain_raw_refs, publish_curated
 
 #: Artifacts emitted during this session, printed in the terminal summary.
 _EMITTED: list[tuple[str, str]] = []
+
+#: One store per bench session; opened lazily at the first emit.
+_STORE: list[ArtifactStore] = []
+
+
+def _store() -> ArtifactStore:
+    if not _STORE:
+        _STORE.append(ArtifactStore())
+    return _STORE[0]
 
 
 def grid_opts() -> dict[str, Any]:
@@ -44,18 +54,30 @@ def grid_opts() -> dict[str, Any]:
 
 
 def emit(name: str, text: str) -> Path:
-    """Save an artifact to results/ and queue it for the run summary.
+    """Save an artifact to results/, publish it to the store, queue it.
 
-    Next to every ``results/<name>.txt`` a ``results/<name>.manifest.json``
-    provenance sidecar is written (library/python/git identity plus any
-    metrics the run recorded), so the perf trajectory the benches build up
-    is attributable from PR 1 onward.
+    Three durable records per artifact:
+
+    * ``results/<name>.txt`` (plus whatever CSV/SVG files the bench
+      already wrote) — the working-tree rendering;
+    * a CURATED artifact in the content-addressed store snapshotting
+      those exact bytes, with refs to the producing code and to every
+      RAW grid cell the cell cache served or stored while the bench ran
+      (see :mod:`repro.store.session`);
+    * a ``results/<name>.manifest.json`` provenance sidecar carrying the
+      environment identity, recorded metrics, the store ``artifact_id``,
+      and the same refs.
     """
     path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
-    bench_manifest(name, artifact=path.name).write(
-        results_dir() / f"{name}.manifest.json"
-    )
+    refs = (code_ref("benchmarks"), *drain_raw_refs())
+    artifact = publish_curated(name, store=_store(), refs=refs)
+    bench_manifest(
+        name,
+        artifact=path.name,
+        refs=refs,
+        artifact_id=artifact.artifact_id if artifact is not None else None,
+    ).write(results_dir() / f"{name}.manifest.json")
     _EMITTED.append((name, text))
     return path
 

@@ -1,9 +1,10 @@
-"""On-disk result cache for experiment-grid cells.
+"""On-disk result cache for experiment-grid cells, backed by the artifact store.
 
 Serves sweep re-runs across every grid-driven artifact (E1–E16, figure
 benches, ``repro sweep``): a cell whose inputs have not changed is read
-back from ``.repro-cache/`` instead of recomputed, so editing one
-strategy no longer pays for the whole grid again.
+back from the RAW stage of the content-addressed artifact store
+(:mod:`repro.store`, default ``.repro-store/``) instead of recomputed,
+so editing one strategy no longer pays for the whole grid again.
 
 A cell's **fingerprint** is the SHA-256 of a canonical JSON document
 covering everything its outcome depends on:
@@ -23,20 +24,36 @@ covering everything its outcome depends on:
 
 Cells whose realization model is a custom callable (not a registered
 model name) are **uncacheable** — a function's identity is not a stable
-key — and silently bypass the cache.
+key — and silently bypass the cache.  So are cells whose inputs cannot
+be canonically encoded (NaN/infinite estimates): unlike plain
+``json.dumps``, the canonical encoding refuses values that do not
+round-trip, rather than minting colliding keys.
 
-Entries are one JSON file per fingerprint, sharded by the first two hex
-chars.  A corrupt or unreadable entry counts as a miss (and a
-``grid.cache_corrupt`` tick) and is recomputed, never raised; the bad
-shard is additionally *quarantined* — moved aside to ``<entry>.corrupt``
-(a ``grid.cache_quarantined`` tick) so a warm rerun never trips over it
+Entries are RAW-stage artifacts keyed by fingerprint.  A corrupt or
+unreadable entry counts as a miss (and a ``grid.cache_corrupt`` tick)
+and is recomputed, never raised; the bad entry is additionally
+*quarantined* — moved aside to ``<entry>.corrupt`` (a
+``grid.cache_quarantined`` tick) so a warm rerun never trips over it
 again.  Quarantined cells (``kind="quarantined"`` skips from the retry
 layer) are refused by :meth:`CellCache.put`: a transient crash must not
-be frozen into a permanent skip.  Hits, misses, stores, corruption, and
-quarantines are tracked on the cache object and mirrored into the
-tracer's :class:`~repro.obs.metrics.MetricsRegistry` as
-``grid.cache_hits`` / ``grid.cache_misses`` / ``grid.cache_stores`` /
-``grid.cache_corrupt`` / ``grid.cache_quarantined``.
+be frozen into a permanent skip.
+
+**Legacy migration** (v2 → v3): entries written by the pre-store cache
+(schema 2, flat ``<aa>/<fingerprint>.json`` shards under the cache root
+or a sibling ``.repro-cache/``) are migrated *lazily and losslessly* —
+on a v3 miss the v2 fingerprint is computed, the old shard decoded, the
+outcome re-stored under its v3 key, and the lookup counted as a hit plus
+a ``grid.cache_migrated`` tick.  A warm v2 cache therefore recomputes
+nothing.  (Bulk re-keying is impossible: fingerprints hash the *inputs*,
+which a stored entry does not carry.)  Cold legacy shards are pruned by
+``repro cache gc --prune-legacy``.
+
+Hits, misses, stores, migrations, corruption, and quarantines are
+tracked on the cache object and mirrored into the tracer's
+:class:`~repro.obs.metrics.MetricsRegistry` as ``grid.cache_hits`` /
+``grid.cache_misses`` / ``grid.cache_stores`` / ``grid.cache_migrated``
+/ ``grid.cache_corrupt`` / ``grid.cache_quarantined`` (the store adds
+its own ``store.*`` series underneath).
 """
 
 from __future__ import annotations
@@ -49,16 +66,34 @@ from typing import Any
 from repro.analysis.parallel import CellOutcome, CellSpec
 from repro.analysis.records import ExperimentRecord, SkippedCell
 from repro.obs.tracer import get_tracer
+from repro.store.artifact import Stage
+from repro.store.canonical import content_hash
+from repro.store.session import record_raw_ref
+from repro.store.store import ArtifactStore, default_store_root
 
-__all__ = ["CellCache", "cell_fingerprint", "CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "CellCache",
+    "cell_fingerprint",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "LEGACY_CACHE_DIR",
+]
 
 #: Bump to invalidate every existing cache entry at once (schema or
 #: measurement-semantics changes).  v2: strategy identity switched to the
-#: canonical registry spec.
-CACHE_SCHEMA_VERSION = 2
+#: canonical registry spec.  v3: entries moved into the artifact store's
+#: RAW stage with canonical (path/tuple/NaN-strict) fingerprint encoding;
+#: v2 entries are migrated lazily, see the module docs.
+CACHE_SCHEMA_VERSION = 3
 
-#: Where caches land unless a caller says otherwise.
-DEFAULT_CACHE_DIR = ".repro-cache"
+#: Where cells land unless a caller says otherwise — the unified store.
+DEFAULT_CACHE_DIR = ".repro-store"
+
+#: The pre-store cache directory, still honored as a migration source.
+LEGACY_CACHE_DIR = ".repro-cache"
+
+#: The v2 schema tag legacy shards were written with.
+_LEGACY_SCHEMA = 2
 
 
 def _strategy_key(strategy: Any) -> dict[str, Any]:
@@ -97,39 +132,71 @@ def _instance_key(instance: Any) -> dict[str, Any]:
     }
 
 
-def cell_fingerprint(spec: CellSpec) -> str | None:
-    """SHA-256 key of one cell, or ``None`` when the cell is uncacheable."""
-    if not isinstance(spec.model, str):
-        return None
-    document = {
-        "schema": CACHE_SCHEMA_VERSION,
+def _fingerprint_document(spec: CellSpec, schema: int) -> dict[str, Any]:
+    """The canonical document a cell fingerprint hashes."""
+    return {
+        "schema": schema,
         "strategy": _strategy_key(spec.strategy),
         "instance": _instance_key(spec.instance),
         "model": spec.model,
         "seed": spec.seed,
         "exact_limit": spec.exact_limit,
     }
-    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def cell_fingerprint(spec: CellSpec) -> str | None:
+    """SHA-256 key of one cell, or ``None`` when the cell is uncacheable."""
+    if not isinstance(spec.model, str):
+        return None
+    try:
+        return content_hash(_fingerprint_document(spec, CACHE_SCHEMA_VERSION))
+    except ValueError:
+        return None  # non-canonical inputs (NaN/inf estimates, odd params)
+
+
+def _legacy_fingerprint(spec: CellSpec) -> str | None:
+    """The v2 (pre-store) fingerprint, byte-compatible with the old cache."""
+    if not isinstance(spec.model, str):
+        return None
+    try:
+        blob = json.dumps(
+            _fingerprint_document(spec, _LEGACY_SCHEMA),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except (TypeError, ValueError):
+        return None
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class CellCache:
-    """Fingerprint-keyed store of grid-cell outcomes under ``root``.
+    """Fingerprint-keyed view of RAW cell outcomes in the artifact store.
 
     One instance per sweep is the intended use; hit/miss/store counters
     accumulate across ``get``/``put`` calls and feed the grid manifest's
-    cache section.
+    cache section.  ``root`` may be a directory (a store is opened
+    there), an existing :class:`~repro.store.store.ArtifactStore`, or
+    omitted for the repo-anchored default store.
     """
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(root)
+    def __init__(self, root: str | Path | ArtifactStore | None = None) -> None:
+        if isinstance(root, ArtifactStore):
+            self.store = root
+        else:
+            self.store = ArtifactStore(root if root is not None else default_store_root())
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.migrated = 0
         self.corrupt = 0
         self.quarantined = 0
 
     # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The store's root directory (local backends)."""
+        return self.store.root
 
     @property
     def lookups(self) -> int:
@@ -146,13 +213,23 @@ class CellCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "migrated": self.migrated,
             "corrupt": self.corrupt,
             "quarantined": self.quarantined,
             "hit_rate": self.hit_rate(),
         }
 
     def _path(self, fingerprint: str) -> Path:
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+        return self.store.manifest_path(Stage.RAW, fingerprint)
+
+    def _legacy_paths(self, fingerprint: str) -> list[Path]:
+        """Where a v2 shard for ``fingerprint`` could live, in priority order."""
+        shard = Path(fingerprint[:2]) / f"{fingerprint}.json"
+        candidates = [self.root / shard]
+        sibling = self.root.parent / LEGACY_CACHE_DIR
+        if sibling != self.root:
+            candidates.append(sibling / shard)
+        return candidates
 
     # -- lookup / store ----------------------------------------------------
 
@@ -162,39 +239,67 @@ class CellCache:
         Corrupt entries (truncated writes, schema drift, hand edits) are
         treated as misses and moved aside to ``<entry>.corrupt`` so a
         warm rerun starts clean; the subsequent :meth:`put` rewrites the
-        real entry.
+        real entry.  Misses additionally probe for a pre-store (v2)
+        entry and migrate it in place — a warm legacy cache counts as
+        hits, never recompute.
         """
         fingerprint = cell_fingerprint(spec)
         if fingerprint is None:
             return None
         tracer = get_tracer()
-        path = self._path(fingerprint)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            outcome = self._decode(spec, fingerprint, payload)
-        except FileNotFoundError:
-            outcome = None
-        except (OSError, ValueError, KeyError, TypeError):
+        existed = self.store.contains(Stage.RAW, fingerprint)
+        artifact = self.store.get(Stage.RAW, fingerprint)
+        outcome = None
+        if artifact is not None:
+            try:
+                outcome = self._decode(spec, fingerprint, artifact.payload)
+            except (ValueError, KeyError, TypeError):
+                self.store.quarantine(Stage.RAW, fingerprint)
+                artifact = None
+        if artifact is None and existed:
+            # The entry was there but unusable: the store quarantined it.
             self.corrupt += 1
             tracer.count("grid.cache_corrupt")
-            self._quarantine(path)
-            outcome = None
+            if not self.store.contains(Stage.RAW, fingerprint):
+                self.quarantined += 1
+                tracer.count("grid.cache_quarantined")
+        if outcome is None:
+            outcome = self._migrate_legacy(spec, fingerprint)
+            if outcome is not None:
+                return outcome  # counted as a hit inside _migrate_legacy
         if outcome is None:
             self.misses += 1
             tracer.count("grid.cache_misses")
         else:
             self.hits += 1
             tracer.count("grid.cache_hits")
+            record_raw_ref(fingerprint, artifact.artifact_id)
         return outcome
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt shard aside so it cannot poison a warm rerun."""
-        try:
-            path.replace(path.with_suffix(".corrupt"))
-        except OSError:
-            return
-        self.quarantined += 1
-        get_tracer().count("grid.cache_quarantined")
+    def _migrate_legacy(self, spec: CellSpec, fingerprint: str) -> CellOutcome | None:
+        """Revive a v2 shard for this cell, re-keying it at v3 in the store."""
+        legacy_fp = _legacy_fingerprint(spec)
+        if legacy_fp is None:
+            return None
+        for path in self._legacy_paths(legacy_fp):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if payload.get("v") != _LEGACY_SCHEMA or payload.get("fingerprint") != legacy_fp:
+                continue
+            try:
+                outcome = self._decode_entry(spec, payload)
+            except (ValueError, KeyError, TypeError):
+                continue
+            self._store_outcome(spec, fingerprint, outcome, count_store=False)
+            self.migrated += 1
+            self.hits += 1
+            tracer = get_tracer()
+            tracer.count("grid.cache_migrated")
+            tracer.count("grid.cache_hits")
+            return outcome
+        return None
 
     def put(self, spec: CellSpec, outcome: CellOutcome) -> bool:
         """Persist one computed outcome; returns False when uncacheable.
@@ -208,11 +313,13 @@ class CellCache:
         fingerprint = cell_fingerprint(spec)
         if fingerprint is None:
             return False
-        payload: dict[str, Any] = {
-            "v": CACHE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "duration_s": outcome.duration_s,
-        }
+        return self._store_outcome(spec, fingerprint, outcome, count_store=True)
+
+    def _store_outcome(
+        self, spec: CellSpec, fingerprint: str, outcome: CellOutcome, *, count_store: bool
+    ) -> bool:
+        """Write one outcome as a RAW artifact; False when it cannot persist."""
+        payload: dict[str, Any] = {"duration_s": outcome.duration_s}
         if outcome.record is not None:
             payload["kind"] = "record"
             payload["record"] = outcome.record.to_cache_dict()
@@ -221,29 +328,26 @@ class CellCache:
             payload["skipped"] = outcome.skipped.as_dict()
         else:  # pragma: no cover - outcomes always carry one of the two
             return False
-        path = self._path(fingerprint)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(
-                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
-                encoding="utf-8",
-            )
-            tmp.replace(path)
-        except OSError:
-            return False
-        self.stores += 1
-        get_tracer().count("grid.cache_stores")
+            artifact = self.store.put(Stage.RAW, fingerprint, kind="cell", payload=payload)
+        except (OSError, ValueError):
+            return False  # backend failure, or a payload that cannot canonicalize
+        record_raw_ref(fingerprint, artifact.artifact_id)
+        if count_store:
+            self.stores += 1
+            get_tracer().count("grid.cache_stores")
         return True
 
     def _decode(
         self, spec: CellSpec, fingerprint: str, payload: dict[str, Any]
     ) -> CellOutcome:
         """Rebuild a :class:`CellOutcome`; raises on any inconsistency."""
-        if payload.get("v") != CACHE_SCHEMA_VERSION:
-            raise ValueError(f"cache schema {payload.get('v')!r} != {CACHE_SCHEMA_VERSION}")
-        if payload.get("fingerprint") != fingerprint:
+        if fingerprint != cell_fingerprint(spec):  # pragma: no cover - defensive
             raise ValueError("cache entry fingerprint mismatch")
+        return self._decode_entry(spec, payload)
+
+    def _decode_entry(self, spec: CellSpec, payload: dict[str, Any]) -> CellOutcome:
+        """Decode a cache payload (v3 artifact or v2 shard body)."""
         duration = float(payload.get("duration_s", 0.0))
         kind = payload.get("kind")
         if kind == "record":

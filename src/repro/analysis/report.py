@@ -1,46 +1,56 @@
-"""Reproduction report generator.
+"""Reproduction report pipeline over the content-addressed artifact store.
 
-Collects every artifact the benches wrote under ``results/`` — the
-reproduced tables/figures (``.txt``) and their data series (``.csv``) —
-and assembles a single self-contained markdown report: one section per
-artifact with the rendering inlined and the CSV summarized.  ``repro
-report`` writes it to ``results/REPORT.md``.
+``repro report`` no longer scrapes whatever happens to sit under
+``results/``: it renders ``REPORT.md`` — and re-materializes every
+table, CSV series, and SVG figure — purely from fingerprinted CURATED
+artifacts in the store (:mod:`repro.store`).  Three consequences:
 
-The generator is intentionally dumb about content (it does not recompute
-anything) so the report always reflects what was actually measured in the
-last bench run.
+* **Byte-reproducible.**  The report header carries an *input
+  fingerprint* (SHA-256 over the content IDs of its deterministic
+  inputs) instead of a wall-clock stamp; identical inputs render an
+  identical report, so a second ``repro report`` writes nothing.
+* **Self-verifying.**  Every section lists its files with their SHA-256,
+  making the committed REPORT.md a lockfile for ``results/``:
+  :func:`check_report` re-renders from the store and byte-compares
+  everything against the working tree (CI's clobber guard).
+* **Refuses guesswork.**  A registered deterministic artifact that
+  exists on disk but cannot be resolved from the store aborts the
+  render — ``repro report --adopt`` (:func:`adopt_results`) blesses a
+  committed tree into the store first (the fresh-clone bootstrap).
+
+Volatile artifacts (wall-clock timings, SLO latencies, the perf
+trajectory) are listed from the registry but excluded from the
+fingerprint and the byte comparison; see docs/artifacts.md.
 """
 
 from __future__ import annotations
 
-from datetime import datetime, timezone
+import csv
+import io
 from pathlib import Path
 
-from repro.analysis.csvio import read_csv, results_dir
+from repro.analysis.csvio import results_dir
+from repro.store.artifact import Artifact, Stage
+from repro.store.canonical import content_hash
+from repro.store.publish import SPECS, adopt_results, artifact_files, publish_curated, spec_for
+from repro.store.refs import ArtifactRef, code_ref
+from repro.store.store import ArtifactStore
 
-__all__ = ["generate_report", "artifact_inventory"]
-
-#: Display order and titles for known artifacts; unknown files are appended.
-_KNOWN = [
-    ("table1_replication_bounds", "Table 1 — replication-bound guarantees"),
-    ("table2_memory_bounds", "Table 2 — memory-aware guarantees"),
-    ("fig1_adversary", "Figure 1 — Theorem-1 adversary"),
-    ("fig2_group_example", "Figure 2 — group replication example"),
-    ("fig3_ratio_replication", "Figure 3 — ratio/replication tradeoff"),
-    ("fig4_sabo_schedule", "Figure 4 — SABO schedule"),
-    ("fig5_abo_schedule", "Figure 5 — ABO schedule"),
-    ("fig6_memory_makespan", "Figure 6 — memory/makespan tradeoff"),
-    ("e1_empirical_ratios", "E1 — empirical ratios vs guarantees"),
-    ("e2_lower_bound_convergence", "E2 — lower-bound convergence"),
-    ("e3_group_phase_ablation", "E3 — LS vs LPT group ablation"),
-    ("e4_memory_pareto", "E4 — measured memory/makespan Pareto fronts"),
-    ("e5_general_replication", "E5 — generalized replication policies"),
-    ("e6_regime_map", "E6 — clairvoyance regime map"),
-    ("e7_fault_tolerance", "E7 — fault tolerance"),
-    ("e8_proof_verification", "E8 — numeric proof verification"),
-    ("e9_robustness_metrics", "E9 — classical robustness metrics"),
-    ("e10_estimate_refinement", "E10 — estimate refinement"),
+__all__ = [
+    "generate_report",
+    "check_report",
+    "render_report",
+    "report_fingerprint",
+    "artifact_inventory",
+    "UnresolvableArtifactError",
 ]
+
+#: Report files the store does not manage (sidecars, the report itself).
+_UNMANAGED_SUFFIXES = (".manifest.json",)
+
+
+class UnresolvableArtifactError(LookupError):
+    """A registered artifact exists on disk but cannot be resolved from the store."""
 
 
 def artifact_inventory(base: str | Path | None = None) -> dict[str, dict[str, Path]]:
@@ -56,13 +66,14 @@ def artifact_inventory(base: str | Path | None = None) -> dict[str, dict[str, Pa
     return inventory
 
 
-def _csv_summary(path: Path, *, max_preview: int = 3) -> str:
-    rows = read_csv(path)
+def _csv_summary(name: str, data: bytes, *, max_preview: int = 3) -> str:
+    """Rows × columns summary with a short preview, from stored bytes."""
+    rows = list(csv.DictReader(io.StringIO(data.decode("utf-8"))))
     if not rows:
-        return f"`{path.name}`: empty"
+        return f"`{name}`: empty"
     cols = list(rows[0].keys())
     lines = [
-        f"`{path.name}`: {len(rows)} rows × {len(cols)} columns "
+        f"`{name}`: {len(rows)} rows × {len(cols)} columns "
         f"({', '.join(cols[:8])}{', ...' if len(cols) > 8 else ''})"
     ]
     for r in rows[:max_preview]:
@@ -73,51 +84,240 @@ def _csv_summary(path: Path, *, max_preview: int = 3) -> str:
     return "\n".join(lines)
 
 
-def generate_report(base: str | Path | None = None) -> Path:
-    """Assemble ``results/REPORT.md`` from the artifacts on disk.
+def _resolved(store: ArtifactStore) -> list[Artifact]:
+    """CURATED artifacts in registry order, then unknown names alphabetically."""
+    present = store.names(Stage.CURATED)
+    ordered = [spec.name for spec in SPECS if spec.name in present]
+    ordered += sorted(name for name in present if name not in {s.name for s in SPECS})
+    artifacts = []
+    for name in ordered:
+        artifact = store.get(Stage.CURATED, name)
+        if artifact is not None:
+            artifacts.append(artifact)
+    return artifacts
 
-    Returns the report path.  Raises ``FileNotFoundError`` when no
-    artifacts exist yet (run the benches first).
+
+def report_fingerprint(artifacts: list[Artifact]) -> str:
+    """SHA-256 over the deterministic inputs' names and content IDs."""
+    deterministic = [a for a in artifacts if not spec_for(a.name).volatile]
+    return content_hash(
+        {"inputs": [{"name": a.name, "artifact_id": a.artifact_id} for a in deterministic]}
+    )
+
+
+def _unregistered(store_files: set[str], base: str | Path | None) -> list[str]:
+    """On-disk results files no curated artifact claims (stale droppings)."""
+    strays = []
+    for path in sorted(results_dir(base).glob("*")):
+        if not path.is_file() or path.name == "REPORT.md":
+            continue
+        if path.name.endswith(_UNMANAGED_SUFFIXES):
+            continue
+        if path.name not in store_files:
+            strays.append(path.name)
+    return strays
+
+
+def render_report(
+    store: ArtifactStore, base: str | Path | None = None
+) -> tuple[str, dict[str, bytes]]:
+    """Render REPORT.md text plus the deterministic files to materialize.
+
+    Returns ``(markdown, files)`` where ``files`` maps results/ file
+    names to the exact bytes the store holds for them.  Raises
+    :class:`UnresolvableArtifactError` when a registered deterministic
+    artifact is on disk but absent from (or corrupt in) the store, and
+    ``FileNotFoundError`` when the store has nothing to render at all.
     """
-    inventory = artifact_inventory(base)
-    if not inventory:
+    artifacts = _resolved(store)
+    by_name = {a.name: a for a in artifacts}
+
+    unresolvable = []
+    for spec in SPECS:
+        if spec.volatile or spec.name in by_name:
+            continue
+        if artifact_files(spec, base):
+            unresolvable.append(spec.name)
+    if unresolvable:
+        raise UnresolvableArtifactError(
+            "registered artifacts exist under results/ but cannot be resolved "
+            f"from the artifact store: {', '.join(unresolvable)}; run their "
+            "benches or bless the committed tree with `repro report --adopt`"
+        )
+    if not artifacts:
         raise FileNotFoundError(
-            f"no artifacts under {results_dir(base)}; run "
-            "`pytest benchmarks/ --benchmark-only` first"
+            f"no curated artifacts in the store ({store.stats().get('dir', 'remote')}); "
+            "run `pytest benchmarks/ --benchmark-only` or `repro report --adopt`"
         )
 
-    ordered: list[tuple[str, str]] = []
-    seen: set[str] = set()
-    for stem, title in _KNOWN:
-        if stem in inventory:
-            ordered.append((stem, title))
-            seen.add(stem)
-    for stem in inventory:
-        if stem not in seen:
-            ordered.append((stem, stem))
+    deterministic = [a for a in artifacts if not spec_for(a.name).volatile]
+    fingerprint = report_fingerprint(artifacts)
 
-    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    files: dict[str, bytes] = {}
     lines = [
         "# Reproduction report",
         "",
-        f"Generated {stamp} from the artifacts in `results/`.",
-        f"{len(ordered)} artifacts. Regenerate with "
-        "`pytest benchmarks/ --benchmark-only && repro report`.",
+        f"Input fingerprint: `{fingerprint}`",
+        "",
+        f"SHA-256 over the content IDs of the {len(deterministic)} deterministic "
+        "artifacts below; identical inputs render an identical report "
+        "(volatile timing artifacts are listed but excluded).",
+        "Regenerate with `repro report`; verify the working tree against it "
+        "with `repro report --check`. See docs/artifacts.md.",
         "",
     ]
-    for stem, title in ordered:
-        files = inventory[stem]
-        lines.append(f"## {title}")
+    for artifact in deterministic:
+        spec = spec_for(artifact.name)
+        lines.append(f"## {spec.title}")
         lines.append("")
-        if "txt" in files:
+        txt_name = f"{artifact.name}.txt"
+        csv_name = f"{artifact.name}.csv"
+        for fname in artifact.files:
+            data = store.file_bytes(artifact, fname)
+            if data is None:
+                raise UnresolvableArtifactError(
+                    f"blob for {fname!r} of artifact {artifact.name!r} is missing "
+                    "or corrupt in the store; rerun its bench or `repro report --adopt`"
+                )
+            files[fname] = data
+        if txt_name in artifact.files:
             lines.append("```")
-            lines.append(files["txt"].read_text().rstrip())
+            lines.append(files[txt_name].decode("utf-8").rstrip())
             lines.append("```")
-        if "csv" in files:
+        if csv_name in artifact.files:
             lines.append("")
-            lines.append(_csv_summary(files["csv"]))
+            lines.append(_csv_summary(csv_name, files[csv_name]))
+        lines.append("")
+        lines.append("Files:")
+        lines.append("")
+        for fname, sha in sorted(artifact.files.items()):
+            lines.append(f"- `{fname}` — sha256 `{sha}`")
         lines.append("")
 
-    out = results_dir(base) / "REPORT.md"
-    out.write_text("\n".join(lines))
+    lines.append("## Volatile artifacts")
+    lines.append("")
+    lines.append(
+        "Wall-clock measurements whose bytes legitimately differ between "
+        "runs; stored with full provenance in the artifact store but "
+        "excluded from the input fingerprint and from `--check`:"
+    )
+    lines.append("")
+    for spec in SPECS:
+        if spec.volatile:
+            lines.append(f"- `{spec.name}` — {spec.title}")
+    lines.append("")
+
+    volatile_files = set(files)
+    for artifact in artifacts:
+        volatile_files.update(artifact.files)
+    strays = _unregistered(volatile_files, base)
+    if strays:
+        lines.append("## Unregistered files")
+        lines.append("")
+        lines.append(
+            "Files under `results/` no curated artifact claims — stale "
+            "droppings or a bench missing its registry entry "
+            "(`repro.store.publish.SPECS`):"
+        )
+        lines.append("")
+        for name in strays:
+            lines.append(f"- `{name}`")
+        lines.append("")
+
+    return "\n".join(lines), files
+
+
+def _auto_adopt_volatile(store: ArtifactStore, base: str | Path | None) -> None:
+    """Bless on-disk volatile artifacts absent from the store.
+
+    Volatile bytes are not fingerprinted, so adopting them silently is
+    safe — it only records provenance for files already in the tree
+    (e.g. a committed ``BENCH_history.jsonl`` on a machine that never
+    ran ``repro perfbench``).
+    """
+    for spec in SPECS:
+        if not spec.volatile or store.contains(Stage.CURATED, spec.name):
+            continue
+        if artifact_files(spec, base):
+            publish_curated(spec.name, store=store, base=base)
+
+
+def generate_report(
+    base: str | Path | None = None,
+    *,
+    store: ArtifactStore | None = None,
+    adopt: bool = False,
+) -> Path:
+    """Render and materialize ``results/`` from the store; returns the path.
+
+    Every managed file (tables, CSVs, SVGs, REPORT.md) is written only
+    when its bytes differ from what the store renders — a second run
+    writes nothing.  ``adopt=True`` first blesses the committed tree
+    into the store (fresh-clone bootstrap).
+    """
+    store = store if store is not None else ArtifactStore()
+    if adopt:
+        adopt_results(store, base)
+    _auto_adopt_volatile(store, base)
+    markdown, files = render_report(store, base)
+    d = results_dir(base)
+    text = markdown if markdown.endswith("\n") else markdown + "\n"
+    for fname, data in sorted(files.items()):
+        path = d / fname
+        if not path.exists() or path.read_bytes() != data:
+            path.write_bytes(data)
+    out = d / "REPORT.md"
+    payload = text.encode("utf-8")
+    if not out.exists() or out.read_bytes() != payload:
+        out.write_bytes(payload)
+    artifacts = _resolved(store)
+    store.put(
+        Stage.REPORT,
+        "REPORT",
+        kind="report",
+        payload={"fingerprint": report_fingerprint(artifacts)},
+        files={"REPORT.md": payload},
+        refs=tuple(
+            [ArtifactRef(Stage.CURATED.value, a.name, a.artifact_id) for a in artifacts]
+            + [code_ref("repro.analysis.report")]
+        ),
+    )
     return out
+
+
+def check_report(
+    base: str | Path | None = None,
+    *,
+    store: ArtifactStore | None = None,
+    adopt: bool = False,
+) -> list[str]:
+    """Byte-verify the working tree against the store; [] when clean.
+
+    Renders the report in memory and compares every deterministic file
+    plus REPORT.md against disk without writing anything.  Returns a
+    human-readable problem list (drifted/missing files, strays).  With
+    ``adopt=True`` the on-disk artifacts are blessed first, which turns
+    the committed REPORT.md into the reference: the check then fails
+    exactly when the tree is internally inconsistent (a results file was
+    clobbered after REPORT.md was last rendered, or a stray appeared).
+    """
+    store = store if store is not None else ArtifactStore()
+    if adopt:
+        adopt_results(store, base)
+    _auto_adopt_volatile(store, base)
+    markdown, files = render_report(store, base)
+    d = results_dir(base)
+    problems = []
+    for fname, data in sorted(files.items()):
+        path = d / fname
+        if not path.exists():
+            problems.append(f"missing: {fname}")
+        elif path.read_bytes() != data:
+            problems.append(f"drifted: {fname}")
+    text = (markdown if markdown.endswith("\n") else markdown + "\n").encode("utf-8")
+    report_path = d / "REPORT.md"
+    if not report_path.exists():
+        problems.append("missing: REPORT.md")
+    elif report_path.read_bytes() != text:
+        problems.append("drifted: REPORT.md (inputs or stray files changed)")
+    return problems

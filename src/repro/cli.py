@@ -19,6 +19,8 @@ subcommands so results can be regenerated without pytest:
 ``obs analyze``      Span aggregates + critical path of a JSONL trace
 ``obs export``       OpenMetrics text exposition of a JSONL trace
 ``bench``            Perf scenarios → ``BENCH_perf.json`` (``--check`` gates)
+``report``           Render ``results/`` + REPORT.md from the artifact store
+``cache``            Artifact-store maintenance (``gc`` / ``stats``)
 ``serve``            Placement-as-a-service daemon (``docs/service.md``)
 ``loadgen``          Synthetic-tenant load generator against ``serve``
 ``soak``             Chaos soak: load + scheduled faults (``docs/chaos.md``)
@@ -29,9 +31,9 @@ see ``docs/observability.md``) and ``--metrics`` (print the counter/timer
 table); ``repro obs`` is the same machinery with tracing always on.
 ``sweep`` additionally runs through the parallel grid backend:
 ``--workers N`` fans cells over a process pool (identical results to
-serial), and cell outcomes are cached under ``.repro-cache/`` between
-invocations (``--no-cache`` / ``--cache-dir`` override; see
-``docs/performance.md``).  Strategies with the ``supports_batch``
+serial), and cell outcomes are cached in the artifact store under
+``.repro-store/`` between invocations (``--no-cache`` / ``--cache-dir``
+override; see ``docs/performance.md`` and ``docs/artifacts.md``).  Strategies with the ``supports_batch``
 capability take the vectorized batch backend (bit-identical records);
 ``--no-batch`` forces every cell through the event kernel.  ``sweep``
 also exports telemetry (``--metrics-out [PATH]`` writes an OpenMetrics
@@ -147,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         metavar="PATH",
-        help="cell cache directory (default: .repro-cache)",
+        help="cell cache / artifact store directory (default: .repro-store)",
     )
     sweep.add_argument(
         "--retries",
@@ -294,8 +296,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--alpha", type=float, nargs="+", default=[1.1, 1.3, 1.5, 2.0]
     )
 
-    sub.add_parser(
-        "report", help="assemble results/REPORT.md from the bench artifacts"
+    report = sub.add_parser(
+        "report",
+        help="render results/ and REPORT.md from the content-addressed "
+        "artifact store (see docs/artifacts.md)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the working tree byte-for-byte against the store "
+        "instead of writing; exit 1 on any drift",
+    )
+    report.add_argument(
+        "--adopt",
+        action="store_true",
+        help="first bless the on-disk results/ tree into the store "
+        "(fresh-clone bootstrap)",
+    )
+    report.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="artifact store root (default: .repro-store)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the artifact store / cell cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="prune expired raw cells, orphaned blobs, corrupt debris, "
+        "and (opt-in) legacy .repro-cache shards",
+    )
+    cache_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict raw cell entries older than DAYS (default: keep all)",
+    )
+    cache_gc.add_argument(
+        "--prune-legacy",
+        action="store_true",
+        help="also remove pre-store v2 cache shards (cold entries only "
+        "lazy migration could still revive)",
+    )
+    cache_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    cache_gc.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="artifact store root (default: .repro-store)",
+    )
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-stage entry counts and on-disk size of the store"
+    )
+    cache_stats.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="artifact store root (default: .repro-store)",
     )
 
     bench = sub.add_parser(
@@ -975,6 +1040,71 @@ def _cmd_regimes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report [--check] [--adopt]`` — the store-backed report pipeline."""
+    from repro.analysis.report import (
+        UnresolvableArtifactError,
+        check_report,
+        generate_report,
+    )
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    try:
+        if args.check:
+            problems = check_report(store=store, adopt=args.adopt)
+            if problems:
+                print("repro report --check FAILED:", file=sys.stderr)
+                for problem in problems:
+                    print(f"  - {problem}", file=sys.stderr)
+                return 1
+            print("results/ matches the artifact store byte-for-byte")
+            return 0
+        path = generate_report(store=store, adopt=args.adopt)
+        print(f"report written to {path}")
+        return 0
+    except (UnresolvableArtifactError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache gc|stats`` — artifact-store maintenance."""
+    from repro.store import ArtifactStore, Stage
+
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    if args.cache_command == "gc":
+        report = store.gc(
+            max_age_days=args.max_age_days,
+            prune_legacy=args.prune_legacy,
+            dry_run=args.dry_run,
+        )
+        verb = "would reclaim" if args.dry_run else "reclaimed"
+        print(
+            f"cache gc: {report.expired_raw} expired raw entries, "
+            f"{report.orphan_blobs} orphan blobs, "
+            f"{report.swept_corrupt} corrupt/tmp files, "
+            f"{report.pruned_legacy} legacy shards — "
+            f"{verb} {report.reclaimed_bytes} bytes"
+        )
+        return 0
+    # stats
+    backend = store.backend
+    total = 0
+    blobs = 0
+    for key in backend.list(""):
+        size = backend.size(key) or 0
+        total += size
+        if key.startswith("blobs/"):
+            blobs += 1
+    print(f"store: {store.stats().get('dir', '<remote>')}")
+    for stage in Stage:
+        print(f"  {stage.value:>7}: {len(store.names(stage))} artifacts")
+    print(f"  {'blobs':>7}: {blobs} files")
+    print(f"  {'size':>7}: {total} bytes")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -1220,10 +1350,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif command == "regimes":
         return _cmd_regimes(args)
     elif command == "report":
-        from repro.analysis.report import generate_report
-
-        path = generate_report()
-        print(f"report written to {path}")
+        return _cmd_report(args)
+    elif command == "cache":
+        return _cmd_cache(args)
     elif command == "bench":
         from repro.tools.perfbench import main as perfbench_main
 

@@ -75,6 +75,12 @@ class RunManifest:
     created_unix:
         ``time.time()`` at creation (the one wall-clock field; everything
         inside traces uses monotonic offsets instead).
+    refs:
+        Typed provenance refs (:mod:`repro.store.refs`) linking the run
+        to the code, configuration, and store artifacts behind it.
+    artifact_id:
+        Content ID of the store artifact this manifest describes, when
+        the run published one.
     """
 
     kind: str
@@ -83,6 +89,8 @@ class RunManifest:
     timing: dict[str, float] = field(default_factory=dict)
     environment: dict[str, Any] = field(default_factory=environment_info)
     created_unix: float = field(default_factory=time.time)
+    refs: tuple[Any, ...] = ()
+    artifact_id: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -92,6 +100,8 @@ class RunManifest:
             "timing": dict(self.timing),
             "environment": dict(self.environment),
             "created_unix": self.created_unix,
+            "refs": [r.as_dict() if hasattr(r, "as_dict") else r for r in self.refs],
+            "artifact_id": self.artifact_id,
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -111,6 +121,8 @@ def run_manifest(
     *,
     params: dict[str, Any] | None = None,
     timing: dict[str, float] | None = None,
+    refs: tuple[Any, ...] = (),
+    artifact_id: str | None = None,
 ) -> RunManifest:
     """Build a manifest with the current environment attached."""
     return RunManifest(
@@ -118,14 +130,24 @@ def run_manifest(
         label=label,
         params=dict(params) if params else {},
         timing=dict(timing) if timing else {},
+        refs=tuple(refs),
+        artifact_id=artifact_id,
     )
 
 
-def bench_manifest(name: str, **params: Any) -> RunManifest:
+def bench_manifest(
+    name: str,
+    *,
+    refs: tuple[Any, ...] = (),
+    artifact_id: str | None = None,
+    **params: Any,
+) -> RunManifest:
     """Manifest for one bench artifact (the ``results/`` sidecar files).
 
     Snapshots the global tracer's metrics when any were recorded, so a
-    traced bench run carries its own counters in the sidecar.
+    traced bench run carries its own counters in the sidecar.  ``refs``
+    and ``artifact_id`` link the sidecar to the store artifact the bench
+    published (see :mod:`repro.store`).
     """
     from repro.obs.tracer import get_tracer
 
@@ -133,4 +155,4 @@ def bench_manifest(name: str, **params: Any) -> RunManifest:
     summary = registry.summary()
     if any(summary[k] for k in ("counters", "gauges", "timers")):
         params = {**params, "metrics": summary}
-    return run_manifest("bench", name, params=params)
+    return run_manifest("bench", name, params=params, refs=refs, artifact_id=artifact_id)

@@ -1,0 +1,157 @@
+"""The artifact model: staged, content-addressed, ref-linked records.
+
+An :class:`Artifact` is one provenance unit in the store.  It lives in
+one of three :class:`Stage`\\ s forming the reproduction pipeline:
+
+* ``RAW`` — measured cell outcomes (the grid cache entries): keyed by
+  cell fingerprint, payload-only;
+* ``CURATED`` — published bench outputs (the ``results/`` tables,
+  CSV series, and SVG figures): keyed by artifact name, carrying the
+  published files as content-addressed blobs;
+* ``REPORT`` — the assembled ``REPORT.md``, referencing every curated
+  input it rendered.
+
+The ``artifact_id`` is a SHA-256 over the canonical encoding of the
+artifact's *content* — stage, kind, name, payload, and file hashes.
+Refs (provenance metadata) are excluded on purpose: the same bytes
+produced by a newer commit get the same ID, so repeated runs dedupe
+instead of forking, and ``repro report --check`` compares pure content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+from repro.store.canonical import content_hash
+from repro.store.refs import Ref, ref_from_dict
+
+__all__ = ["Stage", "Artifact", "compute_artifact_id", "MANIFEST_VERSION"]
+
+#: Bump when the manifest document shape changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+class Stage(str, Enum):
+    """The three pipeline stages artifacts move through (raw → curated → report)."""
+
+    RAW = "raw"
+    CURATED = "curated"
+    REPORT = "report"
+
+
+def compute_artifact_id(
+    stage: str, kind: str, name: str, payload: Mapping[str, Any], files: Mapping[str, str]
+) -> str:
+    """Content-derived ID: SHA-256 over stage/kind/name/payload/file hashes."""
+    return content_hash(
+        {
+            "stage": str(stage),
+            "kind": kind,
+            "name": name,
+            "payload": dict(payload),
+            "files": dict(files),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One staged, content-addressed provenance record.
+
+    Attributes
+    ----------
+    artifact_id:
+        SHA-256 content hash (see :func:`compute_artifact_id`).
+    stage:
+        ``"raw"`` / ``"curated"`` / ``"report"`` (:class:`Stage` values).
+    kind:
+        What the payload is: ``"cell"``, ``"bench"``, ``"perfbench"``,
+        ``"report"``, ...
+    name:
+        The lookup key within the stage (cell fingerprint for RAW,
+        artifact stem for CURATED/REPORT).
+    payload:
+        Inline JSON content (the cache entry for RAW cells, parameters
+        and summaries elsewhere).
+    files:
+        Published file name → SHA-256 of its bytes; the bytes live as
+        blobs in the store.
+    refs:
+        Typed provenance links (:mod:`repro.store.refs`).
+    """
+
+    artifact_id: str
+    stage: str
+    kind: str
+    name: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    files: dict[str, str] = field(default_factory=dict)
+    refs: tuple[Ref, ...] = ()
+
+    @staticmethod
+    def build(
+        stage: str | Stage,
+        name: str,
+        *,
+        kind: str,
+        payload: Mapping[str, Any] | None = None,
+        files: Mapping[str, str] | None = None,
+        refs: tuple[Ref, ...] = (),
+    ) -> "Artifact":
+        """Construct an artifact, deriving its content ID."""
+        stage_value = stage.value if isinstance(stage, Stage) else str(stage)
+        payload = dict(payload or {})
+        files = dict(files or {})
+        return Artifact(
+            artifact_id=compute_artifact_id(stage_value, kind, name, payload, files),
+            stage=stage_value,
+            kind=kind,
+            name=name,
+            payload=payload,
+            files=files,
+            refs=tuple(refs),
+        )
+
+    def as_manifest(self) -> dict[str, Any]:
+        """The JSON manifest document persisted by the store."""
+        return {
+            "v": MANIFEST_VERSION,
+            "artifact_id": self.artifact_id,
+            "stage": self.stage,
+            "kind": self.kind,
+            "name": self.name,
+            "payload": self.payload,
+            "files": self.files,
+            "refs": [r.as_dict() for r in self.refs],
+        }
+
+    @staticmethod
+    def from_manifest(document: dict[str, Any]) -> "Artifact":
+        """Rebuild from a manifest document; raises ``ValueError`` on drift.
+
+        The recorded ``artifact_id`` is recomputed from content and must
+        match — a manifest whose ID disagrees with its own content has
+        been tampered with or corrupted and is rejected.
+        """
+        if document.get("v") != MANIFEST_VERSION:
+            raise ValueError(f"manifest version {document.get('v')!r} != {MANIFEST_VERSION}")
+        payload = dict(document["payload"])
+        files = dict(document["files"])
+        expected = compute_artifact_id(
+            document["stage"], document["kind"], document["name"], payload, files
+        )
+        if document["artifact_id"] != expected:
+            raise ValueError(
+                f"artifact_id {document['artifact_id']!r} does not match content ({expected!r})"
+            )
+        return Artifact(
+            artifact_id=document["artifact_id"],
+            stage=document["stage"],
+            kind=document["kind"],
+            name=document["name"],
+            payload=payload,
+            files=files,
+            refs=tuple(ref_from_dict(r) for r in document.get("refs", [])),
+        )

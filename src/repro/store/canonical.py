@@ -1,0 +1,85 @@
+"""Canonical JSON encoding and content hashing for artifact identity.
+
+Artifact IDs must be stable across platforms and processes: the same
+logical content must hash to the same ID on Linux and Windows, under any
+dict insertion order, for any spelling of the same float.  This module is
+the single place that defines "the same logical content":
+
+* dict keys are sorted (insertion order never matters);
+* floats serialize through :func:`repr`-faithful ``json.dumps`` (the
+  shortest round-trip representation, identical for identical IEEE-754
+  doubles on every supported platform);
+* :class:`~pathlib.PurePath` values normalize to POSIX separators, so a
+  manifest written on Windows hashes like one written on Linux;
+* tuples flatten to lists (a tuple and a list of the same values are the
+  same content);
+* NaN and infinities are **rejected** (`ValueError`) — they do not
+  round-trip through JSON and silently coerce to ``null``-like tokens
+  otherwise, which would let two different payloads collide.
+
+Everything downstream — cell fingerprints, artifact IDs, the REPORT.md
+input fingerprint — reduces to :func:`content_hash` over a document built
+from these rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path, PurePath
+from typing import Any
+
+__all__ = ["canonical_json", "content_hash", "hash_bytes", "hash_file"]
+
+
+def _normalize(obj: Any, *, _path: str = "$") -> Any:
+    """Reduce ``obj`` to plain JSON types under the canonical rules."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj) or math.isinf(obj):
+            raise ValueError(f"non-finite float at {_path} cannot be canonicalized")
+        return obj
+    if isinstance(obj, PurePath):
+        return obj.as_posix()
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v, _path=f"{_path}[{i}]") for i, v in enumerate(obj)]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ValueError(f"non-string key {key!r} at {_path}")
+            out[key] = _normalize(value, _path=f"{_path}.{key}")
+        return out
+    raise ValueError(f"type {type(obj).__name__} at {_path} cannot be canonicalized")
+
+
+def canonical_json(obj: Any) -> str:
+    """The one true JSON spelling of ``obj`` (sorted keys, compact, ASCII)."""
+    return json.dumps(
+        _normalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def hash_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes (blob identity)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_file(path: str | Path) -> str:
+    """SHA-256 hex digest of a file's bytes, streamed in 1 MiB chunks."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        while chunk := fh.read(1 << 20):
+            digest.update(chunk)
+    return digest.hexdigest()

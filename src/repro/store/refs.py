@@ -1,0 +1,97 @@
+"""Typed provenance references linking artifacts to their inputs.
+
+Every artifact in the store carries a ``refs`` list answering "what
+produced this?" in a machine-resolvable form.  Three kinds exist:
+
+* :class:`CodeRef` — the producing code: module path plus the library
+  version and ``git describe`` of the checkout, so an artifact can be
+  matched to the exact source that emitted it;
+* :class:`ConfigRef` — the producing configuration: the parameter dict
+  (canonically hashed) a bench or report builder ran with;
+* :class:`ArtifactRef` — a link to another artifact in the store by
+  ``(stage, name, artifact_id)``: curated artifacts reference the RAW
+  cells they were computed from, and the REPORT artifact references
+  every curated input it rendered.
+
+Refs are provenance *metadata*: they travel in manifests but are
+deliberately excluded from artifact IDs (see
+:func:`repro.store.artifact.compute_artifact_id`), so re-running
+identical content from a newer commit dedupes instead of forking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.store.canonical import content_hash
+
+__all__ = ["CodeRef", "ConfigRef", "ArtifactRef", "Ref", "code_ref", "config_ref", "ref_from_dict"]
+
+
+@dataclass(frozen=True)
+class CodeRef:
+    """The code identity that produced an artifact."""
+
+    module: str
+    version: str | None = None
+    git: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": "code", "module": self.module, "version": self.version, "git": self.git}
+
+
+@dataclass(frozen=True)
+class ConfigRef:
+    """The configuration an artifact was produced with (params + digest)."""
+
+    params: dict[str, Any] = field(default_factory=dict)
+    sha256: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": "config", "params": dict(self.params), "sha256": self.sha256}
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """A link to another store artifact by stage, name, and content ID."""
+
+    stage: str
+    name: str
+    artifact_id: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "artifact",
+            "stage": self.stage,
+            "name": self.name,
+            "artifact_id": self.artifact_id,
+        }
+
+
+Ref = Union[CodeRef, ConfigRef, ArtifactRef]
+
+
+def code_ref(module: str) -> CodeRef:
+    """A :class:`CodeRef` for ``module`` stamped with the live environment."""
+    from repro.obs.provenance import environment_info
+
+    env = environment_info()
+    return CodeRef(module=module, version=env.get("repro_version"), git=env.get("git_describe"))
+
+
+def config_ref(params: dict[str, Any]) -> ConfigRef:
+    """A :class:`ConfigRef` for ``params`` with its canonical digest."""
+    return ConfigRef(params=dict(params), sha256=content_hash(params))
+
+
+def ref_from_dict(data: dict[str, Any]) -> Ref:
+    """Rebuild a typed ref from its ``as_dict`` form; raises on unknown kinds."""
+    kind = data.get("kind")
+    if kind == "code":
+        return CodeRef(module=data["module"], version=data.get("version"), git=data.get("git"))
+    if kind == "config":
+        return ConfigRef(params=dict(data.get("params", {})), sha256=data.get("sha256", ""))
+    if kind == "artifact":
+        return ArtifactRef(stage=data["stage"], name=data["name"], artifact_id=data["artifact_id"])
+    raise ValueError(f"unknown ref kind {kind!r}")

@@ -1,0 +1,71 @@
+"""Raw-ref recording: which RAW cells fed the artifact being produced.
+
+The cache adapter (:mod:`repro.analysis.cache`) announces every RAW cell
+it serves or stores here; the bench harness drains the accumulated refs
+when it publishes a CURATED artifact, so each published table/figure
+carries machine-resolvable links to the exact measured cells it was
+computed from — without threading a recorder handle through ``run_grid``
+and every strategy underneath it.
+
+The default recorder is process-global (benches run sequentially in one
+process; the harness drains between artifacts).  :func:`recording` opens
+a scoped recorder on top for tests and nested use — refs are delivered
+to every active recorder, so a scope never steals from the global one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.store.artifact import Stage
+from repro.store.refs import ArtifactRef
+
+__all__ = ["RefRecorder", "record_raw_ref", "drain_raw_refs", "recording"]
+
+
+class RefRecorder:
+    """Accumulates :class:`ArtifactRef`\\ s, deduplicated by name."""
+
+    def __init__(self) -> None:
+        self._refs: dict[str, ArtifactRef] = {}
+
+    def record(self, ref: ArtifactRef) -> None:
+        """Note one ref (same name overwrites — latest content wins)."""
+        self._refs[ref.name] = ref
+
+    def drain(self) -> tuple[ArtifactRef, ...]:
+        """All recorded refs in name order; empties the recorder."""
+        refs = tuple(self._refs[name] for name in sorted(self._refs))
+        self._refs.clear()
+        return refs
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+
+_GLOBAL = RefRecorder()
+_ACTIVE: list[RefRecorder] = [_GLOBAL]
+
+
+def record_raw_ref(fingerprint: str, artifact_id: str) -> None:
+    """Announce a RAW cell (by fingerprint + content ID) to every recorder."""
+    ref = ArtifactRef(stage=Stage.RAW.value, name=fingerprint, artifact_id=artifact_id)
+    for recorder in _ACTIVE:
+        recorder.record(ref)
+
+
+def drain_raw_refs() -> tuple[ArtifactRef, ...]:
+    """Drain the process-global recorder (the bench harness entry point)."""
+    return _GLOBAL.drain()
+
+
+@contextmanager
+def recording() -> Iterator[RefRecorder]:
+    """Scoped recorder: refs announced inside the block land in it too."""
+    recorder = RefRecorder()
+    _ACTIVE.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.remove(recorder)

@@ -402,7 +402,10 @@ def append_history(payload: dict[str, Any], history: str | Path) -> Path:
     Rows are schema-versioned (``repro.perfbench-history/1``) and compact
     — scenario medians plus the derived ratios — so the file stays small
     while accumulating across PRs.  A ``*.manifest.json`` sidecar is
-    (re)written next to it with the row count and git describe.
+    (re)written next to it with the row count and git describe, and when
+    the history lives in the repo's ``results/`` directory the file is
+    also published to the artifact store as the volatile
+    ``BENCH_history`` CURATED artifact (see docs/artifacts.md).
     """
     import datetime
 
@@ -429,9 +432,18 @@ def append_history(payload: dict[str, Any], history: str | Path) -> Path:
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(row, sort_keys=True) + "\n")
     rows = sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line)
-    bench_manifest(path.stem, schema=HISTORY_SCHEMA, rows=rows).write(
-        path.with_suffix(".manifest.json")
-    )
+    artifact_id = None
+    refs: tuple[Any, ...] = ()
+    from repro.analysis.csvio import results_dir
+    from repro.store import ArtifactStore, code_ref, publish_curated
+
+    if path.parent.resolve() == results_dir().resolve():
+        refs = (code_ref("repro.tools.perfbench"),)
+        artifact = publish_curated(path.stem, store=ArtifactStore(), refs=refs)
+        artifact_id = artifact.artifact_id if artifact is not None else None
+    bench_manifest(
+        path.stem, schema=HISTORY_SCHEMA, rows=rows, refs=refs, artifact_id=artifact_id
+    ).write(path.with_suffix(".manifest.json"))
     return path
 
 

@@ -155,7 +155,8 @@ class TestCellCache:
     def test_stats_shape(self, tmp_path):
         stats = CellCache(tmp_path).stats()
         assert set(stats) == {
-            "dir", "hits", "misses", "stores", "corrupt", "quarantined", "hit_rate"
+            "dir", "hits", "misses", "stores", "migrated", "corrupt",
+            "quarantined", "hit_rate",
         }
 
 
@@ -171,7 +172,7 @@ class TestCorruptionQuarantine:
         assert cache.get(spec) is None
         assert cache.corrupt == 1 and cache.quarantined == 1
         assert not path.exists()
-        assert path.with_suffix(".corrupt").exists()
+        assert path.with_name(path.name + ".corrupt").exists()
         # The shard is gone, so the next probe is a plain miss, not
         # another corruption event.
         assert cache.get(spec) is None
@@ -223,6 +224,84 @@ class TestCorruptionQuarantine:
         cache.put(spec, outcome)
         cached = cache.get(spec).skipped
         assert cached.kind == "incompatible" and cached.attempts == 1
+
+
+class TestLegacyMigration:
+    """Warm v2 (pre-store) caches are reused losslessly, never recomputed."""
+
+    @staticmethod
+    def _write_legacy_shard(root, spec, outcome):
+        """Write a shard byte-compatible with the v2 cache's put()."""
+        from repro.analysis.cache import _legacy_fingerprint
+
+        fp = _legacy_fingerprint(spec)
+        payload = {"v": 2, "fingerprint": fp, "duration_s": outcome.duration_s}
+        if outcome.record is not None:
+            payload["kind"] = "record"
+            payload["record"] = outcome.record.to_cache_dict()
+        else:
+            payload["kind"] = "skipped"
+            payload["skipped"] = outcome.skipped.as_dict()
+        path = root / fp[:2] / f"{fp}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_v2_entry_is_a_hit_and_migrates(self, instance, tmp_path):
+        spec = _spec(instance)
+        outcome = run_cell(spec)
+        self._write_legacy_shard(tmp_path, spec, outcome)
+        cache = CellCache(tmp_path)
+        cached = cache.get(spec)
+        assert cached is not None and cached.record == outcome.record
+        assert (cache.hits, cache.misses, cache.migrated) == (1, 0, 1)
+        # Migrated in place: a fresh cache serves it natively at v3.
+        fresh = CellCache(tmp_path)
+        again = fresh.get(spec)
+        assert again is not None and again.record == outcome.record
+        assert (fresh.hits, fresh.migrated) == (1, 0)
+
+    def test_sibling_repro_cache_dir_is_a_migration_source(self, instance, tmp_path):
+        spec = _spec(instance)
+        outcome = run_cell(spec)
+        self._write_legacy_shard(tmp_path / ".repro-cache", spec, outcome)
+        cache = CellCache(tmp_path / ".repro-store")
+        cached = cache.get(spec)
+        assert cached is not None and cached.record == outcome.record
+        assert cache.migrated == 1
+
+    def test_skipped_cells_migrate_too(self, instance, tmp_path):
+        spec = _spec(instance, strategy=LSGroup(4))  # cannot split m=2
+        outcome = run_cell(spec)
+        assert outcome.skipped is not None
+        self._write_legacy_shard(tmp_path, spec, outcome)
+        cached = CellCache(tmp_path).get(spec)
+        assert cached.skipped == outcome.skipped
+
+    def test_corrupt_legacy_shard_is_ignored(self, instance, tmp_path):
+        spec = _spec(instance)
+        path = self._write_legacy_shard(tmp_path, spec, run_cell(spec))
+        path.write_text("{ truncated", encoding="utf-8")
+        cache = CellCache(tmp_path)
+        assert cache.get(spec) is None
+        assert (cache.misses, cache.migrated, cache.corrupt) == (1, 0, 0)
+
+    def test_warm_legacy_grid_recomputes_nothing(self, tmp_path, monkeypatch):
+        strategies = [LPTNoChoice(), LPTNoRestriction()]
+        instances = [uniform_instance(8, 2, alpha=1.5, seed=s) for s in range(2)]
+        for spec in enumerate_cells(strategies, instances, ["log_uniform"], (0,), 22):
+            self._write_legacy_shard(tmp_path, spec, run_cell(spec))
+
+        def _boom(*a, **k):  # pragma: no cover - failure mode
+            raise AssertionError("measured_ratio called with a warm legacy cache")
+
+        monkeypatch.setattr(ratios_module, "measured_ratio", _boom)
+        cache = CellCache(tmp_path)
+        run_grid(strategies, instances, ["log_uniform"], seeds=(0,), cache=cache)
+        assert cache.misses == 0 and cache.hits == 4 and cache.migrated == 4
 
 
 class TestGridIntegration:

@@ -86,3 +86,70 @@ class TestMain:
         assert rc == 0
         out = capsys.readouterr().out
         assert "value of estimates" in out
+
+
+class TestReportAndCacheCommands:
+    """CLI surface for the artifact-store pipeline (repro report / cache)."""
+
+    @pytest.fixture
+    def redirected(self, tmp_path, monkeypatch):
+        # Point the default results dir at a scratch tree so the CLI never
+        # touches the shipped results/.
+        import repro.analysis.report as report_mod
+        import repro.store.publish as publish_mod
+
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "e1_empirical_ratios.txt").write_text("E1 TABLE\n")
+        for mod in (report_mod, publish_mod):
+            monkeypatch.setattr(mod, "results_dir", lambda base=None, _r=results: _r)
+        return results
+
+    def test_report_flags_parse(self):
+        args = build_parser().parse_args(
+            ["report", "--check", "--adopt", "--store", "/tmp/x"]
+        )
+        assert args.check and args.adopt and args.store == "/tmp/x"
+
+    def test_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["cache", "gc", "--max-age-days", "7", "--prune-legacy", "--dry-run"]
+        )
+        assert args.cache_command == "gc"
+        assert args.max_age_days == 7 and args.prune_legacy and args.dry_run
+        assert build_parser().parse_args(["cache", "stats"]).cache_command == "stats"
+
+    def test_report_adopt_then_check_round_trip(self, redirected, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["report", "--adopt", "--store", store]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert main(["report", "--check", "--store", store]) == 0
+        assert "byte-for-byte" in capsys.readouterr().out
+
+    def test_report_check_fails_on_hand_edit(self, redirected, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["report", "--adopt", "--store", store]) == 0
+        (redirected / "e1_empirical_ratios.txt").write_text("TAMPERED\n")
+        assert main(["report", "--check", "--store", store]) == 1
+        assert "e1_empirical_ratios" in capsys.readouterr().err
+
+    def test_report_refuses_empty_store(self, redirected, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "empty-store")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_gc_and_stats(self, tmp_path, capsys):
+        from repro.store import ArtifactStore, Stage
+
+        store_dir = tmp_path / "store"
+        store = ArtifactStore(store_dir)
+        store.put(Stage.RAW, "a" * 64, kind="cell", payload={"x": 1})
+        (store_dir / "junk.corrupt").write_bytes(b"bad")
+        assert main(["cache", "stats", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "raw: 1 artifacts" in out
+        assert main(["cache", "gc", "--dry-run", "--store", str(store_dir)]) == 0
+        assert "would reclaim" in capsys.readouterr().out
+        assert (store_dir / "junk.corrupt").exists()
+        assert main(["cache", "gc", "--store", str(store_dir)]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+        assert not (store_dir / "junk.corrupt").exists()
