@@ -30,19 +30,25 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.analysis.parallel import CellOutcome, CellSpec
+from repro.analysis.parallel import CellOutcome, CellSpec, RetryPolicy
 from repro.analysis.records import ExperimentRecord
 from repro.exact.optimal import OptimalValue, optimal_makespan
 from repro.simulation.batch import (
-    BatchPlan,
     BatchUnsupported,
+    Plan,
     build_plan,
     sweep_makespans,
 )
 from repro.simulation.batch import supports_batch as _supports_batch
 from repro.uncertainty.realization import Realization
 
-__all__ = ["batch_eligible", "execute_pack", "group_packs", "try_plan"]
+__all__ = [
+    "batch_eligible",
+    "execute_pack",
+    "group_packs",
+    "run_pack_chunk",
+    "try_plan",
+]
 
 
 def batch_eligible(spec: CellSpec) -> bool:
@@ -67,7 +73,7 @@ def group_packs(cells: Sequence[CellSpec]) -> list[list[CellSpec]]:
     return list(packs.values())
 
 
-def try_plan(spec: CellSpec) -> BatchPlan | None:
+def try_plan(spec: CellSpec) -> Plan | None:
     """Compile this cell's (strategy, instance) pair, or ``None``.
 
     ``None`` means "use the per-cell path": either the structure is
@@ -89,7 +95,7 @@ def execute_pack(
     optima: dict[int, OptimalValue],
     tracer,
     *,
-    plan: BatchPlan | None = None,
+    plan: Plan | None = None,
 ) -> list[CellOutcome] | None:
     """Run one same-(strategy, instance) pack through the vectorized sweep.
 
@@ -162,7 +168,39 @@ def execute_pack(
         )
         tracer.count("grid.cells_done")
         tracer.count("grid.cells_batched")
-        outcomes.append(CellOutcome(spec.index, record, None, duration_each))
+        outcomes.append(
+            CellOutcome(spec.index, record, None, duration_each, batched=True)
+        )
+    return outcomes
+
+
+def run_pack_chunk(
+    packs: Sequence[Sequence[CellSpec]], retry: RetryPolicy
+) -> list[CellOutcome]:
+    """Execute a chunk of packs in the current process (worker entry body).
+
+    The pool counterpart of the grid's parent-side pack loop: realization
+    and optimum memos are keyed by ``spec.group`` and shared across every
+    pack in the chunk, so stacking same-instance packs into one chunk
+    samples each (instance, model, seed) realization once.  A pack whose
+    structure the compiler refuses — or whose Phase 1 rejects the
+    instance — degrades to the resilient per-cell kernel path *here*,
+    inside the same process, so an unsupported pack never poisons its
+    chunk or bounces back to the parent.
+    """
+    from repro.analysis.parallel import _run_chunk_inline
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    realizations: dict[int, Realization] = {}
+    optima: dict[int, OptimalValue] = {}
+    outcomes: list[CellOutcome] = []
+    for pack in packs:
+        served = execute_pack(pack, realizations, optima, tracer)
+        if served is None:
+            outcomes.extend(_run_chunk_inline(pack, retry))
+        else:
+            outcomes.extend(served)
     return outcomes
 
 

@@ -42,6 +42,7 @@ from repro.analysis.parallel import (
     RetryPolicy,
     enumerate_cells,
     execute_cells,
+    execute_packs,
     model_display_name,
     run_cell_resilient,
 )
@@ -220,21 +221,30 @@ class ExperimentGrid:
     ) -> list[ExperimentRecord]:
         """The pooled path: resolve warm cells, fan out the rest, merge.
 
-        Results are merged strictly by cell index, so the record list —
-        and the order of ``progress`` callbacks — matches the serial run
+        Batch-eligible cells ship to the pool as whole (strategy,
+        instance) *packs* — workers compile the plan and run the
+        vectorized sweep themselves, so batch and parallel compose
+        instead of the sweep monopolizing the parent.  Results are
+        merged strictly by cell index, so the record list — and the
+        order of ``progress`` callbacks — matches the serial run
         regardless of worker completion order.
         """
-        batched = self._run_batch(cells, {}, tracer)
-        hits: list[CellOutcome] = list(batched.values())
+        packs, pack_specs, hits = self._collect_packs(cells, tracer)
         pending: list[CellSpec] = []
         for spec in cells:
-            if spec.index in batched:
+            if spec.index in pack_specs:
                 continue
             outcome = self._lookup(spec, tracer)
             if outcome is None:
                 pending.append(spec)
             else:
                 hits.append(outcome)
+        swept, pack_traces = execute_packs(
+            packs,
+            workers=self.workers,
+            traced=tracer.enabled,
+            retry=self.retry,
+        )
         computed, worker_traces = execute_cells(
             pending,
             workers=self.workers,
@@ -242,21 +252,61 @@ class ExperimentGrid:
             traced=tracer.enabled,
             retry=self.retry,
         )
-        for wt in worker_traces:
+        for wt in pack_traces + worker_traces:
             replay_events(tracer, wt.events, worker=wt.worker)
             merge_registry_summary(tracer.registry, wt.metrics)
         if self.cache is not None:
             by_index = {spec.index: spec for spec in pending}
-            for outcome in computed:
+            by_index.update(pack_specs)
+            for outcome in swept + computed:
                 spec = by_index.get(outcome.index)
                 if spec is not None:
                     self.cache.put(spec, outcome)
         records: list[ExperimentRecord] = []
         done = 0
-        for outcome in sorted(hits + computed, key=lambda o: o.index):
+        for outcome in sorted(hits + swept + computed, key=lambda o: o.index):
             done += 1
             self._fold(outcome, done, total, records)
         return records
+
+    def _collect_packs(
+        self, cells: list[CellSpec], tracer
+    ) -> tuple[list[list[CellSpec]], dict[int, CellSpec], list[CellOutcome]]:
+        """Claim batch-eligible cells: cold ones as packs, warm as hits.
+
+        Cache probes happen here, exactly once per eligible cell; the
+        returned index → spec map tells the main loop which cells are
+        claimed (so it neither re-probes nor fans them out per-cell).
+        Plans are *not* compiled in the parent: the workers compile (and
+        verify) per pack, and a refused pack degrades to the per-cell
+        kernel inside its worker.
+        """
+        if not self.batch:
+            return [], {}, []
+        from repro.faults import inject
+
+        if inject.active_spec() is not None:
+            # The cell-fault injection harness validates the per-cell
+            # resilient executor; batching would mask the injected faults.
+            return [], {}, []
+        from repro.analysis.batch import batch_eligible, group_packs
+
+        eligible = [spec for spec in cells if batch_eligible(spec)]
+        packs: list[list[CellSpec]] = []
+        pack_specs: dict[int, CellSpec] = {}
+        hits: list[CellOutcome] = []
+        for pack in group_packs(eligible):
+            cold: list[CellSpec] = []
+            for spec in pack:
+                pack_specs[spec.index] = spec
+                outcome = self._lookup(spec, tracer)
+                if outcome is None:
+                    cold.append(spec)
+                else:
+                    hits.append(outcome)
+            if cold:
+                packs.append(cold)
+        return packs, pack_specs, hits
 
     def _run_batch(
         self, cells: list[CellSpec], realizations: dict[int, Realization], tracer
@@ -308,7 +358,6 @@ class ExperimentGrid:
                 outcomes[spec.index] = outcome
                 if self.cache is not None:
                     self.cache.put(spec, outcome)
-                self.batched_cells += 1
         return outcomes
 
     def _lookup(self, spec: CellSpec, tracer) -> CellOutcome | None:
@@ -342,6 +391,8 @@ class ExperimentGrid:
         """Accumulate one outcome into records/skips and report progress."""
         self.resilience["retries"] += max(0, outcome.attempts - 1)
         self.resilience["timeouts"] += outcome.timed_out
+        if outcome.batched:
+            self.batched_cells += 1
         if outcome.skipped is not None:
             if outcome.skipped.kind == "quarantined":
                 self.resilience["quarantined"] += 1

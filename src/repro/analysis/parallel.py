@@ -70,6 +70,7 @@ __all__ = [
     "WorkerTrace",
     "enumerate_cells",
     "execute_cells",
+    "execute_packs",
     "run_cell",
     "run_cell_resilient",
     "default_chunk_size",
@@ -116,7 +117,10 @@ class CellOutcome:
     ``attempts`` counts how many tries the cell needed (1 = clean first
     run) and ``timed_out`` how many of the failed tries hit the
     :class:`RetryPolicy` wall-clock timeout; both feed the grid's
-    resilience accounting.
+    resilience accounting.  ``batched`` marks outcomes served by the
+    vectorized sweep (:mod:`repro.analysis.batch`) — the grid folds it
+    into its ``batched_cells`` counter regardless of which process ran
+    the pack.
     """
 
     index: int
@@ -125,6 +129,7 @@ class CellOutcome:
     duration_s: float
     attempts: int = 1
     timed_out: int = 0
+    batched: bool = False
 
 
 class CellTimeout(RuntimeError):
@@ -422,10 +427,10 @@ def _run_chunk_inline(
     return outcomes
 
 
-def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tuple[
+def _worker_isolated(traced: bool, fn: Callable[[], list[CellOutcome]]) -> tuple[
     list[CellOutcome], WorkerTrace | None
 ]:
-    """Process-pool entry point: run one chunk, optionally traced.
+    """Run ``fn`` under rebuilt worker tracer state, capturing its trace.
 
     The worker *always* rebuilds its tracer state: with the ``fork``
     start method a child inherits the parent's enabled tracer and open
@@ -434,8 +439,6 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tupl
     parent's duplicated buffer — the parent flushes before forking
     instead) and replaced by a private memory sink when tracing is on.
     """
-    chunk, traced, retry = payload
-    chunk = _decode_chunk(chunk)
     tracer = get_tracer()
     tracer.enabled = False
     tracer.sinks = []
@@ -449,7 +452,7 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tupl
         tracer._stack = []
         tracer.enabled = True
     try:
-        outcomes = _run_chunk_inline(chunk, retry)
+        outcomes = fn()
     finally:
         tracer.enabled = False
     trace: WorkerTrace | None = None
@@ -460,6 +463,37 @@ def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tupl
             metrics=tracer.registry.summary(),
         )
     return outcomes, trace
+
+
+def _worker_chunk(payload: tuple[Sequence[CellSpec], bool, RetryPolicy]) -> tuple[
+    list[CellOutcome], WorkerTrace | None
+]:
+    """Process-pool entry point: run one per-cell chunk, optionally traced."""
+    chunk, traced, retry = payload
+    chunk = _decode_chunk(chunk)
+    return _worker_isolated(traced, lambda: _run_chunk_inline(chunk, retry))
+
+
+def _worker_packs(
+    payload: tuple[Sequence[Sequence[CellSpec]], bool, RetryPolicy]
+) -> tuple[list[CellOutcome], WorkerTrace | None]:
+    """Process-pool entry point for batch-pack chunks.
+
+    Each pack is compiled and swept inside the worker; a pack the batch
+    compiler refuses degrades to the per-cell event kernel *within this
+    worker* without failing the chunk.  Lazy import: the batch executor
+    imports this module at module level, so the reverse edge must stay
+    inside the function.
+    """
+    packs, traced, retry = payload
+    decoded = [_decode_chunk(pack) for pack in packs]
+
+    def _run() -> list[CellOutcome]:
+        from repro.analysis.batch import run_pack_chunk
+
+        return run_pack_chunk(decoded, retry)
+
+    return _worker_isolated(traced, _run)
 
 
 def default_chunk_size(n_cells: int, workers: int) -> int:
@@ -618,5 +652,114 @@ def execute_cells(
         inline = inline + [chunk for chunk in failed if chunk]
     for chunk in inline:
         outcomes.extend(_run_chunk_inline(chunk, retry))
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes, traces
+
+
+def _pack_chunks(
+    packs: Sequence[Sequence[CellSpec]], workers: int
+) -> list[list[list[CellSpec]]]:
+    """Group whole packs into pool dispatches of roughly equal cell count.
+
+    Packs must ship whole (one compile per pack) and arrive in grid
+    enumeration order, which is instance-major — so contiguous filling
+    keeps same-instance packs together and their (instance, model, seed)
+    realization memos shared within the worker chunk.
+    """
+    total = sum(len(pack) for pack in packs)
+    target = default_chunk_size(total, workers)
+    chunks: list[list[list[CellSpec]]] = []
+    current: list[list[CellSpec]] = []
+    filled = 0
+    for pack in packs:
+        current.append(list(pack))
+        filled += len(pack)
+        if filled >= target:
+            chunks.append(current)
+            current = []
+            filled = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def execute_packs(
+    packs: Sequence[Sequence[CellSpec]],
+    *,
+    workers: int = 1,
+    traced: bool = False,
+    retry: RetryPolicy = DEFAULT_RETRY,
+) -> tuple[list[CellOutcome], list[WorkerTrace]]:
+    """Shard batch packs across the process pool (outcomes index-sorted).
+
+    The pool counterpart of the parent-side pack loop: every chunk of
+    same-(strategy, instance) packs is compiled and swept inside a
+    worker, with realization memos shared across the packs of a chunk.
+    Unpicklable chunks, an unavailable pool, and crashed chunks fall
+    back inline exactly like :func:`execute_cells`; a pack the compiler
+    refuses degrades to the per-cell kernel inside its worker, so one
+    unsupported pack never poisons its chunk.
+    """
+    if not packs:
+        return [], []
+
+    def _inline(batch_of_packs: Sequence[Sequence[CellSpec]]) -> list[CellOutcome]:
+        from repro.analysis.batch import run_pack_chunk
+
+        return run_pack_chunk(batch_of_packs, retry)
+
+    if workers <= 1:
+        outcomes = _inline(packs)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes, []
+
+    remote: list[list[list[CellSpec]]] = []
+    shipped: list[list[list[CellSpec]]] = []
+    inline: list[list[list[CellSpec]]] = []
+    for chunk in _pack_chunks(packs, workers):
+        encoded = [_encode_chunk(pack) for pack in chunk]
+        if _picklable(encoded):
+            remote.append(chunk)
+            shipped.append(encoded)
+        else:
+            inline.append(chunk)
+
+    outcomes: list[CellOutcome] = []
+    traces: list[WorkerTrace] = []
+    if remote:
+        tracer = get_tracer()
+        for sink in tracer.sinks:
+            sink.flush()
+        failed: list[list[list[CellSpec]]] = []
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_worker_packs, (chunk, traced, retry))
+                    for chunk in shipped
+                ]
+                for chunk, future in zip(remote, futures):
+                    try:
+                        chunk_outcomes, trace = future.result()
+                    except (OSError, RuntimeError, pickle.PickleError):
+                        tracer.count("grid.chunk_failovers")
+                        failed.append(chunk)
+                        continue
+                    outcomes.extend(chunk_outcomes)
+                    if trace is not None:
+                        traces.append(trace)
+        except (ImportError, OSError, PermissionError, RuntimeError):
+            done = {o.index for o in outcomes}
+            failed = [
+                [[s for s in pack if s.index not in done] for pack in chunk]
+                for chunk in remote
+            ]
+        inline = inline + [
+            [pack for pack in chunk if pack] for chunk in failed
+        ]
+    for chunk in inline:
+        if chunk:
+            outcomes.extend(_inline(chunk))
     outcomes.sort(key=lambda o: o.index)
     return outcomes, traces

@@ -64,7 +64,7 @@ def window_machines(m: int, k: int, overlap: int) -> list[frozenset[int]]:
     ),
     family="core",
     theorem="conclusion: 'more general replication policies' (bench E5)",
-    capabilities=Capabilities(replication_factor="group"),
+    capabilities=Capabilities(replication_factor="group", supports_batch=True),
 )
 class OverlappingWindows(TwoPhaseStrategy):
     """Group replication with overlapping machine windows.

@@ -76,6 +76,19 @@ class PinnedAwarePolicy:
         self._placement = placement
         self._m = instance.m
 
+    def batch_state(self) -> tuple[dict[int, tuple[int, ...]], tuple[int, ...]]:
+        """The dispatch structure (pinned queues, replicated scan order).
+
+        Consumed by the batch backend (:mod:`repro.simulation.batch`),
+        which precompiles this policy's decision procedure — queue heads,
+        remaining-pinned suffix sums, LPT-rank tie-breaks — into a
+        pack-wide replay instead of calling :meth:`select` per event.
+        """
+        return (
+            {i: tuple(q) for i, q in self._pinned.items()},
+            tuple(self._multi),
+        )
+
     def _remaining_pinned(self, machine: int, view: SchedulerView) -> float:
         return sum(
             self._estimates[j]
@@ -129,7 +142,9 @@ class PinnedAwarePolicy:
     ),
     family="core",
     theorem="conclusion: replication-cost model (bench E5)",
-    capabilities=Capabilities(supports_releases=False, replication_factor="selective"),
+    capabilities=Capabilities(
+        supports_releases=False, replication_factor="selective", supports_batch=True
+    ),
     builder=lambda fraction, basis: SelectiveReplication(
         fraction, by_work=basis == "work"
     ),
@@ -227,7 +242,9 @@ def _lpt_with_offset(times: list[float], m: int, offset: float) -> list[int]:
     ),
     family="core",
     theorem="conclusion: replication-cost model (bench E5)",
-    capabilities=Capabilities(supports_releases=False, replication_factor="budgeted"),
+    capabilities=Capabilities(
+        supports_releases=False, replication_factor="budgeted", supports_batch=True
+    ),
 )
 class BudgetedReplication(TwoPhaseStrategy):
     """Exact global replica budget; extra copies go to the longest tasks.

@@ -53,7 +53,10 @@ def _risk_aware_extract(strategy: RiskAwareReplication) -> dict[str, object]:
     family="hetero",
     theorem="§7 heterogeneous extension (bench E14)",
     capabilities=Capabilities(
-        supports_releases=False, supports_hetero=True, replication_factor="selective"
+        supports_releases=False,
+        supports_hetero=True,
+        replication_factor="selective",
+        supports_batch=True,
     ),
     builder=lambda fraction: RiskAwareReplication(fraction),
     extract=_risk_aware_extract,

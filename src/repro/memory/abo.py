@@ -58,6 +58,26 @@ class ABOPolicy:
         self._replicated = list(replicated_order)
         self._barrier = barrier
 
+    @property
+    def pinned_queues(self) -> dict[int, tuple[int, ...]]:
+        """Per-machine pinned dispatch queues (read-only view).
+
+        The batch backend (:mod:`repro.simulation.batch`) compiles these,
+        together with :attr:`replicated_order`, into the phase-split
+        completion sweep instead of replaying events.
+        """
+        return {i: tuple(q) for i, q in self._pinned.items()}
+
+    @property
+    def replicated_order(self) -> tuple[int, ...]:
+        """The fixed global dispatch order of the replicated tasks."""
+        return tuple(self._replicated)
+
+    @property
+    def barrier(self) -> bool:
+        """Whether the strict global-barrier ablation is active."""
+        return self._barrier
+
     def select(self, machine: int, view: SchedulerView) -> int | None:
         # Non-destructive scans keep the policy correct under task aborts
         # (machine-failure extension): an aborted task simply reappears as
@@ -94,7 +114,10 @@ class ABOPolicy:
     family="memory",
     theorem="Theorems 7–8",
     capabilities=Capabilities(
-        supports_releases=False, memory_aware=True, replication_factor="selective"
+        supports_releases=False,
+        memory_aware=True,
+        replication_factor="selective",
+        supports_batch=True,
     ),
 )
 class ABO(TwoPhaseStrategy):

@@ -63,7 +63,10 @@ def min_feasible_capacity(instance: Instance) -> float:
     family="memory",
     theorem="§3 bounded-memory alternative (bench E9)",
     capabilities=Capabilities(
-        supports_releases=False, memory_aware=True, replication_factor="budgeted"
+        supports_releases=False,
+        memory_aware=True,
+        replication_factor="budgeted",
+        supports_batch=True,
     ),
 )
 class CappedReplication(TwoPhaseStrategy):

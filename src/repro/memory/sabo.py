@@ -41,7 +41,9 @@ __all__ = ["SABO"]
     ),
     family="memory",
     theorem="Theorems 5–6",
-    capabilities=Capabilities(memory_aware=True, replication_factor="none"),
+    capabilities=Capabilities(
+        memory_aware=True, replication_factor="none", supports_batch=True
+    ),
 )
 class SABO(TwoPhaseStrategy):
     """Static asymmetric bi-objective strategy.

@@ -59,13 +59,25 @@ class Capabilities:
         Phase 1 reads task *sizes* (the Section-6 memory model), not just
         time estimates.
     supports_batch:
-        The fault-free run of this strategy is expressible as a closed-form
-        completion sweep: Phase 2 is a fixed-order list-scheduling policy
-        over a partition-structured placement, so the vectorized batch
-        backend (:mod:`repro.simulation.batch`) can replay many cells in
-        one NumPy pass with bit-identical makespans.  Strategies without
-        this flag transparently fall back to the per-event
-        :class:`~repro.simulation.kernel.EventKernel`.
+        The fault-free run of this strategy compiles to one of the batch
+        backend's plan tiers (:mod:`repro.simulation.batch`): a fully
+        vectorized completion sweep for partition-structured fixed
+        orders, a phase-split sweep for barrier-free ABO, or a
+        structured replay for overlapping ranges and pinned-aware
+        policies — all bit-identical to the event kernel.  The flag is a
+        *claim*, not a bypass: ``build_plan`` re-verifies the structure
+        and raises ``BatchUnsupported`` for configurations it cannot
+        replay (e.g. the ABO barrier ablation), which fall back to the
+        per-event :class:`~repro.simulation.kernel.EventKernel`.
+    online_placement:
+        Phase 1 is greedy least-estimated-load assignment over an
+        equal-group machine partition, so the service daemon
+        (:mod:`repro.service.placement`) can run it *incrementally* in
+        arrival order and reproduce the offline placement bit for bit.
+        Strictly narrower than ``supports_batch``: many batchable
+        placements (memory-balanced pinning, selective replication,
+        budgeted caps) depend on seeing the whole task set and cannot be
+        kept online.
     replication_factor:
         Descriptive placement shape tag for catalogs and queries.
     """
@@ -75,6 +87,7 @@ class Capabilities:
     supports_hetero: bool = False
     memory_aware: bool = False
     supports_batch: bool = False
+    online_placement: bool = False
     replication_factor: str = "none"
 
     def as_dict(self) -> dict[str, object]:

@@ -87,7 +87,7 @@ _BASELINE_KINDS = ("round_robin", "random", "spt", "single_pile")
     ),
     family="schedulers",
     theorem="no bound — empirical anchors",
-    capabilities=Capabilities(replication_factor="none"),
+    capabilities=Capabilities(replication_factor="none", supports_batch=True),
 )
 class PinnedBaseline(TwoPhaseStrategy):
     """Two-phase wrapper over the naive baseline schedulers.

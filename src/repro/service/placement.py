@@ -2,8 +2,8 @@
 
 The paper's Phase-1 algorithms place a *known set* of tasks; a service
 only ever sees the prefix that has arrived.  The bridge is the structure
-the closed-form families share (the same structure the batch backend
-compiles, gated by the ``supports_batch`` capability): machines are
+the equal-group families share (declared by the ``online_placement``
+capability, a strict subset of what the batch backend compiles): machines are
 partitioned into equal groups, every task is replicated across exactly
 one group, and Phase 1 is greedy least-estimated-load assignment over
 groups.  Applied in *arrival order* that greedy rule is List Scheduling
@@ -49,10 +49,13 @@ class OnlinePlacer:
     ----------
     spec:
         A registry strategy spec (e.g. ``"ls_group[k=2]"``).  Must name a
-        family with the ``supports_batch`` capability — the flag that
-        certifies a fixed-order policy over a contiguous machine
+        family with the ``online_placement`` capability — the flag that
+        certifies greedy least-load Phase 1 over an equal-group machine
         partition, which is exactly the structure an online admission
-        path can keep incrementally.
+        path can keep incrementally.  (``supports_batch`` is no longer a
+        usable proxy: the batch compiler now also replays placements —
+        memory-balanced pinning, selective replication — that need the
+        whole task set up front and cannot be hosted online.)
     m:
         Machine count of the cluster the daemon simulates.
     """
@@ -62,12 +65,13 @@ class OnlinePlacer:
             raise ValueError(f"m must be >= 1, got {m}")
         strategy = make_strategy(spec)
         caps = capabilities_of(strategy)
-        if caps is None or not caps.supports_batch:
+        if caps is None or not caps.online_placement:
             raise CapabilityError(
                 f"strategy {spec!r} cannot drive the online service: its "
-                "placement is not partition-structured (requires the "
-                "supports_batch capability; use lpt_no_choice, "
-                "lpt_no_restriction, ls_group[k=...] or lpt_group[k=...])"
+                "placement cannot be kept incrementally in arrival order "
+                "(requires the online_placement capability; use "
+                "lpt_no_choice, lpt_no_restriction, ls_group[k=...] or "
+                "lpt_group[k=...])"
             )
         self.spec = spec
         self.canonical_spec = describe_strategy(strategy)

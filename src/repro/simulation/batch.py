@@ -1,49 +1,65 @@
-"""Vectorized batch backend: many fault-free simulations in one NumPy pass.
+"""Vectorized batch backend: many fault-free simulations in one pass.
 
 The per-event :class:`~repro.simulation.kernel.EventKernel` is the honest
 executor — it enforces the information model, validates every dispatch,
 and supports faults, releases, and heterogeneous speeds.  But the grid
 sweeps behind the paper's empirical artifacts (Figure 3, benches E1–E16)
 run the *same* strategy on the *same* instance under dozens of seeds and
-realization models, and for the closed-form strategy families the
-fault-free run is fully determined by a fixed dispatch order and a
-partition-structured placement.  This module exploits that: it packs the
-realizations of one (strategy, instance) pair into a ``(B, n)`` actuals
-matrix and replays the whole pack with a heap-free completion sweep —
-``n`` vectorized steps instead of ``B × n`` Python event cycles.
+realization models.  This module exploits that: it packs the realizations
+of one (strategy, instance) pair into a ``(B, n)`` actuals matrix and
+compiles the pair into the cheapest *plan* its decision structure admits:
 
-**Exactness contract.**  The sweep performs, per machine, the *same* IEEE
-additions in the *same* order as the event kernel (each task's end time
-is ``min-load + p_j``, accumulated left to right), and the makespan is the
-same ``max`` over the same multiset of floats — so batch makespans are
-bit-identical to :class:`EventKernel` output, not merely close.  The
-property tests in ``tests/test_batch.py`` assert this equality across
-random instances for every ``supports_batch`` strategy.
+* :class:`BatchPlan` — the closed-form completion sweep for
+  :class:`~repro.core.strategy.FixedOrderPolicy` over a machine
+  *partition*: ``n`` vectorized argmin+add steps replace ``B × n``
+  Python event cycles.
+* :class:`PhaseSplitPlan` — the closed form for ABO's fixed phase split
+  (pinned queues run back-to-back from ``t = 0``; the replicated tasks
+  are list-scheduled in a fixed global order), again ``n`` vectorized
+  steps for the whole pack.
+* :class:`OrderReplayPlan` — fixed dispatch order over an *arbitrary*
+  placement (overlapping windows, gaps).  No closed form exists, so the
+  pack is replayed by a lean event loop that amortizes Phase 1 and all
+  trace/validation overhead across the pack.
+* :class:`PinnedReplayPlan` — the structured replay for
+  :class:`~repro.core.strategies.selective.PinnedAwarePolicy` families
+  (selective/budgeted/capped/risk-aware): dispatch depends on each
+  rival's remaining pinned *estimate*, so the decision procedure is
+  precompiled into flat arrays (queues, suffix load sums, LPT ranks,
+  allow masks) evaluated per event without any policy or view objects.
+
+**Exactness contract.**  Every plan is bit-identical to the
+:class:`EventKernel`, never merely close.  The closed forms perform, per
+machine, the *same* IEEE additions in the *same* left-to-right order as
+the kernel (each task's end is ``min-load + p_j``; argmin ties go to the
+lowest machine index, the kernel's ``t = 0`` seeding order, and
+partition/phase-split structure makes later exact ties
+makespan-invariant — tied machines are interchangeable for all remaining
+work).  The replay plans go further and reproduce the kernel's event
+discipline literally: completions surface in ``(time, seq)`` order,
+completions at a tied time all process before the idle polls they
+trigger, and ``t = 0`` polls run in machine order — the exact
+``EventQueue`` contract.  ``tests/test_batch.py`` asserts equality
+property-style across random instances for every ``supports_batch``
+family.
 
 **Eligibility.**  A strategy opts in via the ``supports_batch``
 capability flag (:class:`repro.registry.Capabilities`), and
-:func:`build_plan` then *verifies* the structural preconditions instead
-of trusting the flag:
-
-* Phase 2 is a :class:`~repro.core.strategy.FixedOrderPolicy` covering
-  every task exactly once;
-* every task's machine set is a contiguous index range; and
-* any two ranges are either identical or disjoint (a partition of
-  machines into groups — pinned, grouped, and everywhere placements all
-  qualify).
-
-Under that structure the event-driven run decomposes into independent
-per-group list schedules, where the ``j``-th task of a group starts at
-the current minimum load of the group's machines — exactly what the
-sweep computes.  Anything else (overlapping replica sets, adaptive
-policies, fault plans, release times) raises :class:`BatchUnsupported`
-and the caller falls back to the event kernel, so the flag can never
-produce silently-wrong records.
+:func:`build_plan` then *verifies* the structure instead of trusting the
+flag: the Phase-2 policy must be one of the three compilable types
+(:class:`FixedOrderPolicy`, :class:`~repro.memory.abo.ABOPolicy` without
+its barrier ablation, :class:`PinnedAwarePolicy`), and the policy's
+queues must agree with the placement it was built from.  Anything else —
+adaptive policies with bespoke dispatch, the ABO global barrier, fault
+plans, release times — raises :class:`BatchUnsupported` and the caller
+falls back to the event kernel, so the flag can never produce
+silently-wrong records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
@@ -54,6 +70,10 @@ from repro.core.strategy import FixedOrderPolicy, TwoPhaseStrategy
 __all__ = [
     "BatchUnsupported",
     "BatchPlan",
+    "PhaseSplitPlan",
+    "OrderReplayPlan",
+    "PinnedReplayPlan",
+    "Plan",
     "supports_batch",
     "build_plan",
     "sweep_makespans",
@@ -103,6 +123,114 @@ class BatchPlan:
         return self.placement.instance
 
 
+@dataclass(frozen=True)
+class PhaseSplitPlan:
+    """ABO's fixed phase split compiled to a closed-form sweep.
+
+    Each machine runs its pinned queue back-to-back from ``t = 0`` (the
+    policy always prefers its own pinned backlog), so its availability
+    for replicated work is its pinned load sum; the replicated tasks are
+    then list-scheduled in their fixed global order onto the currently
+    least-loaded machine.  Both stages are vectorized across the pack.
+
+    Attributes
+    ----------
+    pinned_queues:
+        Per machine (index = machine id), the pinned task ids in the
+        policy's dispatch order.
+    replicated:
+        The replicated task ids (placed on *every* machine, verified) in
+        the policy's fixed global order.
+    """
+
+    strategy_name: str
+    placement: Placement
+    pinned_queues: tuple[tuple[int, ...], ...]
+    replicated: tuple[int, ...]
+    guarantee: float | None
+
+    @property
+    def instance(self) -> Instance:
+        return self.placement.instance
+
+
+@dataclass(frozen=True)
+class OrderReplayPlan:
+    """Fixed dispatch order over a non-partition placement, replayed.
+
+    No closed form exists when replica sets overlap without being equal
+    (an idle machine may legally skip an earlier task it does not hold),
+    so the pack is replayed per realization by :func:`_drain` — the lean
+    event loop that mirrors the kernel's queue discipline — with the
+    fixed-order scan (low-water mark + allow mask) inlined.
+    """
+
+    strategy_name: str
+    placement: Placement
+    order: tuple[int, ...]
+    allowed: np.ndarray  # (n, m) bool: placement.allows(j, i)
+    guarantee: float | None
+
+    @property
+    def instance(self) -> Instance:
+        return self.placement.instance
+
+
+@dataclass(frozen=True)
+class PinnedReplayPlan:
+    """A ``PinnedAwarePolicy`` family precompiled into flat arrays.
+
+    The policy's dispatch depends on the realization (which tasks have
+    started when a machine idles), so there is no closed form — but its
+    whole decision procedure is a pure function of static structure:
+    per-machine pinned queues, the global replicated order, LPT ranks,
+    and *remaining pinned estimate* sums.  Because pinned tasks start in
+    queue order on their own machine, the unstarted pinned set is always
+    a queue suffix, so every ``_remaining_pinned`` value the policy could
+    ever compute is one of the precomputed left-to-right suffix sums in
+    :attr:`suffix` — the replay never re-sums and never re-associates an
+    IEEE addition.
+
+    Attributes
+    ----------
+    queues:
+        Per machine, the pinned task ids in the policy's dispatch order.
+    suffix:
+        Per machine, ``suffix[i][k] == sum(estimates of queues[i][k:])``
+        accumulated left to right exactly as the policy's ``sum()`` does
+        (``suffix[i][len(queues[i])] == 0.0``).
+    multi:
+        Replicated task ids in the policy's global scan order.
+    rivals:
+        Per task id, the machines allowed to host it (``()`` for pinned
+        tasks) — the set the eligibility min ranges over.
+    allowed:
+        ``(n, m)`` bool allow mask for the replicated-candidate scan.
+    rank:
+        Per task id, its global LPT rank (the policy's tie-break).
+    """
+
+    strategy_name: str
+    placement: Placement
+    queues: tuple[tuple[int, ...], ...]
+    suffix: tuple[tuple[float, ...], ...]
+    multi: tuple[int, ...]
+    rivals: tuple[tuple[int, ...], ...]
+    allowed: np.ndarray
+    rank: tuple[int, ...]
+    guarantee: float | None
+
+    @property
+    def instance(self) -> Instance:
+        return self.placement.instance
+
+
+#: Everything :func:`build_plan` can return; all variants share the
+#: ``strategy_name`` / ``placement`` / ``guarantee`` / ``instance`` surface
+#: the pack executor consumes.
+Plan = Union[BatchPlan, PhaseSplitPlan, OrderReplayPlan, PinnedReplayPlan]
+
+
 def supports_batch(strategy: TwoPhaseStrategy) -> bool:
     """Whether the registry declares ``strategy`` batch-sweepable.
 
@@ -116,16 +244,26 @@ def supports_batch(strategy: TwoPhaseStrategy) -> bool:
     return caps is not None and caps.supports_batch
 
 
+def _guarantee_of(strategy: TwoPhaseStrategy, instance: Instance) -> float | None:
+    guarantee_fn = getattr(strategy, "guarantee", None)
+    return guarantee_fn(instance) if callable(guarantee_fn) else None
+
+
 def build_plan(
     strategy: TwoPhaseStrategy,
     instance: Instance,
     *,
     placement: Placement | None = None,
-) -> BatchPlan:
-    """Compile one (strategy, instance) pair into a :class:`BatchPlan`.
+) -> Plan:
+    """Compile one (strategy, instance) pair into the cheapest plan.
 
-    Runs Phase 1 once (unless a prebuilt ``placement`` is supplied) and
-    checks every structural precondition of the sweep.  Raises
+    Runs Phase 1 once (unless a prebuilt ``placement`` is supplied),
+    builds the Phase-2 policy once, and dispatches on its exact type:
+    :class:`FixedOrderPolicy` compiles to the closed-form sweep (or the
+    order replay when the placement is not a partition), ``ABOPolicy``
+    to the phase-split sweep, ``PinnedAwarePolicy`` to the pinned
+    replay.  Every structural precondition is verified against the
+    placement — the capability flag is never trusted.  Raises
     :class:`BatchUnsupported` when the pair must use the event kernel,
     and propagates ``ValueError`` from Phase 1 unchanged (e.g. a group
     strategy whose ``k`` does not divide ``m`` — the same error the
@@ -136,69 +274,247 @@ def build_plan(
 
         placement = build_placement(strategy, instance)
     policy = strategy.make_policy(instance, placement)
-    if type(policy) is not FixedOrderPolicy:
+    if type(policy) is FixedOrderPolicy:
+        return _compile_fixed_order(strategy, instance, placement, policy)
+
+    from repro.core.strategies.selective import PinnedAwarePolicy
+    from repro.memory.abo import ABOPolicy
+
+    if type(policy) is ABOPolicy:
+        return _compile_phase_split(strategy, instance, placement, policy)
+    if type(policy) is PinnedAwarePolicy:
+        return _compile_pinned_replay(strategy, instance, placement, policy)
+    raise BatchUnsupported(
+        f"{strategy.name}: Phase-2 policy {type(policy).__name__} is not a "
+        "FixedOrderPolicy, ABOPolicy, or PinnedAwarePolicy — its dispatch "
+        "decisions cannot be compiled or replayed bit-exactly"
+    )
+
+
+def _check_permutation(strategy_name: str, tids: list[int], n: int) -> None:
+    if sorted(tids) != list(range(n)):
         raise BatchUnsupported(
-            f"{strategy.name}: Phase-2 policy {type(policy).__name__} is not a "
-            "FixedOrderPolicy — its dispatch decisions may depend on revealed "
-            "durations, which the sweep cannot replay"
+            f"{strategy_name}: dispatch structure does not cover every one of "
+            f"the {n} tasks exactly once"
         )
+
+
+def _allow_mask(placement: Placement) -> np.ndarray:
+    """``(n, m)`` bool mask of ``placement.allows(j, i)``."""
+    instance = placement.instance
+    mask = np.zeros((instance.n, instance.m), dtype=bool)
+    for j, machines in enumerate(placement.machine_sets):
+        for i in machines:
+            mask[j, i] = True
+    return mask
+
+
+def _compile_fixed_order(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    placement: Placement,
+    policy: FixedOrderPolicy,
+) -> Plan:
     order = policy.order
-    n, m = instance.n, instance.m
-    if sorted(order) != list(range(n)):
-        raise BatchUnsupported(
-            f"{strategy.name}: dispatch order is not a permutation of all "
-            f"{n} tasks"
-        )
+    n = instance.n
+    _check_permutation(strategy.name, list(order), n)
+    guarantee = _guarantee_of(strategy, instance)
 
     lo = np.empty(n, dtype=np.intp)
     hi = np.empty(n, dtype=np.intp)
     ranges: set[tuple[int, int]] = set()
+    partition = True
     for j, machines in enumerate(placement.machine_sets):
         a, b = min(machines), max(machines) + 1
         if b - a != len(machines):
-            raise BatchUnsupported(
-                f"{strategy.name}: task {j}'s machine set is not a contiguous "
-                "range — the sweep's argmin-over-slice cannot express it"
-            )
+            partition = False
+            break
         lo[j], hi[j] = a, b
         ranges.add((a, b))
-    # Partition check: distinct ranges must not overlap, otherwise tasks
-    # can start out of order (a machine may skip a task it does not hold
-    # and run a later one first), which the in-order sweep cannot replay.
-    bounds = sorted(ranges)
-    for (_, b_prev), (a_next, _) in zip(bounds, bounds[1:]):
-        if a_next < b_prev:
-            raise BatchUnsupported(
-                f"{strategy.name}: placement ranges overlap without being "
-                "equal — not a machine partition"
-            )
-
-    guarantee_fn = getattr(strategy, "guarantee", None)
-    guarantee = guarantee_fn(instance) if callable(guarantee_fn) else None
-    return BatchPlan(
+    if partition:
+        # Partition check: distinct ranges must not overlap, otherwise
+        # tasks can start out of order (a machine may skip a task it does
+        # not hold and run a later one first), which the in-order
+        # closed-form sweep cannot express.
+        bounds = sorted(ranges)
+        for (_, b_prev), (a_next, _) in zip(bounds, bounds[1:]):
+            if a_next < b_prev:
+                partition = False
+                break
+    if partition:
+        return BatchPlan(
+            strategy_name=strategy.name,
+            placement=placement,
+            order=tuple(order),
+            lo=lo,
+            hi=hi,
+            guarantee=guarantee,
+        )
+    # Overlapping or gapped replica sets: same fixed-order scan, replayed
+    # event-by-event instead of closed-form.
+    return OrderReplayPlan(
         strategy_name=strategy.name,
         placement=placement,
         order=tuple(order),
-        lo=lo,
-        hi=hi,
+        allowed=_allow_mask(placement),
         guarantee=guarantee,
     )
 
 
-def sweep_makespans(plan: BatchPlan, actuals: np.ndarray) -> np.ndarray:
-    """Replay the plan against a ``(B, n)`` actuals matrix; return ``(B,)``.
+def _compile_phase_split(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    placement: Placement,
+    policy,
+) -> PhaseSplitPlan:
+    if policy.barrier:
+        raise BatchUnsupported(
+            f"{strategy.name}: the global-barrier Phase 2 stalls machines on "
+            "remote pinned state and retires them early — only the event "
+            "kernel replays that faithfully"
+        )
+    n, m = instance.n, instance.m
+    all_machines = frozenset(range(m))
+    queues: list[tuple[int, ...]] = [()] * m
+    covered: list[int] = []
+    for i, queue in policy.pinned_queues.items():
+        if not 0 <= i < m:
+            raise BatchUnsupported(
+                f"{strategy.name}: pinned queue for unknown machine {i}"
+            )
+        for j in queue:
+            if placement.machines_for(j) != frozenset((i,)):
+                raise BatchUnsupported(
+                    f"{strategy.name}: task {j} is queued on machine {i} but "
+                    "not pinned there by the placement"
+                )
+        queues[i] = tuple(queue)
+        covered.extend(queue)
+    replicated = tuple(policy.replicated_order)
+    for j in replicated:
+        if placement.machines_for(j) != all_machines:
+            raise BatchUnsupported(
+                f"{strategy.name}: replicated task {j} is not placed on every "
+                "machine — the unrestricted argmin would misplace it"
+            )
+    covered.extend(replicated)
+    _check_permutation(strategy.name, covered, n)
+    return PhaseSplitPlan(
+        strategy_name=strategy.name,
+        placement=placement,
+        pinned_queues=tuple(queues),
+        replicated=replicated,
+        guarantee=_guarantee_of(strategy, instance),
+    )
 
-    The heap-free completion sweep: machine loads start at zero; each task
-    (in dispatch order) lands on the least-loaded machine of its allowed
-    range, ties to the lowest index — the event kernel's tie-break.  Each
-    step is one vectorized argmin + add across the whole batch, and the
-    additions are elementwise (never reduced), so every machine's final
-    load is the same left-to-right IEEE sum the event kernel produces.
+
+def _suffix_sums(queue: tuple[int, ...], estimates: tuple[float, ...]) -> tuple[float, ...]:
+    """Left-to-right suffix sums, matching the policy's ``sum()`` exactly.
+
+    ``out[k] == estimates[queue[k]] + estimates[queue[k+1]] + ...`` with
+    the same left-to-right association Python's ``sum`` uses (``0 + e``
+    is exact for the first term), so the replay's eligibility compare
+    sees bit-identical floats.  Quadratic in queue length, computed once
+    per pack.
+    """
+    out: list[float] = []
+    for k in range(len(queue) + 1):
+        acc = 0.0
+        for j in queue[k:]:
+            acc = acc + estimates[j]
+        out.append(acc)
+    return tuple(out)
+
+
+def _compile_pinned_replay(
+    strategy: TwoPhaseStrategy,
+    instance: Instance,
+    placement: Placement,
+    policy,
+) -> PinnedReplayPlan:
+    n, m = instance.n, instance.m
+    pinned, multi = policy.batch_state()
+    queues: list[tuple[int, ...]] = [()] * m
+    covered: list[int] = []
+    for i, queue in pinned.items():
+        if not 0 <= i < m:
+            raise BatchUnsupported(
+                f"{strategy.name}: pinned queue for unknown machine {i}"
+            )
+        for j in queue:
+            if placement.machines_for(j) != frozenset((i,)):
+                raise BatchUnsupported(
+                    f"{strategy.name}: task {j} is queued on machine {i} but "
+                    "not pinned there by the placement"
+                )
+        queues[i] = tuple(queue)
+        covered.extend(queue)
+    for j in multi:
+        if len(placement.machines_for(j)) < 2:
+            raise BatchUnsupported(
+                f"{strategy.name}: task {j} is in the replicated scan but "
+                "pinned by the placement"
+            )
+    covered.extend(multi)
+    _check_permutation(strategy.name, covered, n)
+
+    estimates = instance.estimates
+    rank: list[int] = [0] * n
+    for pos, tid in enumerate(instance.lpt_order()):
+        rank[tid] = pos
+    rivals: list[tuple[int, ...]] = [()] * n
+    for j in multi:
+        # min() over the rival set is order-independent; sorted for
+        # determinism of the stored plan.
+        rivals[j] = tuple(sorted(placement.machines_for(j)))
+    return PinnedReplayPlan(
+        strategy_name=strategy.name,
+        placement=placement,
+        queues=tuple(queues),
+        suffix=tuple(_suffix_sums(q, estimates) for q in queues),
+        multi=tuple(multi),
+        rivals=tuple(rivals),
+        allowed=_allow_mask(placement),
+        rank=tuple(rank),
+        guarantee=_guarantee_of(strategy, instance),
+    )
+
+
+# -- plan execution ---------------------------------------------------------
+
+
+def sweep_makespans(plan: Plan, actuals: np.ndarray) -> np.ndarray:
+    """Execute a compiled plan against a ``(B, n)`` actuals matrix.
+
+    Returns the ``(B,)`` makespans, bit-identical to running each row
+    through the event kernel.  Closed-form plans are fully vectorized
+    across the batch; replay plans loop the rows through the lean event
+    loop (still amortizing Phase 1, policy construction, and all
+    per-event trace/validation overhead across the pack).
     """
     if actuals.ndim != 2 or actuals.shape[1] != plan.instance.n:
         raise ValueError(
             f"actuals must be (B, {plan.instance.n}), got {actuals.shape}"
         )
+    if isinstance(plan, BatchPlan):
+        return _fixed_order_makespans(plan, actuals)
+    if isinstance(plan, PhaseSplitPlan):
+        return _phase_split_makespans(plan, actuals)
+    if isinstance(plan, OrderReplayPlan):
+        return _order_replay_makespans(plan, actuals)
+    return _pinned_replay_makespans(plan, actuals)
+
+
+def _fixed_order_makespans(plan: BatchPlan, actuals: np.ndarray) -> np.ndarray:
+    """The heap-free completion sweep for partition placements.
+
+    Machine loads start at zero; each task (in dispatch order) lands on
+    the least-loaded machine of its allowed range, ties to the lowest
+    index — the event kernel's tie-break.  Each step is one vectorized
+    argmin + add across the whole batch, and the additions are
+    elementwise (never reduced), so every machine's final load is the
+    same left-to-right IEEE sum the event kernel produces.
+    """
     B = actuals.shape[0]
     loads = np.zeros((B, plan.instance.m), dtype=np.float64)
     rows = np.arange(B)
@@ -212,6 +528,195 @@ def sweep_makespans(plan: BatchPlan, actuals: np.ndarray) -> np.ndarray:
             chosen = a + np.argmin(loads[:, a:b], axis=1)
             loads[rows, chosen] += actuals[:, j]
     return loads.max(axis=1)
+
+
+def _phase_split_makespans(plan: PhaseSplitPlan, actuals: np.ndarray) -> np.ndarray:
+    """ABO's two stages as one sweep.
+
+    Stage 1 accumulates each machine's pinned queue left to right — the
+    same additions the kernel performs dispatching the queue back to
+    back.  Stage 2 list-schedules the replicated order: in the kernel, a
+    machine competes for replicated work exactly when its total load is
+    minimal (its pinned prefix runs without gaps), so assigning each
+    replicated task to ``argmin(loads)`` reproduces the event order;
+    ``t = 0`` ties resolve to the lowest machine index (the kernel's
+    seeding order), and later exact ties are between machines that are
+    interchangeable for all remaining replicated work, so the makespan
+    is unaffected.
+    """
+    B = actuals.shape[0]
+    loads = np.zeros((B, plan.instance.m), dtype=np.float64)
+    rows = np.arange(B)
+    for i, queue in enumerate(plan.pinned_queues):
+        for j in queue:
+            loads[:, i] += actuals[:, j]
+    for j in plan.replicated:
+        chosen = np.argmin(loads, axis=1)
+        loads[rows, chosen] += actuals[:, j]
+    return loads.max(axis=1)
+
+
+def _drain(m: int, acts: list[float], select) -> tuple[float, int]:
+    """The lean event loop: the kernel's queue discipline without the heap.
+
+    In the regime every plan compiles for — all tasks released at
+    ``t = 0``, no faults, unit speeds — the kernel's event queue only
+    ever holds the completions of busy machines plus same-time idle
+    polls, so the next event is simply the busy machine with the least
+    ``(end time, dispatch seq)``: exactly the ``EventQueue``'s
+    ``(time, kind, seq)`` order, since completions (kind 1) at a tied
+    time all sort before the idle polls (kind 5) they push, and those
+    idles preserve completion order through their seqs.  ``t = 0`` polls
+    run in machine order, matching the kernel's seeding.  A ``select``
+    returning ``None`` retires the machine permanently (no releases can
+    wake it), also matching the kernel.
+
+    ``select(machine)`` must mark its choice started before returning.
+    Returns ``(makespan, dispatched-task count)``.
+    """
+    end_time = [0.0] * m
+    end_seq = [0] * m
+    seq = 0
+    makespan = 0.0
+    dispatched = 0
+    busy: list[int] = []
+    for i in range(m):
+        tid = select(i)
+        if tid is None:
+            continue
+        end = 0.0 + acts[tid]
+        seq += 1
+        end_time[i], end_seq[i] = end, seq
+        busy.append(i)
+        dispatched += 1
+        if end > makespan:
+            makespan = end
+    while busy:
+        t = min(end_time[i] for i in busy)
+        ripe = sorted((end_seq[i], i) for i in busy if end_time[i] == t)
+        if len(ripe) == len(busy):
+            busy = []
+        else:
+            done = {i for _, i in ripe}
+            busy = [i for i in busy if i not in done]
+        # All tied completions are processed before any of the idle polls
+        # they push (kind priority), and the polls then run in completion
+        # order (seq) — reproduced by draining ``ripe`` twice in order.
+        for _, i in ripe:
+            tid = select(i)
+            if tid is None:
+                continue
+            end = t + acts[tid]
+            seq += 1
+            end_time[i], end_seq[i] = end, seq
+            busy.append(i)
+            dispatched += 1
+            if end > makespan:
+                makespan = end
+    return makespan, dispatched
+
+
+def _check_drained(plan: Plan, dispatched: int) -> None:
+    if dispatched != plan.instance.n:
+        from repro.simulation.kernel import SimulationError
+
+        raise SimulationError(
+            f"batch replay of {plan.strategy_name} ended with "
+            f"{plan.instance.n - dispatched} unscheduled tasks; the policy "
+            "retired machines that still had eligible work"
+        )
+
+
+def _order_replay_makespans(plan: OrderReplayPlan, actuals: np.ndarray) -> np.ndarray:
+    """Replay a fixed-order policy over a non-partition placement.
+
+    The per-machine scan is :class:`FixedOrderPolicy.select` verbatim —
+    first unstarted task in the fixed order whose placement allows the
+    machine, behind a global low-water mark — driven by :func:`_drain`'s
+    kernel-exact event order.
+    """
+    order = plan.order
+    allowed = plan.allowed.tolist()
+    n = len(order)
+    m = plan.instance.m
+    out = np.empty(actuals.shape[0], dtype=np.float64)
+    for b in range(actuals.shape[0]):
+        acts = actuals[b].tolist()
+        started = bytearray(n)
+        low = 0
+
+        def select(machine: int) -> int | None:
+            nonlocal low
+            while low < n and started[order[low]]:
+                low += 1
+            for pos in range(low, n):
+                tid = order[pos]
+                if not started[tid] and allowed[tid][machine]:
+                    started[tid] = 1
+                    return tid
+            return None
+
+        out[b], dispatched = _drain(m, acts, select)
+        _check_drained(plan, dispatched)
+    return out
+
+
+def _pinned_replay_makespans(plan: PinnedReplayPlan, actuals: np.ndarray) -> np.ndarray:
+    """Replay a ``PinnedAwarePolicy`` pack from its precompiled arrays.
+
+    ``select`` below is the policy's decision procedure transcribed over
+    the plan's flat state: ``own`` is the machine's queue head (pinned
+    tasks start in queue order, so a pointer suffices), ``cand`` the
+    first unstarted allowed task in the replicated order, and the
+    eligibility test compares the precomputed suffix sums — the very
+    floats the policy's ``_remaining_pinned`` would produce — with the
+    policy's ``1e-12`` slack and LPT-rank tie-break.
+    """
+    queues, suffix = plan.queues, plan.suffix
+    multi, rivals, rank = plan.multi, plan.rivals, plan.rank
+    allowed = plan.allowed.tolist()
+    n, m = plan.instance.n, plan.instance.m
+    nm = len(multi)
+    out = np.empty(actuals.shape[0], dtype=np.float64)
+    for b in range(actuals.shape[0]):
+        acts = actuals[b].tolist()
+        started = bytearray(n)
+        ptr = [0] * m
+        low = 0
+
+        def select(machine: int) -> int | None:
+            nonlocal low
+            q = queues[machine]
+            p = ptr[machine]
+            own = q[p] if p < len(q) else None
+            while low < nm and started[multi[low]]:
+                low += 1
+            cand = None
+            for pos in range(low, nm):
+                tid = multi[pos]
+                if not started[tid] and allowed[tid][machine]:
+                    cand = tid
+                    break
+            if cand is None:
+                choice = own
+            else:
+                my_rem = suffix[machine][p]
+                min_rem = min(suffix[r][ptr[r]] for r in rivals[cand])
+                if not my_rem <= min_rem + 1e-12:
+                    choice = own
+                elif own is None:
+                    choice = cand
+                else:
+                    choice = cand if rank[cand] < rank[own] else own
+            if choice is not None:
+                started[choice] = 1
+                if choice == own:
+                    ptr[machine] = p + 1
+            return choice
+
+        out[b], dispatched = _drain(m, acts, select)
+        _check_drained(plan, dispatched)
+    return out
 
 
 def batch_makespans(

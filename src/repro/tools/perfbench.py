@@ -10,6 +10,15 @@ root) so the repository carries its own performance trajectory:
   cell through :class:`~repro.simulation.kernel.EventKernel`);
 * ``batch_sweep`` — the same grid with the vectorized batch backend
   (:mod:`repro.simulation.batch`);
+* ``memory_eventkernel_sweep`` / ``memory_batch_sweep`` — the same
+  instance swept by the memory/robust/hetero exemplars
+  (:data:`_MEMORY_STRATEGIES`), kernel vs compiled plans; the derived
+  ``batch_memory_speedup_x`` (gated: absolute floor always, baseline
+  band when the key exists) measures what the plan-compiler tiers
+  bought the families that used to fall back to the kernel, and the
+  derived ``batch_coverage`` (fraction of registered strategies with
+  ``supports_batch``, gated ≥ :data:`DEFAULT_COVERAGE_FLOOR`) keeps the
+  registry from quietly growing kernel-bound families;
 * ``cached_resweep`` — the same grid served warm from a
   :class:`~repro.analysis.cache.CellCache`;
 * ``parallel_grid`` — the same grid fanned over a 2-process pool with
@@ -106,6 +115,14 @@ DEFAULT_FLOOR = 2.0
 #: Ceiling on the disabled-tracer overhead estimate, percent of the
 #: untraced event-kernel sweep.  Fresh-run-only (no baseline involved).
 DEFAULT_OVERHEAD_LIMIT_PCT = 2.0
+#: Floor on ``batch_coverage`` — the fraction of registered strategies
+#: whose capability set declares ``supports_batch``.  Fresh-run-only.
+DEFAULT_COVERAGE_FLOOR = 0.8
+#: The derived speedup ratios gated in ``--check``: each must clear the
+#: absolute floor on every fresh run (baseline key present or not), and
+#: additionally stay inside the ±tolerance band *when* the committed
+#: baseline carries the key — a fresh scenario must not silently pass.
+GATED_SPEEDUPS = ("batch_speedup_x", "batch_memory_speedup_x")
 
 __all__ = [
     "SCHEMA",
@@ -113,7 +130,10 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_FLOOR",
     "DEFAULT_OVERHEAD_LIMIT_PCT",
+    "DEFAULT_COVERAGE_FLOOR",
+    "GATED_SPEEDUPS",
     "run_bench",
+    "batch_coverage",
     "check_regression",
     "append_history",
     "main",
@@ -136,6 +156,7 @@ def _grid_config(quick: bool) -> dict[str, Any]:
             ],
             "model": "log_uniform",
             "seeds": [1000 + s for s in range(6)],
+            "memory_strategies": _MEMORY_STRATEGIES,
         }
     return {
         "family": "uniform",
@@ -152,7 +173,44 @@ def _grid_config(quick: bool) -> dict[str, Any]:
         ],
         "model": "log_uniform",
         "seeds": [1000 + s for s in range(10)],
+        "memory_strategies": _MEMORY_STRATEGIES,
     }
+
+
+#: The families that were event-kernel-bound before the plan compiler
+#: grew the phase-split and replay tiers: one exemplar per family
+#: (memory × 3, robust, hetero, selective-replication).  The
+#: ``memory_*`` scenarios sweep these over the same instance/model/seeds
+#: as the main grid, so ``batch_memory_speedup_x`` measures exactly what
+#: these cells cost on the old batch path (which fell back to the
+#: kernel) versus the compiled plans.
+_MEMORY_STRATEGIES = [
+    "sabo[delta=1]",
+    "abo[delta=1]",
+    "capped[C=1000]",
+    "robust_pinned",
+    "risk_aware[0.5]",
+    "selective[0.25,count]",
+]
+
+
+def batch_coverage() -> float:
+    """Fraction of registered strategies declaring ``supports_batch``.
+
+    Counts statically declared capabilities (entries with dynamic
+    per-instance capabilities count only if their static set has the
+    flag), so the number is a property of the registry, not of any
+    particular grid.
+    """
+    from repro.registry import strategy_entries
+
+    entries = strategy_entries()
+    flagged = sum(
+        1
+        for e in entries
+        if e.capabilities is not None and e.capabilities.supports_batch
+    )
+    return flagged / len(entries)
 
 
 def _count_tracer_calls(reference_run: Callable[[], Any]) -> dict[str, int]:
@@ -261,13 +319,33 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         kwargs.update(overrides)
         return ExperimentGrid(**kwargs)
 
+    def memory_grid(**overrides: Any) -> ExperimentGrid:
+        kwargs: dict[str, Any] = dict(
+            strategies=list(cfg["memory_strategies"]),
+            instances=[instance],
+            realization_models=[cfg["model"]],
+            seeds=list(cfg["seeds"]),
+        )
+        kwargs.update(overrides)
+        return ExperimentGrid(**kwargs)
+
     # Equality gate first: producing a perf artifact from divergent
-    # backends would be worse than producing none.
+    # backends would be worse than producing none.  The memory grid also
+    # exercises the batch × parallel composition (packs sharded across
+    # the pool) against the serial kernel.
     serial_records = grid(batch=False).run()
     batch_records = grid(batch=True).run()
     parallel_records = grid(batch=False, workers=2).run()
     records_equal = serial_records == batch_records == parallel_records
     assert records_equal, "batch/serial/parallel record lists diverged"
+    mem_serial = memory_grid(batch=False).run()
+    mem_batch = memory_grid(batch=True).run()
+    mem_pooled = memory_grid(batch=True, workers=2).run()
+    memory_records_equal = mem_serial == mem_batch == mem_pooled
+    records_equal = records_equal and memory_records_equal
+    assert memory_records_equal, (
+        "memory-family batch/serial/batched-parallel record lists diverged"
+    )
 
     strategy = make_strategy("lpt_no_restriction")
     realization = sample_realization(instance, cfg["model"], cfg["seeds"][0])
@@ -280,6 +358,17 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
         lambda: grid(batch=False).run(), repeats
     )
     scenarios["batch_sweep"] = _time_scenario(lambda: grid(batch=True).run(), repeats)
+
+    # The newly batchable families, kernel vs compiled plans: before the
+    # phase-split/replay tiers these cells took the event kernel even
+    # with batch=True, so this pair measures the end-to-end win of the
+    # wider batch tier on its own cells.
+    scenarios["memory_eventkernel_sweep"] = _time_scenario(
+        lambda: memory_grid(batch=False).run(), repeats
+    )
+    scenarios["memory_batch_sweep"] = _time_scenario(
+        lambda: memory_grid(batch=True).run(), repeats
+    )
 
     with tempfile.TemporaryDirectory(prefix="perfbench-cache-") as cache_dir:
         grid(cache=CellCache(cache_dir)).run()  # cold run populates
@@ -352,8 +441,11 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
     # Speedups gate CI, so derive them from min_s: timing noise is purely
     # additive, making the minimum the most reproducible point estimate.
     ek = scenarios["eventkernel_sweep"]["min_s"]
+    mem_ek = scenarios["memory_eventkernel_sweep"]["min_s"]
     derived = {
         "batch_speedup_x": ek / scenarios["batch_sweep"]["min_s"],
+        "batch_memory_speedup_x": mem_ek / scenarios["memory_batch_sweep"]["min_s"],
+        "batch_coverage": batch_coverage(),
         "cache_speedup_x": ek / scenarios["cached_resweep"]["min_s"],
         "records_equal": records_equal,
         "tracer_calls": tracer_calls,
@@ -374,6 +466,7 @@ def run_bench(*, quick: bool = True, repeats: int | None = None) -> dict[str, An
             "m": cfg["m"],
             "alpha": cfg["alpha"],
             "strategies": cfg["strategies"],
+            "memory_strategies": cfg["memory_strategies"],
             "model": cfg["model"],
             "seeds": len(cfg["seeds"]),
             "cells": len(cfg["strategies"]) * len(cfg["seeds"]),
@@ -457,9 +550,14 @@ def check_regression(
     """Compare a fresh measurement against the committed baseline.
 
     Returns a list of human-readable failures (empty = pass).  Only the
-    scale-free ``batch_speedup_x`` is gated — absolute scenario times are
-    informational because CI runners vary in speed; the speedup ratio is
-    measured within one process on one machine and cancels that out.
+    scale-free speedup ratios (:data:`GATED_SPEEDUPS`) are gated —
+    absolute scenario times are informational because CI runners vary in
+    speed; each ratio is measured within one process on one machine and
+    cancels that out.  Every gated ratio must clear the absolute
+    ``floor`` on the *fresh* run unconditionally; the ±``tolerance``
+    drift band applies only when the committed baseline also carries the
+    key, so a freshly introduced scenario is floor-gated from its first
+    CI run instead of silently passing until re-baselined.
     """
     problems: list[str] = []
     for payload, label in ((fresh, "fresh"), (baseline, "baseline")):
@@ -484,21 +582,35 @@ def check_regression(
             f"{DEFAULT_OVERHEAD_LIMIT_PCT}% ceiling — the disabled tracer "
             "path must stay near-free"
         )
-    speedup = fresh["derived"]["batch_speedup_x"]
-    base = baseline["derived"]["batch_speedup_x"]
-    if speedup < floor:
+    coverage = fresh["derived"].get("batch_coverage")
+    if coverage is not None and coverage < DEFAULT_COVERAGE_FLOOR:
         problems.append(
-            f"batch_speedup_x {speedup:.2f} is below the hard floor {floor:.2f}"
+            f"batch_coverage {coverage:.3f} is below the "
+            f"{DEFAULT_COVERAGE_FLOOR} floor — too few registered "
+            "strategies declare supports_batch"
         )
-    lo, hi = base * (1 - tolerance), base * (1 + tolerance)
-    if not lo <= speedup <= hi:
-        direction = "regressed" if speedup < lo else "improved"
-        problems.append(
-            f"batch_speedup_x {speedup:.2f} {direction} outside "
-            f"[{lo:.2f}, {hi:.2f}] (baseline {base:.2f} ± {tolerance:.0%}); "
-            "if intentional, re-baseline by committing the fresh "
-            f"{DEFAULT_OUT}"
-        )
+    for key in GATED_SPEEDUPS:
+        speedup = fresh["derived"].get(key)
+        if speedup is None:
+            continue  # older artifact from before this scenario existed
+        if speedup < floor:
+            problems.append(
+                f"{key} {speedup:.2f} is below the hard floor {floor:.2f}"
+            )
+        base = baseline["derived"].get(key)
+        if base is None:
+            # Fresh scenario with no committed history: the floor above
+            # already gated it; there is no band to compare against.
+            continue
+        lo, hi = base * (1 - tolerance), base * (1 + tolerance)
+        if not lo <= speedup <= hi:
+            direction = "regressed" if speedup < lo else "improved"
+            problems.append(
+                f"{key} {speedup:.2f} {direction} outside "
+                f"[{lo:.2f}, {hi:.2f}] (baseline {base:.2f} ± {tolerance:.0%}); "
+                "if intentional, re-baseline by committing the fresh "
+                f"{DEFAULT_OUT}"
+            )
     return problems
 
 
@@ -509,7 +621,7 @@ def _summarize(payload: dict[str, Any]) -> str:
     ]
     for name, s in payload["scenarios"].items():
         lines.append(
-            f"  {name:18s} median {s['median_s'] * 1e3:9.2f} ms "
+            f"  {name:24s} median {s['median_s'] * 1e3:9.2f} ms "
             f"(± {s['stdev_s'] * 1e3:.2f} ms)"
         )
     d = payload["derived"]
@@ -518,6 +630,13 @@ def _summarize(payload: dict[str, Any]) -> str:
         f"cache speedup {d['cache_speedup_x']:.2f}x, "
         f"records equal: {d['records_equal']}"
     )
+    if "batch_memory_speedup_x" in d:
+        lines.append(
+            f"  memory/robust/hetero batch speedup "
+            f"{d['batch_memory_speedup_x']:.2f}x, "
+            f"batch coverage {d['batch_coverage']:.2f} "
+            f"(floor {DEFAULT_COVERAGE_FLOOR})"
+        )
     if "tracer_overhead_pct" in d:
         calls = d.get("tracer_calls", {})
         total = sum(calls.values()) if isinstance(calls, dict) else 0

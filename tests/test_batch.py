@@ -15,14 +15,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.analysis.experiment import ExperimentGrid
 from repro.analysis.ratios import run_strategy
 from repro.core.model import Instance, make_instance
 from repro.core.placement import Placement
 from repro.core.strategy import FixedOrderPolicy, TwoPhaseStrategy
-from repro.registry import capabilities_of, full_sweep, make_strategy
+from repro.registry import capabilities_of, full_sweep, make_strategy, strategy_entries
 from repro.simulation.batch import (
+    BatchPlan,
     BatchUnsupported,
+    OrderReplayPlan,
+    PhaseSplitPlan,
+    PinnedReplayPlan,
     batch_makespans,
     build_plan,
     supports_batch,
@@ -30,11 +36,53 @@ from repro.simulation.batch import (
 )
 from repro.uncertainty.stochastic import sample_realization
 
+# One exemplar spec list per registry family, used by the per-family
+# bit-exactness property tests below *and* by the CI batch-equivalence
+# matrix (`pytest tests/test_batch.py -k <family>`).  Kept in sync with
+# the registry by ``test_family_map_covers_every_flagged_entry``.
+FAMILY_SPECS: dict[str, tuple[str, ...]] = {
+    "schedulers": (
+        "baseline[round_robin]",
+        "baseline[spt]",
+        "baseline[random,seed=5]",
+        "baseline[single_pile]",
+    ),
+    "core": (
+        "lpt_no_choice",
+        "lpt_no_restriction",
+        "ls_group[k=2]",
+        "lpt_group[k=2]",
+        "nonclairvoyant_ls[shuffle=3]",
+        "overlap_windows[k=2,w=2]",
+        "overlap_windows[k=3,w=2]",
+        "selective[0.3,count]",
+        "selective[0.5,work]",
+        "budgeted[B=40]",
+    ),
+    "adaptive": ("refined[lpt_no_choice]", "refined[ls_group[k=2]]"),
+    "hetero": ("risk_aware[0]", "risk_aware[0.4]", "risk_aware[1]"),
+    "robust": ("robust_pinned",),
+    "memory": ("sabo[delta=1]", "abo[delta=1]", "capped[C=100]"),
+}
+
 
 def _rand_instance(n: int, m: int, alpha: float, seed: int) -> Instance:
     rng = random.Random(seed)
     return make_instance(
         [rng.uniform(0.2, 10.0) for _ in range(n)], m, alpha, name=f"rand{seed}"
+    )
+
+
+def _rand_sized_instance(n: int, m: int, alpha: float, seed: int) -> Instance:
+    """Like :func:`_rand_instance` but with nonzero memory sizes, so the
+    memory-family phase splits are exercised nontrivially."""
+    rng = random.Random(seed)
+    return make_instance(
+        [rng.uniform(0.2, 10.0) for _ in range(n)],
+        m,
+        alpha,
+        sizes=[rng.uniform(0.05, 2.0) for _ in range(n)],
+        name=f"sized{seed}",
     )
 
 
@@ -53,13 +101,44 @@ class TestCapabilityFlag:
             assert caps is not None and caps.supports_batch, spec
             assert "supports_batch" in caps.flags()
 
-    def test_fault_and_memory_strategies_do_not(self):
-        for spec in ("capped[C=5.0]", "abo[delta=0.5]",
-                     "sabo[delta=0.5]", "nonclairvoyant_ls"):
+    def test_memory_robust_and_hetero_families_declare_it(self):
+        for spec in ("capped[C=5.0]", "abo[delta=0.5]", "sabo[delta=0.5]",
+                     "nonclairvoyant_ls", "risk_aware[0.3]", "robust_pinned",
+                     "selective[0.3,count]", "budgeted[B=10]",
+                     "baseline[round_robin]", "overlap_windows[k=2,w=2]"):
             strategy = make_strategy(spec)
             caps = capabilities_of(strategy)
-            assert caps is None or not caps.supports_batch, spec
-            assert not supports_batch(strategy)
+            assert caps is not None and caps.supports_batch, spec
+            assert supports_batch(strategy)
+
+    def test_barrier_ablation_flag_stays_but_compile_refuses(self):
+        """The barrier ablation shares ABO's registry entry (flag True) but
+        its dispatch stalls on remote pinned state — ``build_plan`` must
+        refuse it so the grid falls back to the event kernel."""
+        strategy = make_strategy("abo[delta=0.5,barrier]")
+        assert supports_batch(strategy)
+        inst = _rand_sized_instance(10, 4, 1.5, 21)
+        with pytest.raises(BatchUnsupported, match="barrier"):
+            build_plan(strategy, inst)
+
+    def test_family_map_covers_every_flagged_entry(self):
+        """Every statically flagged registry entry has at least one exemplar
+        spec in FAMILY_SPECS, under its own family key — so a new
+        ``supports_batch`` flag cannot dodge the per-family CI matrix."""
+        covered = {
+            spec.split("[")[0]
+            for specs in FAMILY_SPECS.values()
+            for spec in specs
+        }
+        for entry in strategy_entries():
+            caps = entry.capabilities
+            if caps is None or not caps.supports_batch:
+                continue
+            assert entry.name in covered, f"{entry.name} missing from FAMILY_SPECS"
+            assert any(
+                spec.split("[")[0] == entry.name
+                for spec in FAMILY_SPECS[entry.family]
+            ), f"{entry.name} listed under the wrong family"
 
     def test_unregistered_strategy_is_not_batchable(self):
         class Anon(TwoPhaseStrategy):
@@ -115,7 +194,7 @@ class TestBuildPlan:
         with pytest.raises(BatchUnsupported, match="FixedOrderPolicy"):
             build_plan(AdaptiveToy(), inst)
 
-    def test_overlapping_ranges_rejected(self):
+    def test_overlapping_ranges_take_order_replay(self):
         class OverlapToy(TwoPhaseStrategy):
             name = "overlap_toy"
 
@@ -128,10 +207,11 @@ class TestBuildPlan:
                 return FixedOrderPolicy(range(instance.n))
 
         inst = _rand_instance(5, 3, 1.5, 4)
-        with pytest.raises(BatchUnsupported, match="overlap"):
-            build_plan(OverlapToy(), inst)
+        plan = build_plan(OverlapToy(), inst)
+        assert isinstance(plan, OrderReplayPlan)
+        self._assert_plan_matches_kernel(OverlapToy(), plan, inst)
 
-    def test_non_contiguous_set_rejected(self):
+    def test_non_contiguous_sets_take_order_replay(self):
         class GappyToy(TwoPhaseStrategy):
             name = "gappy_toy"
 
@@ -144,8 +224,32 @@ class TestBuildPlan:
                 return FixedOrderPolicy(range(instance.n))
 
         inst = _rand_instance(5, 3, 1.5, 5)
-        with pytest.raises(BatchUnsupported, match="contiguous"):
-            build_plan(GappyToy(), inst)
+        plan = build_plan(GappyToy(), inst)
+        assert isinstance(plan, OrderReplayPlan)
+        self._assert_plan_matches_kernel(GappyToy(), plan, inst)
+
+    def test_plan_tiers_by_decision_structure(self):
+        inst = _rand_sized_instance(14, 4, 2.0, 6)
+        tiers = {
+            "lpt_group[k=2]": BatchPlan,
+            "sabo[delta=1]": BatchPlan,
+            "abo[delta=1]": PhaseSplitPlan,
+            "selective[0.3,count]": PinnedReplayPlan,
+            "risk_aware[0.4]": PinnedReplayPlan,
+        }
+        for spec, tier in tiers.items():
+            plan = build_plan(make_strategy(spec), inst)
+            assert type(plan) is tier, f"{spec}: {type(plan).__name__}"
+
+    @staticmethod
+    def _assert_plan_matches_kernel(strategy, plan, inst):
+        rows, refs = [], []
+        for seed in range(4):
+            realization = sample_realization(inst, "uniform", seed)
+            rows.append(list(realization.actuals))
+            refs.append(run_strategy(strategy, inst, realization).makespan)
+        swept = sweep_makespans(plan, np.asarray(rows))
+        assert swept.tolist() == refs
 
 
 class TestSweepShape:
@@ -210,6 +314,43 @@ class TestBitExactEquality:
         assert serial.batched_cells == 0
 
 
+class TestFamilyBitExact:
+    """Per-family exactness: one parametrized property per registry family,
+    so the CI batch-equivalence matrix (`-k <family>`) names the regressing
+    family in the job list."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_SPECS))
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=28),
+        m=st.sampled_from([2, 3, 4, 6]),
+        alpha=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=10_000),
+        model=st.sampled_from(["uniform", "log_uniform", "bimodal_extreme"]),
+    )
+    def test_family_matches_event_kernel(self, family, n, m, alpha, seed, model):
+        inst = _rand_sized_instance(n, m, alpha, seed)
+        realization = sample_realization(inst, model, seed + 1)
+        checked = 0
+        for spec in FAMILY_SPECS[family]:
+            strategy = make_strategy(spec)
+            try:
+                plan = build_plan(strategy, inst)
+            except ValueError:
+                # Phase 1 rejects this instance (e.g. k does not divide m,
+                # or B < n) — the grid skips such cells on both paths.
+                continue
+            outcome = run_strategy(strategy, inst, realization)
+            (swept,) = sweep_makespans(
+                plan, np.asarray([list(realization.actuals)])
+            )
+            assert swept == outcome.makespan, (
+                f"{spec}: batch {swept!r} != kernel {outcome.makespan!r}"
+            )
+            checked += 1
+        assert checked, f"no spec in family {family!r} was feasible"
+
+
 class TestTransparentFallback:
     @pytest.fixture
     def inst(self):
@@ -223,11 +364,13 @@ class TestTransparentFallback:
         )
 
     def test_mixed_grid_matches_serial(self, inst):
-        """Non-batchable (fault-aware, memory-aware, adaptive) specs fall
-        back to the event kernel inside a batch-enabled grid."""
+        """The memory/adaptive families now compile to plans; the barrier
+        ablation (flagged but refused at compile) falls back to the event
+        kernel inside the same batch-enabled grid."""
         kwargs = dict(
-            strategies=["lpt_no_choice", "capped[C=5.0]",
-                        "abo[delta=0.5]", "nonclairvoyant_ls", "ls_group[k=2]"],
+            strategies=["lpt_no_choice", "capped[C=5.0]", "abo[delta=0.5]",
+                        "abo[delta=0.5,barrier]", "nonclairvoyant_ls",
+                        "ls_group[k=2]"],
             instances=[inst],
             realization_models=["uniform"],
             seeds=[0, 1],
@@ -235,8 +378,8 @@ class TestTransparentFallback:
         batched = ExperimentGrid(**kwargs)
         serial = ExperimentGrid(batch=False, **kwargs)
         assert batched.run() == serial.run()
-        # Exactly the two batchable strategies' cells took the sweep.
-        assert batched.batched_cells == 2 * 2
+        # Every strategy but the barrier ablation took the sweep.
+        assert batched.batched_cells == 5 * 2
 
     def test_incompatible_k_still_skips(self, inst):
         """A batchable strategy whose Phase 1 rejects the instance produces
@@ -265,3 +408,63 @@ class TestTransparentFallback:
         pooled = ExperimentGrid(workers=2, **kwargs)
         serial = ExperimentGrid(batch=False, **kwargs)
         assert pooled.run() == serial.run()
+
+
+class TestBatchParallelComposition:
+    """Packs shard across the pool instead of running in one process."""
+
+    @pytest.fixture
+    def insts(self):
+        rng = random.Random(23)
+        return [
+            make_instance(
+                [rng.uniform(0.5, 8.0) for _ in range(16)],
+                4,
+                2.0,
+                sizes=[rng.uniform(0.1, 1.0) for _ in range(16)],
+                name=f"comp{i}",
+            )
+            for i in range(2)
+        ]
+
+    def test_batched_parallel_equals_batched_serial_equals_kernel(self, insts):
+        kwargs = dict(
+            strategies=["lpt_no_choice", "ls_group[k=2]", "abo[delta=0.5]",
+                        "sabo[delta=1]", "selective[0.3,count]",
+                        "risk_aware[0.4]"],
+            instances=insts,
+            realization_models=["uniform", "bimodal_extreme"],
+            seeds=[0, 1],
+        )
+        pooled = ExperimentGrid(workers=2, **kwargs)
+        serial = ExperimentGrid(**kwargs)
+        kernel = ExperimentGrid(batch=False, **kwargs)
+        pooled_records = pooled.run()
+        serial_records = serial.run()
+        kernel_records = kernel.run()
+        assert pooled_records == serial_records == kernel_records
+        # Both batch paths served every cell from plans; the kernel none.
+        assert pooled.batched_cells == pooled.total_cells()
+        assert serial.batched_cells == serial.total_cells()
+        assert kernel.batched_cells == 0
+
+    def test_unsupported_pack_degrades_in_worker_without_poisoning_chunk(
+        self, insts
+    ):
+        """The barrier ablation is capability-flagged, so its cells ship to
+        the pool as a pack — the worker's compile refuses it and runs
+        those cells through the event kernel, while the packs sharing its
+        chunk still take the sweep."""
+        kwargs = dict(
+            strategies=["abo[delta=0.5,barrier]", "abo[delta=0.5]",
+                        "lpt_no_choice"],
+            instances=insts,
+            realization_models=["uniform"],
+            seeds=[0, 1, 2],
+        )
+        pooled = ExperimentGrid(workers=2, **kwargs)
+        kernel = ExperimentGrid(batch=False, **kwargs)
+        assert pooled.run() == kernel.run()
+        # 2 instances x 3 seeds for each of the two compilable strategies.
+        assert pooled.batched_cells == 2 * 2 * 3
+        assert not pooled.skipped

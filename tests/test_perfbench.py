@@ -42,6 +42,25 @@ class TestRunBench:
         grid = payload["grid"]
         assert grid["cells"] == len(grid["strategies"]) * grid["seeds"]
 
+    def test_memory_family_scenarios(self, payload):
+        for name in ("memory_eventkernel_sweep", "memory_batch_sweep"):
+            assert payload["scenarios"][name]["min_s"] > 0
+        derived = payload["derived"]
+        assert derived["batch_memory_speedup_x"] > 1.0
+        assert derived["batch_coverage"] >= perfbench.DEFAULT_COVERAGE_FLOOR
+
+    def test_batch_coverage_counts_the_registry(self):
+        from repro.registry import strategy_entries
+
+        coverage = perfbench.batch_coverage()
+        assert 0.0 < coverage <= 1.0
+        flagged = sum(
+            1
+            for e in strategy_entries()
+            if e.capabilities is not None and e.capabilities.supports_batch
+        )
+        assert coverage == flagged / len(strategy_entries())
+
 
 class TestWritePayload:
     def test_artifact_and_manifest_sidecar(self, payload, tmp_path):
@@ -82,6 +101,39 @@ class TestCheckRegression:
         base["derived"]["batch_speedup_x"] = 1.1  # drifted baseline too
         problems = perfbench.check_regression(fresh, base)
         assert any("floor" in p for p in problems)
+
+    def test_fresh_scenario_floor_applies_without_baseline_key(self, payload):
+        """A speedup scenario absent from the committed baseline must still
+        clear the absolute floor on the fresh run (it used to silently
+        pass until a re-baseline introduced the key)."""
+        old = copy.deepcopy(payload)
+        old["derived"].pop("batch_memory_speedup_x")
+        old["derived"].pop("batch_coverage")
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["batch_memory_speedup_x"] = 1.1
+        problems = perfbench.check_regression(fresh, old)
+        assert any(
+            "batch_memory_speedup_x" in p and "floor" in p for p in problems
+        )
+        # Above the floor, the missing baseline key means no band to apply.
+        fresh["derived"]["batch_memory_speedup_x"] = perfbench.DEFAULT_FLOOR * 2
+        assert perfbench.check_regression(fresh, old) == []
+
+    def test_memory_speedup_band_applies_with_baseline_key(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["batch_memory_speedup_x"] = (
+            payload["derived"]["batch_memory_speedup_x"] * 0.5
+        )
+        problems = perfbench.check_regression(fresh, payload)
+        assert any(
+            "batch_memory_speedup_x" in p and "regressed" in p for p in problems
+        )
+
+    def test_coverage_floor_gate(self, payload):
+        fresh = copy.deepcopy(payload)
+        fresh["derived"]["batch_coverage"] = 0.5
+        problems = perfbench.check_regression(fresh, payload)
+        assert any("batch_coverage" in p for p in problems)
 
     def test_records_divergence_fails(self, payload):
         fresh = copy.deepcopy(payload)
